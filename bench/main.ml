@@ -1,0 +1,540 @@
+(* Benchmark harness regenerating the paper's performance story
+   (DESIGN.md experiments P1-P5).  One Bechamel test per measured
+   configuration; each experiment prints its table plus the derived
+   ratios ("who wins, by what factor") that EXPERIMENTS.md records.
+
+     dune exec bench/main.exe            run everything
+     dune exec bench/main.exe -- P1 P3   run selected experiments *)
+
+open Bechamel
+open Toolkit
+
+module Connection = Aqua_driver.Connection
+module Result_set = Aqua_driver.Result_set
+module Translator = Aqua_translator.Translator
+module Semantic = Aqua_translator.Semantic
+module Generate = Aqua_translator.Generate
+module Metadata = Aqua_dsp.Metadata
+module Server = Aqua_dsp.Server
+module Engine = Aqua_sqlengine.Engine
+module Artifact = Aqua_dsp.Artifact
+module Datagen = Aqua_workload.Datagen
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                            *)
+
+let ols =
+  Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+
+let instance = Instance.monotonic_clock
+
+let run_benchmarks tests =
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  Analyze.all ols instance raw
+
+let estimate results name =
+  match Hashtbl.find_opt results name with
+  | None -> nan
+  | Some ols_result -> (
+    match Analyze.OLS.estimates ols_result with
+    | Some (e :: _) -> e
+    | _ -> nan)
+
+let pretty_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let print_table title rows =
+  Printf.printf "\n### %s\n\n" title;
+  let w =
+    List.fold_left (fun acc (name, _) -> max acc (String.length name)) 12 rows
+  in
+  Printf.printf "%-*s | time/op\n%s-+---------\n" w "case" (String.make w '-');
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-*s | %s\n" w name (pretty_ns ns))
+    rows;
+  flush stdout
+
+let ratio a b =
+  if Float.is_nan a || Float.is_nan b || b = 0.0 then nan else a /. b
+
+(* ------------------------------------------------------------------ *)
+(* P1: result transport — text-encoded vs XML materialization          *)
+
+let p1 () =
+  print_endline "\n== P1: result handling, text transport vs XML (section 4) ==";
+  let configs = [ (100, 4); (100, 16); (1000, 4); (1000, 16); (4000, 8) ] in
+  let cases =
+    List.map
+      (fun (rows, cols) ->
+        let name = Printf.sprintf "W%d" cols in
+        let table = Datagen.wide_table ~name ~columns:cols ~rows () in
+        let app = Artifact.application (Printf.sprintf "P1_%d_%d" rows cols) in
+        ignore (Artifact.import_physical_table app ~project:"P" table);
+        let env = Semantic.env_of_application app in
+        let srv = Server.create app in
+        let t =
+          Translator.translate env (Printf.sprintf "SELECT * FROM %s" name)
+        in
+        let wrapped = Translator.for_text_transport t in
+        let xml_path () =
+          (* server executes + serializes; client parses + types rows *)
+          let text = Server.execute_to_xml srv t.Translator.xquery in
+          Result_set.to_rowset
+            (Result_set.of_xml_text t.Translator.columns text)
+        in
+        let text_path () =
+          let text = Server.execute_to_text srv wrapped in
+          Result_set.to_rowset
+            (Result_set.of_encoded_text t.Translator.columns text)
+        in
+        (rows, cols, xml_path, text_path))
+      configs
+  in
+  let tests =
+    List.concat_map
+      (fun (rows, cols, xml_path, text_path) ->
+        [ Test.make
+            ~name:(Printf.sprintf "xml rows=%d cols=%d" rows cols)
+            (Staged.stage (fun () -> ignore (xml_path ())));
+          Test.make
+            ~name:(Printf.sprintf "text rows=%d cols=%d" rows cols)
+            (Staged.stage (fun () -> ignore (text_path ()))) ])
+      cases
+  in
+  let results = run_benchmarks (Test.make_grouped ~name:"p1" tests) in
+  let times =
+    List.concat_map
+      (fun (rows, cols, _, _) ->
+        [ ( Printf.sprintf "xml  transport rows=%-4d cols=%-2d" rows cols,
+            estimate results (Printf.sprintf "p1/xml rows=%d cols=%d" rows cols) );
+          ( Printf.sprintf "text transport rows=%-4d cols=%-2d" rows cols,
+            estimate results (Printf.sprintf "p1/text rows=%d cols=%d" rows cols) ) ])
+      cases
+  in
+  print_table "P1a full-pipeline transport cost (includes XQuery evaluation)"
+    times;
+  Printf.printf
+    "\nspeedup of text transport over XML materialization (full pipeline):\n";
+  List.iter
+    (fun (rows, cols, _, _) ->
+      let x = estimate results (Printf.sprintf "p1/xml rows=%d cols=%d" rows cols) in
+      let t = estimate results (Printf.sprintf "p1/text rows=%d cols=%d" rows cols) in
+      Printf.printf "  rows=%-4d cols=%-2d : %.2fx\n" rows cols (ratio x t))
+    cases;
+  flush stdout
+
+(* P1b isolates what the paper's claim is about: the JDBC driver's
+   client-side result handling.  Both wire payloads are produced once;
+   we measure decoding them into typed result sets, and report the
+   wire sizes. *)
+let p1b () =
+  print_endline
+    "\n== P1b: client-side result handling (decode wire to rows) ==";
+  let configs = [ (100, 4); (1000, 4); (1000, 16); (4000, 8) ] in
+  let cases =
+    List.map
+      (fun (rows, cols) ->
+        let name = Printf.sprintf "W%d" cols in
+        let table = Datagen.wide_table ~name ~columns:cols ~rows () in
+        let app = Artifact.application (Printf.sprintf "P1b_%d_%d" rows cols) in
+        ignore (Artifact.import_physical_table app ~project:"P" table);
+        let env = Semantic.env_of_application app in
+        let srv = Server.create app in
+        let t =
+          Translator.translate env (Printf.sprintf "SELECT * FROM %s" name)
+        in
+        let xml_wire = Server.execute_to_xml srv t.Translator.xquery in
+        let text_wire =
+          Server.execute_to_text srv (Translator.for_text_transport t)
+        in
+        (rows, cols, t.Translator.columns, xml_wire, text_wire))
+      configs
+  in
+  let tests =
+    List.concat_map
+      (fun (rows, cols, columns, xml_wire, text_wire) ->
+        [ Test.make
+            ~name:(Printf.sprintf "xml-decode rows=%d cols=%d" rows cols)
+            (Staged.stage (fun () ->
+                 ignore
+                   (Result_set.to_rowset (Result_set.of_xml_text columns xml_wire))));
+          Test.make
+            ~name:(Printf.sprintf "text-decode rows=%d cols=%d" rows cols)
+            (Staged.stage (fun () ->
+                 ignore
+                   (Result_set.to_rowset
+                      (Result_set.of_encoded_text columns text_wire)))) ])
+      cases
+  in
+  let results = run_benchmarks (Test.make_grouped ~name:"p1b" tests) in
+  print_table "P1b client-side decode cost"
+    (List.concat_map
+       (fun (rows, cols, _, _, _) ->
+         [ ( Printf.sprintf "xml  decode rows=%-4d cols=%-2d" rows cols,
+             estimate results
+               (Printf.sprintf "p1b/xml-decode rows=%d cols=%d" rows cols) );
+           ( Printf.sprintf "text decode rows=%-4d cols=%-2d" rows cols,
+             estimate results
+               (Printf.sprintf "p1b/text-decode rows=%d cols=%d" rows cols) ) ])
+       cases);
+  Printf.printf "\nwire sizes and client-side speedup (xml/text):\n";
+  List.iter
+    (fun (rows, cols, _, xml_wire, text_wire) ->
+      let x =
+        estimate results (Printf.sprintf "p1b/xml-decode rows=%d cols=%d" rows cols)
+      in
+      let t =
+        estimate results (Printf.sprintf "p1b/text-decode rows=%d cols=%d" rows cols)
+      in
+      Printf.printf
+        "  rows=%-4d cols=%-2d : xml %7d bytes, text %7d bytes (%.2fx smaller), decode %.2fx faster\n"
+        rows cols (String.length xml_wire) (String.length text_wire)
+        (ratio (float_of_int (String.length xml_wire))
+           (float_of_int (String.length text_wire)))
+        (ratio x t))
+    cases;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* P2: translation throughput by SQL feature class                     *)
+
+let p2_classes =
+  [ ( "simple-select",
+      "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID > 3" );
+    ("star", "SELECT * FROM CUSTOMERS");
+    ( "derived-table",
+      "SELECT I.ID FROM (SELECT CUSTOMERID ID FROM CUSTOMERS) AS I WHERE I.ID \
+       > 2" );
+    ( "inner-join",
+      "SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS C INNER JOIN PAYMENTS \
+       P ON C.CUSTOMERID = P.CUSTID" );
+    ( "left-outer-join",
+      "SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS C LEFT OUTER JOIN \
+       PAYMENTS P ON C.CUSTOMERID = P.CUSTID" );
+    ( "group-by",
+      "SELECT CITY, COUNT(*) N, SUM(TIER) S FROM CUSTOMERS GROUP BY CITY \
+       HAVING COUNT(*) > 1" );
+    ( "set-op",
+      "SELECT CITY FROM CUSTOMERS WHERE TIER = 1 UNION SELECT CITY FROM \
+       CUSTOMERS WHERE TIER = 2" );
+    ( "subquery-predicates",
+      "SELECT CUSTOMERNAME FROM CUSTOMERS C WHERE CUSTOMERID IN (SELECT \
+       CUSTOMERID FROM PO_CUSTOMERS) AND EXISTS (SELECT 1 FROM PAYMENTS P \
+       WHERE P.CUSTID = C.CUSTOMERID)" );
+    ( "complex-report",
+      "SELECT C.CITY, COUNT(*) N, SUM(P.AMOUNT) T FROM CUSTOMERS C INNER \
+       JOIN PO_CUSTOMERS P ON C.CUSTOMERID = P.CUSTOMERID WHERE C.TIER IS \
+       NOT NULL GROUP BY C.CITY ORDER BY T DESC" ) ]
+
+let p2 () =
+  print_endline
+    "\n== P2: translation throughput by query class (section 3.2) ==";
+  let app = Aqua_workload.Demo.build () in
+  let cache = Metadata.Cache.create app in
+  let env = Semantic.env_of_cache cache in
+  let tests =
+    List.map
+      (fun (name, sql) ->
+        Test.make ~name
+          (Staged.stage (fun () -> ignore (Translator.translate env sql))))
+      p2_classes
+  in
+  let results = run_benchmarks (Test.make_grouped ~name:"p2" tests) in
+  print_table "P2 translation latency (warm metadata cache)"
+    (List.map
+       (fun (name, _) -> (name, estimate results ("p2/" ^ name)))
+       p2_classes)
+
+(* ------------------------------------------------------------------ *)
+(* P3: metadata cache effect on translation                            *)
+
+let p3 () =
+  print_endline "\n== P3: metadata cache (section 3.5) ==";
+  let app = Aqua_workload.Demo.build () in
+  let sql =
+    "SELECT C.CUSTOMERNAME, O.AMOUNT, P.PAYMENT FROM CUSTOMERS C, \
+     PO_CUSTOMERS O, PAYMENTS P WHERE C.CUSTOMERID = O.CUSTOMERID AND \
+     C.CUSTOMERID = P.CUSTID"
+  in
+  let warm_cache = Metadata.Cache.create app in
+  let warm_env = Semantic.env_of_cache warm_cache in
+  ignore (Translator.translate warm_env sql);
+  let cold_cache = Metadata.Cache.create app in
+  let cold_env = Semantic.env_of_cache cold_cache in
+  let tests =
+    [ Test.make ~name:"warm-cache"
+        (Staged.stage (fun () -> ignore (Translator.translate warm_env sql)));
+      Test.make ~name:"cold-cache"
+        (Staged.stage (fun () ->
+             Metadata.Cache.clear cold_cache;
+             ignore (Translator.translate cold_env sql)));
+      Test.make ~name:"metadata-fetch-only"
+        (Staged.stage (fun () ->
+             ignore (Metadata.fetch app "CUSTOMERS");
+             ignore (Metadata.fetch app "PO_CUSTOMERS");
+             ignore (Metadata.fetch app "PAYMENTS"))) ]
+  in
+  let results = run_benchmarks (Test.make_grouped ~name:"p3" tests) in
+  let warm = estimate results "p3/warm-cache" in
+  let cold = estimate results "p3/cold-cache" in
+  print_table "P3 translation latency, 3-table query"
+    [ ("warm metadata cache", warm);
+      ("cold metadata cache", cold);
+      ("metadata fetch alone", estimate results "p3/metadata-fetch-only") ];
+  Printf.printf "\ncold/warm ratio: %.2fx\n" (ratio cold warm);
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* P4: end-to-end SQL-via-XQuery vs the direct SQL engine              *)
+
+let p4 () =
+  print_endline "\n== P4: end-to-end vs direct SQL engine ==";
+  let sizes =
+    [ ( "small",
+        { Datagen.customers = 20; orders = 60; lines_per_order = 2;
+          payments = 40 } );
+      ( "medium",
+        { Datagen.customers = 60; orders = 240; lines_per_order = 3;
+          payments = 150 } ) ]
+  in
+  let sql =
+    "SELECT C.CITY, COUNT(*) N, SUM(L.QTY * L.PRICE) REV FROM CUSTOMERS C \
+     INNER JOIN ORDERS O ON C.CUSTOMERID = O.CUSTOMERID INNER JOIN \
+     ORDERLINES L ON O.ORDERID = L.ORDERID GROUP BY C.CITY ORDER BY REV DESC"
+  in
+  let cases =
+    List.map
+      (fun (label, s) ->
+        let app = Datagen.application s in
+        let conn = Connection.connect app in
+        let engine_env = Engine.env_of_application app in
+        let stmt = Aqua_sql.Parser.parse sql in
+        (label, conn, engine_env, stmt))
+      sizes
+  in
+  let tests =
+    List.concat_map
+      (fun (label, conn, engine_env, stmt) ->
+        [ Test.make
+            ~name:("dsp-pipeline-" ^ label)
+            (Staged.stage (fun () ->
+                 ignore
+                   (Result_set.to_rowset (Connection.execute_query conn sql))));
+          Test.make
+            ~name:("direct-engine-" ^ label)
+            (Staged.stage (fun () -> ignore (Engine.execute engine_env stmt)))
+        ])
+      cases
+  in
+  let results = run_benchmarks (Test.make_grouped ~name:"p4" tests) in
+  print_table "P4 reporting query, full pipeline vs baseline"
+    (List.concat_map
+       (fun (label, _, _, _) ->
+         [ ( "dsp pipeline  " ^ label,
+             estimate results ("p4/dsp-pipeline-" ^ label) );
+           ( "direct engine " ^ label,
+             estimate results ("p4/direct-engine-" ^ label) ) ])
+       cases);
+  List.iter
+    (fun (label, _, _, _) ->
+      Printf.printf "overhead of the DSP pipeline (%s): %.2fx\n" label
+        (ratio
+           (estimate results ("p4/dsp-pipeline-" ^ label))
+           (estimate results ("p4/direct-engine-" ^ label))))
+    cases;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* P5: patterned vs naive emission (ablation)                          *)
+
+let p5 () =
+  print_endline "\n== P5: patterned vs naive XQuery emission (ablation) ==";
+  let app =
+    Datagen.application
+      { Datagen.customers = 40; orders = 150; lines_per_order = 2;
+        payments = 90 }
+  in
+  let env = Semantic.env_of_application app in
+  let srv = Server.create app in
+  let queries =
+    [ ( "like-filter",
+        "SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERNAME LIKE 'Acme%'" );
+      ("projection", "SELECT ORDERID, CUSTOMERID, ORDERDATE, STATUS FROM ORDERS");
+      ( "group-by",
+        "SELECT STATUS, COUNT(*) N, MIN(PRIORITY) MN FROM ORDERS GROUP BY \
+         STATUS" ) ]
+  in
+  let run_style style sql () =
+    let t = Translator.translate ~style env sql in
+    ignore (Server.execute srv t.Translator.xquery)
+  in
+  let tests =
+    List.concat_map
+      (fun (name, sql) ->
+        [ Test.make
+            ~name:("patterned-" ^ name)
+            (Staged.stage (run_style Generate.Patterned sql));
+          Test.make
+            ~name:("naive-" ^ name)
+            (Staged.stage (run_style Generate.Naive sql)) ])
+      queries
+  in
+  let results = run_benchmarks (Test.make_grouped ~name:"p5" tests) in
+  print_table "P5 translate+execute by emission style"
+    (List.concat_map
+       (fun (name, _) ->
+         [ ("patterned " ^ name, estimate results ("p5/patterned-" ^ name));
+           ("naive     " ^ name, estimate results ("p5/naive-" ^ name)) ])
+       queries);
+  List.iter
+    (fun (name, _) ->
+      Printf.printf "naive/patterned (%s): %.2fx\n" name
+        (ratio
+           (estimate results ("p5/naive-" ^ name))
+           (estimate results ("p5/patterned-" ^ name))))
+    queries;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* P6: query compilation (interpreted vs compiled evaluator)           *)
+
+let p6 () =
+  print_endline
+    "\n== P6: server-side query compilation (interpreter vs compiled \
+     closures) ==";
+  let app =
+    Datagen.application
+      { Datagen.customers = 40; orders = 150; lines_per_order = 2;
+        payments = 90 }
+  in
+  let env = Semantic.env_of_application app in
+  let srv = Server.create app in
+  let queries =
+    [ ("scan", "SELECT ORDERID, CUSTOMERID, STATUS FROM ORDERS");
+      ( "join-filter",
+        "SELECT C.CUSTOMERNAME, O.ORDERID FROM CUSTOMERS C INNER JOIN ORDERS \
+         O ON C.CUSTOMERID = O.CUSTOMERID WHERE O.PRIORITY > 2" );
+      ( "group-by",
+        "SELECT STATUS, COUNT(*) N, MAX(PRIORITY) MX FROM ORDERS GROUP BY \
+         STATUS ORDER BY N DESC" ) ]
+  in
+  let cases =
+    List.map
+      (fun (name, sql) ->
+        let t = Translator.translate env sql in
+        let prepared = Server.prepare srv t.Translator.xquery in
+        (* the section-4 wrapper through the compiled engine *)
+        let wrapped = Translator.for_text_transport t in
+        let wrapped_prepared = Server.prepare srv wrapped in
+        (name, t, prepared, wrapped_prepared))
+      queries
+  in
+  let tests =
+    List.concat_map
+      (fun (name, t, prepared, wrapped_prepared) ->
+        [ Test.make ~name:("interpreted-" ^ name)
+            (Staged.stage (fun () ->
+                 ignore (Server.execute srv t.Translator.xquery)));
+          Test.make ~name:("compiled-" ^ name)
+            (Staged.stage (fun () ->
+                 ignore (Server.execute_prepared prepared)));
+          Test.make ~name:("compile+run-" ^ name)
+            (Staged.stage (fun () ->
+                 ignore
+                   (Server.execute_prepared
+                      (Server.prepare srv t.Translator.xquery))));
+          Test.make ~name:("compiled-text-wrapper-" ^ name)
+            (Staged.stage (fun () ->
+                 ignore (Server.execute_prepared wrapped_prepared))) ])
+      cases
+  in
+  let results = run_benchmarks (Test.make_grouped ~name:"p6" tests) in
+  print_table "P6 execution by engine"
+    (List.concat_map
+       (fun (name, _, _, _) ->
+         [ ("interpreted      " ^ name, estimate results ("p6/interpreted-" ^ name));
+           ("compiled (hot)   " ^ name, estimate results ("p6/compiled-" ^ name));
+           ("compile+run      " ^ name, estimate results ("p6/compile+run-" ^ name));
+           ("compiled wrapper " ^ name, estimate results ("p6/compiled-text-wrapper-" ^ name)) ])
+       cases);
+  List.iter
+    (fun (name, _, _, _) ->
+      Printf.printf "interpreted/compiled (%s): %.2fx\n" name
+        (ratio
+           (estimate results ("p6/interpreted-" ^ name))
+           (estimate results ("p6/compiled-" ^ name))))
+    cases;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* P7: prepared statements (translate+compile once) vs ad hoc          *)
+
+let p7 () =
+  print_endline
+    "\n== P7: prepared statements vs ad hoc statements (driver) ==";
+  let app =
+    Datagen.application
+      { Datagen.customers = 40; orders = 150; lines_per_order = 2;
+        payments = 90 }
+  in
+  let conn = Connection.connect app in
+  let sql_template =
+    "SELECT ORDERID, STATUS FROM ORDERS WHERE CUSTOMERID = ?"
+  in
+  let stmt = Connection.Prepared.prepare conn sql_template in
+  let counter = ref 0 in
+  let tests =
+    [ Test.make ~name:"adhoc"
+        (Staged.stage (fun () ->
+             incr counter;
+             let id = 1 + (!counter mod 40) in
+             ignore
+               (Result_set.to_rowset
+                  (Connection.execute_query conn
+                     (Printf.sprintf
+                        "SELECT ORDERID, STATUS FROM ORDERS WHERE CUSTOMERID \
+                         = %d"
+                        id)))));
+      Test.make ~name:"prepared"
+        (Staged.stage (fun () ->
+             incr counter;
+             Connection.Prepared.set_int stmt 1 (1 + (!counter mod 40));
+             ignore
+               (Result_set.to_rowset (Connection.Prepared.execute_query stmt))));
+      Test.make ~name:"prepare-only"
+        (Staged.stage (fun () ->
+             ignore (Connection.Prepared.prepare conn sql_template))) ]
+  in
+  let results = run_benchmarks (Test.make_grouped ~name:"p7" tests) in
+  let adhoc = estimate results "p7/adhoc" in
+  let prepared = estimate results "p7/prepared" in
+  print_table "P7 parameterized point query through the driver"
+    [ ("ad hoc (translate every call)", adhoc);
+      ("prepared (compiled once)", prepared);
+      ("preparation cost", estimate results "p7/prepare-only") ];
+  Printf.printf "\nadhoc/prepared ratio: %.2fx\n" (ratio adhoc prepared);
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let selected =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as picks) -> List.map String.uppercase_ascii picks
+    | _ -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7" ]
+  in
+  let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7) ] in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all with
+      | Some f -> f ()
+      | None -> Printf.eprintf "unknown experiment %s\n" name)
+    selected;
+  print_endline "\nbench: done"

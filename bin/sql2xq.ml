@@ -1,0 +1,219 @@
+(* sql2xq: command-line front end to the translator.
+
+     sql2xq translate "SELECT * FROM CUSTOMERS"   print the XQuery
+     sql2xq run       "SELECT ..."                execute via DSP, print rows
+     sql2xq text      "SELECT ..."                print the section-4 wrapper
+     sql2xq tables                                list demo catalog tables
+
+   Queries run against the built-in demo catalog (see demo_catalog.ml). *)
+
+open Cmdliner
+
+module Translator = Aqua_translator.Translator
+module Semantic = Aqua_translator.Semantic
+module Errors = Aqua_translator.Errors
+module Server = Aqua_dsp.Server
+module Metadata = Aqua_dsp.Metadata
+
+let with_env f =
+  let app = Aqua_workload.Demo.build () in
+  let env = Semantic.env_of_application app in
+  try f app env with
+  | Errors.Error e ->
+    prerr_endline (Errors.to_string e);
+    exit 1
+  | Aqua_xqeval.Error.Dynamic_error m ->
+    prerr_endline ("dynamic error: " ^ m);
+    exit 1
+
+let style_of_naive naive =
+  if naive then Aqua_translator.Generate.Naive
+  else Aqua_translator.Generate.Patterned
+
+let sql_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
+
+let naive_flag =
+  Arg.(value & flag & info [ "naive" ] ~doc:"Use the naive emission style.")
+
+let translate_cmd =
+  let run sql naive =
+    with_env (fun _app env ->
+        let t = Translator.translate ~style:(style_of_naive naive) env sql in
+        print_endline (Translator.to_string t);
+        prerr_endline
+          ("-- result columns: "
+          ^ String.concat ", "
+              (List.map
+                 (fun (c : Aqua_translator.Outcol.t) ->
+                   Printf.sprintf "%s %s" c.label
+                     (Aqua_relational.Sql_type.to_string c.ty))
+                 t.Translator.columns)))
+  in
+  Cmd.v
+    (Cmd.info "translate" ~doc:"Translate SQL to XQuery and print it")
+    Term.(const run $ sql_arg $ naive_flag)
+
+let run_cmd =
+  let run sql naive =
+    with_env (fun app env ->
+        let t = Translator.translate ~style:(style_of_naive naive) env sql in
+        let server = Server.create app in
+        let items = Server.execute server t.Translator.xquery in
+        print_endline (Aqua_xml.Serialize.sequence_to_string ~indent:true items))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Translate and execute; print the XML result")
+    Term.(const run $ sql_arg $ naive_flag)
+
+let text_cmd =
+  let run sql naive =
+    with_env (fun app env ->
+        let t = Translator.translate ~style:(style_of_naive naive) env sql in
+        let wrapped = Translator.for_text_transport t in
+        print_endline (Aqua_xquery.Pretty.query_to_string wrapped);
+        let server = Server.create app in
+        let text = Server.execute_to_text server wrapped in
+        Printf.printf "-- wire text (%d bytes): %s\n" (String.length text)
+          (String.escaped text))
+  in
+  Cmd.v
+    (Cmd.info "text"
+       ~doc:"Print the text-transport wrapper query and its wire output")
+    Term.(const run $ sql_arg $ naive_flag)
+
+let diff_cmd =
+  let run sql naive =
+    with_env (fun app env ->
+        ignore env;
+        let conn =
+          Aqua_driver.Connection.connect ~transport:Aqua_driver.Connection.Text
+            app
+        in
+        ignore naive;
+        let rs = Aqua_driver.Connection.execute_query conn sql in
+        let via_driver = Aqua_driver.Result_set.to_rowset rs in
+        let engine_env = Aqua_sqlengine.Engine.env_of_application app in
+        let direct = Aqua_sqlengine.Engine.execute_sql engine_env sql in
+        match Aqua_relational.Rowset.diff_summary direct via_driver with
+        | None ->
+          Printf.printf "MATCH (%d rows)\n%s\n"
+            (List.length direct.Aqua_relational.Rowset.rows)
+            (Aqua_relational.Rowset.to_string direct)
+        | Some msg ->
+          Printf.printf "MISMATCH: %s\n-- direct engine:\n%s\n-- via driver:\n%s\n"
+            msg
+            (Aqua_relational.Rowset.to_string direct)
+            (Aqua_relational.Rowset.to_string via_driver);
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Run via the driver AND the baseline SQL engine; compare rows")
+    Term.(const run $ sql_arg $ naive_flag)
+
+let wdiff_cmd =
+  (* like diff, but against the synthetic workload catalog used by the
+     randomized test suite — for reproducing generator findings *)
+  let run sql naive =
+    ignore naive;
+    let app =
+      Aqua_workload.Datagen.application
+        { Aqua_workload.Datagen.customers = 12; orders = 25;
+          lines_per_order = 2; payments = 18 }
+    in
+    try
+      let conn = Aqua_driver.Connection.connect app in
+      let rs = Aqua_driver.Connection.execute_query conn sql in
+      let via_driver = Aqua_driver.Result_set.to_rowset rs in
+      let engine_env = Aqua_sqlengine.Engine.env_of_application app in
+      let direct = Aqua_sqlengine.Engine.execute_sql engine_env sql in
+      match Aqua_relational.Rowset.diff_summary direct via_driver with
+      | None ->
+        Printf.printf "MATCH (%d rows)\n"
+          (List.length direct.Aqua_relational.Rowset.rows)
+      | Some msg ->
+        Printf.printf
+          "MISMATCH: %s\n-- direct engine:\n%s\n-- via driver:\n%s\n" msg
+          (Aqua_relational.Rowset.to_string direct)
+          (Aqua_relational.Rowset.to_string via_driver);
+        exit 1
+    with
+    | Errors.Error e ->
+      prerr_endline (Errors.to_string e);
+      exit 1
+    | Aqua_xqeval.Error.Dynamic_error m ->
+      prerr_endline ("dynamic error: " ^ m);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "wdiff" ~doc:"diff against the synthetic workload catalog")
+    Term.(const run $ sql_arg $ naive_flag)
+
+let explain_cmd =
+  let run sql =
+    with_env (fun _app env ->
+        print_string (Aqua_translator.Explain.statement env
+                        (Aqua_sql.Parser.parse sql)))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the query-context / resultset-node tree (paper Figs 3-4)")
+    Term.(const run $ sql_arg)
+
+let xq_cmd =
+  (* parse raw XQuery text (from a file, or stdin with "-"), print the
+     reparsed form, and execute it against the demo catalog *)
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let parse_only =
+    Arg.(value & flag & info [ "parse-only" ] ~doc:"Do not execute.")
+  in
+  let run file parse_only =
+    let src =
+      if file = "-" then In_channel.input_all stdin
+      else In_channel.with_open_text file In_channel.input_all
+    in
+    with_env (fun app _env ->
+        match Aqua_xquery.Parser.parse_query src with
+        | exception Aqua_xquery.Parser.Parse_error { offset; message } ->
+          Printf.eprintf "parse error at offset %d: %s\n" offset message;
+          exit 1
+        | q ->
+          print_endline (Aqua_xquery.Pretty.query_to_string q);
+          if not parse_only then begin
+            let srv = Server.create app in
+            print_endline "-- result --";
+            print_endline
+              (Aqua_xml.Serialize.sequence_to_string ~indent:true
+                 (Server.execute srv q))
+          end)
+  in
+  Cmd.v
+    (Cmd.info "xq" ~doc:"Parse (and run) raw XQuery against the demo catalog")
+    Term.(const run $ file_arg $ parse_only)
+
+let tables_cmd =
+  let run () =
+    with_env (fun app _env ->
+        List.iter
+          (fun (m : Metadata.table) ->
+            Printf.printf "%s.%s.%s (%s)\n" m.Metadata.catalog m.Metadata.schema
+              m.Metadata.table
+              (String.concat ", "
+                 (List.map
+                    (fun (c : Aqua_relational.Schema.column) -> c.name)
+                    m.Metadata.columns)))
+          (Metadata.list_tables app))
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"List the demo catalog's tables")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "SQL-92 to XQuery translation against a demo data-services catalog" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "sql2xq" ~doc)
+          [ translate_cmd; run_cmd; text_cmd; diff_cmd; wdiff_cmd; explain_cmd; xq_cmd; tables_cmd ]))

@@ -1,0 +1,71 @@
+(* Ad hoc SQL console over the demo catalog.
+
+     dune exec examples/adhoc_console.exe
+     echo "SELECT * FROM CUSTOMERS" | dune exec examples/adhoc_console.exe
+
+   Reads one SQL statement per line (semicolons optional).  Commands:
+     \x SQL    show the XQuery translation instead of executing
+     \t        toggle the result transport (text <-> xml)
+     \d        list tables
+     \q        quit *)
+
+module Connection = Aqua_driver.Connection
+module Result_set = Aqua_driver.Result_set
+module Rowset = Aqua_relational.Rowset
+module Errors = Aqua_translator.Errors
+
+let () =
+  let app = Aqua_workload.Demo.build () in
+  let conn = Connection.connect app in
+  let interactive = Unix.isatty Unix.stdin in
+  if interactive then
+    print_endline
+      "sql2xq ad hoc console — \\d tables, \\x SQL to translate, \\t \
+       transport, \\q quit";
+  let rec loop () =
+    if interactive then (print_string "sql> "; flush stdout);
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line ->
+      let line = String.trim line in
+      (if line = "" then ()
+       else if line = "\\q" then exit 0
+       else if line = "\\d" then
+         List.iter
+           (fun (m : Aqua_dsp.Metadata.table) ->
+             Printf.printf "%s.%s\n" m.Aqua_dsp.Metadata.schema
+               m.Aqua_dsp.Metadata.table)
+           (Connection.Database_metadata.tables conn)
+       else if line = "\\t" then begin
+         let next =
+           match Connection.transport conn with
+           | Connection.Text -> Connection.Xml
+           | Connection.Xml -> Connection.Text
+         in
+         Connection.set_transport conn next;
+         Printf.printf "transport: %s\n"
+           (match next with Connection.Text -> "text" | Connection.Xml -> "xml")
+       end
+       else
+         let translate_only, sql =
+           if String.length line > 3 && String.sub line 0 3 = "\\x " then
+             (true, String.sub line 3 (String.length line - 3))
+           else (false, line)
+         in
+         try
+           if translate_only then
+             print_endline
+               (Aqua_translator.Translator.to_string (Connection.translate conn sql))
+           else begin
+             let rs = Connection.execute_query conn sql in
+             let rowset = Result_set.to_rowset rs in
+             print_endline (Rowset.to_string rowset);
+             Printf.printf "(%d rows)\n" (List.length rowset.Rowset.rows)
+           end
+         with
+         | Errors.Error e -> Printf.printf "error: %s\n" (Errors.to_string e)
+         | Aqua_xqeval.Error.Dynamic_error m ->
+           Printf.printf "dynamic error: %s\n" m);
+      loop ()
+  in
+  loop ()

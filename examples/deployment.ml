@@ -1,0 +1,96 @@
+(* Deployment scenario: a data-service architect ships .ds / .xsd file
+   text (paper Example 2); the operations side deploys it into an
+   application, and a SQL tool immediately queries it — including a
+   parameterized function exposed as a stored procedure.
+
+     dune exec examples/deployment.exe *)
+
+module Schema = Aqua_relational.Schema
+module Sql_type = Aqua_relational.Sql_type
+module Table = Aqua_relational.Table
+module Value = Aqua_relational.Value
+module Artifact = Aqua_dsp.Artifact
+module Xsd = Aqua_dsp.Xsd
+module Dsfile = Aqua_dsp.Dsfile
+module Connection = Aqua_driver.Connection
+module Callable = Aqua_driver.Callable
+module Result_set = Aqua_driver.Result_set
+
+(* the physical source the external function binds to *)
+let orders_table () =
+  let t =
+    Table.create "ORDERS"
+      [ Schema.column ~nullable:false "ORDERID" Sql_type.Integer;
+        Schema.column ~nullable:false "CUSTOMER" (Sql_type.Varchar (Some 30));
+        Schema.column ~nullable:false "TOTAL" (Sql_type.Decimal (Some (10, 2)));
+        Schema.column "STATUS" (Sql_type.Varchar (Some 10)) ]
+  in
+  Table.insert_all t
+    [ [ Value.Int 1; Value.Str "Acme"; Value.Num 120.5; Value.Str "OPEN" ];
+      [ Value.Int 2; Value.Str "Acme"; Value.Num 80.0; Value.Str "SHIPPED" ];
+      [ Value.Int 3; Value.Str "Zenith"; Value.Num 42.0; Value.Null ];
+      [ Value.Int 4; Value.Str "Supermart"; Value.Num 300.0; Value.Str "OPEN" ] ];
+  t
+
+(* what the architect ships: the .xsd row schema... *)
+let orders_xsd =
+  Xsd.to_text
+    {
+      Xsd.element_name = "ORDERS";
+      target_namespace = "ld:Shipping/ORDERS";
+      columns =
+        [ Schema.column ~nullable:false "ORDERID" Sql_type.Integer;
+          Schema.column ~nullable:false "CUSTOMER" (Sql_type.Varchar (Some 30));
+          Schema.column ~nullable:false "TOTAL" (Sql_type.Decimal (Some (10, 2)));
+          Schema.column "STATUS" (Sql_type.Varchar (Some 10)) ];
+    }
+
+(* ... and the .ds file: one external (physical) function plus a
+   parameterized logical view, which Figure 2 maps to a stored
+   procedure *)
+let orders_ds =
+  "import schema namespace t1 = \"ld:Shipping/ORDERS\" at \
+   \"ld:Shipping/schemas/ORDERS.xsd\";\n\n\
+   declare function f1:ORDERS()\n\
+  \    as schema-element(t1:ORDERS)*\n\
+  \    external;\n\n\
+   declare function f1:ordersOver($p1 as xs:decimal)\n\
+  \    as schema-element(t1:ORDERS)* {\n\
+   for $o in t1:ORDERS() where $o/TOTAL > $p1 return $o\n\
+   };\n"
+
+let () =
+  print_endline "-- shipped ORDERS.xsd --";
+  print_string orders_xsd;
+  print_endline "\n-- shipped ORDERS.ds --";
+  print_string orders_ds;
+
+  (* deployment *)
+  let app = Artifact.application "ShippingApp" in
+  let table = orders_table () in
+  ignore
+    (Dsfile.deploy app ~path:"Shipping" ~name:"ORDERS"
+       ~load_schema:(fun _location -> Xsd.of_text orders_xsd)
+       ~bind_external:(fun fn -> if fn = "ORDERS" then Some table else None)
+       orders_ds);
+
+  let conn = Connection.connect app in
+  print_endline "\n-- SQL over the deployed table --";
+  let rs =
+    Connection.execute_query conn
+      "SELECT CUSTOMER, COUNT(*) N, SUM(TOTAL) T FROM ORDERS GROUP BY \
+       CUSTOMER ORDER BY T DESC"
+  in
+  print_endline
+    (Aqua_relational.Rowset.to_string (Result_set.to_rowset rs));
+
+  print_endline "\n-- stored procedure: {call ordersOver(?)} --";
+  let stmt = Callable.prepare conn "{call ordersOver(?)}" in
+  Callable.set_float stmt 1 100.0;
+  let rs = Callable.execute_query stmt in
+  while Result_set.next rs do
+    Printf.printf "order %d: %s %.2f\n"
+      (Option.get (Result_set.get_int rs 1))
+      (Option.get (Result_set.get_string rs 2))
+      (Option.get (Result_set.get_float rs 3))
+  done

@@ -1,0 +1,64 @@
+(* Reporting-tool scenario: the workload the paper motivates — a
+   legacy SQL reporting tool (think Crystal Reports) running rollups
+   against data services it knows only as JDBC tables.
+
+     dune exec examples/reporting.exe
+
+   The "enterprise data" is the synthetic Sales star schema; every
+   report below is plain SQL-92 issued through the driver, translated
+   to XQuery and executed by the DSP server. *)
+
+module Connection = Aqua_driver.Connection
+module Result_set = Aqua_driver.Result_set
+module Rowset = Aqua_relational.Rowset
+
+let report conn ~title sql =
+  Printf.printf "==== %s ====\n%s\n\n" title sql;
+  let rs = Connection.execute_query conn sql in
+  print_endline (Rowset.to_string (Result_set.to_rowset rs));
+  print_newline ()
+
+let () =
+  let app =
+    Aqua_workload.Datagen.application
+      { Aqua_workload.Datagen.customers = 30; orders = 120;
+        lines_per_order = 3; payments = 80 }
+  in
+  let conn = Connection.connect app in
+
+  report conn ~title:"Revenue by city"
+    "SELECT C.CITY, COUNT(*) ORDERS, SUM(L.QTY * L.PRICE) REVENUE \
+     FROM CUSTOMERS C \
+     INNER JOIN ORDERS O ON C.CUSTOMERID = O.CUSTOMERID \
+     INNER JOIN ORDERLINES L ON O.ORDERID = L.ORDERID \
+     WHERE C.CITY IS NOT NULL \
+     GROUP BY C.CITY \
+     ORDER BY REVENUE DESC";
+
+  report conn ~title:"Order status breakdown"
+    "SELECT COALESCE(STATUS, 'UNKNOWN') STATUS, COUNT(*) N \
+     FROM ORDERS GROUP BY STATUS ORDER BY N DESC, 1";
+
+  report conn ~title:"Top products by quantity"
+    "SELECT PRODUCT, SUM(QTY) UNITS, AVG(PRICE) AVG_PRICE \
+     FROM ORDERLINES GROUP BY PRODUCT ORDER BY UNITS DESC";
+
+  report conn ~title:"Customers with orders but no payments"
+    "SELECT DISTINCT C.CUSTOMERNAME \
+     FROM CUSTOMERS C INNER JOIN ORDERS O ON C.CUSTOMERID = O.CUSTOMERID \
+     WHERE NOT EXISTS (SELECT 1 FROM PAYMENTS P WHERE P.CUSTID = C.CUSTOMERID) \
+     ORDER BY 1";
+
+  report conn ~title:"Payment coverage per tier"
+    "SELECT C.TIER, COUNT(DISTINCT C.CUSTOMERID) CUSTOMERS, SUM(P.PAYMENT) PAID \
+     FROM CUSTOMERS C LEFT OUTER JOIN PAYMENTS P ON C.CUSTOMERID = P.CUSTID \
+     WHERE C.TIER IS NOT NULL \
+     GROUP BY C.TIER ORDER BY C.TIER";
+
+  (* EXTRACT in GROUP BY is outside SQL-92's column-only grouping
+     rule, so monthly rollups go through a derived table *)
+  report conn ~title:"2005 orders per month"
+    "SELECT M.MONTH, COUNT(*) N FROM \
+     (SELECT EXTRACT(MONTH FROM ORDERDATE) MONTH FROM ORDERS \
+      WHERE EXTRACT(YEAR FROM ORDERDATE) = 2005) AS M \
+     GROUP BY M.MONTH ORDER BY M.MONTH"

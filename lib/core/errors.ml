@@ -1,0 +1,43 @@
+(* Translation failures.  Stage one raises syntax errors (wrapped from
+   the SQL parser); later stages raise semantic errors: unknown tables
+   or columns, ambiguity, grouping violations, type mismatches. *)
+
+type kind =
+  | Syntax
+  | Unknown_table
+  | Unknown_column
+  | Ambiguous_column
+  | Grouping
+  | Type_mismatch
+  | Unsupported
+  | Cardinality
+
+type t = {
+  kind : kind;
+  message : string;
+  pos : Aqua_sql.Ast.pos option;
+}
+
+exception Error of t
+
+let kind_to_string = function
+  | Syntax -> "syntax error"
+  | Unknown_table -> "unknown table"
+  | Unknown_column -> "unknown column"
+  | Ambiguous_column -> "ambiguous column"
+  | Grouping -> "grouping error"
+  | Type_mismatch -> "type mismatch"
+  | Unsupported -> "unsupported construct"
+  | Cardinality -> "cardinality error"
+
+let to_string e =
+  let pos =
+    match e.pos with
+    | Some p when p.Aqua_sql.Ast.line > 0 ->
+      Printf.sprintf " at line %d, column %d" p.Aqua_sql.Ast.line p.col
+    | _ -> ""
+  in
+  Printf.sprintf "%s%s: %s" (kind_to_string e.kind) pos e.message
+
+let raise_error ?pos kind fmt =
+  Format.kasprintf (fun message -> raise (Error { kind; message; pos })) fmt

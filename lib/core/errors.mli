@@ -1,0 +1,31 @@
+(** Translation failures: positioned syntax errors from stage one and
+    semantic errors (unknown or ambiguous names, grouping violations,
+    type mismatches) from the later stages. *)
+
+type kind =
+  | Syntax
+  | Unknown_table
+  | Unknown_column
+  | Ambiguous_column
+  | Grouping
+  | Type_mismatch
+  | Unsupported
+  | Cardinality
+
+type t = {
+  kind : kind;
+  message : string;
+  pos : Aqua_sql.Ast.pos option;
+}
+
+exception Error of t
+
+val kind_to_string : kind -> string
+
+val to_string : t -> string
+(** Human-readable message including the position when known. *)
+
+val raise_error :
+  ?pos:Aqua_sql.Ast.pos -> kind -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [raise_error kind fmt ...] raises {!Error} with a formatted
+    message. *)

@@ -1,0 +1,11 @@
+(** Rendering of the translator's internal structures: the query
+    contexts (paper Figure 4) and resultset-node tree (paper Figure 3)
+    built during stage one/two, for inspection and debugging.
+
+    Each (sub)query gets a numbered context; every table, join, derived
+    table and set operation appears as an RSN annotated with its
+    resolved metadata and output columns. *)
+
+val statement : Semantic.env -> Aqua_sql.Ast.statement -> string
+(** Validates the statement and renders its context/RSN tree.
+    @raise Errors.Error on invalid SQL. *)

@@ -1,0 +1,149 @@
+(* The preconfigured map of SQL scalar functions to XQuery Functions &
+   Operators (paper section 3.5 (iii)).  Each entry knows its arity,
+   its SQL result type rule, and how to emit the XQuery call given
+   already-translated argument expressions. *)
+
+module Sql_type = Aqua_relational.Sql_type
+module X = Aqua_xquery.Ast
+
+type entry = {
+  min_args : int;
+  max_args : int;
+  (* result type given argument types (None = unknown/parameter) *)
+  result_type : Sql_type.t option list -> Sql_type.t;
+  (* nullability given argument nullability *)
+  nullable : bool list -> bool;
+  (* SQL semantics give NULL when any argument is NULL; when true the
+     generator adds an emptiness guard if an argument may be null *)
+  null_propagating : bool;
+  emit : X.expr list -> X.expr;
+}
+
+let varchar = Sql_type.Varchar None
+let any_null = List.exists Fun.id
+
+let promote_args args =
+  let tys = List.filter_map Fun.id args in
+  match tys with
+  | [] -> Sql_type.Double
+  | first :: rest ->
+    List.fold_left
+      (fun acc ty -> Option.value (Sql_type.promote acc ty) ~default:acc)
+      first rest
+
+let simple name ~args:(min_args, max_args) ~ty =
+  {
+    min_args;
+    max_args;
+    result_type = (fun _ -> ty);
+    nullable = any_null;
+    null_propagating = true;
+    emit = (fun args -> X.call name args);
+  }
+
+let numeric_passthrough name =
+  {
+    min_args = 1;
+    max_args = 1;
+    result_type = (fun args -> promote_args args);
+    nullable = any_null;
+    null_propagating = false;  (* the fn: numeric functions map () to () *)
+    emit = (fun args -> X.call name args);
+  }
+
+let promote_or_first args =
+  let tys = List.filter_map Fun.id args in
+  match tys with
+  | [] -> varchar
+  | first :: _ ->
+    if List.for_all Sql_type.is_numeric tys then promote_args args else first
+
+let entries : (string * entry) list =
+  [
+    ( "CONCAT",
+      {
+        min_args = 2;
+        max_args = 99;
+        result_type = (fun _ -> varchar);
+        nullable = any_null;
+        null_propagating = true;
+        emit = (fun args -> X.call "fn:concat" args);
+      } );
+    ("UPPER", simple "fn:upper-case" ~args:(1, 1) ~ty:varchar);
+    ("UCASE", simple "fn:upper-case" ~args:(1, 1) ~ty:varchar);
+    ("LOWER", simple "fn:lower-case" ~args:(1, 1) ~ty:varchar);
+    ("LCASE", simple "fn:lower-case" ~args:(1, 1) ~ty:varchar);
+    ("LENGTH", simple "fn:string-length" ~args:(1, 1) ~ty:Sql_type.Integer);
+    ("CHAR_LENGTH", simple "fn:string-length" ~args:(1, 1) ~ty:Sql_type.Integer);
+    ( "CHARACTER_LENGTH",
+      simple "fn:string-length" ~args:(1, 1) ~ty:Sql_type.Integer );
+    ("SUBSTRING", simple "fn:substring" ~args:(2, 3) ~ty:varchar);
+    ("SUBSTR", simple "fn:substring" ~args:(2, 3) ~ty:varchar);
+    ("POSITION", simple "fn-bea:position" ~args:(2, 2) ~ty:Sql_type.Integer);
+    ("LOCATE", simple "fn-bea:position" ~args:(2, 2) ~ty:Sql_type.Integer);
+    ("TRIM", simple "fn-bea:trim" ~args:(1, 1) ~ty:varchar);
+    ("LTRIM", simple "fn-bea:trim-left" ~args:(1, 1) ~ty:varchar);
+    ("RTRIM", simple "fn-bea:trim-right" ~args:(1, 1) ~ty:varchar);
+    ("ABS", numeric_passthrough "fn:abs");
+    ("FLOOR", numeric_passthrough "fn:floor");
+    ("CEILING", numeric_passthrough "fn:ceiling");
+    ("CEIL", numeric_passthrough "fn:ceiling");
+    ("ROUND", numeric_passthrough "fn:round");
+    ( "MOD",
+      {
+        min_args = 2;
+        max_args = 2;
+        result_type = promote_args;
+        nullable = any_null;
+        null_propagating = false;  (* arithmetic maps () to () *)
+        emit =
+          (fun args ->
+            match args with
+            | [ a; b ] -> X.Binop (X.B_arith X.Mod, a, b)
+            | _ -> assert false);
+      } );
+    ( "EXTRACT_YEAR",
+      simple "fn:year-from-date" ~args:(1, 1) ~ty:Sql_type.Integer );
+    ( "EXTRACT_MONTH",
+      simple "fn:month-from-date" ~args:(1, 1) ~ty:Sql_type.Integer );
+    ("EXTRACT_DAY", simple "fn:day-from-date" ~args:(1, 1) ~ty:Sql_type.Integer);
+    ( "EXTRACT_HOUR",
+      simple "fn:hours-from-time" ~args:(1, 1) ~ty:Sql_type.Integer );
+    ( "EXTRACT_MINUTE",
+      simple "fn:minutes-from-time" ~args:(1, 1) ~ty:Sql_type.Integer );
+    ( "EXTRACT_SECOND",
+      simple "fn:seconds-from-time" ~args:(1, 1) ~ty:Sql_type.Integer );
+    ( "COALESCE",
+      {
+        min_args = 1;
+        max_args = 99;
+        result_type = promote_or_first;
+        nullable = List.for_all Fun.id;
+        null_propagating = false;
+        emit =
+          (fun args ->
+            match List.rev args with
+            | [] -> assert false
+            | last :: rev_init ->
+              List.fold_left
+                (fun acc arg -> X.call "fn-bea:if-empty" [ arg; acc ])
+                last rev_init);
+      } );
+    ( "NULLIF",
+      {
+        min_args = 2;
+        max_args = 2;
+        result_type = (fun args -> Option.value (List.hd args) ~default:varchar);
+        nullable = (fun _ -> true);
+        null_propagating = false;
+        emit =
+          (fun args ->
+            match args with
+            | [ a; b ] ->
+              X.If (X.Binop (X.B_general X.Eq, a, b), X.empty_seq, a)
+            | _ -> assert false);
+      } );
+  ]
+
+let find name = List.assoc_opt (String.uppercase_ascii name) entries
+let names () = List.map fst entries

@@ -1,0 +1,24 @@
+(** The preconfigured map of SQL scalar functions to XQuery Functions &
+    Operators (paper section 3.5 (iii)). *)
+
+type entry = {
+  min_args : int;
+  max_args : int;
+  result_type : Aqua_relational.Sql_type.t option list -> Aqua_relational.Sql_type.t;
+      (** SQL result type given argument types ([None] = parameter /
+          untyped) *)
+  nullable : bool list -> bool;
+      (** result nullability given argument nullability *)
+  null_propagating : bool;
+      (** SQL gives NULL when any argument is NULL; when [true] the
+          generator adds an emptiness guard if an argument may be null *)
+  emit : Aqua_xquery.Ast.expr list -> Aqua_xquery.Ast.expr;
+      (** builds the XQuery call from translated arguments *)
+}
+
+val find : string -> entry option
+(** Case-insensitive lookup by SQL function name (the parser's
+    normalized names, e.g. ["EXTRACT_YEAR"], ["LTRIM"]). *)
+
+val names : unit -> string list
+(** All supported SQL function names. *)

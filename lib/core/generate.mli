@@ -1,0 +1,32 @@
+(** Stage three of the translation (paper sections 3.4.3 and 3.5):
+    serializes the validated SQL AST into XQuery, every resultset node
+    translating itself — tables into [for] clauses over data-service
+    functions, derived tables into [let]-bound RECORDSETs, outer joins
+    into the if-empty pattern of Example 10, grouping into the BEA
+    group-by extension, set operations into membership patterns.
+
+    Boolean predicates are translated with an explicit polarity so SQL
+    three-valued logic maps onto XQuery two-valued logic: positive
+    polarity is "p is TRUE", negative "p is FALSE"; negation flips the
+    polarity rather than emitting [fn:not], which would conflate
+    UNKNOWN with FALSE. *)
+
+type style =
+  | Patterned
+      (** the paper's emission: metadata-informed null-guard elision,
+          direct partition paths for plain-column aggregates, constant
+          LIKE specialization *)
+  | Naive
+      (** always guard, always iterate, never specialize — the
+          ablation baseline of benchmark P5 *)
+
+type output = {
+  query : Aqua_xquery.Ast.query;
+  columns : Outcol.t list;
+}
+
+val generate :
+  ?style:style -> Semantic.env -> Aqua_sql.Ast.statement -> output
+(** Requires a statement already validated by
+    {!Semantic.statement_columns}.
+    @raise Errors.Error on residual semantic errors. *)

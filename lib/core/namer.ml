@@ -1,0 +1,45 @@
+(* Variable name generation, following the nomenclature of paper
+   section 3.5: "var" (or "tempvar" for let-bound views), followed by
+   the query context id, followed by the query zone (a window on the
+   SQL query: FR = FROM, WH = WHERE, GB = GROUP BY, OB = ORDER BY,
+   SL = SELECT) and a unique number within that zone. *)
+
+type zone = FR | WH | GB | OB | SL
+
+let zone_to_string = function
+  | FR -> "FR"
+  | WH -> "WH"
+  | GB -> "GB"
+  | OB -> "OB"
+  | SL -> "SL"
+
+type t = {
+  counters : (string, int) Hashtbl.t;
+  mutable next_ctx : int;
+}
+
+let create () = { counters = Hashtbl.create 16; next_ctx = 1 }
+
+let fresh_ctx t =
+  let id = t.next_ctx in
+  t.next_ctx <- id + 1;
+  id
+
+let next t key =
+  let n = Option.value (Hashtbl.find_opt t.counters key) ~default:0 in
+  Hashtbl.replace t.counters key (n + 1);
+  n
+
+let var t ~ctx zone =
+  let z = zone_to_string zone in
+  let key = Printf.sprintf "var%d%s" ctx z in
+  Printf.sprintf "var%d%s%d" ctx z (next t key)
+
+let tempvar t ~ctx zone =
+  let z = zone_to_string zone in
+  let key = Printf.sprintf "tempvar%d%s" ctx z in
+  Printf.sprintf "tempvar%d%s%d" ctx z (next t key)
+
+let partition t ~ctx =
+  let key = Printf.sprintf "part%d" ctx in
+  Printf.sprintf "var%dPartition%d" ctx (next t key + 1)

@@ -1,0 +1,24 @@
+(** Variable name generation, following paper section 3.5: ["var"] (or
+    ["tempvar"] for let-bound views) + query context id + query zone
+    (a window on the SQL query: FR = FROM, WH = WHERE, GB = GROUP BY,
+    OB = ORDER BY, SL = SELECT) + a unique number within the zone —
+    e.g. [$var1FR0], [$tempvar1FR2], [$var1Partition1]. *)
+
+type zone = FR | WH | GB | OB | SL
+
+val zone_to_string : zone -> string
+
+type t
+
+val create : unit -> t
+
+val fresh_ctx : t -> int
+(** Next query-context id (contexts number from 1; CTX0 is the paper's
+    outermost marker). *)
+
+val var : t -> ctx:int -> zone -> string
+val tempvar : t -> ctx:int -> zone -> string
+
+val partition : t -> ctx:int -> string
+(** Partition variables of the BEA group-by extension
+    ([$var1Partition1]). *)

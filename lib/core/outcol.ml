@@ -1,0 +1,26 @@
+(* Output column descriptors: the computed result schema of a
+   translated query.  [label] is what JDBC metadata reports (alias or
+   bare column name); [element] is the XML element name used inside
+   generated RECORD constructors (qualified, dot-separated, following
+   the paper's <CUSTOMERS.CUSTOMERID> style). *)
+
+module Sql_type = Aqua_relational.Sql_type
+module Schema = Aqua_relational.Schema
+
+type t = {
+  label : string;
+  element : string;
+  ty : Sql_type.t;
+  nullable : bool;
+}
+
+let make ~label ~element ~ty ~nullable = { label; element; ty; nullable }
+
+let to_schema_column c : Schema.column =
+  { Schema.name = c.label; ty = c.ty; nullable = c.nullable }
+
+let to_schema cols = List.map to_schema_column cols
+
+let pp fmt c =
+  Format.fprintf fmt "%s %a%s" c.label Sql_type.pp c.ty
+    (if c.nullable then "" else " NOT NULL")

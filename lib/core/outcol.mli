@@ -1,0 +1,26 @@
+(** Output column descriptors: the computed result schema of a
+    translated query.
+
+    [label] is what JDBC metadata reports (the alias, or the bare
+    column name); [element] is the XML element name used inside
+    generated RECORD constructors — qualified and dot-separated,
+    following the paper's [<CUSTOMERS.CUSTOMERID>] style, and
+    sanitized to be a valid XML name. *)
+
+type t = {
+  label : string;
+  element : string;
+  ty : Aqua_relational.Sql_type.t;
+  nullable : bool;
+}
+
+val make :
+  label:string ->
+  element:string ->
+  ty:Aqua_relational.Sql_type.t ->
+  nullable:bool ->
+  t
+
+val to_schema_column : t -> Aqua_relational.Schema.column
+val to_schema : t list -> Aqua_relational.Schema.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+(* Name scopes for column resolution.
+
+   Each query spec opens a scope holding one "view" per FROM item
+   (paper: resultset node).  A view exposes columns that can be
+   referenced bare or qualified; resolution walks outward through
+   parent scopes, which is how correlated subqueries see their outer
+   query's columns.  During the semantic pass views carry no XQuery
+   binding; during generation each view is bound to the row variable
+   its RECORDs (or table elements) are iterated with. *)
+
+module Sql_type = Aqua_relational.Sql_type
+
+type vcol = {
+  label : string;        (* the SQL-visible column name *)
+  qualifier : string option;
+      (* alias the column may be qualified with; for a join view the
+         per-side aliases survive even though the view itself has no
+         alias of its own *)
+  element : string;      (* child element name in this view's rows *)
+  ty : Sql_type.t;
+  nullable : bool;
+}
+
+type view = {
+  alias : string option;
+  cols : vcol list;
+  binding : string option;  (* XQuery row variable, without '$' *)
+}
+
+type t = {
+  views : view list;
+  parent : t option;
+}
+
+let root = { views = []; parent = None }
+let push parent views = { views; parent = Some parent }
+let views t = t.views
+
+let eq_ci a b = String.uppercase_ascii a = String.uppercase_ascii b
+
+type resolution = {
+  res_view : view;
+  res_col : vcol;
+  res_depth : int;  (* 0 = current scope, >0 = correlated *)
+}
+
+type error =
+  | Not_found_in_scope
+  | Ambiguous of string list  (* descriptions of the candidates *)
+
+let describe view col =
+  match (view.alias, col.qualifier) with
+  | Some a, _ -> a ^ "." ^ col.label
+  | None, Some q -> q ^ "." ^ col.label
+  | None, None -> col.label
+
+(* All matches for a (qualifier, name) reference within one scope level. *)
+let matches_in views qualifier name =
+  List.concat_map
+    (fun view ->
+      List.filter_map
+        (fun col ->
+          let col_ok = eq_ci col.label name in
+          let qual_ok =
+            match qualifier with
+            | None -> true
+            | Some q -> (
+              match view.alias with
+              | Some a -> eq_ci a q
+              | None -> (
+                match col.qualifier with
+                | Some cq -> eq_ci cq q
+                | None -> false))
+          in
+          if col_ok && qual_ok then Some (view, col) else None)
+        view.cols)
+    views
+
+let resolve scope ?qualifier name =
+  let rec go scope depth =
+    match matches_in scope.views qualifier name with
+    | [ (res_view, res_col) ] -> Ok { res_view; res_col; res_depth = depth }
+    | [] -> (
+      match scope.parent with
+      | Some p -> go p (depth + 1)
+      | None -> Error Not_found_in_scope)
+    | many ->
+      Error (Ambiguous (List.map (fun (v, c) -> describe v c) many))
+  in
+  go scope 0
+
+(* Wildcard expansion: all columns of the scope's own views, in FROM
+   order ([SELECT *]), or of the view(s) matching an alias
+   ([SELECT T.*]). *)
+let star_columns scope = List.concat_map (fun v -> List.map (fun c -> (v, c)) v.cols) scope.views
+
+let qualified_star_columns scope alias =
+  let of_view v =
+    match v.alias with
+    | Some a when eq_ci a alias -> List.map (fun c -> (v, c)) v.cols
+    | Some _ -> []
+    | None ->
+      List.filter_map
+        (fun c ->
+          match c.qualifier with
+          | Some q when eq_ci q alias -> Some (v, c)
+          | _ -> None)
+        v.cols
+  in
+  List.concat_map of_view scope.views

@@ -1,0 +1,57 @@
+(** Name scopes for column resolution.
+
+    Each query spec opens a scope holding one view per FROM item (the
+    paper's resultset nodes); resolution walks outward through parent
+    scopes, which is how correlated subqueries see their outer query's
+    columns.  During the semantic pass views carry no XQuery binding;
+    during generation each view is bound to the XQuery row variable
+    its rows are iterated with. *)
+
+type vcol = {
+  label : string;  (** the SQL-visible column name *)
+  qualifier : string option;
+      (** alias the column may be qualified with; survives join
+          flattening so [T.C] keeps resolving inside a materialized
+          join view *)
+  element : string;  (** child element name in this view's rows *)
+  ty : Aqua_relational.Sql_type.t;
+  nullable : bool;
+}
+
+type view = {
+  alias : string option;
+  cols : vcol list;
+  binding : string option;  (** XQuery row variable, without ['$'] *)
+}
+
+type t
+
+val root : t
+(** The empty outermost scope. *)
+
+val push : t -> view list -> t
+(** A child scope with the given views. *)
+
+val views : t -> view list
+(** The scope's own (innermost) views. *)
+
+type resolution = {
+  res_view : view;
+  res_col : vcol;
+  res_depth : int;  (** 0 = current scope, >0 = correlated *)
+}
+
+type error =
+  | Not_found_in_scope
+  | Ambiguous of string list  (** descriptions of the candidates *)
+
+val resolve : t -> ?qualifier:string -> string -> (resolution, error) result
+(** Case-insensitive resolution of a (possibly qualified) column
+    reference; ambiguity within one scope level is an error, shadowing
+    across levels is not. *)
+
+val star_columns : t -> (view * vcol) list
+(** All columns of the scope's own views in FROM order ([SELECT *]). *)
+
+val qualified_star_columns : t -> string -> (view * vcol) list
+(** Columns matching [alias.*]. *)

@@ -1,0 +1,587 @@
+(* Stage two of the translation (paper section 3.4): semantic
+   validation against metadata and computation of every (sub)query's
+   output schema.  Wildcards are expanded here, aliases resolved,
+   grouping rules enforced — the information the paper moves into
+   "XQuery-relevant positions" of the AST is returned as explicit
+   structures consumed by stage three. *)
+
+module A = Aqua_sql.Ast
+module Sql_type = Aqua_relational.Sql_type
+module Schema = Aqua_relational.Schema
+module Metadata = Aqua_dsp.Metadata
+
+let fail = Errors.raise_error
+
+type env = {
+  lookup_table : A.table_name -> A.pos -> Metadata.table;
+}
+
+let env_of_cache cache =
+  {
+    lookup_table =
+      (fun (n : A.table_name) pos ->
+        match
+          Metadata.Cache.lookup cache ?catalog:n.A.catalog ?schema:n.A.schema
+            n.A.table
+        with
+        | Ok t -> t
+        | Error e ->
+          fail ~pos Errors.Unknown_table "%s" (Metadata.error_to_string e));
+  }
+
+let env_of_application app =
+  {
+    lookup_table =
+      (fun (n : A.table_name) pos ->
+        match
+          Metadata.lookup app ?catalog:n.A.catalog ?schema:n.A.schema n.A.table
+        with
+        | Ok t -> t
+        | Error e ->
+          fail ~pos Errors.Unknown_table "%s" (Metadata.error_to_string e));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Scope construction                                                 *)
+
+let table_view (meta : Metadata.table) ~alias : Scope.view =
+  let cols =
+    List.map
+      (fun (c : Schema.column) ->
+        {
+          Scope.label = c.Schema.name;
+          qualifier = None;
+          element = c.Schema.name;
+          ty = c.Schema.ty;
+          nullable = c.Schema.nullable;
+        })
+      meta.Metadata.columns
+  in
+  { Scope.alias = Some (Option.value alias ~default:meta.Metadata.table);
+    cols;
+    binding = None }
+
+let derived_view (cols : Outcol.t list) ~alias : Scope.view =
+  {
+    Scope.alias = Some alias;
+    cols =
+      List.map
+        (fun (c : Outcol.t) ->
+          {
+            Scope.label = c.Outcol.label;
+            qualifier = None;
+            element = c.Outcol.element;
+            ty = c.Outcol.ty;
+            nullable = c.Outcol.nullable;
+          })
+        cols;
+    binding = None;
+  }
+
+(* A join exposes the columns of both sides.  Columns on the
+   null-extended side(s) become nullable.  The per-side alias is kept
+   as the column qualifier so T.C keeps resolving after the join is
+   collapsed into a single materialized view (paper Example 10). *)
+let qualify_view_cols (v : Scope.view) =
+  List.map
+    (fun (c : Scope.vcol) ->
+      let qualifier =
+        match c.Scope.qualifier with Some _ as q -> q | None -> v.Scope.alias
+      in
+      let element =
+        match qualifier with
+        | Some q -> q ^ "." ^ c.Scope.label
+        | None -> c.Scope.label
+      in
+      { c with Scope.qualifier; element })
+    v.Scope.cols
+
+let make_nullable cols =
+  List.map (fun (c : Scope.vcol) -> { c with Scope.nullable = true }) cols
+
+(* Builds the single flattened view for a join tree; used both for
+   semantic resolution and as the record layout of the materialized
+   join RECORDSET during generation. *)
+let rec join_view env parent (tr : A.table_ref) : Scope.view =
+  match tr with
+  | A.Primary p -> primary_view env parent p
+  | A.Join { kind; left; right; cond } ->
+    let lv = join_view env parent left in
+    let rv = join_view env parent right in
+    let lcols = qualify_view_cols lv in
+    let rcols = qualify_view_cols rv in
+    let lcols =
+      match kind with
+      | A.J_right | A.J_full -> make_nullable lcols
+      | A.J_inner | A.J_left | A.J_cross -> lcols
+    in
+    let rcols =
+      match kind with
+      | A.J_left | A.J_full -> make_nullable rcols
+      | A.J_inner | A.J_right | A.J_cross -> rcols
+    in
+    let view = { Scope.alias = None; cols = lcols @ rcols; binding = None } in
+    (* validate the ON condition in the scope of the join's own columns
+       (plus outer scopes for subqueries inside ON) *)
+    (match cond with
+    | None -> ()
+    | Some c ->
+      let scope = Scope.push parent [ view ] in
+      validate_condition env scope ~clause:"ON" c);
+    view
+
+and primary_view env _parent (p : A.table_primary) : Scope.view =
+  match p with
+  | A.Table_ref_name { name; alias; pos } ->
+    let meta = env.lookup_table name pos in
+    table_view meta ~alias
+  | A.Derived { query; alias } ->
+    (* SQL-92: derived tables are not correlated with their siblings
+       or the outer query *)
+    let cols = query_columns env ~parent:Scope.root query in
+    derived_view cols ~alias
+
+and spec_scope env parent (spec : A.query_spec) : Scope.t =
+  let views = List.map (join_view env parent) spec.A.from in
+  (* duplicate alias detection *)
+  let aliases =
+    List.filter_map (fun (v : Scope.view) -> v.Scope.alias) views
+    @ List.concat_map
+        (fun (v : Scope.view) ->
+          if v.Scope.alias = None then
+            List.sort_uniq compare
+              (List.filter_map (fun (c : Scope.vcol) -> c.Scope.qualifier) v.Scope.cols)
+          else [])
+        views
+  in
+  let rec check_dups = function
+    | [] -> ()
+    | a :: rest ->
+      if List.exists (fun b -> String.uppercase_ascii a = String.uppercase_ascii b) rest
+      then fail Errors.Grouping "duplicate table alias %s in FROM" a;
+      check_dups rest
+  in
+  check_dups aliases;
+  Scope.push parent views
+
+(* ------------------------------------------------------------------ *)
+(* Expression validation                                              *)
+
+and resolve_column env scope ~qualifier name pos : Typer.info =
+  ignore env;
+  match Scope.resolve scope ?qualifier name with
+  | Ok r ->
+    {
+      Typer.ty = r.Scope.res_col.Scope.ty;
+      nullable = r.Scope.res_col.Scope.nullable;
+      known = true;
+    }
+  | Error Scope.Not_found_in_scope ->
+    fail ~pos Errors.Unknown_column "column %s does not exist"
+      (match qualifier with Some q -> q ^ "." ^ name | None -> name)
+  | Error (Scope.Ambiguous candidates) ->
+    fail ~pos Errors.Ambiguous_column "column %s is ambiguous: %s" name
+      (String.concat ", " candidates)
+
+and typer_env env scope : Typer.env =
+  {
+    Typer.resolve_column =
+      (fun ~qualifier name pos -> resolve_column env scope ~qualifier name pos);
+    query_schema = (fun q -> query_columns env ~parent:scope q);
+  }
+
+and validate_condition env scope ~clause cond =
+  if A.contains_aggregate cond then
+    fail Errors.Grouping "aggregate functions are not allowed in %s" clause;
+  ignore (Typer.infer (typer_env env scope) cond)
+
+(* ------------------------------------------------------------------ *)
+(* Grouping rules                                                     *)
+
+(* A grouped query's non-aggregated column references must be grouping
+   columns (the paper's EMPNO/EMPNAME example). *)
+and check_grouped_expr _env scope ~group_cols ~context expr =
+  let is_group_col qualifier name =
+    List.exists
+      (fun (gq, gn) ->
+        let q_match =
+          match (qualifier, gq) with
+          | None, _ -> true
+          | Some q, Some g -> String.uppercase_ascii q = String.uppercase_ascii g
+          | Some q, None -> (
+            (* the group-by column was unqualified: compare resolutions *)
+            match
+              ( Scope.resolve scope ~qualifier:q name,
+                Scope.resolve scope gn )
+            with
+            | Ok a, Ok b -> a.Scope.res_view == b.Scope.res_view
+            | _ -> false)
+        in
+        q_match && String.uppercase_ascii name = String.uppercase_ascii gn)
+      group_cols
+  in
+  (* Explicit recursion: stop at aggregates (their arguments may use
+     any column) and at subqueries (they open their own scopes). *)
+  let rec walk (e : A.expr) =
+    match e with
+    | A.Agg _ -> ()
+    | A.Scalar_subquery _ | A.Exists _ -> ()
+    | A.In_query { arg; _ } | A.Quantified { arg; _ } ->
+      (* the comparison argument lives in this query's scope; the
+         subquery opens its own *)
+      walk arg
+    | A.Column { qualifier; name; pos } ->
+      if not (is_group_col qualifier name) then
+        fail ~pos Errors.Grouping
+          "column %s must appear in the GROUP BY clause or be used in an \
+           aggregate function (%s)"
+          name context
+    | A.Lit _ | A.Param _ -> ()
+    | A.Neg a | A.Not a | A.Cast (a, _) -> walk a
+    | A.Arith (_, a, b) | A.Concat (a, b) | A.Cmp (_, a, b) | A.And (a, b)
+    | A.Or (a, b) ->
+      walk a;
+      walk b
+    | A.Is_null { arg; _ } -> walk arg
+    | A.Between { arg; low; high; _ } ->
+      walk arg;
+      walk low;
+      walk high
+    | A.Like { arg; pattern; escape; _ } ->
+      walk arg;
+      walk pattern;
+      Option.iter walk escape
+    | A.In_list { arg; items; _ } ->
+      walk arg;
+      List.iter walk items
+    | A.Func { args; _ } -> List.iter walk args
+    | A.Case { operand; branches; else_ } ->
+      Option.iter walk operand;
+      List.iter
+        (fun (w, t) ->
+          walk w;
+          walk t)
+        branches;
+      Option.iter walk else_
+  in
+  walk expr
+
+and group_columns_of env scope (spec : A.query_spec) =
+  List.map
+    (fun g ->
+      match g with
+      | A.Column { qualifier; name; pos } ->
+        ignore (resolve_column env scope ~qualifier name pos);
+        (qualifier, name)
+      | _ ->
+        fail Errors.Grouping
+          "GROUP BY items must be column references in SQL-92")
+    spec.A.group_by
+
+and is_grouped (spec : A.query_spec) =
+  spec.A.group_by <> []
+  || spec.A.having <> None
+  || List.exists
+       (function
+         | A.Expr_item (e, _) -> A.contains_aggregate e
+         | A.Star | A.Table_star _ -> false)
+       spec.A.select
+
+(* ------------------------------------------------------------------ *)
+(* Select-list expansion and output schema                            *)
+
+and unique_element used name =
+  (* element names must be valid XML names: letters, digits, '_', '-',
+     '.' and ':' (label text like EXPR$1 is sanitized) *)
+  let name =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> c
+        | _ -> '_')
+      name
+  in
+  let name =
+    if name = "" then "COL"
+    else
+      match name.[0] with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' -> name
+      | _ -> "C_" ^ name
+  in
+  if not (Hashtbl.mem used name) then begin
+    Hashtbl.add used name ();
+    name
+  end
+  else begin
+    let rec try_n n =
+      let candidate = Printf.sprintf "%s_%d" name n in
+      if Hashtbl.mem used candidate then try_n (n + 1)
+      else begin
+        Hashtbl.add used candidate ();
+        candidate
+      end
+    in
+    try_n 2
+  end
+
+and expand_select env scope (spec : A.query_spec) : (Outcol.t * A.expr) list =
+  let tenv = typer_env env scope in
+  let used = Hashtbl.create 16 in
+  let counter = ref 0 in
+  let of_view_col ((v : Scope.view), (c : Scope.vcol)) =
+    let qualifier =
+      match c.Scope.qualifier with Some _ as q -> q | None -> v.Scope.alias
+    in
+    let expr = A.Column { qualifier; name = c.Scope.label; pos = A.no_pos } in
+    let element =
+      unique_element used
+        (match qualifier with
+        | Some q -> q ^ "." ^ c.Scope.label
+        | None -> c.Scope.label)
+    in
+    ( Outcol.make ~label:c.Scope.label ~element ~ty:c.Scope.ty
+        ~nullable:c.Scope.nullable,
+      expr )
+  in
+  List.concat_map
+    (fun item ->
+      incr counter;
+      match item with
+      | A.Star -> (
+        match Scope.star_columns scope with
+        | [] -> fail Errors.Unknown_column "SELECT * with an empty FROM scope"
+        | cols -> List.map of_view_col cols)
+      | A.Table_star alias -> (
+        match Scope.qualified_star_columns scope alias with
+        | [] ->
+          fail Errors.Unknown_table "%s.* does not match any table in FROM"
+            alias
+        | cols -> List.map of_view_col cols)
+      | A.Expr_item (expr, alias) ->
+        let info = Typer.infer tenv expr in
+        let label =
+          match (alias, expr) with
+          | Some a, _ -> a
+          | None, A.Column { name; _ } -> name
+          | None, _ -> Printf.sprintf "EXPR$%d" !counter
+        in
+        let element =
+          match (alias, expr) with
+          | Some a, _ -> unique_element used a
+          | None, A.Column { qualifier = Some q; name; _ } ->
+            unique_element used (q ^ "." ^ name)
+          | None, A.Column { qualifier = None; name; pos } -> (
+            (* qualify with the resolved view's alias, as the paper
+               does (<CUSTOMERS.CUSTOMERID>) *)
+            match Scope.resolve scope name with
+            | Ok r ->
+              let q =
+                match
+                  (r.Scope.res_view.Scope.alias, r.Scope.res_col.Scope.qualifier)
+                with
+                | Some a, _ -> Some a
+                | None, Some cq -> Some cq
+                | None, None -> None
+              in
+              unique_element used
+                (match q with Some q -> q ^ "." ^ name | None -> name)
+            | Error _ ->
+              fail ~pos Errors.Unknown_column "column %s does not exist" name)
+          | None, _ -> unique_element used label
+        in
+        [ ( Outcol.make ~label ~element ~ty:info.Typer.ty
+              ~nullable:info.Typer.nullable,
+            expr ) ])
+    spec.A.select
+
+(* Validates a full query spec and returns its output columns. *)
+and spec_columns env ~parent (spec : A.query_spec) : Outcol.t list =
+  let scope = spec_scope env parent spec in
+  (match spec.A.where with
+  | None -> ()
+  | Some w -> validate_condition env scope ~clause:"WHERE" w);
+  let items = expand_select env scope spec in
+  if is_grouped spec then begin
+    let group_cols = group_columns_of env scope spec in
+    List.iter
+      (fun (_, expr) ->
+        check_grouped_expr env scope ~group_cols ~context:"in SELECT" expr)
+      items;
+    match spec.A.having with
+    | None -> ()
+    | Some h ->
+      ignore (Typer.infer (typer_env env scope) h);
+      check_grouped_expr env scope ~group_cols ~context:"in HAVING" h
+  end
+  else begin
+    match spec.A.having with
+    | Some _ -> ()  (* HAVING implies grouping; handled above *)
+    | None -> ()
+  end;
+  List.map fst items
+
+and query_columns env ~parent (q : A.query) : Outcol.t list =
+  match q with
+  | A.Spec spec -> spec_columns env ~parent spec
+  | A.Set { op = _; all = _; left; right } ->
+    let lcols = query_columns env ~parent left in
+    let rcols = query_columns env ~parent right in
+    if List.length lcols <> List.length rcols then
+      fail Errors.Type_mismatch
+        "set operation sides have different column counts (%d vs %d)"
+        (List.length lcols) (List.length rcols);
+    List.map2
+      (fun (l : Outcol.t) (r : Outcol.t) ->
+        if not (Sql_type.comparable l.Outcol.ty r.Outcol.ty) then
+          fail Errors.Type_mismatch
+            "set operation column %s: incompatible types %s and %s"
+            l.Outcol.label
+            (Sql_type.to_string l.Outcol.ty)
+            (Sql_type.to_string r.Outcol.ty);
+        let ty =
+          if Sql_type.is_numeric l.Outcol.ty && Sql_type.is_numeric r.Outcol.ty
+          then Option.value (Sql_type.promote l.Outcol.ty r.Outcol.ty) ~default:l.Outcol.ty
+          else l.Outcol.ty
+        in
+        { l with Outcol.ty; nullable = l.Outcol.nullable || r.Outcol.nullable })
+      lcols rcols
+
+(* ------------------------------------------------------------------ *)
+(* ORDER BY                                                           *)
+
+(* Maps an ORDER BY key to an output column index for grouped,
+   distinct and set queries: by position, by output label, or — for a
+   column key — by resolving it in the spec's scope and matching a
+   select item that resolves to the same column ("ORDER BY C.TIER"
+   when "C.TIER" is in the select list). *)
+let order_key_output_index _env scope (items : (Outcol.t * A.expr) list)
+    (o : A.order_item) : int option =
+  let cols = List.map fst items in
+  match o.A.key with
+  | A.Ord_position i ->
+    if i >= 1 && i <= List.length cols then Some (i - 1) else None
+  | A.Ord_expr (A.Column { qualifier; name; _ } as key_expr) -> (
+    let by_label =
+      match qualifier with
+      | Some _ -> None
+      | None ->
+        let rec go i = function
+          | [] -> None
+          | (c : Outcol.t) :: rest ->
+            if
+              String.uppercase_ascii c.Outcol.label
+              = String.uppercase_ascii name
+            then Some i
+            else go (i + 1) rest
+        in
+        go 0 cols
+    in
+    match by_label with
+    | Some _ as found -> found
+    | None -> (
+      ignore key_expr;
+      match Scope.resolve scope ?qualifier name with
+      | Error _ -> None
+      | Ok target ->
+        let rec go i = function
+          | [] -> None
+          | (_, A.Column { qualifier = iq; name = iname; _ }) :: rest -> (
+            match Scope.resolve scope ?qualifier:iq iname with
+            | Ok r
+              when r.Scope.res_view == target.Scope.res_view
+                   && r.Scope.res_col == target.Scope.res_col ->
+              Some i
+            | _ -> go (i + 1) rest)
+          | _ :: rest -> go (i + 1) rest
+        in
+        go 0 items))
+  | A.Ord_expr _ -> None
+
+type order_target =
+  | By_output of int  (* 0-based output column index *)
+  | By_expr of A.expr
+
+let resolve_order_item env scope (cols : Outcol.t list)
+    (items : (Outcol.t * A.expr) list option) (o : A.order_item) :
+    order_target * bool =
+  let target =
+    match o.A.key with
+    | A.Ord_position i ->
+      if i < 1 || i > List.length cols then
+        fail Errors.Unknown_column
+          "ORDER BY position %d is out of range (1..%d)" i (List.length cols)
+      else By_output (i - 1)
+    | A.Ord_expr (A.Column { qualifier = None; name; _ })
+      when List.exists
+             (fun (c : Outcol.t) ->
+               String.uppercase_ascii c.Outcol.label
+               = String.uppercase_ascii name)
+             cols ->
+      (* an output label takes precedence over underlying columns *)
+      let idx = ref (-1) in
+      List.iteri
+        (fun i (c : Outcol.t) ->
+          if
+            !idx < 0
+            && String.uppercase_ascii c.Outcol.label
+               = String.uppercase_ascii name
+          then idx := i)
+        cols;
+      By_output !idx
+    | A.Ord_expr e ->
+      ignore items;
+      ignore (Typer.infer (typer_env env scope) e);
+      By_expr e
+  in
+  (target, o.A.descending)
+
+(* ------------------------------------------------------------------ *)
+(* Statement entry point                                              *)
+
+let statement_columns env (stmt : A.statement) : Outcol.t list =
+  let cols = query_columns env ~parent:Scope.root stmt.A.body in
+  (* validate ORDER BY *)
+  (match stmt.A.body with
+  | A.Spec spec when (not (is_grouped spec)) && not spec.A.distinct ->
+    let scope = spec_scope env Scope.root spec in
+    List.iter
+      (fun o -> ignore (resolve_order_item env scope cols None o))
+      stmt.A.order_by
+  | A.Spec spec ->
+    (* grouped or distinct query: ORDER BY keys must map to output
+       columns (by position, label, or the column a select item
+       resolves to) *)
+    let scope = spec_scope env Scope.root spec in
+    let items = expand_select env scope spec in
+    List.iter
+      (fun (o : A.order_item) ->
+        match order_key_output_index env scope items o with
+        | Some _ -> ()
+        | None ->
+          fail Errors.Unknown_column
+            "ORDER BY over a grouped or DISTINCT query must name an output \
+             column or position")
+      stmt.A.order_by
+  | A.Set _ ->
+    (* set query: positions or output labels only *)
+    List.iter
+      (fun (o : A.order_item) ->
+        match o.A.key with
+        | A.Ord_position i ->
+          if i < 1 || i > List.length cols then
+            fail Errors.Unknown_column
+              "ORDER BY position %d is out of range (1..%d)" i
+              (List.length cols)
+        | A.Ord_expr (A.Column { qualifier = None; name; _ })
+          when List.exists
+                 (fun (c : Outcol.t) ->
+                   String.uppercase_ascii c.Outcol.label
+                   = String.uppercase_ascii name)
+                 cols ->
+          ()
+        | A.Ord_expr _ ->
+          fail Errors.Unsupported
+            "ORDER BY over a set operation must name an output column or \
+             position")
+      stmt.A.order_by);
+  cols

@@ -1,0 +1,78 @@
+(** Stage two of the translation (paper section 3.4): semantic
+    validation against data-service metadata and computation of every
+    (sub)query's output schema — wildcard expansion, alias resolution,
+    grouping-rule enforcement, set-operation compatibility.
+
+    The scope-construction helpers are shared with stage three (which
+    re-runs resolution with XQuery bindings attached, the way the
+    paper's contexts serve XPath-resolution requests during
+    generation) and with the baseline SQL engine (so both execution
+    paths agree on names and types). *)
+
+type env = {
+  lookup_table :
+    Aqua_sql.Ast.table_name -> Aqua_sql.Ast.pos -> Aqua_dsp.Metadata.table;
+}
+
+val env_of_application : Aqua_dsp.Artifact.application -> env
+(** Direct metadata lookups. *)
+
+val env_of_cache : Aqua_dsp.Metadata.Cache.t -> env
+(** Lookups through the driver's metadata cache (fetch on miss). *)
+
+(** {2 Scope construction} *)
+
+val table_view : Aqua_dsp.Metadata.table -> alias:string option -> Scope.view
+val derived_view : Outcol.t list -> alias:string -> Scope.view
+
+val qualify_view_cols : Scope.view -> Scope.vcol list
+(** Qualified column layout a view contributes to a join record
+    ([T.C] element names). *)
+
+val make_nullable : Scope.vcol list -> Scope.vcol list
+
+val join_view : env -> Scope.t -> Aqua_sql.Ast.table_ref -> Scope.view
+(** The flattened single view of a join tree (columns of both sides,
+    null-extended sides made nullable); validates ON conditions. *)
+
+val spec_scope : env -> Scope.t -> Aqua_sql.Ast.query_spec -> Scope.t
+(** The scope a query spec's clauses resolve in; detects duplicate
+    aliases. *)
+
+(** {2 Validation and schemas} *)
+
+val resolve_column :
+  env -> Scope.t -> qualifier:string option -> string -> Aqua_sql.Ast.pos ->
+  Typer.info
+(** @raise Errors.Error on unknown or ambiguous columns. *)
+
+val typer_env : env -> Scope.t -> Typer.env
+
+val is_grouped : Aqua_sql.Ast.query_spec -> bool
+(** Whether the spec is a grouped query (GROUP BY, HAVING, or
+    aggregates in the select list). *)
+
+val expand_select :
+  env -> Scope.t -> Aqua_sql.Ast.query_spec -> (Outcol.t * Aqua_sql.Ast.expr) list
+(** Expands wildcards and computes output columns; each output column
+    is paired with the select expression that produces it (stars
+    become explicit column references). *)
+
+val query_columns : env -> parent:Scope.t -> Aqua_sql.Ast.query -> Outcol.t list
+(** Validates a full (sub)query and returns its output columns.
+    @raise Errors.Error on any semantic error. *)
+
+val order_key_output_index :
+  env ->
+  Scope.t ->
+  (Outcol.t * Aqua_sql.Ast.expr) list ->
+  Aqua_sql.Ast.order_item ->
+  int option
+(** Maps an ORDER BY key to an output column index (position, label,
+    or a column key resolving to the same column as a select item) —
+    the notion of "output column key" grouped/distinct queries
+    restrict ORDER BY to. *)
+
+val statement_columns : env -> Aqua_sql.Ast.statement -> Outcol.t list
+(** [query_columns] plus ORDER BY validation (positions in range;
+    grouped/distinct/set queries restricted to output-column keys). *)

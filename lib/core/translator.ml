@@ -1,0 +1,34 @@
+module A = Aqua_sql.Ast
+
+type t = {
+  statement : A.statement;
+  xquery : Aqua_xquery.Ast.query;
+  columns : Outcol.t list;
+}
+
+let parse_stage sql : A.statement =
+  try Aqua_sql.Parser.parse sql
+  with Aqua_sql.Parser.Parse_error { pos; message } ->
+    raise (Errors.Error { Errors.kind = Errors.Syntax; message; pos = Some pos })
+
+let translate_statement ?style env (statement : A.statement) : t =
+  (* stage two: semantic validation against metadata *)
+  ignore (Semantic.statement_columns env statement);
+  (* stage three: XQuery generation *)
+  let output = Generate.generate ?style env statement in
+  {
+    statement;
+    xquery = output.Generate.query;
+    columns = output.Generate.columns;
+  }
+
+let translate ?style env sql : t =
+  translate_statement ?style env (parse_stage sql)
+
+let translate_result ?style env sql =
+  match translate ?style env sql with
+  | t -> Ok t
+  | exception Errors.Error e -> Error e
+
+let for_text_transport t = Wrapper.wrap t.xquery t.columns
+let to_string t = Aqua_xquery.Pretty.query_to_string t.xquery

@@ -1,0 +1,38 @@
+(** The SQL-92 to XQuery translator — the paper's core contribution.
+
+    [translate] runs the three stages of section 3.4:
+    stage one parses the SQL and captures contexts, stage two validates
+    it against data-service metadata and restructures (wildcard
+    expansion, alias and position resolution), stage three serializes
+    every resultset node into XQuery and assembles the final query.
+
+    {[
+      let env = Aqua_translator.Semantic.env_of_application app in
+      let t = Aqua_translator.Translator.translate env
+                "SELECT CUSTOMERID ID FROM CUSTOMERS WHERE CUSTOMERID > 10" in
+      print_string (Aqua_xquery.Pretty.query_to_string t.xquery)
+    ]} *)
+
+type t = {
+  statement : Aqua_sql.Ast.statement;  (** stage-one AST *)
+  xquery : Aqua_xquery.Ast.query;      (** RECORDSET-of-RECORDs query *)
+  columns : Outcol.t list;             (** computed result schema *)
+}
+
+val translate :
+  ?style:Generate.style -> Semantic.env -> string -> t
+(** @raise Errors.Error on syntax or semantic errors. *)
+
+val translate_result :
+  ?style:Generate.style -> Semantic.env -> string -> (t, Errors.t) result
+
+val translate_statement :
+  ?style:Generate.style -> Semantic.env -> Aqua_sql.Ast.statement -> t
+(** Stages two and three only, for callers that already parsed. *)
+
+val for_text_transport : t -> Aqua_xquery.Ast.query
+(** Wraps the translated query for the text-encoded result transport
+    of paper section 4. *)
+
+val to_string : t -> string
+(** Pretty-printed XQuery text. *)

@@ -1,0 +1,24 @@
+(** Expression datatype computation (paper section 3.5 (v)): bottom-up
+    inference of the SQL type and nullability of every expression,
+    applying SQL-92 promotion; drives cast generation and the
+    metadata-informed elision of null guards. *)
+
+type info = {
+  ty : Aqua_relational.Sql_type.t;
+  nullable : bool;
+  known : bool;  (** [false] for parameters and bare NULLs — suppresses casts *)
+}
+
+val known : Aqua_relational.Sql_type.t -> bool -> info
+val unknown : info
+
+type env = {
+  resolve_column :
+    qualifier:string option -> string -> Aqua_sql.Ast.pos -> info;
+  query_schema : Aqua_sql.Ast.query -> Outcol.t list;
+      (** computes (and validates) a subquery's output columns *)
+}
+
+val infer : env -> Aqua_sql.Ast.expr -> info
+(** @raise Errors.Error on type mismatches, unknown functions, or
+    invalid subqueries. *)

@@ -1,0 +1,117 @@
+(* The result-handling wrapper of paper section 4: instead of shipping
+   XML to the client, the translated query is wrapped in an outer
+   query that emits the rows as text interspersed with column and row
+   delimiters, via fn:string-join.
+
+   The column delimiters are '<' and the row prefix '>'.  This is safe
+   precisely because every value passes through fn-bea:xml-escape,
+   after which the data can contain neither character (the paper's
+   sample output `>987654<Acme Widget Stores` relies on the same
+   property).  SQL NULL (an empty sequence) is encoded by
+   fn-bea:if-empty as a single NUL byte, which escaped data can never
+   contain either (control characters become character references). *)
+
+module X = Aqua_xquery.Ast
+
+let row_prefix = ">"
+let column_separator = "<"
+let null_marker = "\x00"
+
+let encode_column token_var (col : Outcol.t) : X.expr =
+  X.call "fn-bea:if-empty"
+    [ X.call "fn-bea:xml-escape"
+        [ X.call "fn-bea:serialize-atomic"
+            [ X.call "fn:data"
+                [ X.path1 (X.var token_var) col.Outcol.element ] ] ];
+      X.str null_marker ]
+
+let wrap (query : X.query) (columns : Outcol.t list) : X.query =
+  let actual = "actualQuery" in
+  let token = "tokenQuery" in
+  let parts =
+    List.concat
+      (List.mapi
+         (fun i col ->
+           let sep = if i = 0 then row_prefix else column_separator in
+           [ X.str sep; encode_column token col ])
+         columns)
+  in
+  let body =
+    X.call "fn:string-join"
+      [ X.Flwor
+          {
+            X.clauses =
+              [ X.Let { var = actual; value = query.X.body };
+                X.For
+                  {
+                    var = token;
+                    source = X.path1 (X.var actual) "RECORD";
+                  } ];
+            X.return = X.Seq parts;
+          };
+        X.str "" ]
+  in
+  { query with X.body }
+
+(* ------------------------------------------------------------------ *)
+(* Client-side decoding                                               *)
+
+exception Decode_error of string
+
+let unescape s =
+  (* inverse of fn-bea:xml-escape *)
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '&' then begin
+      match String.index_from_opt s !i ';' with
+      | None -> raise (Decode_error "unterminated character reference")
+      | Some semi ->
+        let name = String.sub s (!i + 1) (semi - !i - 1) in
+        (match name with
+        | "amp" -> Buffer.add_char buf '&'
+        | "lt" -> Buffer.add_char buf '<'
+        | "gt" -> Buffer.add_char buf '>'
+        | _ when String.length name > 1 && name.[0] = '#' -> (
+          match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+          | Some c when c >= 0 && c < 256 -> Buffer.add_char buf (Char.chr c)
+          | _ -> raise (Decode_error ("bad character reference &" ^ name ^ ";")))
+        | _ -> raise (Decode_error ("unknown entity &" ^ name ^ ";")));
+        i := semi + 1
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let decode ~(columns : Outcol.t list) (text : string) :
+    string option list list =
+  (* Returns rows of optional lexical column values (None = NULL). *)
+  if text = "" then []
+  else begin
+    if not (String.length text > 0 && text.[0] = row_prefix.[0]) then
+      raise (Decode_error "text result does not start with a row prefix");
+    let rows =
+      (* drop the leading empty chunk before the first '>' *)
+      match String.split_on_char row_prefix.[0] text with
+      | "" :: rest -> rest
+      | rest -> rest
+    in
+    let ncols = List.length columns in
+    List.map
+      (fun row ->
+        let cells = String.split_on_char column_separator.[0] row in
+        if List.length cells <> ncols then
+          raise
+            (Decode_error
+               (Printf.sprintf "row has %d cells, expected %d"
+                  (List.length cells) ncols));
+        List.map
+          (fun cell ->
+            if cell = null_marker then None else Some (unescape cell))
+          cells)
+      rows
+  end

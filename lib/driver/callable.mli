@@ -1,0 +1,29 @@
+(** Callable statements: stored-procedure access to parameterized
+    data-service functions (paper Figure 2: "if a function has
+    parameters, it becomes a callable SQL stored procedure").
+
+    Accepts the JDBC escape syntax
+    [{call schema.procname(?, ?, ...)}] (braces optional, [CALL …]
+    also accepted).  The procedure name resolves against the
+    application's parameterized functions; executing returns the
+    function's flat rows as a result set. *)
+
+type t
+
+val prepare : Connection.t -> string -> t
+(** @raise Aqua_translator.Errors.Error on syntax errors or when the
+    procedure does not exist / is ambiguous. *)
+
+val parameter_count : t -> int
+val procedure : t -> Aqua_dsp.Metadata.table
+(** Metadata of the resolved procedure (schema, name, row type). *)
+
+val set_value : t -> int -> Aqua_relational.Value.t -> unit
+val set_int : t -> int -> int -> unit
+val set_string : t -> int -> string -> unit
+val set_float : t -> int -> float -> unit
+val set_null : t -> int -> unit
+
+val execute_query : t -> Result_set.t
+(** @raise Invalid_argument if a parameter is unbound.
+    @raise Aqua_xqeval.Error.Dynamic_error on evaluation errors. *)

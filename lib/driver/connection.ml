@@ -1,0 +1,198 @@
+module Value = Aqua_relational.Value
+module Atomic = Aqua_xml.Atomic
+module Item = Aqua_xml.Item
+module Metadata = Aqua_dsp.Metadata
+module Server = Aqua_dsp.Server
+module Artifact = Aqua_dsp.Artifact
+module Translator = Aqua_translator.Translator
+module Semantic = Aqua_translator.Semantic
+module A = Aqua_sql.Ast
+
+type transport = Xml | Text
+
+type t = {
+  app : Artifact.application;
+  srv : Server.t;
+  cache : Metadata.Cache.t;
+  env : Semantic.env;
+  mutable transport : transport;
+}
+
+let connect ?(transport = Text) ?(metadata_cache = true) app =
+  let cache = Metadata.Cache.create ~enabled:metadata_cache app in
+  {
+    app;
+    srv = Server.create app;
+    cache;
+    env = Semantic.env_of_cache cache;
+    transport;
+  }
+
+let transport t = t.transport
+let set_transport t tr = t.transport <- tr
+let server t = t.srv
+let application t = t.app
+let translator_env t = t.env
+let metadata_cache t = t.cache
+
+let translate t sql = Translator.translate t.env sql
+
+let run_translated conn ?(bindings = []) (tr : Translator.t) =
+  match conn.transport with
+  | Xml ->
+    (* server executes, serializes; the client parses the text *)
+    let text = Server.execute_to_xml ~bindings conn.srv tr.Translator.xquery in
+    Result_set.of_xml_text tr.Translator.columns text
+  | Text ->
+    let wrapped = Translator.for_text_transport tr in
+    let text = Server.execute_to_text ~bindings conn.srv wrapped in
+    Result_set.of_encoded_text tr.Translator.columns text
+
+let execute_query t sql = run_translated t (translate t sql)
+
+(* ------------------------------------------------------------------ *)
+
+module Prepared = struct
+  (* Preparation compiles both transport variants of the translated
+     query once (the server's compiled-query path); execution just
+     re-binds parameters. *)
+  type stmt = {
+    conn : t;
+    translated : Translator.t;
+    compiled_xml : Server.prepared;
+    compiled_text : Server.prepared;
+    params : Item.sequence option array;
+  }
+
+  let count_params (s : A.statement) =
+    (* parameters are numbered consecutively by the parser *)
+    let rec expr_max acc (e : A.expr) =
+      A.fold_expr
+        (fun acc e ->
+          let acc =
+            match e with A.Param n -> max acc n | _ -> acc
+          in
+          List.fold_left query_max acc (A.subqueries_of_expr e))
+        acc e
+    and spec_max acc (spec : A.query_spec) =
+      let acc =
+        List.fold_left
+          (fun acc item ->
+            match item with
+            | A.Expr_item (e, _) -> expr_max acc e
+            | A.Star | A.Table_star _ -> acc)
+          acc spec.A.select
+      in
+      let acc = List.fold_left table_ref_max acc spec.A.from in
+      let acc =
+        match spec.A.where with Some w -> expr_max acc w | None -> acc
+      in
+      let acc = List.fold_left expr_max acc spec.A.group_by in
+      match spec.A.having with Some h -> expr_max acc h | None -> acc
+    and table_ref_max acc (tr : A.table_ref) =
+      match tr with
+      | A.Primary (A.Table_ref_name _) -> acc
+      | A.Primary (A.Derived { query; _ }) -> query_max acc query
+      | A.Join { left; right; cond; _ } ->
+        let acc = table_ref_max acc left in
+        let acc = table_ref_max acc right in
+        (match cond with Some c -> expr_max acc c | None -> acc)
+    and query_max acc (q : A.query) =
+      match q with
+      | A.Spec spec -> spec_max acc spec
+      | A.Set { left; right; _ } -> query_max (query_max acc left) right
+    in
+    let acc = query_max 0 s.A.body in
+    List.fold_left
+      (fun acc (o : A.order_item) ->
+        match o.A.key with
+        | A.Ord_expr e -> expr_max acc e
+        | A.Ord_position _ -> acc)
+      acc s.A.order_by
+
+  let prepare conn sql =
+    let translated = translate conn sql in
+    let n = count_params translated.Translator.statement in
+    let vars = List.init n (fun i -> Printf.sprintf "param%d" (i + 1)) in
+    let compiled_xml =
+      Server.prepare ~vars conn.srv translated.Translator.xquery
+    in
+    let compiled_text =
+      Server.prepare ~vars conn.srv (Translator.for_text_transport translated)
+    in
+    { conn; translated; compiled_xml; compiled_text; params = Array.make n None }
+
+  let parameter_count stmt = Array.length stmt.params
+
+  let item_of_value (v : Value.t) : Item.sequence =
+    match v with
+    | Value.Null -> []
+    | Value.Int i -> [ Item.Atomic (Atomic.Integer i) ]
+    | Value.Num f -> [ Item.Atomic (Atomic.Decimal f) ]
+    | Value.Str s -> [ Item.Atomic (Atomic.String s) ]
+    | Value.Bool b -> [ Item.Atomic (Atomic.Boolean b) ]
+    | Value.Date d -> [ Item.Atomic (Atomic.Date d) ]
+    | Value.Time tm -> [ Item.Atomic (Atomic.Time tm) ]
+    | Value.Timestamp ts -> [ Item.Atomic (Atomic.Timestamp ts) ]
+
+  let set_value stmt i v =
+    if i < 1 || i > Array.length stmt.params then
+      invalid_arg (Printf.sprintf "parameter index %d out of range" i);
+    stmt.params.(i - 1) <- Some (item_of_value v)
+
+  let set_int stmt i v = set_value stmt i (Value.Int v)
+  let set_string stmt i v = set_value stmt i (Value.Str v)
+  let set_float stmt i v = set_value stmt i (Value.Num v)
+  let set_null stmt i = set_value stmt i Value.Null
+
+  let clear_parameters stmt = Array.fill stmt.params 0 (Array.length stmt.params) None
+
+  let execute_query stmt =
+    let bindings =
+      Array.to_list
+        (Array.mapi
+           (fun i p ->
+             match p with
+             | Some seq -> (Printf.sprintf "param%d" (i + 1), seq)
+             | None ->
+               invalid_arg
+                 (Printf.sprintf "parameter %d is not bound" (i + 1)))
+           stmt.params)
+    in
+    let columns = stmt.translated.Translator.columns in
+    match stmt.conn.transport with
+    | Xml ->
+      let items = Server.execute_prepared ~bindings stmt.compiled_xml in
+      Result_set.of_xml_text columns
+        (Aqua_xml.Serialize.sequence_to_string items)
+    | Text ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun item ->
+          match item with
+          | Item.Atomic a -> Buffer.add_string buf (Atomic.to_lexical a)
+          | Item.Node _ -> invalid_arg "text transport returned a node")
+        (Server.execute_prepared ~bindings stmt.compiled_text);
+      Result_set.of_encoded_text columns (Buffer.contents buf)
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Database_metadata = struct
+  let catalog t = t.app.Artifact.app_name
+
+  let schemas t =
+    List.sort_uniq String.compare
+      (List.map
+         (fun (m : Metadata.table) -> m.Metadata.schema)
+         (Metadata.list_tables t.app))
+
+  let tables t = Metadata.list_tables t.app
+
+  let columns t ~table =
+    match Metadata.lookup t.app table with
+    | Ok m -> Some m.Metadata.columns
+    | Error _ -> None
+
+  let procedures t = Metadata.list_procedures t.app
+end

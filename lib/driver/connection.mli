@@ -1,0 +1,73 @@
+(** The JDBC-style driver connection (paper Figure 1): SQL in, result
+    sets out, against an in-process DSP server.
+
+    Both result transports of section 4 are implemented and the wire
+    boundary is simulated honestly — the XML transport serializes the
+    server's result and re-parses it client-side; the text transport
+    executes the string-join wrapper query and decodes the delimited
+    text — so their relative cost can be benchmarked (experiment P1). *)
+
+type t
+
+type transport =
+  | Xml   (** materialize XML, parse client-side *)
+  | Text  (** section-4 delimiter-encoded text *)
+
+val connect :
+  ?transport:transport ->
+  ?metadata_cache:bool ->
+  Aqua_dsp.Artifact.application ->
+  t
+(** [transport] defaults to [Text] (the shipping configuration);
+    [metadata_cache] defaults to [true]. *)
+
+val transport : t -> transport
+val set_transport : t -> transport -> unit
+val server : t -> Aqua_dsp.Server.t
+val application : t -> Aqua_dsp.Artifact.application
+val translator_env : t -> Aqua_translator.Semantic.env
+val metadata_cache : t -> Aqua_dsp.Metadata.Cache.t
+
+val translate : t -> string -> Aqua_translator.Translator.t
+(** Translation only (no execution).
+    @raise Aqua_translator.Errors.Error *)
+
+val execute_query : t -> string -> Result_set.t
+(** Translate, execute on the server, decode through the connection's
+    transport.
+    @raise Aqua_translator.Errors.Error on bad SQL
+    @raise Aqua_xqeval.Error.Dynamic_error on evaluation errors *)
+
+(** Prepared statements with ['?'] parameters. *)
+module Prepared : sig
+  type stmt
+
+  val prepare : t -> string -> stmt
+  (** Translates once; execution re-binds parameters. *)
+
+  val parameter_count : stmt -> int
+  val set_value : stmt -> int -> Aqua_relational.Value.t -> unit
+  val set_int : stmt -> int -> int -> unit
+  val set_string : stmt -> int -> string -> unit
+  val set_float : stmt -> int -> float -> unit
+  val set_null : stmt -> int -> unit
+  val clear_parameters : stmt -> unit
+
+  val execute_query : stmt -> Result_set.t
+  (** @raise Invalid_argument if a parameter is unbound. *)
+end
+
+(** Catalog metadata through the Figure-2 artifact mapping. *)
+module Database_metadata : sig
+  val catalog : t -> string
+  val schemas : t -> string list
+  val tables : t -> Aqua_dsp.Metadata.table list
+
+  val columns :
+    t -> table:string -> Aqua_relational.Schema.column list option
+
+  val procedures :
+    t -> (Aqua_dsp.Metadata.table * Aqua_dsp.Artifact.parameter list) list
+  (** Parameterized data-service functions, exposed as callable
+      stored procedures. *)
+end

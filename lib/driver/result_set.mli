@@ -1,0 +1,46 @@
+(** JDBC-style result sets: the driver's client-facing row container,
+    produced by decoding either the XML transport or the text-encoded
+    transport of paper section 4. *)
+
+type t
+
+val columns : t -> Aqua_translator.Outcol.t list
+val column_count : t -> int
+
+val column_label : t -> int -> string
+(** 1-based, like JDBC. *)
+
+val next : t -> bool
+(** Advances the cursor; [false] past the last row. *)
+
+val get_value : t -> int -> Aqua_relational.Value.t
+(** 1-based column index; [Value.Null] for SQL NULL.
+    @raise Invalid_argument when the cursor is not on a row or the
+    index is out of range. *)
+
+val get_value_by_label : t -> string -> Aqua_relational.Value.t
+
+val get_int : t -> int -> int option
+val get_string : t -> int -> string option
+val get_float : t -> int -> float option
+val get_bool : t -> int -> bool option
+
+val was_null : t -> bool
+(** Whether the last [get_*] read a SQL NULL. *)
+
+val to_rowset : t -> Aqua_relational.Rowset.t
+(** Materializes all remaining rows (cursor-position independent). *)
+
+val of_rows :
+  Aqua_translator.Outcol.t list -> Aqua_relational.Value.t array list -> t
+
+val of_xml_sequence :
+  Aqua_translator.Outcol.t list -> Aqua_xml.Item.sequence -> t
+(** Decodes a RECORDSET/RECORD item sequence (XML transport). *)
+
+val of_xml_text : Aqua_translator.Outcol.t list -> string -> t
+(** Parses serialized XML then decodes — the full client-side cost of
+    the XML transport. *)
+
+val of_encoded_text : Aqua_translator.Outcol.t list -> string -> t
+(** Decodes the delimiter-separated text transport (paper section 4). *)

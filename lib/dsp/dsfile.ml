@@ -1,0 +1,101 @@
+module Parser = Aqua_xquery.Parser
+module X = Aqua_xquery.Ast
+module Sql_type = Aqua_relational.Sql_type
+
+exception Deploy_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Deploy_error s)) fmt
+
+let local_of_qname s =
+  match String.index_opt s ':' with
+  | None -> s
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+
+(* "schema-element(t1:CUSTOMERS)*" -> "CUSTOMERS" *)
+let element_of_return_type ty =
+  let ty = String.trim ty in
+  match String.index_opt ty '(' with
+  | Some open_paren when String.length ty > 14
+                         && String.sub ty 0 14 = "schema-element" -> (
+    match String.index_from_opt ty open_paren ')' with
+    | Some close ->
+      local_of_qname
+        (String.trim (String.sub ty (open_paren + 1) (close - open_paren - 1)))
+    | None -> fail "malformed return type %S" ty)
+  | _ ->
+    fail "return type %S is not a schema-element sequence (flat rows only)" ty
+
+let param_type_of_text ty =
+  match Sql_type.of_xquery_name (String.trim ty) with
+  | Some t -> t
+  | None -> (
+    (* also accept bare SQL names, e.g. "integer" *)
+    match Sql_type.of_string ty with
+    | Some t -> t
+    | None -> fail "unsupported parameter type %S" ty)
+
+let parse ~path ~name ~load_schema ?bind_external text =
+  let prolog, decls = Parser.parse_library text in
+  if decls = [] then fail "%s.ds declares no functions" name;
+  (* schema documents, loaded once per import location *)
+  let schemas =
+    List.map
+      (fun (i : X.schema_import) ->
+        try (i, load_schema i.X.location)
+        with Xsd.Invalid_schema m ->
+          fail "schema %s: %s" i.X.location m)
+      prolog.X.imports
+  in
+  let find_schema element_name =
+    match
+      List.find_opt
+        (fun (_, (x : Xsd.t)) -> x.Xsd.element_name = element_name)
+        schemas
+    with
+    | Some (_, x) -> x
+    | None ->
+      fail "no imported schema declares element %s (imports: %s)" element_name
+        (String.concat ", "
+           (List.map (fun (i : X.schema_import) -> i.X.location) prolog.X.imports))
+  in
+  let functions =
+    List.map
+      (fun (d : Parser.function_decl) ->
+        let fn_name = local_of_qname d.Parser.fd_name in
+        let element_name = element_of_return_type d.Parser.fd_return in
+        let xsd = find_schema element_name in
+        let params =
+          List.map
+            (fun (v, ty) ->
+              { Artifact.param_name = v; param_type = param_type_of_text ty })
+            d.Parser.fd_params
+        in
+        let body =
+          match d.Parser.fd_body with
+          | Some body ->
+            Artifact.Logical { imports = prolog.X.imports; body }
+          | None -> (
+            match bind_external with
+            | None ->
+              fail "function %s is external but no binding was provided"
+                fn_name
+            | Some bind -> (
+              match bind fn_name with
+              | Some table -> Artifact.Physical table
+              | None -> fail "no table bound for external function %s" fn_name))
+        in
+        {
+          Artifact.fn_name;
+          params;
+          element_name;
+          columns = xsd.Xsd.columns;
+          body;
+        })
+      decls
+  in
+  { Artifact.ds_path = path; ds_name = name; functions }
+
+let deploy app ~path ~name ~load_schema ?bind_external text =
+  let ds = parse ~path ~name ~load_schema ?bind_external text in
+  Artifact.add_service app ds;
+  ds

@@ -1,0 +1,43 @@
+(** Deployment of data services from file text: a [.ds] file (an
+    XQuery library module, paper Example 2) plus the [.xsd] schema
+    documents its return types reference.
+
+    This closes the authoring loop: {!Artifact.ds_file_text} and
+    {!Xsd.to_text} render a service's files, and [deploy] registers an
+    equivalent service from such files. *)
+
+exception Deploy_error of string
+
+val parse :
+  path:string ->
+  name:string ->
+  load_schema:(string -> Xsd.t) ->
+  ?bind_external:(string -> Aqua_relational.Table.t option) ->
+  string ->
+  Artifact.data_service
+(** [parse ~path ~name ~load_schema text] builds the data service
+    declared by [text].
+
+    [load_schema location] must return the schema document imported at
+    [location] (e.g. ["ld:P/schemas/T.xsd"]); each function's columns
+    come from the schema whose row element matches the function's
+    [schema-element(...)] return type.
+
+    [bind_external] supplies the backing table for [external]
+    (physical) functions; omitting it makes external declarations a
+    {!Deploy_error}.
+
+    @raise Deploy_error on unresolvable schemas, element names or
+    externals.
+    @raise Aqua_xquery.Parser.Parse_error on malformed query text. *)
+
+val deploy :
+  Artifact.application ->
+  path:string ->
+  name:string ->
+  load_schema:(string -> Xsd.t) ->
+  ?bind_external:(string -> Aqua_relational.Table.t option) ->
+  string ->
+  Artifact.data_service
+(** [parse] followed by registration.
+    @raise Invalid_argument on duplicate registration. *)

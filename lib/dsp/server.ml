@@ -1,0 +1,103 @@
+module Item = Aqua_xml.Item
+module Table = Aqua_relational.Table
+module X = Aqua_xquery.Ast
+module Eval = Aqua_xqeval.Eval
+
+let fail = Aqua_xqeval.Error.fail
+
+type t = { app : Artifact.application }
+
+let create app = { app }
+let application t = t.app
+
+(* Recursion guard: logical services may call each other; a cycle in
+   .ds definitions must not hang the server. *)
+let max_call_depth = 64
+
+let split_qname name =
+  match String.index_opt name ':' with
+  | Some i ->
+    ( String.sub name 0 i,
+      String.sub name (i + 1) (String.length name - i - 1) )
+  | None -> ("", name)
+
+let rec resolver t (imports : X.schema_import list) depth :
+    string -> Eval.external_fn option =
+  let by_prefix = List.map (fun (i : X.schema_import) -> (i.prefix, i.namespace)) imports in
+  fun qname ->
+    let prefix, local = split_qname qname in
+    match List.assoc_opt prefix by_prefix with
+    | None -> None
+    | Some namespace -> (
+      match Artifact.find_service_by_namespace t.app namespace with
+      | None -> fail "no data service for namespace %s" namespace
+      | Some ds -> (
+        match Artifact.find_function ds local with
+        | None ->
+          fail "data service %s has no function %s" namespace local
+        | Some f -> Some (invoke t ds f depth)))
+
+and invoke t (_ds : Artifact.data_service) (f : Artifact.ds_function) depth :
+    Eval.external_fn =
+  fun args ->
+  if depth > max_call_depth then
+    fail "data service call depth exceeded (cycle in logical services?)";
+  if List.length args <> List.length f.Artifact.params then
+    fail "function %s expects %d argument(s), got %d" f.Artifact.fn_name
+      (List.length f.Artifact.params)
+      (List.length args);
+  match f.Artifact.body with
+  | Artifact.Physical table -> List.map Item.node (Table.to_flat_xml table)
+  | Artifact.Logical { imports; body } ->
+    let ctx =
+      Eval.context ~resolve:(resolver t imports (depth + 1)) ()
+    in
+    let ctx =
+      List.fold_left
+        (fun (ctx, i) arg -> (Eval.bind ctx (Printf.sprintf "p%d" i) arg, i + 1))
+        (ctx, 1) args
+      |> fst
+    in
+    Eval.eval ctx body
+
+let execute ?(bindings = []) t (q : X.query) =
+  let ctx = Eval.context ~resolve:(resolver t q.prolog.imports 0) () in
+  let ctx =
+    List.fold_left (fun ctx (name, seq) -> Eval.bind ctx name seq) ctx bindings
+  in
+  Eval.eval_query ctx q
+
+let execute_text ?bindings t src =
+  execute ?bindings t (Aqua_xquery.Parser.parse_query src)
+
+let execute_to_xml ?bindings t q =
+  Aqua_xml.Serialize.sequence_to_string (execute ?bindings t q)
+
+let execute_to_text ?bindings t q =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun item ->
+      match item with
+      | Item.Atomic a -> Buffer.add_string buf (Aqua_xml.Atomic.to_lexical a)
+      | Item.Node _ ->
+        fail "text transport expected a string result, got a node")
+    (execute ?bindings t q);
+  Buffer.contents buf
+
+type prepared = Aqua_xqeval.Compile.compiled
+
+let prepare ?(vars = []) t (q : X.query) =
+  Aqua_xqeval.Compile.compile
+    ~resolve:(resolver t q.X.prolog.X.imports 0)
+    ~vars q
+
+let execute_prepared ?bindings prepared =
+  Aqua_xqeval.Compile.run ?bindings prepared
+
+let call_function t ~path ~name ~fn args =
+  match Artifact.find_service t.app ~path ~name with
+  | None -> fail "no data service %s/%s" path name
+  | Some ds -> (
+    match Artifact.find_function ds fn with
+    | None -> fail "data service %s/%s has no function %s" path name fn
+    | Some f -> invoke t ds f 0 args)

@@ -1,0 +1,79 @@
+(** The in-process stand-in for the AquaLogic DSP server: compiles the
+    prolog of an XQuery (its schema imports) into a function resolver
+    over the application's data services and evaluates the body.
+
+    Physical data-service functions return their backing table as a
+    flat element sequence; logical functions evaluate their XQuery
+    bodies, resolving their own imports recursively. *)
+
+type t
+
+val create : Artifact.application -> t
+
+val application : t -> Artifact.application
+
+val execute :
+  ?bindings:(string * Aqua_xml.Item.sequence) list ->
+  t ->
+  Aqua_xquery.Ast.query ->
+  Aqua_xml.Item.sequence
+(** [bindings] provides external variables (prepared-statement
+    parameters, bound as [$param1 ..]).
+    @raise Aqua_xqeval.Error.Dynamic_error on unresolvable function
+    names or dynamic evaluation errors. *)
+
+val execute_text :
+  ?bindings:(string * Aqua_xml.Item.sequence) list ->
+  t ->
+  string ->
+  Aqua_xml.Item.sequence
+(** Parses XQuery text (prolog + body) and executes it — the "compile
+    and execute" entry point of the real server.
+    @raise Aqua_xquery.Parser.Parse_error on malformed query text
+    @raise Aqua_xqeval.Error.Dynamic_error on evaluation errors *)
+
+val execute_to_xml :
+  ?bindings:(string * Aqua_xml.Item.sequence) list ->
+  t ->
+  Aqua_xquery.Ast.query ->
+  string
+(** [execute] followed by serialization — the "ship XML to the client"
+    transport of paper section 4. *)
+
+val execute_to_text :
+  ?bindings:(string * Aqua_xml.Item.sequence) list ->
+  t ->
+  Aqua_xquery.Ast.query ->
+  string
+(** [execute] for a wrapper query that already returns the
+    text-encoded row stream: concatenates the resulting string
+    sequence. *)
+
+type prepared
+(** A query compiled once (via {!Aqua_xqeval.Compile}) for repeated
+    execution — the server-side compilation step of the platform. *)
+
+val prepare :
+  ?vars:string list -> t -> Aqua_xquery.Ast.query -> prepared
+(** [vars] declares external variables the query expects at execution
+    (e.g. ["param1"] for prepared statements).
+    @raise Aqua_xqeval.Compile.Compile_error on unknown functions or
+    variables. *)
+
+val execute_prepared :
+  ?bindings:(string * Aqua_xml.Item.sequence) list ->
+  prepared ->
+  Aqua_xml.Item.sequence
+(** @raise Aqua_xqeval.Error.Dynamic_error on dynamic errors. *)
+
+val call_function :
+  t ->
+  path:string ->
+  name:string ->
+  fn:string ->
+  Aqua_xml.Item.sequence list ->
+  Aqua_xml.Item.sequence
+(** Directly invoke a data-service function (used for stored-procedure
+    style access to parameterized functions).
+    @raise Aqua_xqeval.Error.Dynamic_error if the service or function
+    does not exist. *)

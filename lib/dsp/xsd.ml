@@ -1,0 +1,111 @@
+module Schema = Aqua_relational.Schema
+module Sql_type = Aqua_relational.Sql_type
+module Node = Aqua_xml.Node
+
+type t = {
+  element_name : string;
+  target_namespace : string;
+  columns : Schema.t;
+}
+
+exception Invalid_schema of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Invalid_schema s)) fmt
+
+let xs_type_of_sql = Sql_type.xquery_name
+let sql_type_of_xs = Sql_type.of_xquery_name
+
+let to_text t =
+  let child (c : Schema.column) =
+    let attrs =
+      [ ("name", c.Schema.name); ("type", xs_type_of_sql c.Schema.ty) ]
+      @ if c.Schema.nullable then [ ("minOccurs", "0") ] else []
+    in
+    Node.element "xs:element" ~attrs []
+  in
+  let doc =
+    Node.element "xs:schema"
+      ~attrs:
+        [ ("xmlns:xs", "http://www.w3.org/2001/XMLSchema");
+          ("targetNamespace", t.target_namespace);
+          ("elementFormDefault", "unqualified") ]
+      [ Node.element "xs:element"
+          ~attrs:[ ("name", t.element_name) ]
+          [ Node.element "xs:complexType"
+              [ Node.element "xs:sequence" (List.map child t.columns) ] ] ]
+  in
+  Aqua_xml.Serialize.node_to_string ~indent:true doc ^ "\n"
+
+let attr (e : Node.element) name = List.assoc_opt name e.Node.attrs
+
+let require_attr e name =
+  match attr e name with
+  | Some v -> v
+  | None -> fail "missing attribute %s on <%s>" name e.Node.name
+
+let find_child (e : Node.element) local =
+  List.find_opt
+    (fun (c : Node.element) -> Node.local_name c.Node.name = local)
+    (Node.children_elements (Node.Element e))
+
+let of_text text =
+  let root =
+    try Aqua_xml.Parse.node_of_string text
+    with Aqua_xml.Parse.Parse_error { message; _ } ->
+      fail "malformed XML: %s" message
+  in
+  let schema_el =
+    match root with
+    | Node.Element e when Node.local_name e.Node.name = "schema" -> e
+    | _ -> fail "expected an xs:schema document element"
+  in
+  let target_namespace =
+    Option.value (attr schema_el "targetNamespace") ~default:""
+  in
+  let row_el =
+    match find_child schema_el "element" with
+    | Some e -> e
+    | None -> fail "schema declares no global element"
+  in
+  let element_name = require_attr row_el "name" in
+  let complex =
+    match find_child row_el "complexType" with
+    | Some e -> e
+    | None -> fail "row element %s has no complex type" element_name
+  in
+  let sequence =
+    match find_child complex "sequence" with
+    | Some e -> e
+    | None -> fail "row type of %s is not a sequence" element_name
+  in
+  let columns =
+    List.map
+      (fun (c : Node.element) ->
+        if Node.local_name c.Node.name <> "element" then
+          fail "unexpected <%s> in the row sequence" c.Node.name;
+        if Node.children_elements (Node.Element c) <> [] then
+          fail "column %s is not a simple type (nested content)"
+            (Option.value (attr c "name") ~default:"?");
+        (match attr c "maxOccurs" with
+        | Some m when m <> "1" ->
+          fail "column %s repeats (maxOccurs=%s); rows must be flat"
+            (require_attr c "name") m
+        | _ -> ());
+        let name = require_attr c "name" in
+        let ty_name = require_attr c "type" in
+        let ty =
+          match sql_type_of_xs ty_name with
+          | Some ty -> ty
+          | None -> fail "column %s has unsupported type %s" name ty_name
+        in
+        let nullable =
+          match (attr c "minOccurs", attr c "nillable") with
+          | Some "0", _ -> true
+          | _, Some "true" -> true
+          | _ -> false
+        in
+        { Schema.name; ty; nullable })
+      (Node.children_elements (Node.Element sequence))
+  in
+  if columns = [] then fail "row element %s has no columns" element_name;
+  { element_name; target_namespace; columns }

@@ -1,0 +1,37 @@
+(** XML Schema documents for flat row types.
+
+    Every data-service function's return type is defined in an [.xsd]
+    file authored (or generated) at application development time
+    (paper section 3.1): a global element declaration whose complex
+    type is a sequence of simple-typed, optionally-nillable child
+    elements — the driver's table columns.
+
+    This module renders and parses that schema dialect, so services
+    can be deployed from file text and metadata import can round-trip
+    through real schema documents. *)
+
+type t = {
+  element_name : string;              (** the row element *)
+  target_namespace : string;          (** e.g. "ld:TestDataServices/CUSTOMERS" *)
+  columns : Aqua_relational.Schema.t; (** children in declaration order *)
+}
+
+val to_text : t -> string
+(** Renders the schema document: one global [xs:element] with a
+    [xs:complexType]/[xs:sequence] of simple-typed children;
+    nullable columns get [minOccurs="0"]. *)
+
+exception Invalid_schema of string
+
+val of_text : string -> t
+(** Parses a schema document of the dialect [to_text] produces
+    (and hand-written equivalents).
+    @raise Invalid_schema when the document is not a flat row type —
+    nested complex types, unbounded children and missing type
+    attributes are rejected, mirroring the driver's "flat XML only"
+    rule (paper section 2.2). *)
+
+val xs_type_of_sql : Aqua_relational.Sql_type.t -> string
+(** The [xs:] simple type used in schema documents. *)
+
+val sql_type_of_xs : string -> Aqua_relational.Sql_type.t option

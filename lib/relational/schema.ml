@@ -1,0 +1,61 @@
+type column = {
+  name : string;
+  ty : Sql_type.t;
+  nullable : bool;
+}
+
+type t = column list
+
+let column ?(nullable = true) name ty = { name; ty; nullable }
+
+let find schema name =
+  let target = String.uppercase_ascii name in
+  let rec go i = function
+    | [] -> None
+    | c :: rest ->
+      if String.uppercase_ascii c.name = target then Some (i, c)
+      else go (i + 1) rest
+  in
+  go 0 schema
+
+let names schema = List.map (fun c -> c.name) schema
+
+let value_matches ty (v : Value.t) =
+  match v with
+  | Value.Null -> true
+  | Value.Int _ -> Sql_type.is_numeric ty
+  | Value.Num _ -> Sql_type.is_numeric ty
+  | Value.Str _ -> Sql_type.is_character ty
+  | Value.Bool _ -> ty = Sql_type.Boolean
+  | Value.Date _ -> ty = Sql_type.Date
+  | Value.Time _ -> ty = Sql_type.Time
+  | Value.Timestamp _ -> ty = Sql_type.Timestamp
+
+let check_row schema row =
+  if Array.length row <> List.length schema then
+    Error
+      (Printf.sprintf "row has %d values but schema has %d columns"
+         (Array.length row) (List.length schema))
+  else
+    let rec go i = function
+      | [] -> Ok ()
+      | c :: rest ->
+        let v = row.(i) in
+        if Value.is_null v && not c.nullable then
+          Error (Printf.sprintf "column %s is not nullable" c.name)
+        else if not (value_matches c.ty v) then
+          Error
+            (Printf.sprintf "value %s does not match type %s of column %s"
+               (Value.to_display v) (Sql_type.to_string c.ty) c.name)
+        else go (i + 1) rest
+    in
+    go 0 schema
+
+let pp fmt schema =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f ", ")
+       (fun f c ->
+         Format.fprintf f "%s %a%s" c.name Sql_type.pp c.ty
+           (if c.nullable then "" else " NOT NULL")))
+    schema

@@ -1,0 +1,23 @@
+(** Column and row-set schemas shared by the store, the SQL engine and
+    the driver's result sets. *)
+
+type column = {
+  name : string;
+  ty : Sql_type.t;
+  nullable : bool;
+}
+
+type t = column list
+
+val column : ?nullable:bool -> string -> Sql_type.t -> column
+
+val find : t -> string -> (int * column) option
+(** Case-insensitive lookup, returning position and descriptor. *)
+
+val names : t -> string list
+
+val check_row : t -> Value.t array -> (unit, string) result
+(** Validates arity, NULLs against nullability, and value/type
+    agreement. *)
+
+val pp : Format.formatter -> t -> unit

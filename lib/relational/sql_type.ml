@@ -1,0 +1,119 @@
+type t =
+  | Smallint
+  | Integer
+  | Bigint
+  | Decimal of (int * int) option
+  | Real
+  | Double
+  | Char of int
+  | Varchar of int option
+  | Boolean
+  | Date
+  | Time
+  | Timestamp
+
+let to_string = function
+  | Smallint -> "SMALLINT"
+  | Integer -> "INTEGER"
+  | Bigint -> "BIGINT"
+  | Decimal None -> "DECIMAL"
+  | Decimal (Some (p, s)) -> Printf.sprintf "DECIMAL(%d,%d)" p s
+  | Real -> "REAL"
+  | Double -> "DOUBLE PRECISION"
+  | Char n -> Printf.sprintf "CHAR(%d)" n
+  | Varchar None -> "VARCHAR"
+  | Varchar (Some n) -> Printf.sprintf "VARCHAR(%d)" n
+  | Boolean -> "BOOLEAN"
+  | Date -> "DATE"
+  | Time -> "TIME"
+  | Timestamp -> "TIMESTAMP"
+
+let of_string s =
+  match String.uppercase_ascii (String.trim s) with
+  | "SMALLINT" -> Some Smallint
+  | "INT" | "INTEGER" -> Some Integer
+  | "BIGINT" -> Some Bigint
+  | "DECIMAL" | "DEC" | "NUMERIC" -> Some (Decimal None)
+  | "REAL" | "FLOAT" -> Some Real
+  | "DOUBLE" | "DOUBLE PRECISION" -> Some Double
+  | "CHAR" | "CHARACTER" -> Some (Char 1)
+  | "VARCHAR" | "CHARACTER VARYING" -> Some (Varchar None)
+  | "BOOLEAN" -> Some Boolean
+  | "DATE" -> Some Date
+  | "TIME" -> Some Time
+  | "TIMESTAMP" -> Some Timestamp
+  | _ -> None
+
+let is_numeric = function
+  | Smallint | Integer | Bigint | Decimal _ | Real | Double -> true
+  | Char _ | Varchar _ | Boolean | Date | Time | Timestamp -> false
+
+let is_character = function
+  | Char _ | Varchar _ -> true
+  | Smallint | Integer | Bigint | Decimal _ | Real | Double | Boolean | Date
+  | Time | Timestamp ->
+    false
+
+let is_datetime = function
+  | Date | Time | Timestamp -> true
+  | Smallint | Integer | Bigint | Decimal _ | Real | Double | Boolean | Char _
+  | Varchar _ ->
+    false
+
+let is_exact_numeric = function
+  | Smallint | Integer | Bigint | Decimal _ -> true
+  | Real | Double | Char _ | Varchar _ | Boolean | Date | Time | Timestamp ->
+    false
+
+(* Rank in the SQL-92 numeric promotion chain. *)
+let numeric_rank = function
+  | Smallint -> Some 0
+  | Integer -> Some 1
+  | Bigint -> Some 2
+  | Decimal _ -> Some 3
+  | Real -> Some 4
+  | Double -> Some 5
+  | Char _ | Varchar _ | Boolean | Date | Time | Timestamp -> None
+
+let promote a b =
+  match (numeric_rank a, numeric_rank b) with
+  | Some ra, Some rb -> Some (if ra >= rb then a else b)
+  | _ -> None
+
+let comparable a b =
+  (is_numeric a && is_numeric b)
+  || (is_character a && is_character b)
+  || (is_datetime a && is_datetime b)
+  ||
+  match (a, b) with
+  | Boolean, Boolean -> true
+  | _ -> false
+
+let xquery_name = function
+  | Smallint -> "xs:short"
+  | Integer -> "xs:int"
+  | Bigint -> "xs:long"
+  | Decimal _ -> "xs:decimal"
+  | Real -> "xs:float"
+  | Double -> "xs:double"
+  | Char _ | Varchar _ -> "xs:string"
+  | Boolean -> "xs:boolean"
+  | Date -> "xs:date"
+  | Time -> "xs:time"
+  | Timestamp -> "xs:dateTime"
+
+let of_xquery_name = function
+  | "xs:short" -> Some Smallint
+  | "xs:int" | "xs:integer" -> Some Integer
+  | "xs:long" -> Some Bigint
+  | "xs:decimal" -> Some (Decimal None)
+  | "xs:float" -> Some Real
+  | "xs:double" -> Some Double
+  | "xs:string" -> Some (Varchar None)
+  | "xs:boolean" -> Some Boolean
+  | "xs:date" -> Some Date
+  | "xs:time" -> Some Time
+  | "xs:dateTime" -> Some Timestamp
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

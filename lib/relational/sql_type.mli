@@ -1,0 +1,44 @@
+(** The SQL-92 scalar type system, with the promotion and casting rules
+    the translator applies when inferring expression datatypes
+    (paper section 3.5.v). *)
+
+type t =
+  | Smallint
+  | Integer
+  | Bigint
+  | Decimal of (int * int) option  (** precision, scale *)
+  | Real
+  | Double
+  | Char of int
+  | Varchar of int option
+  | Boolean
+  | Date
+  | Time
+  | Timestamp
+
+val to_string : t -> string
+(** SQL spelling, e.g. ["DECIMAL(10,2)"] or ["VARCHAR(40)"]. *)
+
+val of_string : string -> t option
+(** Parses a bare SQL type name (no precision arguments). *)
+
+val is_numeric : t -> bool
+val is_character : t -> bool
+val is_datetime : t -> bool
+val is_exact_numeric : t -> bool
+
+val promote : t -> t -> t option
+(** Result type of a binary arithmetic operation per SQL-92 numeric
+    promotion (SMALLINT < INTEGER < BIGINT < DECIMAL < REAL < DOUBLE).
+    [None] when the types cannot be combined. *)
+
+val comparable : t -> t -> bool
+(** Whether values of the two types may appear in a comparison. *)
+
+val xquery_name : t -> string
+(** The XML Schema type used in generated casts, e.g. ["xs:integer"]. *)
+
+val of_xquery_name : string -> t option
+(** Reverse of [xquery_name] (ignores precision). *)
+
+val pp : Format.formatter -> t -> unit

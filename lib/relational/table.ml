@@ -1,0 +1,36 @@
+module Node = Aqua_xml.Node
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  mutable rows : Value.t array list;
+}
+
+let create name schema = { name; schema; rows = [] }
+
+let insert t row =
+  let row = Array.of_list row in
+  match Schema.check_row t.schema row with
+  | Ok () -> t.rows <- row :: t.rows
+  | Error msg ->
+    raise (Value.Type_error (Printf.sprintf "table %s: %s" t.name msg))
+
+let insert_all t rows = List.iter (insert t) rows
+let rows t = List.rev t.rows
+let cardinality t = List.length t.rows
+
+let row_to_element ~name schema row =
+  let children =
+    List.concat
+      (List.mapi
+         (fun i (c : Schema.column) ->
+           match row.(i) with
+           | Value.Null -> []
+           | v -> [ Node.element c.name [ Node.text (Value.to_string v) ] ])
+         schema)
+  in
+  Node.element name children
+
+let to_flat_xml ?(ns_prefix = "ns0") t =
+  let name = ns_prefix ^ ":" ^ t.name in
+  List.map (row_to_element ~name t.schema) (rows t)

@@ -1,0 +1,26 @@
+(** In-memory relational tables — the physical sources behind the
+    platform's physical data services. *)
+
+type t = private {
+  name : string;
+  schema : Schema.t;
+  mutable rows : Value.t array list;  (** in insertion order, reversed *)
+}
+
+val create : string -> Schema.t -> t
+
+val insert : t -> Value.t list -> unit
+(** @raise Value.Type_error if the row does not match the schema. *)
+
+val insert_all : t -> Value.t list list -> unit
+
+val rows : t -> Value.t array list
+(** Rows in insertion order. *)
+
+val cardinality : t -> int
+
+val to_flat_xml : ?ns_prefix:string -> t -> Aqua_xml.Node.t list
+(** Serializes the table the way a physical data-service function
+    returns it: one element per row named after the table (Example 1 of
+    the paper), with one simple-typed child element per non-null
+    column.  NULL columns are omitted (absent element). *)

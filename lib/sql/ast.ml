@@ -1,0 +1,177 @@
+(* Abstract syntax of the SQL-92 SELECT dialect handled by the driver
+   (paper section 2.2 "Problem Scope": read-only SQL-92).  The same AST
+   feeds the translator (stage one output) and the baseline SQL
+   engine. *)
+
+module Sql_type = Aqua_relational.Sql_type
+
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+
+(* Up to catalog.schema.table; schema names may contain slashes when
+   quoted (paper Figure 2 maps ".ds file paths" to SQL schemas). *)
+type table_name = {
+  catalog : string option;
+  schema : string option;
+  table : string;
+}
+
+type literal =
+  | L_int of int
+  | L_num of float * string  (* value and original spelling *)
+  | L_string of string
+  | L_date of string
+  | L_time of string
+  | L_timestamp of string
+  | L_bool of bool
+  | L_null
+
+type cmp_op = Eq | Neq | Lt | Le | Gt | Ge
+type arith_op = Add | Sub | Mul | Div
+type quantifier = Q_any | Q_all
+type agg_func = A_count_star | A_count | A_sum | A_avg | A_min | A_max
+
+type join_kind = J_inner | J_left | J_right | J_full | J_cross
+type set_op = S_union | S_intersect | S_except
+
+type expr =
+  | Lit of literal
+  | Column of { qualifier : string option; name : string; pos : pos }
+  | Param of int  (* 1-based JDBC '?' parameter *)
+  | Arith of arith_op * expr * expr
+  | Neg of expr
+  | Concat of expr * expr
+  | Cmp of cmp_op * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Is_null of { arg : expr; negated : bool }
+  | Between of { arg : expr; low : expr; high : expr; negated : bool }
+  | Like of { arg : expr; pattern : expr; escape : expr option; negated : bool }
+  | In_list of { arg : expr; items : expr list; negated : bool }
+  | In_query of { arg : expr; query : query; negated : bool }
+  | Exists of query
+  | Scalar_subquery of query
+  | Quantified of {
+      op : cmp_op;
+      quantifier : quantifier;
+      arg : expr;
+      query : query;
+    }
+  | Func of { name : string; args : expr list }
+  | Agg of { func : agg_func; distinct : bool; arg : expr option }
+  | Cast of expr * Sql_type.t
+  | Case of {
+      operand : expr option;
+      branches : (expr * expr) list;
+      else_ : expr option;
+    }
+
+and select_item =
+  | Star
+  | Table_star of string
+  | Expr_item of expr * string option  (* expression, AS alias *)
+
+and table_primary =
+  | Table_ref_name of { name : table_name; alias : string option; pos : pos }
+  | Derived of { query : query; alias : string }
+
+and table_ref =
+  | Primary of table_primary
+  | Join of {
+      kind : join_kind;
+      left : table_ref;
+      right : table_ref;
+      cond : expr option;  (* None only for CROSS JOIN *)
+    }
+
+and query_spec = {
+  distinct : bool;
+  select : select_item list;
+  from : table_ref list;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+}
+
+and query =
+  | Spec of query_spec
+  | Set of { op : set_op; all : bool; left : query; right : query }
+
+type order_key = Ord_position of int | Ord_expr of expr
+type order_item = { key : order_key; descending : bool }
+
+type statement = {
+  body : query;
+  order_by : order_item list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Small structural helpers shared by the semantic phases.            *)
+
+let table_name_to_string (n : table_name) =
+  String.concat "."
+    (List.filter_map Fun.id [ n.catalog; n.schema; Some n.table ])
+
+let rec fold_expr : 'a. ('a -> expr -> 'a) -> 'a -> expr -> 'a =
+  fun f acc e ->
+  let acc = f acc e in
+  let fold_q acc _q = acc in
+  (* subqueries are scope boundaries; callers recurse explicitly *)
+  match e with
+  | Lit _ | Column _ | Param _ -> acc
+  | Neg a | Not a | Cast (a, _) -> fold_expr f acc a
+  | Arith (_, a, b) | Concat (a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+    fold_expr f (fold_expr f acc a) b
+  | Is_null { arg; _ } -> fold_expr f acc arg
+  | Between { arg; low; high; _ } ->
+    fold_expr f (fold_expr f (fold_expr f acc arg) low) high
+  | Like { arg; pattern; escape; _ } ->
+    let acc = fold_expr f (fold_expr f acc arg) pattern in
+    (match escape with None -> acc | Some e -> fold_expr f acc e)
+  | In_list { arg; items; _ } ->
+    List.fold_left (fold_expr f) (fold_expr f acc arg) items
+  | In_query { arg; query; _ } -> fold_q (fold_expr f acc arg) query
+  | Exists q -> fold_q acc q
+  | Scalar_subquery q -> fold_q acc q
+  | Quantified { arg; query; _ } -> fold_q (fold_expr f acc arg) query
+  | Func { args; _ } -> List.fold_left (fold_expr f) acc args
+  | Agg { arg; _ } -> (
+    match arg with None -> acc | Some a -> fold_expr f acc a)
+  | Case { operand; branches; else_ } ->
+    let acc = match operand with None -> acc | Some o -> fold_expr f acc o in
+    let acc =
+      List.fold_left
+        (fun acc (w, t) -> fold_expr f (fold_expr f acc w) t)
+        acc branches
+    in
+    (match else_ with None -> acc | Some e -> fold_expr f acc e)
+
+let contains_aggregate expr =
+  fold_expr (fun acc e -> acc || match e with Agg _ -> true | _ -> false)
+    false expr
+
+let subqueries_of_expr expr =
+  fold_expr
+    (fun acc e ->
+      match e with
+      | In_query { query; _ }
+      | Exists query
+      | Scalar_subquery query
+      | Quantified { query; _ } ->
+        query :: acc
+      | _ -> acc)
+    [] expr
+
+let rec table_refs_of_query = function
+  | Spec spec -> spec.from
+  | Set { left; right; _ } ->
+    table_refs_of_query left @ table_refs_of_query right
+
+let agg_func_name = function
+  | A_count_star | A_count -> "COUNT"
+  | A_sum -> "SUM"
+  | A_avg -> "AVG"
+  | A_min -> "MIN"
+  | A_max -> "MAX"

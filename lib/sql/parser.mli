@@ -1,0 +1,13 @@
+(** SQL-92 SELECT recursive-descent parser (paper stage one).
+
+    Syntactically invalid SQL is rejected immediately with a
+    positioned [Parse_error]; all semantic checks are deferred to the
+    translator's later stages, exactly as the paper prescribes. *)
+
+exception Parse_error of { pos : Ast.pos; message : string }
+
+val parse : string -> Ast.statement
+(** @raise Parse_error on syntax errors (also wraps lexical errors). *)
+
+val parse_expression : string -> Ast.expr
+(** Parses a standalone scalar expression — used by tests. *)

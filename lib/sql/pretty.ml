@@ -1,0 +1,222 @@
+module Sql_type = Aqua_relational.Sql_type
+open Ast
+
+let quote_ident s =
+  let plain =
+    String.length s > 0
+    && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+    && String.for_all
+         (fun c ->
+           match c with
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true
+           | _ -> false)
+         s
+  in
+  if plain then s
+  else
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+
+let string_lit s = "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+
+let literal_to_string = function
+  | L_int i -> string_of_int i
+  | L_num (_, s) -> s
+  | L_string s -> string_lit s
+  | L_date s -> "DATE " ^ string_lit s
+  | L_time s -> "TIME " ^ string_lit s
+  | L_timestamp s -> "TIMESTAMP " ^ string_lit s
+  | L_bool b -> if b then "TRUE" else "FALSE"
+  | L_null -> "NULL"
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let arith_to_string = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+(* Precedence levels for parenthesization: OR=1, AND=2, NOT=3,
+   predicates=4, additive=5, multiplicative=6, unary=7, primary=8. *)
+let rec prec = function
+  | Or _ -> 1
+  | And _ -> 2
+  | Not _ -> 3
+  | Cmp _ | Is_null _ | Between _ | Like _ | In_list _ | In_query _
+  | Quantified _ ->
+    4
+  | Arith ((Add | Sub), _, _) | Concat _ -> 5
+  | Arith ((Mul | Div), _, _) -> 6
+  | Neg _ -> 7
+  | Lit _ | Column _ | Param _ | Func _ | Agg _ | Cast _ | Case _ | Exists _
+  | Scalar_subquery _ ->
+    8
+
+and expr_to_string e = emit 0 e
+
+and emit outer e =
+  let s =
+    match e with
+    | Lit l -> literal_to_string l
+    | Column { qualifier; name; _ } -> (
+      match qualifier with
+      | None -> quote_ident name
+      | Some q -> quote_ident q ^ "." ^ quote_ident name)
+    | Param _ -> "?"
+    | Arith (op, a, b) ->
+      let p = prec e in
+      emit p a ^ " " ^ arith_to_string op ^ " " ^ emit (p + 1) b
+    | Concat (a, b) -> emit 5 a ^ " || " ^ emit 6 b
+    | Neg a -> "-" ^ emit 7 a
+    | Cmp (op, a, b) -> emit 5 a ^ " " ^ cmp_to_string op ^ " " ^ emit 5 b
+    | And (a, b) -> emit 2 a ^ " AND " ^ emit 2 b
+    | Or (a, b) -> emit 1 a ^ " OR " ^ emit 1 b
+    | Not a -> "NOT " ^ emit 3 a
+    | Is_null { arg; negated } ->
+      emit 5 arg ^ (if negated then " IS NOT NULL" else " IS NULL")
+    | Between { arg; low; high; negated } ->
+      emit 5 arg
+      ^ (if negated then " NOT BETWEEN " else " BETWEEN ")
+      ^ emit 5 low ^ " AND " ^ emit 5 high
+    | Like { arg; pattern; escape; negated } ->
+      emit 5 arg
+      ^ (if negated then " NOT LIKE " else " LIKE ")
+      ^ emit 5 pattern
+      ^ (match escape with None -> "" | Some e -> " ESCAPE " ^ emit 5 e)
+    | In_list { arg; items; negated } ->
+      emit 5 arg
+      ^ (if negated then " NOT IN (" else " IN (")
+      ^ String.concat ", " (List.map expr_to_string items)
+      ^ ")"
+    | In_query { arg; query; negated } ->
+      emit 5 arg
+      ^ (if negated then " NOT IN (" else " IN (")
+      ^ query_to_string query ^ ")"
+    | Exists q -> "EXISTS (" ^ query_to_string q ^ ")"
+    | Scalar_subquery q -> "(" ^ query_to_string q ^ ")"
+    | Quantified { op; quantifier; arg; query } ->
+      emit 5 arg ^ " " ^ cmp_to_string op
+      ^ (match quantifier with Q_any -> " ANY (" | Q_all -> " ALL (")
+      ^ query_to_string query ^ ")"
+    | Func { name; args } -> (
+      (* special keyword-argument forms are re-emitted in their
+         canonical SQL-92 spelling *)
+      match (name, args) with
+      | "POSITION", [ a; b ] ->
+        "POSITION(" ^ expr_to_string a ^ " IN " ^ expr_to_string b ^ ")"
+      | ( ( "EXTRACT_YEAR" | "EXTRACT_MONTH" | "EXTRACT_DAY" | "EXTRACT_HOUR"
+          | "EXTRACT_MINUTE" | "EXTRACT_SECOND" ),
+          [ a ] ) ->
+        let field = String.sub name 8 (String.length name - 8) in
+        "EXTRACT(" ^ field ^ " FROM " ^ expr_to_string a ^ ")"
+      | _ ->
+        name ^ "(" ^ String.concat ", " (List.map expr_to_string args) ^ ")")
+    | Agg { func = A_count_star; _ } -> "COUNT(*)"
+    | Agg { func; distinct; arg } ->
+      agg_func_name func ^ "("
+      ^ (if distinct then "DISTINCT " else "")
+      ^ (match arg with Some a -> expr_to_string a | None -> "*")
+      ^ ")"
+    | Cast (a, ty) ->
+      "CAST(" ^ expr_to_string a ^ " AS " ^ Sql_type.to_string ty ^ ")"
+    | Case { operand; branches; else_ } ->
+      "CASE"
+      ^ (match operand with None -> "" | Some o -> " " ^ expr_to_string o)
+      ^ String.concat ""
+          (List.map
+             (fun (w, t) ->
+               " WHEN " ^ expr_to_string w ^ " THEN " ^ expr_to_string t)
+             branches)
+      ^ (match else_ with None -> "" | Some e -> " ELSE " ^ expr_to_string e)
+      ^ " END"
+  in
+  if prec e < outer then "(" ^ s ^ ")" else s
+
+and select_item_to_string = function
+  | Star -> "*"
+  | Table_star t -> quote_ident t ^ ".*"
+  | Expr_item (e, alias) -> (
+    expr_to_string e
+    ^ match alias with None -> "" | Some a -> " AS " ^ quote_ident a)
+
+and table_name_to_sql (n : table_name) =
+  String.concat "."
+    (List.filter_map Fun.id
+       [ Option.map quote_ident n.catalog;
+         Option.map quote_ident n.schema;
+         Some (quote_ident n.table) ])
+
+and table_primary_to_string = function
+  | Table_ref_name { name; alias; _ } -> (
+    table_name_to_sql name
+    ^ match alias with None -> "" | Some a -> " AS " ^ quote_ident a)
+  | Derived { query; alias } ->
+    "(" ^ query_to_string query ^ ") AS " ^ quote_ident alias
+
+and table_ref_to_string = function
+  | Primary p -> table_primary_to_string p
+  | Join { kind; left; right; cond } -> (
+    let kw =
+      match kind with
+      | J_inner -> " INNER JOIN "
+      | J_left -> " LEFT OUTER JOIN "
+      | J_right -> " RIGHT OUTER JOIN "
+      | J_full -> " FULL OUTER JOIN "
+      | J_cross -> " CROSS JOIN "
+    in
+    let right_s =
+      match right with
+      | Primary p -> table_primary_to_string p
+      | Join _ -> "(" ^ table_ref_to_string right ^ ")"
+    in
+    table_ref_to_string left ^ kw ^ right_s
+    ^ match cond with None -> "" | Some c -> " ON " ^ expr_to_string c)
+
+and query_spec_to_string (spec : query_spec) =
+  "SELECT "
+  ^ (if spec.distinct then "DISTINCT " else "")
+  ^ String.concat ", " (List.map select_item_to_string spec.select)
+  ^ " FROM "
+  ^ String.concat ", " (List.map table_ref_to_string spec.from)
+  ^ (match spec.where with
+    | None -> ""
+    | Some w -> " WHERE " ^ expr_to_string w)
+  ^ (match spec.group_by with
+    | [] -> ""
+    | cols -> " GROUP BY " ^ String.concat ", " (List.map expr_to_string cols))
+  ^
+  match spec.having with
+  | None -> ""
+  | Some h -> " HAVING " ^ expr_to_string h
+
+and query_to_string = function
+  | Spec spec -> query_spec_to_string spec
+  | Set { op; all; left; right } ->
+    let kw =
+      match op with
+      | S_union -> "UNION"
+      | S_intersect -> "INTERSECT"
+      | S_except -> "EXCEPT"
+    in
+    let wrap q =
+      match q with
+      | Spec _ -> query_to_string q
+      | Set _ -> "(" ^ query_to_string q ^ ")"
+    in
+    wrap left ^ " " ^ kw ^ (if all then " ALL " else " ") ^ wrap right
+
+let order_item_to_string (o : order_item) =
+  (match o.key with
+  | Ord_position i -> string_of_int i
+  | Ord_expr e -> expr_to_string e)
+  ^ if o.descending then " DESC" else ""
+
+let statement_to_string (stmt : statement) =
+  query_to_string stmt.body
+  ^
+  match stmt.order_by with
+  | [] -> ""
+  | items ->
+    " ORDER BY " ^ String.concat ", " (List.map order_item_to_string items)

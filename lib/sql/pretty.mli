@@ -1,0 +1,9 @@
+(** Rendering the SQL AST back to SQL-92 text.
+
+    Emitted text always re-parses to a structurally equal AST (the
+    round-trip property tested by the suite), which makes it the
+    workhorse of the workload generator and of error messages. *)
+
+val expr_to_string : Ast.expr -> string
+val query_to_string : Ast.query -> string
+val statement_to_string : Ast.statement -> string

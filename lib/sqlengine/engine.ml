@@ -1,0 +1,976 @@
+module A = Aqua_sql.Ast
+module Value = Aqua_relational.Value
+module Sql_type = Aqua_relational.Sql_type
+module Schema = Aqua_relational.Schema
+module Table = Aqua_relational.Table
+module Rowset = Aqua_relational.Rowset
+module Metadata = Aqua_dsp.Metadata
+module Artifact = Aqua_dsp.Artifact
+module Scope = Aqua_translator.Scope
+module Semantic = Aqua_translator.Semantic
+module Outcol = Aqua_translator.Outcol
+module Errors = Aqua_translator.Errors
+module Atomic = Aqua_xml.Atomic
+
+let fail = Errors.raise_error
+let type_error fmt = Format.kasprintf (fun s -> raise (Value.Type_error s)) fmt
+
+type env = {
+  sem : Semantic.env;
+  table_data : A.table_name -> A.pos -> Metadata.table * Value.t array list;
+}
+
+let env_of_application app =
+  let sem = Semantic.env_of_application app in
+  let table_data (n : A.table_name) pos =
+    match Metadata.lookup app ?catalog:n.A.catalog ?schema:n.A.schema n.A.table with
+    | Error e ->
+      fail ~pos Errors.Unknown_table "%s" (Metadata.error_to_string e)
+    | Ok meta -> (
+      (* find the backing physical table *)
+      let service =
+        Artifact.find_service_by_namespace app meta.Metadata.namespace
+      in
+      match service with
+      | None -> fail ~pos Errors.Unknown_table "no service for %s" n.A.table
+      | Some ds -> (
+        match Artifact.find_function ds meta.Metadata.table with
+        | Some { Artifact.body = Artifact.Physical t; _ } ->
+          (meta, Table.rows t)
+        | Some { Artifact.body = Artifact.Logical _; _ } ->
+          fail ~pos Errors.Unsupported
+            "the baseline engine only reads physical tables (%s is logical)"
+            n.A.table
+        | None -> fail ~pos Errors.Unknown_table "%s" n.A.table))
+  in
+  { sem; table_data }
+
+(* ------------------------------------------------------------------ *)
+(* Tuples: one value array per view, aligned with the view's columns. *)
+
+type frame = (Scope.view * Value.t array) list
+
+(* Evaluation context: scope chain and the frame stack aligned with
+   it; [group] holds the current group's frames when evaluating
+   aggregates. *)
+type ctx = {
+  env : env;
+  scope : Scope.t;
+  frames : frame list;  (* innermost first, frames.(d) pairs scope depth d *)
+  group : frame list option;
+}
+
+let col_index (view : Scope.view) (col : Scope.vcol) =
+  let rec go i = function
+    | [] -> type_error "internal: column %s not in view" col.Scope.label
+    | c :: rest -> if c == col then i else go (i + 1) rest
+  in
+  go 0 view.Scope.cols
+
+let lookup_value ctx (r : Scope.resolution) : Value.t =
+  match List.nth_opt ctx.frames r.Scope.res_depth with
+  | None -> type_error "internal: no frame at depth %d" r.Scope.res_depth
+  | Some frame -> (
+    match List.find_opt (fun (v, _) -> v == r.Scope.res_view) frame with
+    | None -> type_error "internal: view missing from frame"
+    | Some (_, values) -> values.(col_index r.Scope.res_view r.Scope.res_col))
+
+(* ------------------------------------------------------------------ *)
+(* Scalar semantics                                                   *)
+
+let as_float name v =
+  match v with
+  | Value.Int i -> float_of_int i
+  | Value.Num f -> f
+  | _ -> type_error "%s: expected a number, got %s" name (Value.to_display v)
+
+let as_string name v =
+  match v with
+  | Value.Str s -> s
+  | _ -> type_error "%s: expected a string, got %s" name (Value.to_display v)
+
+let as_int name v =
+  match v with
+  | Value.Int i -> i
+  | Value.Num f -> int_of_float f
+  | _ -> type_error "%s: expected an integer, got %s" name (Value.to_display v)
+
+let arith op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | _ -> (
+    match (op, a, b) with
+    | A.Add, Value.Int x, Value.Int y -> Value.Int (x + y)
+    | A.Sub, Value.Int x, Value.Int y -> Value.Int (x - y)
+    | A.Mul, Value.Int x, Value.Int y -> Value.Int (x * y)
+    | A.Div, _, _ ->
+      let y = as_float "/" b in
+      if y = 0.0 then type_error "division by zero"
+      else Value.Num (as_float "/" a /. y)
+    | A.Add, _, _ -> Value.Num (as_float "+" a +. as_float "+" b)
+    | A.Sub, _, _ -> Value.Num (as_float "-" a -. as_float "-" b)
+    | A.Mul, _, _ -> Value.Num (as_float "*" a *. as_float "*" b))
+
+let null_propagating_function name args f =
+  if List.exists Value.is_null args then Value.Null
+  else
+    try f args
+    with Failure _ -> type_error "error evaluating %s" name
+
+let substring_sql s start len =
+  (* SQL-92 / fn:substring semantics: 1-based, negative start shifts *)
+  let n = String.length s in
+  let from = max 1 start in
+  let until =
+    match len with
+    | None -> n + 1
+    | Some l -> start + l
+  in
+  let until = min (n + 1) until in
+  if until <= from then "" else String.sub s (from - 1) (until - from)
+
+let trim_sql which s =
+  let n = String.length s in
+  let start =
+    if which = `Trailing then 0
+    else begin
+      let i = ref 0 in
+      while !i < n && s.[!i] = ' ' do incr i done;
+      !i
+    end
+  in
+  let stop =
+    if which = `Leading then n
+    else begin
+      let i = ref n in
+      while !i > start && s.[!i - 1] = ' ' do decr i done;
+      !i
+    end
+  in
+  String.sub s start (stop - start)
+
+let position_sql needle hay =
+  let n = String.length needle and h = String.length hay in
+  if n = 0 then 1
+  else begin
+    let rec go i =
+      if i + n > h then 0
+      else if String.sub hay i n = needle then i + 1
+      else go (i + 1)
+    in
+    go 0
+  end
+
+let extract_sql field v =
+  match (field, v) with
+  | "YEAR", Value.Date d -> d.Atomic.year
+  | "MONTH", Value.Date d -> d.Atomic.month
+  | "DAY", Value.Date d -> d.Atomic.day
+  | "YEAR", Value.Timestamp ts -> ts.Atomic.date.Atomic.year
+  | "MONTH", Value.Timestamp ts -> ts.Atomic.date.Atomic.month
+  | "DAY", Value.Timestamp ts -> ts.Atomic.date.Atomic.day
+  | "HOUR", Value.Time t -> t.Atomic.hour
+  | "MINUTE", Value.Time t -> t.Atomic.minute
+  | "SECOND", Value.Time t -> t.Atomic.second
+  | "HOUR", Value.Timestamp ts -> ts.Atomic.time.Atomic.hour
+  | "MINUTE", Value.Timestamp ts -> ts.Atomic.time.Atomic.minute
+  | "SECOND", Value.Timestamp ts -> ts.Atomic.time.Atomic.second
+  | _ ->
+    type_error "EXTRACT(%s FROM %s) is not defined" field (Value.to_display v)
+
+let cast_sql ty v =
+  if Value.is_null v then Value.Null
+  else
+    match ty with
+    | Sql_type.Smallint | Sql_type.Integer | Sql_type.Bigint -> (
+      match v with
+      | Value.Int _ -> v
+      | Value.Num f -> Value.Int (int_of_float f)
+      | Value.Str s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some i -> Value.Int i
+        | None -> (
+          match float_of_string_opt (String.trim s) with
+          | Some f -> Value.Int (int_of_float f)
+          | None -> type_error "cannot cast %S to %s" s (Sql_type.to_string ty)))
+      | Value.Bool b -> Value.Int (if b then 1 else 0)
+      | _ -> type_error "cannot cast %s to %s" (Value.to_display v) (Sql_type.to_string ty))
+    | Sql_type.Decimal _ | Sql_type.Real | Sql_type.Double -> (
+      match v with
+      | Value.Int i -> Value.Num (float_of_int i)
+      | Value.Num _ -> v
+      | Value.Str s -> (
+        match float_of_string_opt (String.trim s) with
+        | Some f -> Value.Num f
+        | None -> type_error "cannot cast %S to %s" s (Sql_type.to_string ty))
+      | _ -> type_error "cannot cast %s to %s" (Value.to_display v) (Sql_type.to_string ty))
+    | Sql_type.Char _ | Sql_type.Varchar _ -> Value.Str (Value.to_string v)
+    | Sql_type.Boolean -> (
+      match v with
+      | Value.Bool _ -> v
+      | Value.Int i -> Value.Bool (i <> 0)
+      | Value.Str s -> Value.of_string Sql_type.Boolean s
+      | _ -> type_error "cannot cast %s to BOOLEAN" (Value.to_display v))
+    | Sql_type.Date -> (
+      match v with
+      | Value.Date _ -> v
+      | Value.Timestamp ts -> Value.Date ts.Atomic.date
+      | Value.Str s -> Value.of_string Sql_type.Date s
+      | _ -> type_error "cannot cast %s to DATE" (Value.to_display v))
+    | Sql_type.Time -> (
+      match v with
+      | Value.Time _ -> v
+      | Value.Timestamp ts -> Value.Time ts.Atomic.time
+      | Value.Str s -> Value.of_string Sql_type.Time s
+      | _ -> type_error "cannot cast %s to TIME" (Value.to_display v))
+    | Sql_type.Timestamp -> (
+      match v with
+      | Value.Timestamp _ -> v
+      | Value.Date d ->
+        Value.Timestamp
+          { Atomic.date = d; time = { Atomic.hour = 0; minute = 0; second = 0 } }
+      | Value.Str s -> Value.of_string Sql_type.Timestamp s
+      | _ -> type_error "cannot cast %s to TIMESTAMP" (Value.to_display v))
+
+let function_sql name args =
+  match (String.uppercase_ascii name, args) with
+  | "COALESCE", _ -> (
+    match List.find_opt (fun v -> not (Value.is_null v)) args with
+    | Some v -> v
+    | None -> Value.Null)
+  | "NULLIF", [ a; b ] ->
+    if Value.is_null a then Value.Null
+    else if (not (Value.is_null b)) && snd (Value.compare3 a b) = 0 then
+      Value.Null
+    else a
+  | up, _ ->
+    null_propagating_function name args (fun args ->
+        match (up, args) with
+        | "CONCAT", _ ->
+          Value.Str (String.concat "" (List.map (as_string "CONCAT") args))
+        | ("UPPER" | "UCASE"), [ s ] ->
+          Value.Str (String.uppercase_ascii (as_string "UPPER" s))
+        | ("LOWER" | "LCASE"), [ s ] ->
+          Value.Str (String.lowercase_ascii (as_string "LOWER" s))
+        | ("LENGTH" | "CHAR_LENGTH" | "CHARACTER_LENGTH"), [ s ] ->
+          Value.Int (String.length (as_string "LENGTH" s))
+        | ("SUBSTRING" | "SUBSTR"), [ s; start ] ->
+          Value.Str
+            (substring_sql (as_string "SUBSTRING" s)
+               (as_int "SUBSTRING" start) None)
+        | ("SUBSTRING" | "SUBSTR"), [ s; start; len ] ->
+          Value.Str
+            (substring_sql (as_string "SUBSTRING" s)
+               (as_int "SUBSTRING" start)
+               (Some (as_int "SUBSTRING" len)))
+        | ("POSITION" | "LOCATE"), [ needle; hay ] ->
+          Value.Int
+            (position_sql (as_string "POSITION" needle)
+               (as_string "POSITION" hay))
+        | "TRIM", [ s ] -> Value.Str (trim_sql `Both (as_string "TRIM" s))
+        | "LTRIM", [ s ] -> Value.Str (trim_sql `Leading (as_string "LTRIM" s))
+        | "RTRIM", [ s ] -> Value.Str (trim_sql `Trailing (as_string "RTRIM" s))
+        | "ABS", [ Value.Int i ] -> Value.Int (abs i)
+        | "ABS", [ v ] -> Value.Num (Float.abs (as_float "ABS" v))
+        | "FLOOR", [ Value.Int i ] -> Value.Int i
+        | "FLOOR", [ v ] -> Value.Num (Float.floor (as_float "FLOOR" v))
+        | ("CEILING" | "CEIL"), [ Value.Int i ] -> Value.Int i
+        | ("CEILING" | "CEIL"), [ v ] ->
+          Value.Num (Float.ceil (as_float "CEILING" v))
+        | "ROUND", [ Value.Int i ] -> Value.Int i
+        | "ROUND", [ v ] ->
+          Value.Num (Float.floor (as_float "ROUND" v +. 0.5))
+        | "MOD", [ Value.Int x; Value.Int y ] ->
+          if y = 0 then type_error "modulus by zero" else Value.Int (x mod y)
+        | "MOD", [ x; y ] ->
+          Value.Num (Float.rem (as_float "MOD" x) (as_float "MOD" y))
+        | up, [ v ]
+          when String.length up > 8 && String.sub up 0 8 = "EXTRACT_" ->
+          Value.Int (extract_sql (String.sub up 8 (String.length up - 8)) v)
+        | _ ->
+          fail Errors.Unsupported "unknown function %s/%d" name
+            (List.length args))
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                              *)
+
+let literal_value (lit : A.literal) : Value.t =
+  match lit with
+  | A.L_int i -> Value.Int i
+  | A.L_num (f, _) -> Value.Num f
+  | A.L_string s -> Value.Str s
+  | A.L_bool b -> Value.Bool b
+  | A.L_null -> Value.Null
+  | A.L_date s -> Value.of_string Sql_type.Date s
+  | A.L_time s -> Value.of_string Sql_type.Time s
+  | A.L_timestamp s -> Value.of_string Sql_type.Timestamp s
+
+type params = Value.t array  (* 0-indexed by parameter number - 1 *)
+
+let rec eval_expr ?(params : params = [||]) ctx (e : A.expr) : Value.t =
+  let eval = eval_expr ~params in
+  match e with
+  | A.Lit lit -> literal_value lit
+  | A.Column { qualifier; name; pos } -> (
+    match Scope.resolve ctx.scope ?qualifier name with
+    | Ok r -> lookup_value ctx r
+    | Error _ ->
+      fail ~pos Errors.Unknown_column "column %s does not exist" name)
+  | A.Param n ->
+    if n - 1 < Array.length params then params.(n - 1)
+    else type_error "parameter %d is not bound" n
+  | A.Arith (op, a, b) -> arith op (eval ctx a) (eval ctx b)
+  | A.Neg a -> (
+    match eval ctx a with
+    | Value.Null -> Value.Null
+    | Value.Int i -> Value.Int (-i)
+    | v -> Value.Num (-.as_float "-" v))
+  | A.Concat (a, b) -> (
+    match (eval ctx a, eval ctx b) with
+    | Value.Null, _ | _, Value.Null -> Value.Null
+    | x, y -> Value.Str (Value.to_string x ^ Value.to_string y))
+  | A.Func { name; args } -> function_sql name (List.map (eval ctx) args)
+  | A.Cast (a, ty) -> cast_sql ty (eval ctx a)
+  | A.Case { operand; branches; else_ } -> (
+    let matches (w, _) =
+      match operand with
+      | None -> Value.is_true (eval_pred ~params ctx w)
+      | Some op ->
+        let ov = eval ctx op and wv = eval ctx w in
+        Value.is_true (Value.equal3 ov wv)
+    in
+    match List.find_opt matches branches with
+    | Some (_, t) -> eval ctx t
+    | None -> ( match else_ with Some e -> eval ctx e | None -> Value.Null))
+  | A.Scalar_subquery q -> (
+    let _, rows = exec_query ~params ctx.env ctx.scope ctx.frames q in
+    match rows with
+    | [] -> Value.Null
+    | [ row ] ->
+      if Array.length row <> 1 then
+        fail Errors.Cardinality "scalar subquery returned %d columns"
+          (Array.length row)
+      else row.(0)
+    | _ -> type_error "scalar subquery returned more than one row")
+  | A.Agg { func; distinct; arg } -> eval_aggregate ~params ctx func distinct arg
+  | A.Cmp _ | A.And _ | A.Or _ | A.Not _ | A.Is_null _ | A.Between _
+  | A.Like _ | A.In_list _ | A.In_query _ | A.Exists _ | A.Quantified _ -> (
+    match eval_pred ~params ctx e with
+    | Value.True -> Value.Bool true
+    | Value.False | Value.Unknown -> Value.Bool false)
+
+and eval_aggregate ?(params : params = [||]) ctx func distinct arg : Value.t =
+  let group =
+    match ctx.group with
+    | Some g -> g
+    | None -> fail Errors.Grouping "aggregate outside a grouped query"
+  in
+  let per_tuple f =
+    List.map (fun frame -> f { ctx with frames = frame :: List.tl ctx.frames; group = None }) group
+  in
+  match (func, arg) with
+  | A.A_count_star, _ -> Value.Int (List.length group)
+  | _, None -> fail Errors.Unsupported "aggregate without argument"
+  | func, Some arg ->
+    let values =
+      per_tuple (fun c -> eval_expr ~params c arg)
+      |> List.filter (fun v -> not (Value.is_null v))
+    in
+    let values =
+      if distinct then begin
+        let seen = Hashtbl.create 16 in
+        List.filter
+          (fun v ->
+            let k = Value.group_key v in
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          values
+      end
+      else values
+    in
+    (match func with
+    | A.A_count_star -> assert false
+    | A.A_count -> Value.Int (List.length values)
+    | A.A_sum ->
+      if values = [] then Value.Null
+      else if List.for_all (function Value.Int _ -> true | _ -> false) values
+      then
+        Value.Int
+          (List.fold_left
+             (fun acc v -> acc + as_int "SUM" v)
+             0 values)
+      else
+        Value.Num
+          (List.fold_left (fun acc v -> acc +. as_float "SUM" v) 0.0 values)
+    | A.A_avg ->
+      if values = [] then Value.Null
+      else
+        Value.Num
+          (List.fold_left (fun acc v -> acc +. as_float "AVG" v) 0.0 values
+          /. float_of_int (List.length values))
+    | A.A_min -> (
+      match values with
+      | [] -> Value.Null
+      | first :: rest ->
+        List.fold_left
+          (fun best v -> if Value.compare_sql v best < 0 then v else best)
+          first rest)
+    | A.A_max -> (
+      match values with
+      | [] -> Value.Null
+      | first :: rest ->
+        List.fold_left
+          (fun best v -> if Value.compare_sql v best > 0 then v else best)
+          first rest))
+
+and eval_pred ?(params : params = [||]) ctx (e : A.expr) : Value.bool3 =
+  let eval = eval_expr ~params in
+  let pred = eval_pred ~params in
+  match e with
+  | A.And (a, b) -> Value.and3 (pred ctx a) (pred ctx b)
+  | A.Or (a, b) -> Value.or3 (pred ctx a) (pred ctx b)
+  | A.Not a -> Value.not3 (pred ctx a)
+  | A.Cmp (op, a, b) -> (
+    match Value.compare3 (eval ctx a) (eval ctx b) with
+    | Value.Unknown, _ -> Value.Unknown
+    | _, c -> Value.of_bool (cmp_result op c))
+  | A.Is_null { arg; negated } ->
+    let isnull = Value.is_null (eval ctx arg) in
+    Value.of_bool (isnull <> negated)
+  | A.Between { arg; low; high; negated } ->
+    let v =
+      Value.and3
+        (pred ctx (A.Cmp (A.Ge, arg, low)))
+        (pred ctx (A.Cmp (A.Le, arg, high)))
+    in
+    if negated then Value.not3 v else v
+  | A.Like { arg; pattern; escape; negated } -> (
+    let v = eval ctx arg and p = eval ctx pattern in
+    let esc =
+      match escape with
+      | None -> None
+      | Some e -> (
+        match eval ctx e with
+        | Value.Null -> Some Value.Null
+        | v -> Some v)
+    in
+    match (v, p, esc) with
+    | Value.Null, _, _ | _, Value.Null, _ | _, _, Some Value.Null ->
+      Value.Unknown
+    | _, _, _ ->
+      let escape =
+        match esc with
+        | None -> None
+        | Some e -> (
+          match as_string "ESCAPE" e with
+          | s when String.length s = 1 -> Some s.[0]
+          | s -> type_error "ESCAPE must be one character, got %S" s)
+      in
+      let result =
+        Aqua_xqeval.Functions.like_match ?escape
+          ~pattern:(as_string "LIKE" p) (as_string "LIKE" v)
+      in
+      let result = if negated then not result else result in
+      Value.of_bool result)
+  | A.In_list { arg; items; negated } ->
+    let v = eval ctx arg in
+    let base =
+      List.fold_left
+        (fun acc item ->
+          Value.or3 acc (Value.equal3 v (eval ctx item)))
+        Value.False items
+    in
+    if negated then Value.not3 base else base
+  | A.In_query { arg; query; negated } ->
+    let v = eval ctx arg in
+    let _, rows = exec_query ~params ctx.env ctx.scope ctx.frames query in
+    let base =
+      List.fold_left
+        (fun acc row -> Value.or3 acc (Value.equal3 v row.(0)))
+        Value.False rows
+    in
+    if negated then Value.not3 base else base
+  | A.Exists q ->
+    let _, rows = exec_query ~params ctx.env ctx.scope ctx.frames q in
+    Value.of_bool (rows <> [])
+  | A.Quantified { op; quantifier; arg; query } ->
+    let v = eval ctx arg in
+    let _, rows = exec_query ~params ctx.env ctx.scope ctx.frames query in
+    let fold init combine =
+      List.fold_left
+        (fun acc row ->
+          let c =
+            match Value.compare3 v row.(0) with
+            | Value.Unknown, _ -> Value.Unknown
+            | _, c -> Value.of_bool (cmp_result op c)
+          in
+          combine acc c)
+        init rows
+    in
+    (match quantifier with
+    | A.Q_any -> fold Value.False Value.or3
+    | A.Q_all -> fold Value.True Value.and3)
+  | _ -> (
+    (* value expression used as a predicate *)
+    match eval ctx e with
+    | Value.Null -> Value.Unknown
+    | Value.Bool b -> Value.of_bool b
+    | v -> type_error "%s is not a boolean" (Value.to_display v))
+
+and cmp_result (op : A.cmp_op) c =
+  match op with
+  | A.Eq -> c = 0
+  | A.Neq -> c <> 0
+  | A.Lt -> c < 0
+  | A.Le -> c <= 0
+  | A.Gt -> c > 0
+  | A.Ge -> c >= 0
+
+(* ------------------------------------------------------------------ *)
+(* FROM evaluation                                                    *)
+
+(* Returns the flattened view of a table-ref together with its rows
+   (laid out in the view's column order). *)
+and rows_of_table_ref ?(params : params = [||]) env outer_scope outer_frames
+    (tr : A.table_ref) : Scope.view * Value.t array list =
+  match tr with
+  | A.Primary (A.Table_ref_name { name; alias; pos }) ->
+    let meta, rows = env.table_data name pos in
+    (Semantic.table_view meta ~alias, rows)
+  | A.Primary (A.Derived { query; alias }) ->
+    let cols, rows = exec_query ~params env Scope.root [] query in
+    (Semantic.derived_view cols ~alias, rows)
+  | A.Join { kind; left; right; cond } ->
+    let lview, lrows =
+      rows_of_table_ref ~params env outer_scope outer_frames left
+    in
+    let rview, rrows =
+      rows_of_table_ref ~params env outer_scope outer_frames right
+    in
+    let lwidth = List.length lview.Scope.cols in
+    let rwidth = List.length rview.Scope.cols in
+    let lcols = Semantic.qualify_view_cols lview in
+    let rcols = Semantic.qualify_view_cols rview in
+    let lcols =
+      match kind with
+      | A.J_right | A.J_full -> Semantic.make_nullable lcols
+      | _ -> lcols
+    in
+    let rcols =
+      match kind with
+      | A.J_left | A.J_full -> Semantic.make_nullable rcols
+      | _ -> rcols
+    in
+    let view =
+      { Scope.alias = None; cols = lcols @ rcols; binding = None }
+    in
+    let on_holds lrow rrow =
+      match cond with
+      | None -> true
+      | Some c ->
+        let combined = Array.append lrow rrow in
+        let scope = Scope.push outer_scope [ view ] in
+        let ctx =
+          {
+            env;
+            scope;
+            frames = [ (view, combined) ] :: outer_frames;
+            group = None;
+          }
+        in
+        Value.is_true (eval_pred ~params ctx c)
+    in
+    let nulls n = Array.make n Value.Null in
+    let rows =
+      match kind with
+      | A.J_inner | A.J_cross ->
+        List.concat_map
+          (fun lrow ->
+            List.filter_map
+              (fun rrow ->
+                if on_holds lrow rrow then Some (Array.append lrow rrow)
+                else None)
+              rrows)
+          lrows
+      | A.J_left ->
+        List.concat_map
+          (fun lrow ->
+            let matches =
+              List.filter_map
+                (fun rrow ->
+                  if on_holds lrow rrow then Some (Array.append lrow rrow)
+                  else None)
+                rrows
+            in
+            if matches = [] then [ Array.append lrow (nulls rwidth) ]
+            else matches)
+          lrows
+      | A.J_right ->
+        List.concat_map
+          (fun rrow ->
+            let matches =
+              List.filter_map
+                (fun lrow ->
+                  if on_holds lrow rrow then Some (Array.append lrow rrow)
+                  else None)
+                lrows
+            in
+            if matches = [] then [ Array.append (nulls lwidth) rrow ]
+            else matches)
+          rrows
+      | A.J_full ->
+        let matched_right = Hashtbl.create 16 in
+        let left_part =
+          List.concat_map
+            (fun lrow ->
+              let matches =
+                List.concat
+                  (List.mapi
+                     (fun i rrow ->
+                       if on_holds lrow rrow then begin
+                         Hashtbl.replace matched_right i ();
+                         [ Array.append lrow rrow ]
+                       end
+                       else [])
+                     rrows)
+              in
+              if matches = [] then [ Array.append lrow (nulls rwidth) ]
+              else matches)
+            lrows
+        in
+        let right_part =
+          List.concat
+            (List.mapi
+               (fun i rrow ->
+                 if Hashtbl.mem matched_right i then []
+                 else [ Array.append (nulls lwidth) rrow ])
+               rrows)
+        in
+        left_part @ right_part
+    in
+    (view, rows)
+
+(* ------------------------------------------------------------------ *)
+(* Query evaluation                                                   *)
+
+and exec_spec ?(params : params = [||]) env outer_scope outer_frames
+    (spec : A.query_spec) ~order_hook : Outcol.t list * Value.t array list =
+  (* FROM: one view + row list per item; tuples = cartesian product *)
+  let sources =
+    List.map (rows_of_table_ref ~params env outer_scope outer_frames) spec.A.from
+  in
+  let views = List.map fst sources in
+  let scope = Scope.push outer_scope views in
+  let tuples =
+    List.fold_left
+      (fun acc (view, rows) ->
+        List.concat_map
+          (fun frame -> List.map (fun row -> frame @ [ (view, row) ]) rows)
+          acc)
+      [ [] ] sources
+  in
+  let mk_ctx ?group frame =
+    { env; scope; frames = frame :: outer_frames; group }
+  in
+  (* WHERE *)
+  let tuples =
+    match spec.A.where with
+    | None -> tuples
+    | Some w ->
+      List.filter
+        (fun frame -> Value.is_true (eval_pred ~params (mk_ctx frame) w))
+        tuples
+  in
+  let items = Semantic.expand_select env.sem scope spec in
+  let cols = List.map fst items in
+  let project_tuple frame =
+    Array.of_list
+      (List.map (fun (_, expr) -> eval_expr ~params (mk_ctx frame) expr) items)
+  in
+  let rows =
+    if Semantic.is_grouped spec then begin
+      (* group tuples by the GROUP BY column values *)
+      let groups =
+        if spec.A.group_by = [] then
+          (* implicit single group, present even over empty input *)
+          [ tuples ]
+        else begin
+          let table = Hashtbl.create 16 in
+          let order = ref [] in
+          List.iter
+            (fun frame ->
+              let key =
+                String.concat "\x01"
+                  (List.map
+                     (fun g ->
+                       Value.group_key (eval_expr ~params (mk_ctx frame) g))
+                     spec.A.group_by)
+              in
+              match Hashtbl.find_opt table key with
+              | Some acc -> acc := frame :: !acc
+              | None ->
+                Hashtbl.add table key (ref [ frame ]);
+                order := key :: !order)
+            tuples;
+          List.rev_map (fun k -> List.rev !(Hashtbl.find table k)) !order
+          |> List.rev
+        end
+      in
+      let groups =
+        match spec.A.having with
+        | None -> groups
+        | Some h ->
+          List.filter
+            (fun group ->
+              let frame = match group with f :: _ -> f | [] -> [] in
+              Value.is_true
+                (eval_pred ~params (mk_ctx ~group frame) h))
+            groups
+      in
+      List.map
+        (fun group ->
+          let frame = match group with f :: _ -> f | [] -> [] in
+          let ctx = mk_ctx ~group frame in
+          Array.of_list
+            (List.map (fun (_, expr) -> eval_expr ~params ctx expr) items))
+        groups
+    end
+    else begin
+      match order_hook with
+      | None -> List.map project_tuple tuples
+      | Some order_items ->
+        (* sort by expression keys evaluated in tuple scope, then project *)
+        let keyed =
+          List.map
+            (fun frame ->
+              let keys =
+                List.map
+                  (fun ((o : A.order_item), key_expr) ->
+                    (eval_expr ~params (mk_ctx frame) key_expr, o.A.descending))
+                  order_items
+              in
+              (keys, project_tuple frame))
+            tuples
+        in
+        let compare_rows (ka, _) (kb, _) =
+          let rec go = function
+            | [] -> 0
+            | ((va, desc), (vb, _)) :: rest ->
+              let c = Value.compare_sql va vb in
+              let c = if desc then -c else c in
+              if c <> 0 then c else go rest
+          in
+          go (List.combine ka kb)
+        in
+        List.map snd (List.stable_sort compare_rows keyed)
+    end
+  in
+  let rows =
+    if spec.A.distinct then begin
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun row ->
+          let k =
+            String.concat "\x01"
+              (Array.to_list (Array.map Value.group_key row))
+          in
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.add seen k ();
+            true
+          end)
+        rows
+    end
+    else rows
+  in
+  (cols, rows)
+
+and exec_query ?(params : params = [||]) env outer_scope outer_frames
+    (q : A.query) : Outcol.t list * Value.t array list =
+  match q with
+  | A.Spec spec ->
+    exec_spec ~params env outer_scope outer_frames spec ~order_hook:None
+  | A.Set { op; all; left; right } ->
+    let lcols, lrows = exec_query ~params env outer_scope outer_frames left in
+    let rcols, rrows = exec_query ~params env outer_scope outer_frames right in
+    if List.length lcols <> List.length rcols then
+      fail Errors.Type_mismatch "set operation column count mismatch";
+    let key row =
+      String.concat "\x01" (Array.to_list (Array.map Value.group_key row))
+    in
+    let count_table rows =
+      let t = Hashtbl.create 16 in
+      List.iter
+        (fun row ->
+          let k = key row in
+          match Hashtbl.find_opt t k with
+          | Some (n, r) -> Hashtbl.replace t k (n + 1, r)
+          | None -> Hashtbl.add t k (1, row))
+        rows;
+      t
+    in
+    let dedup rows =
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun row ->
+          let k = key row in
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.add seen k ();
+            true
+          end)
+        rows
+    in
+    let rows =
+      match (op, all) with
+      | A.S_union, true -> lrows @ rrows
+      | A.S_union, false -> dedup (lrows @ rrows)
+      | A.S_intersect, false ->
+        let rt = count_table rrows in
+        dedup (List.filter (fun row -> Hashtbl.mem rt (key row)) lrows)
+      | A.S_intersect, true ->
+        let rt = count_table rrows in
+        List.filter
+          (fun row ->
+            let k = key row in
+            match Hashtbl.find_opt rt k with
+            | Some (n, r) when n > 0 ->
+              Hashtbl.replace rt k (n - 1, r);
+              true
+            | _ -> false)
+          lrows
+      | A.S_except, false ->
+        let rt = count_table rrows in
+        dedup (List.filter (fun row -> not (Hashtbl.mem rt (key row))) lrows)
+      | A.S_except, true ->
+        let rt = count_table rrows in
+        List.filter
+          (fun row ->
+            let k = key row in
+            match Hashtbl.find_opt rt k with
+            | Some (n, r) when n > 0 ->
+              Hashtbl.replace rt k (n - 1, r);
+              false
+            | _ -> true)
+          lrows
+    in
+    let cols =
+      List.map2
+        (fun (l : Outcol.t) (r : Outcol.t) ->
+          { l with Outcol.nullable = l.Outcol.nullable || r.Outcol.nullable })
+        lcols rcols
+    in
+    (cols, rows)
+
+(* ------------------------------------------------------------------ *)
+(* Statement: top-level ORDER BY                                      *)
+
+let execute_with_params env (stmt : A.statement) (params : params) : Rowset.t =
+  (* stage-two validation gives coherent errors before evaluation *)
+  ignore (Semantic.statement_columns env.sem stmt);
+  let cols, rows =
+    match stmt.A.body with
+    | A.Spec spec
+      when (not (Semantic.is_grouped spec))
+           && (not spec.A.distinct)
+           && stmt.A.order_by <> [] ->
+      (* expression-capable ORDER BY path: resolve order keys to
+         expressions (positions and labels map to select expressions) *)
+      let probe_scope =
+        Semantic.spec_scope env.sem Scope.root spec
+      in
+      let probe_items = Semantic.expand_select env.sem probe_scope spec in
+      let key_exprs =
+        List.map
+          (fun (o : A.order_item) ->
+            let expr =
+              match o.A.key with
+              | A.Ord_position i -> snd (List.nth probe_items (i - 1))
+              | A.Ord_expr (A.Column { qualifier = None; name; _ } as e) -> (
+                let by_label =
+                  List.find_opt
+                    (fun ((c : Outcol.t), _) ->
+                      String.uppercase_ascii c.Outcol.label
+                      = String.uppercase_ascii name)
+                    probe_items
+                in
+                match by_label with Some (_, e') -> e' | None -> e)
+              | A.Ord_expr e -> e
+            in
+            (o, expr))
+          stmt.A.order_by
+      in
+      exec_spec ~params env Scope.root [] spec ~order_hook:(Some key_exprs)
+    | _ ->
+      let cols, rows = exec_query ~params env Scope.root [] stmt.A.body in
+      (* for a grouped/distinct spec, column keys may also be matched
+         by resolving them against the select items *)
+      let probe =
+        match stmt.A.body with
+        | A.Spec spec ->
+          let scope = Semantic.spec_scope env.sem Scope.root spec in
+          Some (scope, Semantic.expand_select env.sem scope spec)
+        | A.Set _ -> None
+      in
+      let rows =
+        if stmt.A.order_by = [] then rows
+        else begin
+          let index_of (o : A.order_item) =
+            match probe with
+            | Some (scope, items) -> (
+              match Semantic.order_key_output_index env.sem scope items o with
+              | Some i -> i
+              | None ->
+                fail Errors.Unknown_column
+                  "ORDER BY key is not an output column")
+            | None -> (
+              match o.A.key with
+              | A.Ord_position i -> i - 1
+              | A.Ord_expr (A.Column { qualifier = None; name; _ }) -> (
+                let rec go i = function
+                  | [] ->
+                    fail Errors.Unknown_column
+                      "ORDER BY key %s is not an output column" name
+                  | (c : Outcol.t) :: rest ->
+                    if
+                      String.uppercase_ascii c.Outcol.label
+                      = String.uppercase_ascii name
+                    then i
+                    else go (i + 1) rest
+                in
+                go 0 cols)
+              | A.Ord_expr _ ->
+                fail Errors.Unsupported
+                  "ORDER BY expressions over set operations")
+          in
+          let keys = List.map (fun o -> (index_of o, o.A.descending)) stmt.A.order_by in
+          let compare_rows a b =
+            let rec go = function
+              | [] -> 0
+              | (i, desc) :: rest ->
+                let c = Value.compare_sql a.(i) b.(i) in
+                let c = if desc then -c else c in
+                if c <> 0 then c else go rest
+            in
+            go keys
+          in
+          List.stable_sort compare_rows rows
+        end
+      in
+      (cols, rows)
+  in
+  Rowset.make (Outcol.to_schema cols) rows
+
+let execute env stmt = execute_with_params env stmt [||]
+
+let execute_sql env sql =
+  let stmt =
+    try Aqua_sql.Parser.parse sql
+    with Aqua_sql.Parser.Parse_error { pos; message } ->
+      raise
+        (Errors.Error { Errors.kind = Errors.Syntax; message; pos = Some pos })
+  in
+  execute env stmt

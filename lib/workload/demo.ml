@@ -1,0 +1,68 @@
+(* The demo application used by the CLI and the examples: a small
+   order-management star schema in the spirit of the paper's
+   CUSTOMERS / PAYMENTS / PO_CUSTOMERS examples, registered as physical
+   data services of the "TestDataServices" project. *)
+
+module Schema = Aqua_relational.Schema
+module Sql_type = Aqua_relational.Sql_type
+module Table = Aqua_relational.Table
+module Value = Aqua_relational.Value
+module Artifact = Aqua_dsp.Artifact
+
+let customers () =
+  let t =
+    Table.create "CUSTOMERS"
+      [ Schema.column ~nullable:false "CUSTOMERID" Sql_type.Integer;
+        Schema.column ~nullable:false "CUSTOMERNAME" (Sql_type.Varchar (Some 40));
+        Schema.column "CITY" (Sql_type.Varchar (Some 30));
+        Schema.column "TIER" Sql_type.Integer ]
+  in
+  Table.insert_all t
+    [ [ Value.Int 1; Value.Str "Acme Widget Stores"; Value.Str "Austin"; Value.Int 1 ];
+      [ Value.Int 2; Value.Str "Supermart"; Value.Str "Boston"; Value.Int 2 ];
+      [ Value.Int 3; Value.Str "Ajax Distributors"; Value.Str "Austin"; Value.Int 2 ];
+      [ Value.Int 4; Value.Str "Zenith Parts and Service"; Value.Null; Value.Int 3 ];
+      [ Value.Int 5; Value.Str "Sue"; Value.Str "Chicago"; Value.Null ];
+      [ Value.Int 6; Value.Str "Joe"; Value.Str "Boston"; Value.Int 1 ] ];
+  t
+
+let payments () =
+  let t =
+    Table.create "PAYMENTS"
+      [ Schema.column ~nullable:false "PAYMENTID" Sql_type.Integer;
+        Schema.column ~nullable:false "CUSTID" Sql_type.Integer;
+        Schema.column ~nullable:false "PAYMENT" (Sql_type.Decimal (Some (10, 2)));
+        Schema.column "PAYDATE" Sql_type.Date ]
+  in
+  Table.insert_all t
+    [ [ Value.Int 100; Value.Int 1; Value.Num 250.0; Value.Date { Aqua_xml.Atomic.year = 2005; month = 1; day = 15 } ];
+      [ Value.Int 101; Value.Int 1; Value.Num 75.5; Value.Date { Aqua_xml.Atomic.year = 2005; month = 2; day = 20 } ];
+      [ Value.Int 102; Value.Int 2; Value.Num 1200.0; Value.Null ];
+      [ Value.Int 103; Value.Int 3; Value.Num 42.0; Value.Date { Aqua_xml.Atomic.year = 2005; month = 3; day = 1 } ];
+      [ Value.Int 104; Value.Int 6; Value.Num 900.0; Value.Date { Aqua_xml.Atomic.year = 2005; month = 3; day = 2 } ] ];
+  t
+
+let po_customers () =
+  let t =
+    Table.create "PO_CUSTOMERS"
+      [ Schema.column ~nullable:false "ORDERID" Sql_type.Integer;
+        Schema.column ~nullable:false "CUSTOMERID" Sql_type.Integer;
+        Schema.column ~nullable:false "AMOUNT" (Sql_type.Decimal (Some (10, 2)));
+        Schema.column "STATUS" (Sql_type.Varchar (Some 10)) ]
+  in
+  Table.insert_all t
+    [ [ Value.Int 9001; Value.Int 1; Value.Num 120.0; Value.Str "OPEN" ];
+      [ Value.Int 9002; Value.Int 1; Value.Num 80.0; Value.Str "SHIPPED" ];
+      [ Value.Int 9003; Value.Int 2; Value.Num 42.5; Value.Str "OPEN" ];
+      [ Value.Int 9004; Value.Int 3; Value.Num 99.99; Value.Null ];
+      [ Value.Int 9005; Value.Int 5; Value.Num 10.0; Value.Str "OPEN" ];
+      [ Value.Int 9006; Value.Int 5; Value.Num 20.0; Value.Str "SHIPPED" ] ];
+  t
+
+let build () =
+  let app = Artifact.application "DemoApp" in
+  let project = "TestDataServices" in
+  ignore (Artifact.import_physical_table app ~project (customers ()));
+  ignore (Artifact.import_physical_table app ~project (payments ()));
+  ignore (Artifact.import_physical_table app ~project (po_customers ()));
+  app

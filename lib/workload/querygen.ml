@@ -1,0 +1,509 @@
+module A = Aqua_sql.Ast
+module Sql_type = Aqua_relational.Sql_type
+module Schema = Aqua_relational.Schema
+module Metadata = Aqua_dsp.Metadata
+
+type profile = {
+  max_joins : int;
+  allow_outer : bool;
+  allow_group : bool;
+  allow_subquery : bool;
+  allow_setop : bool;
+  allow_distinct : bool;
+}
+
+let default_profile =
+  {
+    max_joins = 1;
+    allow_outer = true;
+    allow_group = true;
+    allow_subquery = true;
+    allow_setop = true;
+    allow_distinct = true;
+  }
+
+let reporting_profile =
+  {
+    max_joins = 1;
+    allow_outer = false;
+    allow_group = true;
+    allow_subquery = false;
+    allow_setop = false;
+    allow_distinct = false;
+  }
+
+(* One bound table in the FROM being generated. *)
+type source = {
+  alias : string;
+  meta : Metadata.table;
+}
+
+type gen = {
+  rng : Random.State.t;
+  tables : Metadata.table list;
+  profile : profile;
+}
+
+let pick g arr = arr.(Random.State.int g.rng (Array.length arr))
+let chance g p = Random.State.float g.rng 1.0 < p
+let int_below g n = Random.State.int g.rng (max n 1)
+
+let pick_list g l = List.nth l (int_below g (List.length l))
+
+let columns_of (s : source) =
+  List.map (fun (c : Schema.column) -> (s, c)) s.meta.Metadata.columns
+
+let all_columns sources = List.concat_map columns_of sources
+
+let filter_ty p cols = List.filter (fun (_, (c : Schema.column)) -> p c.Schema.ty) cols
+
+let col_expr ((s : source), (c : Schema.column)) =
+  A.Column { qualifier = Some s.alias; name = c.Schema.name; pos = A.no_pos }
+
+(* ------------------------------------------------------------------ *)
+(* Literals                                                           *)
+
+let sample_strings =
+  [| "Acme"; "Widgets"; "Boston"; "Austin"; "OPEN"; "SHIPPED"; "gear"; "bolt";
+     "x"; "" |]
+
+let literal_for g (ty : Sql_type.t) : A.expr =
+  match ty with
+  | Sql_type.Smallint | Sql_type.Integer | Sql_type.Bigint ->
+    A.Lit (A.L_int (int_below g 2000))
+  | Sql_type.Decimal _ | Sql_type.Real | Sql_type.Double ->
+    let v = Float.of_int (int_below g 100000) /. 100. in
+    A.Lit (A.L_num (v, Printf.sprintf "%.2f" v))
+  | Sql_type.Char _ | Sql_type.Varchar _ ->
+    A.Lit (A.L_string (pick g sample_strings))
+  | Sql_type.Boolean -> A.Lit (A.L_bool (chance g 0.5))
+  | Sql_type.Date ->
+    A.Lit
+      (A.L_date
+         (Printf.sprintf "%04d-%02d-%02d" (2004 + int_below g 2)
+            (1 + int_below g 12) (1 + int_below g 28)))
+  | Sql_type.Time ->
+    A.Lit
+      (A.L_time
+         (Printf.sprintf "%02d:%02d:%02d" (int_below g 24) (int_below g 60)
+            (int_below g 60)))
+  | Sql_type.Timestamp ->
+    A.Lit
+      (A.L_timestamp
+         (Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d" (2004 + int_below g 2)
+            (1 + int_below g 12) (1 + int_below g 28) (int_below g 24)
+            (int_below g 60) (int_below g 60)))
+
+let cmp_ops = [| A.Eq; A.Neq; A.Lt; A.Le; A.Gt; A.Ge |]
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                         *)
+
+let rec gen_predicate g sources depth : A.expr =
+  let cols = all_columns sources in
+  let leaf () =
+    let s, c = pick_list g cols in
+    let col = col_expr (s, c) in
+    let ty = c.Schema.ty in
+    match int_below g 8 with
+    | 0 -> A.Is_null { arg = col; negated = chance g 0.5 }
+    | 1 when Sql_type.is_numeric ty || Sql_type.is_datetime ty ->
+      A.Between
+        {
+          arg = col;
+          low = literal_for g ty;
+          high = literal_for g ty;
+          negated = chance g 0.3;
+        }
+    | 2 when Sql_type.is_character ty ->
+      let pattern =
+        pick g [| "A%"; "%s%"; "%a"; "_o%"; "%e%"; "Acme%"; "%" |]
+      in
+      A.Like
+        {
+          arg = col;
+          pattern = A.Lit (A.L_string pattern);
+          escape = None;
+          negated = chance g 0.3;
+        }
+    | 3 ->
+      A.In_list
+        {
+          arg = col;
+          items = List.init (1 + int_below g 3) (fun _ -> literal_for g ty);
+          negated = chance g 0.3;
+        }
+    | 4 -> (
+      (* column vs column of a comparable type *)
+      let same_class =
+        filter_ty (fun t2 -> Sql_type.comparable ty t2) cols
+      in
+      match same_class with
+      | [] -> A.Cmp (pick g cmp_ops, col, literal_for g ty)
+      | _ -> A.Cmp (pick g cmp_ops, col, col_expr (pick_list g same_class)))
+    | 5 when g.profile.allow_subquery && depth > 0 ->
+      gen_subquery_predicate g sources depth col ty
+    | _ -> A.Cmp (pick g cmp_ops, col, literal_for g ty)
+  in
+  if depth > 0 && chance g 0.4 then begin
+    let a = gen_predicate g sources (depth - 1) in
+    let b = gen_predicate g sources (depth - 1) in
+    let combined = if chance g 0.5 then A.And (a, b) else A.Or (a, b) in
+    if chance g 0.2 then A.Not combined else combined
+  end
+  else leaf ()
+
+and gen_subquery_predicate g _sources _depth col ty : A.expr =
+  (* a single-column subquery over some table with a comparable column *)
+  let candidates =
+    List.concat_map
+      (fun (m : Metadata.table) ->
+        List.filter_map
+          (fun (c : Schema.column) ->
+            if Sql_type.comparable ty c.Schema.ty then Some (m, c) else None)
+          m.Metadata.columns)
+      g.tables
+  in
+  match candidates with
+  | [] -> A.Cmp (pick g cmp_ops, col, literal_for g ty)
+  | _ ->
+    let m, c = pick_list g candidates in
+    let inner_alias = "SQ" in
+    let inner_source =
+      { alias = inner_alias; meta = m }
+    in
+    let inner_where =
+      if chance g 0.6 then Some (gen_predicate g [ inner_source ] 0) else None
+    in
+    let query =
+      A.Spec
+        {
+          A.distinct = false;
+          select =
+            [ A.Expr_item
+                ( A.Column
+                    {
+                      qualifier = Some inner_alias;
+                      name = c.Schema.name;
+                      pos = A.no_pos;
+                    },
+                  None ) ];
+          from =
+            [ A.Primary
+                (A.Table_ref_name
+                   {
+                     name =
+                       {
+                         A.catalog = None;
+                         schema = None;
+                         table = m.Metadata.table;
+                       };
+                     alias = Some inner_alias;
+                     pos = A.no_pos;
+                   }) ];
+          where = inner_where;
+          group_by = [];
+          having = None;
+        }
+    in
+    (match int_below g 3 with
+    | 0 -> A.In_query { arg = col; query; negated = chance g 0.3 }
+    | 1 ->
+      A.Quantified
+        {
+          op = pick g cmp_ops;
+          quantifier = (if chance g 0.5 then A.Q_any else A.Q_all);
+          arg = col;
+          query;
+        }
+    | _ -> A.Exists query)
+
+(* ------------------------------------------------------------------ *)
+(* Scalar select expressions                                          *)
+
+let gen_scalar g sources : A.expr * Sql_type.t =
+  let cols = all_columns sources in
+  let numeric = filter_ty Sql_type.is_numeric cols in
+  let strings = filter_ty Sql_type.is_character cols in
+  match int_below g 6 with
+  | 0 when numeric <> [] ->
+    let s, c = pick_list g numeric in
+    ( A.Arith
+        ( (if chance g 0.5 then A.Add else A.Mul),
+          col_expr (s, c),
+          A.Lit (A.L_int (1 + int_below g 9)) ),
+      c.Schema.ty )
+  | 1 when strings <> [] ->
+    let s, c = pick_list g strings in
+    (A.Func { name = "UPPER"; args = [ col_expr (s, c) ] }, Sql_type.Varchar None)
+  | 2 when strings <> [] ->
+    let s, c = pick_list g strings in
+    ( A.Func { name = "LENGTH"; args = [ col_expr (s, c) ] },
+      Sql_type.Integer )
+  | 3 ->
+    let s, c = pick_list g cols in
+    ( A.Case
+        {
+          operand = None;
+          branches =
+            [ ( A.Is_null { arg = col_expr (s, c); negated = false },
+                A.Lit (A.L_string "missing") ) ];
+          else_ = Some (A.Lit (A.L_string "present"));
+        },
+      Sql_type.Varchar None )
+  | 4 when strings <> [] ->
+    let s, c = pick_list g strings in
+    ( A.Func
+        {
+          name = "COALESCE";
+          args = [ col_expr (s, c); A.Lit (A.L_string "n/a") ];
+        },
+      Sql_type.Varchar None )
+  | _ ->
+    let s, c = pick_list g cols in
+    (col_expr (s, c), c.Schema.ty)
+
+(* ------------------------------------------------------------------ *)
+(* Query specs                                                        *)
+
+let fresh_aliases = [| "T0"; "T1"; "T2"; "T3" |]
+
+let gen_from g : A.table_ref list * source list =
+  let n_extra =
+    if g.profile.max_joins = 0 then 0 else int_below g (g.profile.max_joins + 1)
+  in
+  let metas =
+    List.init (1 + n_extra) (fun _ ->
+        pick_list g g.tables)
+  in
+  let sources =
+    List.mapi (fun i m -> { alias = fresh_aliases.(i); meta = m }) metas
+  in
+  match sources with
+  | [] -> assert false
+  | first :: rest ->
+    let table_primary (s : source) =
+      A.Primary
+        (A.Table_ref_name
+           {
+             name =
+               {
+                 A.catalog = None;
+                 schema = None;
+                 table = s.meta.Metadata.table;
+               };
+             alias = Some s.alias;
+             pos = A.no_pos;
+           })
+    in
+    let join_cond (a : source) (b : source) =
+      (* equi-join over numeric columns when available *)
+      let na = filter_ty Sql_type.is_numeric (columns_of a) in
+      let nb = filter_ty Sql_type.is_numeric (columns_of b) in
+      match (na, nb) with
+      | [], _ | _, [] ->
+        A.Cmp (A.Eq, A.Lit (A.L_int 1), A.Lit (A.L_int 1))
+      | _ ->
+        A.Cmp (A.Eq, col_expr (pick_list g na), col_expr (pick_list g nb))
+    in
+    let tree =
+      List.fold_left
+        (fun (acc, prev) s ->
+          let kind =
+            if g.profile.allow_outer && chance g 0.3 then
+              pick g [| A.J_left; A.J_right; A.J_inner |]
+            else A.J_inner
+          in
+          ( A.Join
+              {
+                kind;
+                left = acc;
+                right = table_primary s;
+                cond = Some (join_cond prev s);
+              },
+            s ))
+        (table_primary first, first)
+        rest
+      |> fst
+    in
+    ([ tree ], sources)
+
+let gen_spec g ~for_setop : A.query_spec * source list =
+  let from, sources = gen_from g in
+  let where =
+    if chance g 0.7 then Some (gen_predicate g sources 1) else None
+  in
+  let grouped = g.profile.allow_group && chance g 0.3 in
+  if grouped then begin
+    let cols = all_columns sources in
+    let group_cols =
+      List.sort_uniq compare
+        (List.init (1 + int_below g 2) (fun _ -> int_below g (List.length cols)))
+      |> List.map (List.nth cols)
+    in
+    let numeric = filter_ty Sql_type.is_numeric cols in
+    let aggs =
+      A.Expr_item (A.Agg { func = A.A_count_star; distinct = false; arg = None },
+                   Some "CNT")
+      ::
+      (if numeric = [] then []
+       else
+         [ A.Expr_item
+             ( A.Agg
+                 {
+                   func = pick g [| A.A_sum; A.A_min; A.A_max; A.A_avg |];
+                   distinct = chance g 0.15;
+                   arg = Some (col_expr (pick_list g numeric));
+                 },
+               Some "AGG1" ) ])
+    in
+    let select =
+      List.mapi
+        (fun i gc -> A.Expr_item (col_expr gc, Some (Printf.sprintf "G%d" i)))
+        group_cols
+      @ aggs
+    in
+    let having =
+      if chance g 0.4 then
+        Some
+          (A.Cmp
+             ( pick g cmp_ops,
+               A.Agg { func = A.A_count_star; distinct = false; arg = None },
+               A.Lit (A.L_int (1 + int_below g 4)) ))
+      else None
+    in
+    ( {
+        A.distinct = false;
+        select;
+        from;
+        where;
+        group_by = List.map col_expr group_cols;
+        having;
+      },
+      sources )
+  end
+  else begin
+    let n_items = 1 + int_below g 3 in
+    let select =
+      List.init n_items (fun i ->
+          let e, _ = gen_scalar g sources in
+          A.Expr_item (e, Some (Printf.sprintf "O%d" i)))
+    in
+    ignore for_setop;
+    ( {
+        A.distinct = g.profile.allow_distinct && chance g 0.15;
+        select;
+        from;
+        where;
+        group_by = [];
+        having = None;
+      },
+      sources )
+  end
+
+let gen_query g : A.query =
+  if g.profile.allow_setop && chance g 0.15 then begin
+    (* two specs over the same table with identical projections *)
+    let m = pick_list g g.tables in
+    let source = { alias = "T0"; meta = m } in
+    let cols = columns_of source in
+    let n = 1 + int_below g (min 3 (List.length cols)) in
+    let chosen = List.filteri (fun i _ -> i < n) cols in
+    let mk_spec () =
+      {
+        A.distinct = false;
+        select =
+          List.mapi
+            (fun i c -> A.Expr_item (col_expr c, Some (Printf.sprintf "S%d" i)))
+            chosen;
+        from =
+          [ A.Primary
+              (A.Table_ref_name
+                 {
+                   name =
+                     {
+                       A.catalog = None;
+                       schema = None;
+                       table = m.Metadata.table;
+                     };
+                   alias = Some "T0";
+                   pos = A.no_pos;
+                 }) ];
+        where =
+          (if chance g 0.8 then Some (gen_predicate g [ source ] 0) else None);
+        group_by = [];
+        having = None;
+      }
+    in
+    let op = pick g [| A.S_union; A.S_intersect; A.S_except |] in
+    A.Set
+      {
+        op;
+        all = chance g 0.4;
+        left = A.Spec (mk_spec ());
+        right = A.Spec (mk_spec ());
+      }
+  end
+  else if g.profile.allow_subquery && chance g 0.12 then begin
+    (* derived table *)
+    let inner, _ = gen_spec g ~for_setop:false in
+    let inner_cols =
+      List.filter_map
+        (function
+          | A.Expr_item (_, Some a) -> Some a
+          | A.Expr_item (_, None) | A.Star | A.Table_star _ -> None)
+        inner.A.select
+    in
+    let select =
+      List.map
+        (fun a ->
+          A.Expr_item
+            ( A.Column { qualifier = Some "D"; name = a; pos = A.no_pos },
+              Some a ))
+        inner_cols
+    in
+    A.Spec
+      {
+        A.distinct = false;
+        select;
+        from = [ A.Primary (A.Derived { query = A.Spec inner; alias = "D" }) ];
+        where = None;
+        group_by = [];
+        having = None;
+      }
+  end
+  else A.Spec (fst (gen_spec g ~for_setop:false))
+
+let output_arity (q : A.query) =
+  let rec count = function
+    | A.Spec spec ->
+      List.fold_left
+        (fun acc item ->
+          match item with
+          | A.Expr_item _ -> acc + 1
+          | A.Star | A.Table_star _ -> acc (* not generated *))
+        0 spec.A.select
+    | A.Set { left; _ } -> count left
+  in
+  count q
+
+let generate ?(profile = default_profile) rng tables : A.statement =
+  if tables = [] then invalid_arg "Querygen.generate: no tables";
+  let g = { rng; tables; profile } in
+  let body = gen_query g in
+  let order_by =
+    if chance g 0.5 then
+      let n = output_arity body in
+      List.init
+        (1 + int_below g (min 2 n))
+        (fun _ ->
+          {
+            A.key = A.Ord_position (1 + int_below g n);
+            descending = chance g 0.4;
+          })
+    else []
+  in
+  { A.body; order_by }
+
+let generate_sql ?profile rng tables =
+  Aqua_sql.Pretty.statement_to_string (generate ?profile rng tables)

@@ -1,0 +1,38 @@
+(** Random SQL-92 statement generation over a catalog, used for
+    property-based differential testing (translated-XQuery execution
+    vs. the baseline engine) and for benchmark workloads.
+
+    Statements are generated as ASTs and are semantically valid by
+    construction for the given catalog: column references resolve,
+    compared types are comparable, grouped queries project only
+    grouping columns and aggregates. *)
+
+type profile = {
+  max_joins : int;        (** extra tables beyond the first, 0..n *)
+  allow_outer : bool;
+  allow_group : bool;
+  allow_subquery : bool;
+  allow_setop : bool;
+  allow_distinct : bool;
+}
+
+val default_profile : profile
+
+val reporting_profile : profile
+(** Group-heavy rollup queries, the Crystal-Reports-style workload the
+    paper motivates. *)
+
+val generate :
+  ?profile:profile ->
+  Random.State.t ->
+  Aqua_dsp.Metadata.table list ->
+  Aqua_sql.Ast.statement
+(** One random statement over the given tables (at least one table
+    required). *)
+
+val generate_sql :
+  ?profile:profile ->
+  Random.State.t ->
+  Aqua_dsp.Metadata.table list ->
+  string
+(** [generate] rendered to SQL text. *)

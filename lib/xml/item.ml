@@ -1,0 +1,68 @@
+type t =
+  | Atomic of Atomic.t
+  | Node of Node.t
+
+type sequence = t list
+
+let atomic a = Atomic a
+let node n = Node n
+let empty = []
+let singleton i = [ i ]
+let of_int i = [ Atomic (Atomic.Integer i) ]
+let of_string s = [ Atomic (Atomic.String s) ]
+let of_bool b = [ Atomic (Atomic.Boolean b) ]
+let of_double f = [ Atomic (Atomic.Double f) ]
+
+let atomize seq =
+  List.map
+    (function
+      | Atomic a -> a
+      | Node n -> Atomic.Untyped (Node.string_value n))
+    seq
+
+let atomize_one seq =
+  match atomize seq with
+  | [] -> None
+  | [ a ] -> Some a
+  | _ -> invalid_arg "atomize_one: sequence of more than one item"
+
+let effective_boolean_value = function
+  | [] -> false
+  | Node _ :: _ -> true
+  | [ Atomic a ] -> (
+    match a with
+    | Atomic.Boolean b -> b
+    | Atomic.Untyped s | Atomic.String s -> String.length s > 0
+    | Atomic.Integer i -> i <> 0
+    | Atomic.Decimal f | Atomic.Double f -> f <> 0.0 && not (Float.is_nan f)
+    | Atomic.Date _ | Atomic.Time _ | Atomic.Timestamp _ ->
+      raise
+        (Atomic.Cast_error
+           "effective boolean value undefined for date/time values"))
+  | Atomic _ :: _ :: _ ->
+    raise
+      (Atomic.Cast_error
+         "effective boolean value undefined for atomic sequences of \
+          length > 1")
+
+let string_value seq =
+  match seq with
+  | [] -> ""
+  | [ Atomic a ] -> Atomic.to_lexical a
+  | [ Node n ] -> Node.string_value n
+  | _ -> invalid_arg "string_value: sequence of more than one item"
+
+let equal a b =
+  match (a, b) with
+  | Atomic x, Atomic y -> Atomic.equal x y
+  | Node x, Node y -> Node.equal x y
+  | Atomic _, Node _ | Node _, Atomic _ -> false
+
+let pp fmt = function
+  | Atomic a -> Atomic.pp fmt a
+  | Node n -> Node.pp fmt n
+
+let pp_sequence fmt seq =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp)
+    seq

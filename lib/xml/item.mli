@@ -1,0 +1,42 @@
+(** Items and sequences — the currency of the XQuery data model.
+
+    Every XQuery expression evaluates to a [sequence]: a flat, ordered
+    list of items, where an item is either an atomic value or an XML
+    node.  Sequences never nest. *)
+
+type t =
+  | Atomic of Atomic.t
+  | Node of Node.t
+
+type sequence = t list
+
+val atomic : Atomic.t -> t
+val node : Node.t -> t
+val empty : sequence
+val singleton : t -> sequence
+
+val of_int : int -> sequence
+val of_string : string -> sequence
+val of_bool : bool -> sequence
+val of_double : float -> sequence
+
+val atomize : sequence -> Atomic.t list
+(** [fn:data]: atomic items pass through; element nodes yield their
+    string-value as [Untyped]. *)
+
+val atomize_one : sequence -> Atomic.t option
+(** Atomization expecting zero or one values.
+    @raise Invalid_argument if more than one value results. *)
+
+val effective_boolean_value : sequence -> bool
+(** XQuery EBV: empty is false, a leading node is true, a single
+    atomic follows type rules.
+    @raise Atomic.Cast_error on multi-item atomic sequences. *)
+
+val string_value : sequence -> string
+(** [fn:string] of a zero-or-one item sequence (empty gives [""]). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_sequence : Format.formatter -> sequence -> unit

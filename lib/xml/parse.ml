@@ -1,0 +1,224 @@
+exception Parse_error of { pos : int; message : string }
+
+type state = { src : string; mutable pos : int }
+
+let error st fmt =
+  Format.kasprintf
+    (fun message -> raise (Parse_error { pos = st.pos; message }))
+    fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let advance st n = st.pos <- st.pos + n
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && (match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance st 1
+  done
+
+let is_name_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let read_name st =
+  let start = st.pos in
+  while
+    st.pos < String.length st.src && is_name_char st.src.[st.pos]
+  do
+    advance st 1
+  done;
+  if st.pos = start then error st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st 1
+  | Some d -> error st "expected %c, found %c" c d
+  | None -> error st "expected %c, found end of input" c
+
+let read_entity st =
+  (* positioned just after '&' *)
+  match String.index_from_opt st.src st.pos ';' with
+  | None -> error st "unterminated entity reference"
+  | Some semi ->
+    let name = String.sub st.src st.pos (semi - st.pos) in
+    st.pos <- semi + 1;
+    (match name with
+    | "amp" -> "&"
+    | "lt" -> "<"
+    | "gt" -> ">"
+    | "quot" -> "\""
+    | "apos" -> "'"
+    | _ ->
+      if String.length name > 1 && name.[0] = '#' then begin
+        let code =
+          if name.[1] = 'x' || name.[1] = 'X' then
+            int_of_string_opt ("0x" ^ String.sub name 2 (String.length name - 2))
+          else int_of_string_opt (String.sub name 1 (String.length name - 1))
+        in
+        match code with
+        | Some c when c >= 0 && c < 128 -> String.make 1 (Char.chr c)
+        | Some c ->
+          (* encode as UTF-8 *)
+          let buf = Buffer.create 4 in
+          Buffer.add_utf_8_uchar buf (Uchar.of_int c);
+          Buffer.contents buf
+        | None -> error st "bad character reference &%s;" name
+      end
+      else error st "unknown entity &%s;" name)
+
+let read_text st =
+  let buf = Buffer.create 32 in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | None | Some '<' -> continue := false
+    | Some '&' ->
+      advance st 1;
+      Buffer.add_string buf (read_entity st)
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st 1
+  done;
+  Buffer.contents buf
+
+let read_attr_value st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) ->
+      advance st 1;
+      q
+    | _ -> error st "expected quoted attribute value"
+  in
+  let buf = Buffer.create 16 in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | None -> error st "unterminated attribute value"
+    | Some c when c = quote ->
+      advance st 1;
+      continue := false
+    | Some '&' ->
+      advance st 1;
+      Buffer.add_string buf (read_entity st)
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st 1
+  done;
+  Buffer.contents buf
+
+let skip_comment st =
+  (* positioned just after "<!--" *)
+  let rec find () =
+    if looking_at st "-->" then advance st 3
+    else if st.pos >= String.length st.src then error st "unterminated comment"
+    else begin
+      advance st 1;
+      find ()
+    end
+  in
+  find ()
+
+let skip_misc st =
+  let continue = ref true in
+  while !continue do
+    skip_ws st;
+    if looking_at st "<!--" then begin
+      advance st 4;
+      skip_comment st
+    end
+    else if looking_at st "<?" then begin
+      match String.index_from_opt st.src st.pos '>' with
+      | Some i -> st.pos <- i + 1
+      | None -> error st "unterminated processing instruction"
+    end
+    else continue := false
+  done
+
+let rec read_element st : Node.t =
+  expect st '<';
+  let name = read_name st in
+  let attrs = ref [] in
+  let rec read_attrs () =
+    skip_ws st;
+    match peek st with
+    | Some '>' | Some '/' -> ()
+    | Some _ ->
+      let attr = read_name st in
+      skip_ws st;
+      expect st '=';
+      skip_ws st;
+      let value = read_attr_value st in
+      attrs := (attr, value) :: !attrs;
+      read_attrs ()
+    | None -> error st "unterminated start tag <%s" name
+  in
+  read_attrs ();
+  let attrs = List.rev !attrs in
+  if looking_at st "/>" then begin
+    advance st 2;
+    Node.Element { name; attrs; children = [] }
+  end
+  else begin
+    expect st '>';
+    let children = read_content st in
+    if not (looking_at st "</") then error st "expected </%s>" name;
+    advance st 2;
+    let close = read_name st in
+    if close <> name then error st "mismatched tags <%s> ... </%s>" name close;
+    skip_ws st;
+    expect st '>';
+    Node.Element { name; attrs; children }
+  end
+
+and read_content st : Node.t list =
+  let acc = ref [] in
+  let continue = ref true in
+  while !continue do
+    if looking_at st "</" then continue := false
+    else if looking_at st "<!--" then begin
+      advance st 4;
+      skip_comment st
+    end
+    else
+      match peek st with
+      | None -> continue := false
+      | Some '<' -> acc := read_element st :: !acc
+      | Some _ ->
+        let text = read_text st in
+        if text <> "" then acc := Node.Text text :: !acc
+  done;
+  List.rev !acc
+
+let nodes_of_string src =
+  let st = { src; pos = 0 } in
+  skip_misc st;
+  let acc = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | None -> continue := false
+    | Some '<' when looking_at st "<!--" ->
+      advance st 4;
+      skip_comment st
+    | Some '<' -> acc := read_element st :: !acc
+    | Some _ ->
+      let text = read_text st in
+      if String.trim text <> "" then acc := Node.Text text :: !acc
+  done;
+  List.rev !acc
+
+let node_of_string src =
+  match nodes_of_string src with
+  | [ node ] -> node
+  | [] -> raise (Parse_error { pos = 0; message = "empty document" })
+  | _ :: _ ->
+    raise (Parse_error { pos = 0; message = "more than one root node" })

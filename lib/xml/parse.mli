@@ -1,0 +1,17 @@
+(** A small, strict XML parser.
+
+    Handles the XML subset the driver ships across the wire: elements,
+    attributes, character data, the five predefined entities, numeric
+    character references, comments and an optional XML declaration.
+    No DTDs, processing instructions or CDATA sections. *)
+
+exception Parse_error of { pos : int; message : string }
+
+val node_of_string : string -> Node.t
+(** Parses a document with a single root element.
+    @raise Parse_error on malformed input. *)
+
+val nodes_of_string : string -> Node.t list
+(** Parses a forest (sequence of sibling elements and top-level text),
+    the shape of a serialized flat query result.
+    @raise Parse_error on malformed input. *)

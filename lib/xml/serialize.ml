@@ -1,0 +1,104 @@
+let escape buf ~attr s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~attr:false s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~attr:true s;
+  Buffer.contents buf
+
+let add_open_tag buf (e : Node.element) ~self_closing =
+  Buffer.add_char buf '<';
+  Buffer.add_string buf e.name;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      escape buf ~attr:true v;
+      Buffer.add_string buf "\"")
+    e.attrs;
+  Buffer.add_string buf (if self_closing then "/>" else ">")
+
+let rec add_compact buf (node : Node.t) =
+  match node with
+  | Text s -> escape buf ~attr:false s
+  | Element e ->
+    if e.children = [] then add_open_tag buf e ~self_closing:true
+    else begin
+      add_open_tag buf e ~self_closing:false;
+      List.iter (add_compact buf) e.children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf e.name;
+      Buffer.add_char buf '>'
+    end
+
+let has_element_child (e : Node.element) =
+  List.exists (function Node.Element _ -> true | Node.Text _ -> false)
+    e.children
+
+let rec add_indented buf depth (node : Node.t) =
+  let pad n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  match node with
+  | Text s ->
+    pad depth;
+    escape buf ~attr:false s;
+    Buffer.add_char buf '\n'
+  | Element e ->
+    pad depth;
+    if e.children = [] then begin
+      add_open_tag buf e ~self_closing:true;
+      Buffer.add_char buf '\n'
+    end
+    else if not (has_element_child e) then begin
+      (* text-only content stays inline *)
+      add_open_tag buf e ~self_closing:false;
+      List.iter (add_compact buf) e.children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf e.name;
+      Buffer.add_string buf ">\n"
+    end
+    else begin
+      add_open_tag buf e ~self_closing:false;
+      Buffer.add_char buf '\n';
+      List.iter (add_indented buf (depth + 1)) e.children;
+      pad depth;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf e.name;
+      Buffer.add_string buf ">\n"
+    end
+
+let node_to_string ?(indent = false) node =
+  let buf = Buffer.create 256 in
+  if indent then add_indented buf 0 node else add_compact buf node;
+  let s = Buffer.contents buf in
+  if indent then String.trim s else s
+
+let sequence_to_string ?(indent = false) seq =
+  let buf = Buffer.create 256 in
+  let prev_atomic = ref false in
+  List.iter
+    (fun item ->
+      match item with
+      | Item.Node n ->
+        if indent && Buffer.length buf > 0 then Buffer.add_char buf '\n';
+        Buffer.add_string buf (node_to_string ~indent n);
+        prev_atomic := false
+      | Item.Atomic a ->
+        if !prev_atomic then Buffer.add_char buf ' ';
+        escape buf ~attr:false (Atomic.to_lexical a);
+        prev_atomic := true)
+    seq;
+  Buffer.contents buf

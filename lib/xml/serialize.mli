@@ -1,0 +1,17 @@
+(** XML serialization: nodes and sequences to text. *)
+
+val escape_text : string -> string
+(** Escapes [&], [<], [>] for element content. *)
+
+val escape_attr : string -> string
+(** Escapes ampersand, angle brackets and double quotes for attribute
+    values. *)
+
+val node_to_string : ?indent:bool -> Node.t -> string
+(** Serializes one node. With [~indent:true], pretty-prints with
+    2-space indentation (mixed text content stays inline). *)
+
+val sequence_to_string : ?indent:bool -> Item.sequence -> string
+(** Serializes a whole sequence the way a query result is shipped:
+    nodes serialized, adjacent atomic values joined with single
+    spaces. *)

@@ -1,0 +1,478 @@
+module Atomic = Aqua_xml.Atomic
+module Item = Aqua_xml.Item
+module Node = Aqua_xml.Node
+module X = Aqua_xquery.Ast
+
+exception Compile_error of string
+
+let cfail fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
+let dfail = Error.fail
+
+(* Runtime environment: one mutable slot per statically-resolved
+   variable.  Sequential evaluation makes slot mutation safe; clauses
+   that reorder tuples (order by, group by) snapshot the array. *)
+type rt = Item.sequence array
+
+type comp = rt -> Item.sequence
+
+(* Compile-time environment: name -> slot. *)
+type cenv = {
+  slots : (string * int) list;
+  next : int ref;
+  resolve : string -> Eval.external_fn option;
+}
+
+let bind_slot cenv name =
+  let slot = !(cenv.next) in
+  incr cenv.next;
+  ({ cenv with slots = (name, slot) :: cenv.slots }, slot)
+
+let lookup_slot cenv name =
+  match List.assoc_opt name cenv.slots with
+  | Some slot -> slot
+  | None -> cfail "undefined variable $%s" name
+
+(* ------------------------------------------------------------------ *)
+(* Shared dynamic helpers (same semantics as Eval)                     *)
+
+let cmp_holds (op : X.cmp) c =
+  match op with
+  | X.Eq -> c = 0
+  | X.Ne -> c <> 0
+  | X.Lt -> c < 0
+  | X.Le -> c <= 0
+  | X.Gt -> c > 0
+  | X.Ge -> c >= 0
+
+let general_compare op left right =
+  let latoms = Item.atomize left and ratoms = Item.atomize right in
+  List.exists
+    (fun a ->
+      List.exists (fun b -> cmp_holds op (Atomic.compare_values a b)) ratoms)
+    latoms
+
+let value_compare op left right =
+  match (Item.atomize left, Item.atomize right) with
+  | [], _ | _, [] -> []
+  | [ a ], [ b ] -> Item.of_bool (cmp_holds op (Atomic.compare_values a b))
+  | _ -> dfail "value comparison requires singleton operands"
+
+let arith_atomic (op : X.arith) a b =
+  let untype = function
+    | Atomic.Untyped s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some f -> Atomic.Double f
+      | None -> dfail "cannot use %S in arithmetic" s)
+    | v -> v
+  in
+  let a = untype a and b = untype b in
+  match (a, b, op) with
+  | Atomic.Integer x, Atomic.Integer y, X.Add -> Atomic.Integer (x + y)
+  | Atomic.Integer x, Atomic.Integer y, X.Sub -> Atomic.Integer (x - y)
+  | Atomic.Integer x, Atomic.Integer y, X.Mul -> Atomic.Integer (x * y)
+  | Atomic.Integer x, Atomic.Integer y, X.Idiv ->
+    if y = 0 then dfail "integer division by zero" else Atomic.Integer (x / y)
+  | Atomic.Integer x, Atomic.Integer y, X.Mod ->
+    if y = 0 then dfail "modulus by zero" else Atomic.Integer (x mod y)
+  | Atomic.Integer x, Atomic.Integer y, X.Div ->
+    if y = 0 then dfail "division by zero"
+    else Atomic.Decimal (float_of_int x /. float_of_int y)
+  | _ ->
+    let x = Atomic.cast_double a and y = Atomic.cast_double b in
+    let promote v =
+      match (a, b) with
+      | (Atomic.Double _, _ | _, Atomic.Double _) -> Atomic.Double v
+      | _ -> Atomic.Decimal v
+    in
+    (match op with
+    | X.Add -> promote (x +. y)
+    | X.Sub -> promote (x -. y)
+    | X.Mul -> promote (x *. y)
+    | X.Div -> if y = 0.0 then dfail "division by zero" else promote (x /. y)
+    | X.Idiv ->
+      if y = 0.0 then dfail "integer division by zero"
+      else Atomic.Integer (int_of_float (Float.trunc (x /. y)))
+    | X.Mod ->
+      if y = 0.0 then dfail "modulus by zero" else promote (Float.rem x y))
+
+let normalize_content (seq : Item.sequence) : Node.t list =
+  let rec go acc pending = function
+    | [] ->
+      let acc =
+        match pending with
+        | [] -> acc
+        | parts -> Node.Text (String.concat " " (List.rev parts)) :: acc
+      in
+      List.rev acc
+    | Item.Atomic a :: rest -> go acc (Atomic.to_lexical a :: pending) rest
+    | Item.Node n :: rest ->
+      let acc =
+        match pending with
+        | [] -> acc
+        | parts -> Node.Text (String.concat " " (List.rev parts)) :: acc
+      in
+      go (n :: acc) [] rest
+  in
+  go [] [] seq
+
+let step_matches step_name el_name =
+  step_name = "*"
+  || el_name = step_name
+  || Node.local_name el_name = Node.local_name step_name
+
+let children_matching name (item : Item.t) : Item.sequence =
+  match item with
+  | Item.Atomic _ -> dfail "path step applied to an atomic value"
+  | Item.Node (Node.Text _) -> []
+  | Item.Node (Node.Element e) ->
+    List.filter_map
+      (function
+        | Node.Element c when step_matches name c.name ->
+          Some (Item.Node (Node.Element c))
+        | Node.Element _ | Node.Text _ -> None)
+      e.Node.children
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                        *)
+
+(* the context-item pseudo-variable used by predicates *)
+let dot = "."
+
+let rec compile_expr_c (cenv : cenv) (e : X.expr) : comp =
+  match e with
+  | X.Literal a ->
+    let item = [ Item.Atomic a ] in
+    fun _ -> item
+  | X.Var v ->
+    let slot = lookup_slot cenv v in
+    fun rt -> rt.(slot)
+  | X.Context_item ->
+    let slot = lookup_slot cenv dot in
+    fun rt -> rt.(slot)
+  | X.Seq es ->
+    let parts = List.map (compile_expr_c cenv) es in
+    fun rt -> List.concat_map (fun c -> c rt) parts
+  | X.Flwor f -> compile_flwor cenv f
+  | X.Path (base, steps) ->
+    let cbase = compile_expr_c cenv base in
+    let csteps =
+      List.map
+        (fun (s : X.step) ->
+          (s.X.name, List.map (compile_predicate cenv) s.X.predicates))
+        steps
+    in
+    fun rt ->
+      List.fold_left
+        (fun seq (name, preds) ->
+          let widened = List.concat_map (children_matching name) seq in
+          List.fold_left (fun items p -> p rt items) widened preds)
+        (cbase rt) csteps
+  | X.Call (name, args) -> (
+    let cargs = List.map (compile_expr_c cenv) args in
+    let apply impl = fun rt -> impl (List.map (fun c -> c rt) cargs) in
+    match Functions.lookup name with
+    | Some impl -> apply impl
+    | None -> (
+      match cenv.resolve name with
+      | Some impl -> apply impl
+      | None -> cfail "unknown function %s" name))
+  | X.Elem { name; content } ->
+    let parts =
+      List.map
+        (fun part ->
+          match part with
+          | X.Text s ->
+            let nodes = if s = "" then [] else [ Item.Node (Node.Text s) ] in
+            fun _ -> nodes
+          | _ -> compile_expr_c cenv part)
+        content
+    in
+    fun rt ->
+      let body = List.concat_map (fun c -> c rt) parts in
+      [ Item.Node
+          (Node.Element
+             { Node.name; attrs = []; children = normalize_content body }) ]
+  | X.Text s ->
+    let v = Item.of_string s in
+    fun _ -> v
+  | X.If (c, t, e) ->
+    let cc = compile_expr_c cenv c in
+    let ct = compile_expr_c cenv t in
+    let ce = compile_expr_c cenv e in
+    fun rt ->
+      if Item.effective_boolean_value (cc rt) then ct rt else ce rt
+  | X.Binop (op, a, b) -> (
+    let ca = compile_expr_c cenv a and cb = compile_expr_c cenv b in
+    match op with
+    | X.B_and ->
+      fun rt ->
+        Item.of_bool
+          (Item.effective_boolean_value (ca rt)
+          && Item.effective_boolean_value (cb rt))
+    | X.B_or ->
+      fun rt ->
+        Item.of_bool
+          (Item.effective_boolean_value (ca rt)
+          || Item.effective_boolean_value (cb rt))
+    | X.B_general cmp ->
+      fun rt -> Item.of_bool (general_compare cmp (ca rt) (cb rt))
+    | X.B_value cmp -> fun rt -> value_compare cmp (ca rt) (cb rt)
+    | X.B_arith op -> (
+      fun rt ->
+        match (Item.atomize (ca rt), Item.atomize (cb rt)) with
+        | [], _ | _, [] -> []
+        | [ x ], [ y ] -> [ Item.Atomic (arith_atomic op x y) ]
+        | _ -> dfail "arithmetic requires singleton operands"))
+  | X.Neg a -> (
+    let ca = compile_expr_c cenv a in
+    fun rt ->
+      match Item.atomize (ca rt) with
+      | [] -> []
+      | [ Atomic.Integer i ] -> Item.of_int (-i)
+      | [ v ] -> [ Item.Atomic (Atomic.Double (-.Atomic.cast_double v)) ]
+      | _ -> dfail "unary minus requires a singleton operand")
+  | X.Quantified { every; bindings; satisfies } ->
+    let rec build cenv = function
+      | [] ->
+        let cs = compile_expr_c cenv satisfies in
+        fun rt -> Item.effective_boolean_value (cs rt)
+      | (var, src) :: rest ->
+        let csrc = compile_expr_c cenv src in
+        let cenv', slot = bind_slot cenv var in
+        let inner = build cenv' rest in
+        fun rt ->
+          let items = csrc rt in
+          let test item =
+            rt.(slot) <- [ item ];
+            inner rt
+          in
+          if every then List.for_all test items else List.exists test items
+    in
+    let body = build cenv bindings in
+    fun rt -> Item.of_bool (body rt)
+  | X.Filter (base, pred) ->
+    let cbase = compile_expr_c cenv base in
+    let cpred = compile_predicate cenv pred in
+    fun rt -> cpred rt (cbase rt)
+
+(* Predicates rebind the context item per candidate and handle the
+   positional case. *)
+and compile_predicate cenv (pred : X.expr) : rt -> Item.sequence -> Item.sequence =
+  let cenv', slot = bind_slot cenv dot in
+  let cpred = compile_expr_c cenv' pred in
+  fun rt items ->
+    List.filteri
+      (fun i item ->
+        rt.(slot) <- [ item ];
+        match cpred rt with
+        | [ Item.Atomic a ] when Atomic.is_numeric a ->
+          Atomic.cast_double a = float_of_int (i + 1)
+        | result -> Item.effective_boolean_value result)
+      items
+
+(* FLWOR compilation.  Chains of for/let/where ("segments") run as
+   per-tuple nested loops; order-by and group-by are barriers that
+   must see the whole tuple stream.  A compiled pipeline is therefore
+   a transformer over snapshot lists:
+
+     lift(segment0) ; barrier1 ; lift(segment1) ; ... ; return
+
+   where a snapshot is a copy of the slot array and [lift] maps a
+   per-tuple segment over every incoming snapshot. *)
+and compile_flwor cenv (f : X.flwor) : comp =
+  (* a segment enumerates the tuples reachable from the current slots *)
+  let rec segment cenv clauses : (rt -> rt list) * cenv =
+    match clauses with
+    | [] -> ((fun rt -> [ Array.copy rt ]), cenv)
+    | X.For { var; source } :: rest ->
+      let csrc = compile_expr_c cenv source in
+      let cenv', slot = bind_slot cenv var in
+      let inner, cenv_out = segment cenv' rest in
+      ( (fun rt ->
+          List.concat_map
+            (fun item ->
+              rt.(slot) <- [ item ];
+              inner rt)
+            (csrc rt)),
+        cenv_out )
+    | X.Let { var; value } :: rest ->
+      let cval = compile_expr_c cenv value in
+      let cenv', slot = bind_slot cenv var in
+      let inner, cenv_out = segment cenv' rest in
+      ( (fun rt ->
+          rt.(slot) <- cval rt;
+          inner rt),
+        cenv_out )
+    | X.Where cond :: rest ->
+      let ccond = compile_expr_c cenv cond in
+      let inner, cenv_out = segment cenv rest in
+      ( (fun rt ->
+          if Item.effective_boolean_value (ccond rt) then inner rt else []),
+        cenv_out )
+    | (X.Order_by _ | X.Group _) :: _ -> assert false  (* split below *)
+  in
+  let split_barrier clauses =
+    let rec go acc = function
+      | [] -> (List.rev acc, None, [])
+      | ((X.Order_by _ | X.Group _) as b) :: rest -> (List.rev acc, Some b, rest)
+      | c :: rest -> go (c :: acc) rest
+    in
+    go [] clauses
+  in
+  (* stages : rt -> snapshot list -> snapshot list *)
+  let rec stages cenv clauses : (rt -> rt list -> rt list) * cenv =
+    let before, barrier, rest = split_barrier clauses in
+    let cseg, cenv1 = segment cenv before in
+    let lifted rt snaps =
+      List.concat_map
+        (fun snap ->
+          Array.blit snap 0 rt 0 (Array.length snap);
+          cseg rt)
+        snaps
+    in
+    match barrier with
+    | None -> (lifted, cenv1)
+    | Some (X.Order_by specs) ->
+      let ckeys =
+        List.map
+          (fun (s : X.order_spec) ->
+            (compile_expr_c cenv1 s.X.key, s.X.descending, s.X.empty))
+          specs
+      in
+      let crest, cenv_out = stages cenv1 rest in
+      ( (fun rt snaps ->
+          let keyed =
+            List.map
+              (fun snap ->
+                ( List.map (fun (ck, _, _) -> Item.atomize (ck snap)) ckeys,
+                  snap ))
+              (lifted rt snaps)
+          in
+          let compare_keyed (ka, _) (kb, _) =
+            let rec go ks =
+              match ks with
+              | [] -> 0
+              | ((a, b), (_, desc, empty)) :: more ->
+                let c =
+                  match (a, b) with
+                  | [], [] -> 0
+                  | [], _ -> (
+                    match empty with
+                    | X.Empty_least -> -1
+                    | X.Empty_greatest -> 1)
+                  | _, [] -> (
+                    match empty with
+                    | X.Empty_least -> 1
+                    | X.Empty_greatest -> -1)
+                  | x :: _, y :: _ -> Atomic.compare_values x y
+                in
+                let c = if desc then -c else c in
+                if c <> 0 then c else go more
+            in
+            go (List.combine (List.combine ka kb) ckeys)
+          in
+          crest rt
+            (List.map snd (List.stable_sort compare_keyed keyed))),
+        cenv_out )
+    | Some (X.Group { grouped; partition; keys }) ->
+      let grouped_slot = lookup_slot cenv1 grouped in
+      let ckeys = List.map (fun (k, _) -> compile_expr_c cenv1 k) keys in
+      (* post-group scope: outer bindings + key vars + partition — the
+         segment's own bindings are dropped, matching Eval *)
+      let cenv_post = { cenv1 with slots = cenv.slots } in
+      let cenv_post, key_slots =
+        List.fold_left
+          (fun (ce, acc) (_, var) ->
+            let ce', slot = bind_slot ce var in
+            (ce', slot :: acc))
+          (cenv_post, []) keys
+      in
+      let key_slots = List.rev key_slots in
+      let cenv_post, partition_slot = bind_slot cenv_post partition in
+      let crest, cenv_out = stages cenv_post rest in
+      ( (fun rt snaps ->
+          let table = Hashtbl.create 16 in
+          let order = ref [] in
+          List.iter
+            (fun snap ->
+              let key_values = List.map (fun ck -> ck snap) ckeys in
+              let key_string =
+                String.concat "\x01"
+                  (List.map
+                     (fun seq ->
+                       match Item.atomize seq with
+                       | [] -> "\x00empty"
+                       | atoms ->
+                         String.concat "\x02"
+                           (List.map Atomic.hash_key atoms))
+                     key_values)
+              in
+              match Hashtbl.find_opt table key_string with
+              | Some (acc, _, _) -> acc := snap.(grouped_slot) :: !acc
+              | None ->
+                Hashtbl.add table key_string
+                  (ref [ snap.(grouped_slot) ], key_values, snap);
+                order := key_string :: !order)
+            (lifted rt snaps);
+          let grouped_snaps =
+            List.map
+              (fun key_string ->
+                let acc, key_values, first_snap =
+                  Hashtbl.find table key_string
+                in
+                let out = Array.copy first_snap in
+                List.iter2
+                  (fun slot v -> out.(slot) <- v)
+                  key_slots key_values;
+                out.(partition_slot) <- List.concat (List.rev !acc);
+                out)
+              (List.rev !order)
+          in
+          crest rt grouped_snaps),
+        cenv_out )
+    | Some (X.For _ | X.Let _ | X.Where _) -> assert false
+  in
+  let cstages, cenv_ret = stages cenv f.X.clauses in
+  let cret = compile_expr_c cenv_ret f.X.return in
+  fun rt ->
+    let finals = cstages rt [ Array.copy rt ] in
+    List.concat_map
+      (fun snap ->
+        Array.blit snap 0 rt 0 (Array.length snap);
+        cret rt)
+      finals
+
+(* ------------------------------------------------------------------ *)
+
+type compiled = {
+  code : comp;
+  size : int;
+  externals : (string * int) list;  (* runtime bindings -> slots *)
+}
+
+let no_resolve _ = None
+
+let compile_expr ?(resolve = no_resolve) ?(vars = []) (e : X.expr) =
+  let cenv = { slots = []; next = ref 0; resolve } in
+  let cenv, externals =
+    List.fold_left
+      (fun (ce, acc) v ->
+        let ce', slot = bind_slot ce v in
+        (ce', (v, slot) :: acc))
+      (cenv, []) vars
+  in
+  let code = compile_expr_c cenv e in
+  { code; size = !(cenv.next); externals = List.rev externals }
+
+let compile ?resolve ?vars (q : X.query) =
+  compile_expr ?resolve ?vars q.X.body
+
+let run ?(bindings = []) t =
+  let rt = Array.make (max t.size 1) [] in
+  List.iter
+    (fun (name, slot) ->
+      match List.assoc_opt name bindings with
+      | Some seq -> rt.(slot) <- seq
+      | None -> dfail "external variable $%s is not bound" name)
+    t.externals;
+  t.code rt

@@ -1,0 +1,42 @@
+(** A compiling evaluator: lowers an XQuery AST once into OCaml
+    closures over slot-based environments, so repeated executions skip
+    AST dispatch and name lookups — the counterpart of the DSP
+    server's query compilation step (the interpreter {!Eval} is the
+    reference semantics; the test suite checks both agree).
+
+    Variable scoping is resolved at compile time; referencing an
+    undefined variable (including bindings dropped by the group-by
+    clause) is a {!Compile_error}. *)
+
+type compiled
+(** A compiled query, executable any number of times. *)
+
+exception Compile_error of string
+
+val compile :
+  ?resolve:(string -> Eval.external_fn option) ->
+  ?vars:string list ->
+  Aqua_xquery.Ast.query ->
+  compiled
+(** Resolves function names (built-ins first, then [resolve]) and
+    variable slots now; dynamic errors remain dynamic.  [vars] names
+    external bindings (e.g. prepared-statement parameters) supplied at
+    run time.
+    @raise Compile_error on unknown functions or variables. *)
+
+val compile_expr :
+  ?resolve:(string -> Eval.external_fn option) ->
+  ?vars:string list ->
+  Aqua_xquery.Ast.expr ->
+  compiled
+(** Compiles a bare expression; [vars] names external bindings that
+    must be supplied at run time (in the same order). *)
+
+val run :
+  ?bindings:(string * Aqua_xml.Item.sequence) list ->
+  compiled ->
+  Aqua_xml.Item.sequence
+(** Executes. [bindings] supply the external variables declared via
+    [vars] (prepared-statement parameters).
+    @raise Error.Dynamic_error on dynamic errors (casts, arity,
+    unbound externals). *)

@@ -1,0 +1,7 @@
+(* Dynamic errors raised during XQuery evaluation, kept in their own
+   module so both the function library and the evaluator can raise
+   them without a dependency cycle. *)
+
+exception Dynamic_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Dynamic_error s)) fmt

@@ -1,0 +1,338 @@
+module Atomic = Aqua_xml.Atomic
+module Item = Aqua_xml.Item
+module Node = Aqua_xml.Node
+module X = Aqua_xquery.Ast
+
+module Env = Map.Make (String)
+
+type external_fn = Item.sequence list -> Item.sequence
+
+type context = {
+  vars : Item.sequence Env.t;
+  resolve : string -> external_fn option;
+}
+
+let context ?(resolve = fun _ -> None) () = { vars = Env.empty; resolve }
+let bind ctx name seq = { ctx with vars = Env.add name seq ctx.vars }
+
+let fail = Error.fail
+
+let lookup_var ctx name =
+  match Env.find_opt name ctx.vars with
+  | Some seq -> seq
+  | None -> fail "undefined variable $%s" name
+
+(* ------------------------------------------------------------------ *)
+(* Comparison helpers                                                 *)
+
+let cmp_holds (op : X.cmp) c =
+  match op with
+  | X.Eq -> c = 0
+  | X.Ne -> c <> 0
+  | X.Lt -> c < 0
+  | X.Le -> c <= 0
+  | X.Gt -> c > 0
+  | X.Ge -> c >= 0
+
+let general_compare op left right =
+  (* existential semantics over atomized operands *)
+  let latoms = Item.atomize left and ratoms = Item.atomize right in
+  List.exists
+    (fun a ->
+      List.exists (fun b -> cmp_holds op (Atomic.compare_values a b)) ratoms)
+    latoms
+
+let value_compare op left right =
+  match (Item.atomize left, Item.atomize right) with
+  | [], _ | _, [] -> []
+  | [ a ], [ b ] -> Item.of_bool (cmp_holds op (Atomic.compare_values a b))
+  | _ -> fail "value comparison requires singleton operands"
+
+let arith_atomic (op : X.arith) a b =
+  let untype = function
+    | Atomic.Untyped s -> (
+      (* untyped operands are cast to xs:double in arithmetic *)
+      match float_of_string_opt (String.trim s) with
+      | Some f -> Atomic.Double f
+      | None -> fail "cannot use %S in arithmetic" s)
+    | v -> v
+  in
+  let a = untype a and b = untype b in
+  match (a, b, op) with
+  | Atomic.Integer x, Atomic.Integer y, X.Add -> Atomic.Integer (x + y)
+  | Atomic.Integer x, Atomic.Integer y, X.Sub -> Atomic.Integer (x - y)
+  | Atomic.Integer x, Atomic.Integer y, X.Mul -> Atomic.Integer (x * y)
+  | Atomic.Integer x, Atomic.Integer y, X.Idiv ->
+    if y = 0 then fail "integer division by zero" else Atomic.Integer (x / y)
+  | Atomic.Integer x, Atomic.Integer y, X.Mod ->
+    if y = 0 then fail "modulus by zero" else Atomic.Integer (x mod y)
+  | Atomic.Integer x, Atomic.Integer y, X.Div ->
+    if y = 0 then fail "division by zero"
+    else Atomic.Decimal (float_of_int x /. float_of_int y)
+  | _ ->
+    let x = Atomic.cast_double a and y = Atomic.cast_double b in
+    let promote v =
+      (* decimal arithmetic stays decimal; anything double is double *)
+      match (a, b) with
+      | (Atomic.Double _, _ | _, Atomic.Double _) -> Atomic.Double v
+      | _ -> Atomic.Decimal v
+    in
+    (match op with
+    | X.Add -> promote (x +. y)
+    | X.Sub -> promote (x -. y)
+    | X.Mul -> promote (x *. y)
+    | X.Div ->
+      if y = 0.0 then fail "division by zero" else promote (x /. y)
+    | X.Idiv ->
+      if y = 0.0 then fail "integer division by zero"
+      else Atomic.Integer (int_of_float (Float.trunc (x /. y)))
+    | X.Mod ->
+      if y = 0.0 then fail "modulus by zero" else promote (Float.rem x y))
+
+(* ------------------------------------------------------------------ *)
+(* Element construction                                               *)
+
+(* XQuery content normalization: adjacent atomic values are joined
+   with a single space into one text node; nodes are deep-copied
+   (structural sharing is fine for an immutable tree). *)
+let normalize_content (seq : Item.sequence) : Node.t list =
+  let rec go acc pending = function
+    | [] ->
+      let acc =
+        match pending with
+        | [] -> acc
+        | parts -> Node.Text (String.concat " " (List.rev parts)) :: acc
+      in
+      List.rev acc
+    | Item.Atomic a :: rest -> go acc (Atomic.to_lexical a :: pending) rest
+    | Item.Node n :: rest ->
+      let acc =
+        match pending with
+        | [] -> acc
+        | parts -> Node.Text (String.concat " " (List.rev parts)) :: acc
+      in
+      go (n :: acc) [] rest
+  in
+  go [] [] seq
+
+(* ------------------------------------------------------------------ *)
+(* Path navigation                                                    *)
+
+let step_matches step_name el_name =
+  step_name = "*"
+  || el_name = step_name
+  || Node.local_name el_name = Node.local_name step_name
+
+let children_matching name (item : Item.t) : Item.sequence =
+  match item with
+  | Item.Atomic _ -> fail "path step applied to an atomic value"
+  | Item.Node (Node.Text _) -> []
+  | Item.Node (Node.Element e) ->
+    List.filter_map
+      (function
+        | Node.Element c when step_matches name c.name ->
+          Some (Item.Node (Node.Element c))
+        | Node.Element _ | Node.Text _ -> None)
+      e.children
+
+(* ------------------------------------------------------------------ *)
+(* The evaluator                                                      *)
+
+let rec eval ctx (e : X.expr) : Item.sequence =
+  match e with
+  | X.Literal a -> [ Item.Atomic a ]
+  | X.Var v -> lookup_var ctx v
+  | X.Context_item -> lookup_var ctx "."
+  | X.Seq es -> List.concat_map (eval ctx) es
+  | X.Flwor f -> eval_flwor ctx f
+  | X.Path (base, steps) ->
+    List.fold_left
+      (fun seq (step : X.step) ->
+        let widened = List.concat_map (children_matching step.name) seq in
+        List.fold_left (apply_predicate ctx) widened step.predicates)
+      (eval ctx base) steps
+  | X.Call (name, args) -> (
+    let argv = List.map (eval ctx) args in
+    match Functions.lookup name with
+    | Some impl -> impl argv
+    | None -> (
+      match ctx.resolve name with
+      | Some impl -> impl argv
+      | None -> fail "unknown function %s" name))
+  | X.Elem { name; content } ->
+    let body = List.concat_map (eval_content ctx) content in
+    [ Item.Node (Node.Element { name; attrs = []; children = normalize_content body }) ]
+  | X.Text s -> Item.of_string s
+  | X.If (c, t, e) ->
+    if Item.effective_boolean_value (eval ctx c) then eval ctx t
+    else eval ctx e
+  | X.Binop (op, a, b) -> (
+    match op with
+    | X.B_and ->
+      Item.of_bool
+        (Item.effective_boolean_value (eval ctx a)
+        && Item.effective_boolean_value (eval ctx b))
+    | X.B_or ->
+      Item.of_bool
+        (Item.effective_boolean_value (eval ctx a)
+        || Item.effective_boolean_value (eval ctx b))
+    | X.B_general cmp ->
+      Item.of_bool (general_compare cmp (eval ctx a) (eval ctx b))
+    | X.B_value cmp -> value_compare cmp (eval ctx a) (eval ctx b)
+    | X.B_arith op -> (
+      match (Item.atomize (eval ctx a), Item.atomize (eval ctx b)) with
+      | [], _ | _, [] -> []
+      | [ x ], [ y ] -> [ Item.Atomic (arith_atomic op x y) ]
+      | _ -> fail "arithmetic requires singleton operands"))
+  | X.Neg a -> (
+    match Item.atomize (eval ctx a) with
+    | [] -> []
+    | [ Atomic.Integer i ] -> Item.of_int (-i)
+    | [ v ] -> [ Item.Atomic (Atomic.Double (-.Atomic.cast_double v)) ]
+    | _ -> fail "unary minus requires a singleton operand")
+  | X.Quantified { every; bindings; satisfies } ->
+    Item.of_bool (eval_quantified ctx every bindings satisfies)
+  | X.Filter (base, pred) -> apply_predicate ctx (eval ctx base) pred
+
+and eval_content ctx (e : X.expr) : Item.sequence =
+  (* Inside a constructor, literal [Text] stays text even if it looks
+     numeric; everything else evaluates normally. *)
+  match e with
+  | X.Text s -> if s = "" then [] else [ Item.Node (Node.Text s) ]
+  | _ -> eval ctx e
+
+and apply_predicate ctx (items : Item.sequence) (pred : X.expr) =
+  let n = List.length items in
+  List.filteri
+    (fun i item ->
+      let ctx = bind ctx "." [ item ] in
+      ignore n;
+      let result = eval ctx pred in
+      match result with
+      | [ Item.Atomic a ] when Atomic.is_numeric a ->
+        (* positional predicate *)
+        Atomic.cast_double a = float_of_int (i + 1)
+      | _ -> Item.effective_boolean_value result)
+    items
+
+and eval_quantified ctx every bindings satisfies =
+  let rec go ctx = function
+    | [] -> Item.effective_boolean_value (eval ctx satisfies)
+    | (var, src) :: rest ->
+      let items = eval ctx src in
+      let test item = go (bind ctx var [ item ]) rest in
+      if every then List.for_all test items else List.exists test items
+  in
+  go ctx bindings
+
+(* FLWOR: clauses transform a stream of variable environments. *)
+and eval_flwor ctx (f : X.flwor) : Item.sequence =
+  let streams =
+    List.fold_left
+      (fun envs clause ->
+        match clause with
+        | X.For { var; source } ->
+          List.concat_map
+            (fun env ->
+              List.map
+                (fun item -> Env.add var [ item ] env)
+                (eval { ctx with vars = env } source))
+            envs
+        | X.Let { var; value } ->
+          List.map
+            (fun env -> Env.add var (eval { ctx with vars = env } value) env)
+            envs
+        | X.Where cond ->
+          List.filter
+            (fun env ->
+              Item.effective_boolean_value (eval { ctx with vars = env } cond))
+            envs
+        | X.Group { grouped; partition; keys } -> eval_group ctx envs grouped partition keys
+        | X.Order_by specs -> eval_order ctx envs specs)
+      [ ctx.vars ] f.clauses
+  in
+  List.concat_map (fun env -> eval { ctx with vars = env } f.return) streams
+
+and eval_group ctx envs grouped partition keys =
+  (* Partition the tuple stream by the grouping keys.  The output
+     stream binds only the key variables and the partition variable,
+     which accumulates the grouped variable's items across the group
+     (BEA group-by extension semantics, paper section 3.5). *)
+  let table : (string, Item.sequence list ref * Item.sequence list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun env ->
+      let ctx = { ctx with vars = env } in
+      let key_values = List.map (fun (k, _) -> eval ctx k) keys in
+      let key_string =
+        String.concat "\x01"
+          (List.map
+             (fun seq ->
+               match Item.atomize seq with
+               | [] -> "\x00empty"
+               | atoms -> String.concat "\x02" (List.map Atomic.hash_key atoms))
+             key_values)
+      in
+      let grouped_items =
+        match Env.find_opt grouped env with
+        | Some seq -> seq
+        | None -> fail "group clause: undefined variable $%s" grouped
+      in
+      match Hashtbl.find_opt table key_string with
+      | Some (acc, _) -> acc := grouped_items :: !acc
+      | None ->
+        Hashtbl.add table key_string (ref [ grouped_items ], key_values);
+        order := key_string :: !order)
+    envs;
+  (* Output tuples keep the FLWOR's enclosing environment (so outer
+     lets and correlated variables stay visible) and bind only the key
+     variables plus the partition on top of it — same-FLWOR bindings
+     from before the group clause do not survive. *)
+  List.rev_map
+    (fun key_string ->
+      let acc, key_values = Hashtbl.find table key_string in
+      let env =
+        List.fold_left2
+          (fun env (_, var) value -> Env.add var value env)
+          ctx.vars keys key_values
+      in
+      Env.add partition (List.concat (List.rev !acc)) env)
+    !order
+
+and eval_order ctx envs specs =
+  let keyed =
+    List.map
+      (fun env ->
+        let keys =
+          List.map
+            (fun (s : X.order_spec) ->
+              (Item.atomize (eval { ctx with vars = env } s.key), s))
+            specs
+        in
+        (keys, env))
+      envs
+  in
+  let compare_key (a, (s : X.order_spec)) (b, _) =
+    let c =
+      match (a, b) with
+      | [], [] -> 0
+      | [], _ -> ( match s.empty with X.Empty_least -> -1 | X.Empty_greatest -> 1)
+      | _, [] -> ( match s.empty with X.Empty_least -> 1 | X.Empty_greatest -> -1)
+      | x :: _, y :: _ -> Atomic.compare_values x y
+    in
+    if s.descending then -c else c
+  in
+  let compare_env (ka, _) (kb, _) =
+    let rec go = function
+      | [] -> 0
+      | (a, b) :: rest ->
+        let c = compare_key a b in
+        if c <> 0 then c else go rest
+    in
+    go (List.combine ka kb)
+  in
+  List.map snd (List.stable_sort compare_env keyed)
+
+let eval_query ctx (q : X.query) = eval ctx q.body

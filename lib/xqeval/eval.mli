@@ -1,0 +1,32 @@
+(** The XQuery evaluator.
+
+    Implements the dynamic semantics of the fragment emitted by the
+    translator: FLWOR tuple streams (with the BEA group-by extension),
+    path navigation with positional and boolean predicates, element
+    construction with sequence-content normalization, general and
+    value comparisons, quantifiers, and the function library of
+    {!Functions} extended with caller-supplied external functions
+    (the data-service functions of the platform). *)
+
+type external_fn = Aqua_xml.Item.sequence list -> Aqua_xml.Item.sequence
+
+type context
+(** Dynamic evaluation context: variable bindings plus the resolver
+    for non-built-in function names. *)
+
+val context :
+  ?resolve:(string -> external_fn option) -> unit -> context
+(** A fresh context. [resolve] is consulted for any function name not
+    found in the built-in library (e.g. ["ns0:CUSTOMERS"]). *)
+
+val bind : context -> string -> Aqua_xml.Item.sequence -> context
+(** Binds a variable (name without the ['$']). *)
+
+val eval : context -> Aqua_xquery.Ast.expr -> Aqua_xml.Item.sequence
+(** @raise Error.Dynamic_error on dynamic errors (unknown variable or
+    function, type mismatches, cast failures). *)
+
+val eval_query : context -> Aqua_xquery.Ast.query -> Aqua_xml.Item.sequence
+(** Evaluates a full query; the prolog's schema imports carry no
+    dynamic semantics in this engine (function resolution is by
+    prefixed name). *)

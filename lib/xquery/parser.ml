@@ -1,0 +1,696 @@
+(* Scannerless recursive-descent parser for the printed XQuery
+   fragment.  Character-level parsing keeps direct element
+   constructors (which switch between XML content and enclosed
+   expressions) simple. *)
+
+module Atomic = Aqua_xml.Atomic
+open Ast
+
+exception Parse_error of { offset : int; message : string }
+
+type state = { src : string; mutable pos : int }
+
+let error st fmt =
+  Format.kasprintf
+    (fun message -> raise (Parse_error { offset = st.pos; message }))
+    fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek_at st off =
+  if st.pos + off < String.length st.src then Some st.src.[st.pos + off]
+  else None
+
+let advance st n = st.pos <- st.pos + n
+
+let rec skip_ws st =
+  (match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st 1;
+    skip_ws st
+  | Some '(' when peek_at st 1 = Some ':' ->
+    (* (: comment :) — no nesting needed for our output, but support it *)
+    advance st 2;
+    let depth = ref 1 in
+    while !depth > 0 do
+      match (peek st, peek_at st 1) with
+      | Some '(', Some ':' ->
+        advance st 2;
+        incr depth
+      | Some ':', Some ')' ->
+        advance st 2;
+        decr depth
+      | Some _, _ -> advance st 1
+      | None, _ -> error st "unterminated comment"
+    done;
+    skip_ws st
+  | _ -> ())
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let is_name_start c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+
+let is_name_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true
+  | _ -> false
+
+let is_digit c = match c with '0' .. '9' -> true | _ -> false
+
+(* a keyword must not be followed by a name character *)
+let at_keyword st kw =
+  looking_at st kw
+  &&
+  match peek_at st (String.length kw) with
+  | Some c -> not (is_name_char c)
+  | None -> true
+
+let eat_keyword st kw =
+  skip_ws st;
+  if at_keyword st kw then begin
+    advance st (String.length kw);
+    true
+  end
+  else false
+
+let expect_keyword st kw =
+  if not (eat_keyword st kw) then error st "expected '%s'" kw
+
+let eat_punct st s =
+  skip_ws st;
+  if looking_at st s then begin
+    advance st (String.length s);
+    true
+  end
+  else false
+
+let expect_punct st s =
+  if not (eat_punct st s) then error st "expected '%s'" s
+
+let read_ncname st =
+  skip_ws st;
+  match peek st with
+  | Some c when is_name_start c ->
+    let start = st.pos in
+    while (match peek st with Some c -> is_name_char c | None -> false) do
+      advance st 1
+    done;
+    String.sub st.src start (st.pos - start)
+  | _ -> error st "expected a name"
+
+(* NCName(:NCName)? — used for function names and element names *)
+let read_qname st =
+  let first = read_ncname st in
+  if peek st = Some ':' && (match peek_at st 1 with Some c -> is_name_start c | None -> false)
+  then begin
+    advance st 1;
+    first ^ ":" ^ read_ncname st
+  end
+  else first
+
+let read_variable st =
+  skip_ws st;
+  expect_punct st "$";
+  read_ncname st
+
+let read_string_literal st =
+  skip_ws st;
+  expect_punct st "\"";
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '"' when peek_at st 1 = Some '"' ->
+      Buffer.add_char buf '"';
+      advance st 2;
+      go ()
+    | Some '"' -> advance st 1
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st 1;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let read_number st =
+  skip_ws st;
+  let start = st.pos in
+  if peek st = Some '-' then advance st 1;
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st 1
+  done;
+  let is_decimal =
+    peek st = Some '.'
+    && (match peek_at st 1 with Some c -> is_digit c | None -> false)
+  in
+  if is_decimal then begin
+    advance st 1;
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st 1
+    done
+  end;
+  (* exponent part for doubles *)
+  let has_exp =
+    match (peek st, peek_at st 1) with
+    | Some ('e' | 'E'), Some c when is_digit c || c = '+' || c = '-' -> true
+    | _ -> false
+  in
+  if has_exp then begin
+    advance st 2;
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st 1
+    done
+  end;
+  let text = String.sub st.src start (st.pos - start) in
+  if text = "" || text = "-" then error st "expected a number";
+  if is_decimal || has_exp then
+    if has_exp then Literal (Atomic.Double (float_of_string text))
+    else Literal (Atomic.Decimal (float_of_string text))
+  else Literal (Atomic.Integer (int_of_string text))
+
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr_single st : expr =
+  skip_ws st;
+  if at_keyword st "for" || at_keyword st "let" then parse_flwor st
+  else if at_keyword st "if" then parse_if st
+  else if at_keyword st "some" then parse_quantified st false
+  else if at_keyword st "every" then parse_quantified st true
+  else parse_or st
+
+and parse_flwor st : expr =
+  let clauses = ref [] in
+  let rec loop () =
+    skip_ws st;
+    if eat_keyword st "for" then begin
+      let rec bindings () =
+        let var = read_variable st in
+        expect_keyword st "in";
+        let source = parse_expr_single st in
+        clauses := For { var; source } :: !clauses;
+        if eat_punct st "," then bindings ()
+      in
+      bindings ();
+      loop ()
+    end
+    else if eat_keyword st "let" then begin
+      let rec bindings () =
+        let var = read_variable st in
+        expect_punct st ":=";
+        let value = parse_expr_single st in
+        clauses := Let { var; value } :: !clauses;
+        if eat_punct st "," then bindings ()
+      in
+      bindings ();
+      loop ()
+    end
+    else if eat_keyword st "where" then begin
+      clauses := Where (parse_expr_single st) :: !clauses;
+      loop ()
+    end
+    else if eat_keyword st "group" then begin
+      let grouped = read_variable st in
+      expect_keyword st "as";
+      let partition = read_variable st in
+      expect_keyword st "by";
+      let rec keys acc =
+        let k = parse_expr_single st in
+        expect_keyword st "as";
+        let v = read_variable st in
+        if eat_punct st "," then keys ((k, v) :: acc)
+        else List.rev ((k, v) :: acc)
+      in
+      clauses := Group { grouped; partition; keys = keys [] } :: !clauses;
+      loop ()
+    end
+    else if eat_keyword st "order" then begin
+      expect_keyword st "by";
+      let rec specs acc =
+        let key = parse_expr_single st in
+        let descending =
+          if eat_keyword st "descending" then true
+          else begin
+            ignore (eat_keyword st "ascending");
+            false
+          end
+        in
+        let empty =
+          if eat_keyword st "empty" then
+            if eat_keyword st "greatest" then Empty_greatest
+            else begin
+              expect_keyword st "least";
+              Empty_least
+            end
+          else Empty_least
+        in
+        let spec = { key; descending; empty } in
+        if eat_punct st "," then specs (spec :: acc)
+        else List.rev (spec :: acc)
+      in
+      clauses := Order_by (specs []) :: !clauses;
+      loop ()
+    end
+  in
+  loop ();
+  expect_keyword st "return";
+  let return = parse_expr_single st in
+  Flwor { clauses = List.rev !clauses; return }
+
+and parse_if st : expr =
+  expect_keyword st "if";
+  expect_punct st "(";
+  let cond = parse_sequence st in
+  expect_punct st ")";
+  expect_keyword st "then";
+  let then_ = parse_expr_single st in
+  expect_keyword st "else";
+  let else_ = parse_expr_single st in
+  If (cond, then_, else_)
+
+and parse_quantified st every : expr =
+  if every then expect_keyword st "every" else expect_keyword st "some";
+  let rec bindings acc =
+    let v = read_variable st in
+    expect_keyword st "in";
+    let src = parse_expr_single st in
+    if eat_punct st "," then bindings ((v, src) :: acc)
+    else List.rev ((v, src) :: acc)
+  in
+  let bindings = bindings [] in
+  expect_keyword st "satisfies";
+  let satisfies = parse_expr_single st in
+  Quantified { every; bindings; satisfies }
+
+and parse_or st : expr =
+  let rec go left =
+    if eat_keyword st "or" then go (Binop (B_or, left, parse_and st))
+    else left
+  in
+  go (parse_and st)
+
+and parse_and st : expr =
+  let rec go left =
+    if eat_keyword st "and" then go (Binop (B_and, left, parse_comparison st))
+    else left
+  in
+  go (parse_comparison st)
+
+and parse_comparison st : expr =
+  let left = parse_additive st in
+  skip_ws st;
+  let value_ops =
+    [ ("eq", Eq); ("ne", Ne); ("lt", Lt); ("le", Le); ("gt", Gt); ("ge", Ge) ]
+  in
+  let rec try_value = function
+    | [] -> None
+    | (kw, op) :: rest ->
+      if at_keyword st kw then begin
+        advance st (String.length kw);
+        Some (B_value op)
+      end
+      else try_value rest
+  in
+  match try_value value_ops with
+  | Some op -> Binop (op, left, parse_additive st)
+  | None ->
+    (* longest-match general comparison operators *)
+    if eat_punct st "!=" then Binop (B_general Ne, left, parse_additive st)
+    else if eat_punct st "<=" then Binop (B_general Le, left, parse_additive st)
+    else if eat_punct st ">=" then Binop (B_general Ge, left, parse_additive st)
+    else if eat_punct st "=" then Binop (B_general Eq, left, parse_additive st)
+    else begin
+      skip_ws st;
+      (* '<' followed by a name is an element constructor, not less-than *)
+      let lt_here =
+        looking_at st "<"
+        && (match peek_at st 1 with
+           | Some c -> not (is_name_start c) && c <> '/'
+           | None -> false)
+      in
+      if lt_here then begin
+        advance st 1;
+        Binop (B_general Lt, left, parse_additive st)
+      end
+      else if eat_punct st ">" then
+        Binop (B_general Gt, left, parse_additive st)
+      else left
+    end
+
+and parse_additive st : expr =
+  let rec go left =
+    skip_ws st;
+    if eat_punct st "+" then go (Binop (B_arith Add, left, parse_multiplicative st))
+    else if
+      (* '-' must be an operator, not part of a name; our printer always
+         spaces binary operators *)
+      looking_at st "-" && peek_at st 1 <> Some '-'
+    then begin
+      advance st 1;
+      go (Binop (B_arith Sub, left, parse_multiplicative st))
+    end
+    else left
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st : expr =
+  let rec go left =
+    skip_ws st;
+    if eat_punct st "*" then go (Binop (B_arith Mul, left, parse_unary st))
+    else if at_keyword st "idiv" then begin
+      advance st 4;
+      go (Binop (B_arith Idiv, left, parse_unary st))
+    end
+    else if at_keyword st "div" then begin
+      advance st 3;
+      go (Binop (B_arith Div, left, parse_unary st))
+    end
+    else if at_keyword st "mod" then begin
+      advance st 3;
+      go (Binop (B_arith Mod, left, parse_unary st))
+    end
+    else left
+  in
+  go (parse_unary st)
+
+and parse_unary st : expr =
+  skip_ws st;
+  if looking_at st "-" then begin
+    advance st 1;
+    Neg (parse_unary st)
+  end
+  else parse_path st
+
+and parse_path st : expr =
+  skip_ws st;
+  (* relative path: a bare name followed by path continuation or used
+     as a step from the context item *)
+  let base =
+    if looking_at st "." && not (match peek_at st 1 with Some c -> is_digit c | None -> false)
+    then begin
+      advance st 1;
+      Context_item
+    end
+    else if
+      (match peek st with Some c -> is_name_start c | None -> false)
+      && not (at_reserved_head st)
+    then begin
+      (* could be a function call or a relative path step *)
+      let save = st.pos in
+      let name = read_qname st in
+      skip_ws st;
+      if looking_at st "(" && not (looking_at st "(:") then begin
+        advance st 1;
+        parse_call st name
+      end
+      else begin
+        (* relative path step from the context item *)
+        st.pos <- save;
+        let step = parse_step st in
+        Path (Context_item, [ step ])
+      end
+    end
+    else parse_primary st
+  in
+  parse_path_continuation st base
+
+and at_reserved_head st =
+  List.exists (at_keyword st)
+    [ "return"; "for"; "let"; "where"; "group"; "order"; "if"; "then";
+      "else"; "some"; "every"; "satisfies"; "and"; "or"; "div"; "idiv";
+      "mod"; "in"; "as"; "by"; "ascending"; "descending"; "empty" ]
+
+and parse_step st : step =
+  skip_ws st;
+  let name =
+    if looking_at st "*" then begin
+      advance st 1;
+      "*"
+    end
+    else read_qname st
+  in
+  let rec predicates acc =
+    skip_ws st;
+    if looking_at st "[" then begin
+      advance st 1;
+      let p = parse_sequence st in
+      expect_punct st "]";
+      predicates (p :: acc)
+    end
+    else List.rev acc
+  in
+  { name; predicates = predicates [] }
+
+and parse_path_continuation st base : expr =
+  (* collect /step and [predicate] postfixes *)
+  let rec go acc_expr =
+    skip_ws st;
+    if looking_at st "/" then begin
+      advance st 1;
+      let step = parse_step st in
+      match acc_expr with
+      | Path (b, steps) -> go (Path (b, steps @ [ step ]))
+      | e -> go (Path (e, [ step ]))
+    end
+    else if looking_at st "[" then begin
+      advance st 1;
+      let p = parse_sequence st in
+      expect_punct st "]";
+      go (Filter (acc_expr, p))
+    end
+    else acc_expr
+  in
+  go base
+
+and parse_call st name : expr =
+  (* '(' consumed *)
+  skip_ws st;
+  if eat_punct st ")" then Call (name, [])
+  else begin
+    let rec args acc =
+      let a = parse_expr_single st in
+      if eat_punct st "," then args (a :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (a :: acc)
+      end
+    in
+    Call (name, args [])
+  end
+
+and parse_primary st : expr =
+  skip_ws st;
+  match peek st with
+  | Some '$' ->
+    advance st 1;
+    Var (read_ncname st)
+  | Some '"' -> Literal (Atomic.String (read_string_literal st))
+  | Some c when is_digit c -> read_number st
+  | Some '(' ->
+    advance st 1;
+    skip_ws st;
+    if eat_punct st ")" then Seq []
+    else begin
+      let e = parse_sequence st in
+      expect_punct st ")";
+      e
+    end
+  | Some '<' -> parse_constructor st
+  | _ -> error st "unexpected character in expression"
+
+and parse_sequence st : expr =
+  let first = parse_expr_single st in
+  if eat_punct st "," then begin
+    let rec go acc =
+      let e = parse_expr_single st in
+      if eat_punct st "," then go (e :: acc) else List.rev (e :: acc)
+    in
+    Seq (first :: go [])
+  end
+  else first
+
+and parse_constructor st : expr =
+  expect_punct st "<";
+  let name = read_qname st in
+  skip_ws st;
+  if eat_punct st "/>" then Elem { name; content = [] }
+  else parse_constructor_content st name
+
+and parse_constructor_content st name : expr =
+  expect_punct st ">";
+  (* content: raw text, enclosed expressions, child constructors *)
+  let content = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_text () =
+    if Buffer.length buf > 0 then begin
+      content := Text (Buffer.contents buf) :: !content;
+      Buffer.clear buf
+    end
+  in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated element constructor <%s>" name
+    | Some '<' when peek_at st 1 = Some '/' ->
+      flush_text ();
+      advance st 2;
+      let close = read_qname st in
+      if close <> name then
+        error st "mismatched constructor tags <%s> ... </%s>" name close;
+      skip_ws st;
+      expect_punct st ">"
+    | Some '<' ->
+      flush_text ();
+      content := parse_constructor st :: !content;
+      go ()
+    | Some '{' ->
+      flush_text ();
+      advance st 1;
+      let e = parse_sequence st in
+      expect_punct st "}";
+      content := e :: !content;
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st 1;
+      go ()
+  in
+  go ();
+  (* whitespace-only text between child parts is formatting, drop it *)
+  let cleaned =
+    List.filter
+      (function Text s -> String.trim s <> "" | _ -> true)
+      (List.rev !content)
+  in
+  Elem { name; content = cleaned }
+
+(* ------------------------------------------------------------------ *)
+
+let parse_prolog st : prolog =
+  let imports = ref [] in
+  let rec go () =
+    skip_ws st;
+    if at_keyword st "import" then begin
+      advance st 6;
+      expect_keyword st "schema";
+      expect_keyword st "namespace";
+      let prefix = read_ncname st in
+      expect_punct st "=";
+      let namespace = read_string_literal st in
+      expect_keyword st "at";
+      let location = read_string_literal st in
+      expect_punct st ";";
+      imports := { prefix; namespace; location } :: !imports;
+      go ()
+    end
+  in
+  go ();
+  { imports = List.rev !imports }
+
+let finish st =
+  skip_ws st;
+  if st.pos < String.length st.src then
+    error st "unexpected trailing input"
+
+let parse_query src =
+  let st = { src; pos = 0 } in
+  let prolog = parse_prolog st in
+  let body = parse_sequence st in
+  finish st;
+  { prolog; body }
+
+let parse_expr src =
+  let st = { src; pos = 0 } in
+  let e = parse_sequence st in
+  finish st;
+  e
+
+(* ------------------------------------------------------------------ *)
+(* Library modules (.ds files)                                        *)
+
+type function_decl = {
+  fd_name : string;
+  fd_params : (string * string) list;
+  fd_return : string;
+  fd_body : expr option;
+}
+
+(* Sequence types are kept as raw text: read balanced up to a stopper
+   character at depth 0. *)
+let read_type_text st ~stop_at =
+  skip_ws st;
+  let start = st.pos in
+  let depth = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | None -> continue := false
+    | Some '(' ->
+      incr depth;
+      advance st 1
+    | Some ')' when !depth > 0 ->
+      decr depth;
+      advance st 1
+    | Some c when !depth = 0 && List.mem c stop_at -> continue := false
+    | Some _ ->
+      (* stop before "external" or '{' at depth 0 *)
+      if !depth = 0 && (at_keyword st "external" || looking_at st "{") then
+        continue := false
+      else advance st 1
+  done;
+  let text = String.trim (String.sub st.src start (st.pos - start)) in
+  if text = "" then error st "expected a sequence type";
+  text
+
+let parse_function_decl st : function_decl =
+  expect_keyword st "declare";
+  expect_keyword st "function";
+  let fd_name = read_qname st in
+  expect_punct st "(";
+  skip_ws st;
+  let fd_params =
+    if eat_punct st ")" then []
+    else begin
+      let rec go acc =
+        let v = read_variable st in
+        expect_keyword st "as";
+        let ty = read_type_text st ~stop_at:[ ','; ')' ] in
+        if eat_punct st "," then go ((v, ty) :: acc)
+        else begin
+          expect_punct st ")";
+          List.rev ((v, ty) :: acc)
+        end
+      in
+      go []
+    end
+  in
+  expect_keyword st "as";
+  let fd_return = read_type_text st ~stop_at:[ ';' ] in
+  let fd_body =
+    if eat_keyword st "external" then None
+    else begin
+      expect_punct st "{";
+      let body = parse_sequence st in
+      expect_punct st "}";
+      Some body
+    end
+  in
+  expect_punct st ";";
+  { fd_name; fd_params; fd_return; fd_body }
+
+let parse_library src =
+  let st = { src; pos = 0 } in
+  let prolog = parse_prolog st in
+  let decls = ref [] in
+  let rec go () =
+    skip_ws st;
+    if at_keyword st "declare" then begin
+      decls := parse_function_decl st :: !decls;
+      go ()
+    end
+  in
+  go ();
+  finish st;
+  (prolog, List.rev !decls)

@@ -1,0 +1,37 @@
+(** A parser for the XQuery fragment this library prints.
+
+    Covers everything {!Pretty} emits — prologs with schema imports,
+    FLWOR expressions (including the BEA [group … by] extension),
+    path expressions with predicates, direct element constructors with
+    enclosed expressions, quantifiers, conditionals, and the operator
+    grammar — plus [(: comments :)]. This is the entry point for
+    logical data services authored as query text, and for executing
+    raw XQuery against a server.
+
+    [Pretty.query_to_string] followed by [parse_query] is the identity
+    up to formatting (a property exercised by the test suite). *)
+
+exception Parse_error of { offset : int; message : string }
+
+val parse_query : string -> Ast.query
+(** Parses a prolog followed by a body expression.
+    @raise Parse_error on malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parses a standalone expression (no prolog).
+    @raise Parse_error on malformed input. *)
+
+(** A [declare function] in a library module (.ds file). Types are
+    kept as raw text — the platform layer interprets them. *)
+type function_decl = {
+  fd_name : string;       (** possibly prefixed, e.g. "f1:CUSTOMERS" *)
+  fd_params : (string * string) list;  (** variable name, type text *)
+  fd_return : string;     (** e.g. "schema-element(t1:CUSTOMERS)*" *)
+  fd_body : Ast.expr option;  (** [None] = external *)
+}
+
+val parse_library : string -> Ast.prolog * function_decl list
+(** Parses a library module: a prolog of schema imports followed by
+    [declare function] declarations (external or with bodies) — the
+    shape of a data-service [.ds] file (paper Example 2).
+    @raise Parse_error on malformed input. *)

@@ -1,0 +1,10 @@
+(** Serialization of XQuery ASTs to query text in the style of the
+    paper's examples: FLWORs with one clause per line, constructor
+    content in curly braces, comparisons parenthesized. *)
+
+val expr_to_string : Ast.expr -> string
+val query_to_string : Ast.query -> string
+
+val query_to_compact_string : Ast.query -> string
+(** Single-line form (whitespace-minimal), used by benchmarks to
+    measure emission cost without formatting overhead. *)

@@ -1,0 +1,71 @@
+(* Shared fixtures and assertions for the suite. *)
+
+module Value = Aqua_relational.Value
+module Rowset = Aqua_relational.Rowset
+module Schema = Aqua_relational.Schema
+module Sql_type = Aqua_relational.Sql_type
+module Table = Aqua_relational.Table
+module Artifact = Aqua_dsp.Artifact
+module Translator = Aqua_translator.Translator
+module Semantic = Aqua_translator.Semantic
+module Errors = Aqua_translator.Errors
+module Engine = Aqua_sqlengine.Engine
+module Connection = Aqua_driver.Connection
+module Result_set = Aqua_driver.Result_set
+
+let demo_app () = Aqua_workload.Demo.build ()
+
+(* Runs a SQL statement through the DSP driver path (given transport)
+   and through the baseline engine; fails the test on divergence. *)
+let assert_differential ?(transport = Connection.Text) app sql =
+  let conn = Connection.connect ~transport app in
+  let via_driver = Result_set.to_rowset (Connection.execute_query conn sql) in
+  let direct = Engine.execute_sql (Engine.env_of_application app) sql in
+  match Rowset.diff_summary direct via_driver with
+  | None -> ()
+  | Some msg ->
+    Alcotest.failf "differential mismatch on %s: %s\n-- engine:\n%s\n-- driver:\n%s"
+      sql msg (Rowset.to_string direct) (Rowset.to_string via_driver)
+
+(* Runs through the engine only and returns displayed cells. *)
+let engine_rows app sql =
+  let rs = Engine.execute_sql (Engine.env_of_application app) sql in
+  List.map
+    (fun row -> List.map Value.to_display (Array.to_list row))
+    rs.Rowset.rows
+
+let driver_rows ?(transport = Connection.Text) app sql =
+  let conn = Connection.connect ~transport app in
+  let rs = Result_set.to_rowset (Connection.execute_query conn sql) in
+  List.map
+    (fun row -> List.map Value.to_display (Array.to_list row))
+    rs.Rowset.rows
+
+let translate app sql =
+  Translator.translate (Semantic.env_of_application app) sql
+
+let xquery_text app sql = Translator.to_string (translate app sql)
+
+let expect_error ?kind app sql =
+  match Translator.translate (Semantic.env_of_application app) sql with
+  | _ -> Alcotest.failf "expected a translation error for: %s" sql
+  | exception Errors.Error e -> (
+    match kind with
+    | None -> ()
+    | Some k ->
+      if e.Errors.kind <> k then
+        Alcotest.failf "expected %s but got %s for: %s"
+          (Errors.kind_to_string k) (Errors.to_string e) sql)
+
+let check_rows = Alcotest.(check (list (list string)))
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let assert_contains ~needle haystack =
+  if not (contains ~needle haystack) then
+    Alcotest.failf "expected to find %S in:\n%s" needle haystack
+
+let case name f = Alcotest.test_case name `Quick f

@@ -1,0 +1,200 @@
+(* XSD documents and .ds-file deployment round trips. *)
+
+module Xsd = Aqua_dsp.Xsd
+module Dsfile = Aqua_dsp.Dsfile
+module Artifact = Aqua_dsp.Artifact
+module Schema = Aqua_relational.Schema
+module Sql_type = Aqua_relational.Sql_type
+module Table = Aqua_relational.Table
+module Value = Aqua_relational.Value
+module Parser = Aqua_xquery.Parser
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sample_xsd =
+  {
+    Xsd.element_name = "CUSTOMERS";
+    target_namespace = "ld:P/CUSTOMERS";
+    columns =
+      [ Schema.column ~nullable:false "CUSTOMERID" Sql_type.Integer;
+        Schema.column ~nullable:false "CUSTOMERNAME" (Sql_type.Varchar None);
+        Schema.column "CITY" (Sql_type.Varchar None);
+        Schema.column "PAYDATE" Sql_type.Date ]
+  }
+
+let xsd_roundtrip () =
+  let text = Xsd.to_text sample_xsd in
+  Helpers.assert_contains ~needle:"xs:schema" text;
+  Helpers.assert_contains ~needle:"targetNamespace=\"ld:P/CUSTOMERS\"" text;
+  Helpers.assert_contains ~needle:"minOccurs=\"0\"" text;
+  let back = Xsd.of_text text in
+  check_str "element" "CUSTOMERS" back.Xsd.element_name;
+  check_str "namespace" "ld:P/CUSTOMERS" back.Xsd.target_namespace;
+  check_int "columns" 4 (List.length back.Xsd.columns);
+  let city = List.nth back.Xsd.columns 2 in
+  check_bool "nullable survives" true city.Schema.nullable;
+  let id = List.nth back.Xsd.columns 0 in
+  check_bool "not-null survives" false id.Schema.nullable;
+  check_bool "date type survives" true
+    ((List.nth back.Xsd.columns 3).Schema.ty = Sql_type.Date)
+
+let xsd_rejects_non_flat () =
+  let bad s =
+    match Xsd.of_text s with
+    | exception Xsd.Invalid_schema _ -> ()
+    | _ -> Alcotest.failf "accepted non-flat schema: %s" s
+  in
+  (* nested complex content *)
+  bad
+    "<xs:schema xmlns:xs=\"x\"><xs:element name=\"R\"><xs:complexType>\
+     <xs:sequence><xs:element name=\"C\"><xs:complexType/></xs:element>\
+     </xs:sequence></xs:complexType></xs:element></xs:schema>";
+  (* repeating child *)
+  bad
+    "<xs:schema xmlns:xs=\"x\"><xs:element name=\"R\"><xs:complexType>\
+     <xs:sequence><xs:element name=\"C\" type=\"xs:int\" \
+     maxOccurs=\"unbounded\"/></xs:sequence></xs:complexType></xs:element>\
+     </xs:schema>";
+  (* no columns *)
+  bad
+    "<xs:schema xmlns:xs=\"x\"><xs:element name=\"R\"><xs:complexType>\
+     <xs:sequence/></xs:complexType></xs:element></xs:schema>";
+  (* not a schema at all *)
+  bad "<html/>"
+
+let parse_library_shapes () =
+  let prolog, decls =
+    Parser.parse_library
+      "import schema namespace t1 = \"ld:P/T\" at \"ld:P/schemas/T.xsd\";\n\
+       declare function f1:T()\n\
+      \    as schema-element(t1:T)*\n\
+      \    external;\n\n\
+       declare function f1:byId($p1 as xs:int)\n\
+      \    as schema-element(t1:T)* {\n\
+       f1:T()[ID = $p1]\n\
+       };\n"
+  in
+  check_int "imports" 1 (List.length prolog.Aqua_xquery.Ast.imports);
+  check_int "decls" 2 (List.length decls);
+  (match decls with
+  | [ ext; logical ] ->
+    check_str "external name" "f1:T" ext.Parser.fd_name;
+    check_bool "external body" true (ext.Parser.fd_body = None);
+    check_str "return type" "schema-element(t1:T)*" ext.Parser.fd_return;
+    check_int "logical params" 1 (List.length logical.Parser.fd_params);
+    check_bool "logical body" true (logical.Parser.fd_body <> None)
+  | _ -> Alcotest.fail "bad decl count")
+
+(* Full loop: render an existing service's .ds + .xsd text, deploy the
+   text into a fresh application, and query it through the driver. *)
+let deploy_roundtrip () =
+  let table =
+    Table.create "CUSTOMERS"
+      [ Schema.column ~nullable:false "CUSTOMERID" Sql_type.Integer;
+        Schema.column ~nullable:false "CUSTOMERNAME" (Sql_type.Varchar (Some 40));
+        Schema.column "CITY" (Sql_type.Varchar (Some 30)) ]
+  in
+  Table.insert_all table
+    [ [ Value.Int 1; Value.Str "Acme"; Value.Str "Austin" ];
+      [ Value.Int 2; Value.Str "Zenith"; Value.Null ] ];
+  (* source application: render its files *)
+  let src_app = Artifact.application "Source" in
+  let ds = Artifact.import_physical_table src_app ~project:"P" table in
+  let ds_text = Artifact.ds_file_text ds in
+  let xsd_text =
+    Xsd.to_text
+      {
+        Xsd.element_name = "CUSTOMERS";
+        target_namespace = Artifact.namespace_of_service ds;
+        columns = table.Table.schema;
+      }
+  in
+  (* target application: deploy from text *)
+  let target = Artifact.application "Target" in
+  let deployed =
+    Dsfile.deploy target ~path:"P" ~name:"CUSTOMERS"
+      ~load_schema:(fun location ->
+        Alcotest.(check string)
+          "schema location requested" "ld:P/schemas/CUSTOMERS.xsd" location;
+        Xsd.of_text xsd_text)
+      ~bind_external:(fun fn -> if fn = "CUSTOMERS" then Some table else None)
+      ds_text
+  in
+  check_int "one function" 1 (List.length deployed.Artifact.functions);
+  let rows =
+    Helpers.driver_rows target "SELECT CUSTOMERNAME, CITY FROM CUSTOMERS ORDER BY 1"
+  in
+  Helpers.check_rows "deployed service answers SQL"
+    [ [ "Acme"; "Austin" ]; [ "Zenith"; "NULL" ] ]
+    rows
+
+let deploy_logical_from_text () =
+  let app = Aqua_workload.Demo.build () in
+  let ds_text =
+    "import schema namespace t1 = \"ld:TestDataServices/CUSTOMERS\" at \
+     \"ld:TestDataServices/schemas/CUSTOMERS.xsd\";\n\
+     declare function f1:GOLD() as schema-element(t1:CUSTOMERS)* {\n\
+     for $c in t1:CUSTOMERS() where $c/TIER = 1 return $c\n\
+     };"
+  in
+  ignore
+    (Dsfile.deploy app ~path:"Views" ~name:"GOLD"
+       ~load_schema:(fun _ ->
+         {
+           Xsd.element_name = "CUSTOMERS";
+           target_namespace = "ld:TestDataServices/CUSTOMERS";
+           columns =
+             [ Schema.column ~nullable:false "CUSTOMERID" Sql_type.Integer;
+               Schema.column ~nullable:false "CUSTOMERNAME"
+                 (Sql_type.Varchar (Some 40)) ];
+         })
+       ds_text);
+  (* note: the function's own prefix t1 doubles as the import prefix,
+     so the body resolves t1:CUSTOMERS through the prolog *)
+  let rows = Helpers.driver_rows app "SELECT CUSTOMERNAME FROM GOLD ORDER BY 1" in
+  Helpers.check_rows "gold customers" [ [ "Acme Widget Stores" ]; [ "Joe" ] ] rows
+
+let deploy_errors () =
+  let table = Table.create "T" [ Schema.column "A" Sql_type.Integer ] in
+  let xsd =
+    { Xsd.element_name = "T"; target_namespace = "ld:P/T";
+      columns = [ Schema.column "A" Sql_type.Integer ] }
+  in
+  let ds_text =
+    "import schema namespace t1 = \"ld:P/T\" at \"ld:P/schemas/T.xsd\";\n\
+     declare function f1:T() as schema-element(t1:T)* external;"
+  in
+  (* external without a binding *)
+  (match
+     Dsfile.parse ~path:"P" ~name:"T" ~load_schema:(fun _ -> xsd) ds_text
+   with
+  | exception Dsfile.Deploy_error _ -> ()
+  | _ -> Alcotest.fail "unbound external accepted");
+  (* schema that does not declare the element *)
+  (match
+     Dsfile.parse ~path:"P" ~name:"T"
+       ~load_schema:(fun _ -> { xsd with Xsd.element_name = "OTHER" })
+       ~bind_external:(fun _ -> Some table)
+       ds_text
+   with
+  | exception Dsfile.Deploy_error _ -> ()
+  | _ -> Alcotest.fail "missing element accepted");
+  (* non-flat return type *)
+  match
+    Dsfile.parse ~path:"P" ~name:"T" ~load_schema:(fun _ -> xsd)
+      ~bind_external:(fun _ -> Some table)
+      "declare function f1:T() as xs:integer external;"
+  with
+  | exception Dsfile.Deploy_error _ -> ()
+  | _ -> Alcotest.fail "non-flat return accepted"
+
+let suite =
+  ( "dsfile",
+    [ Helpers.case "xsd round-trip" xsd_roundtrip;
+      Helpers.case "xsd rejects non-flat rows" xsd_rejects_non_flat;
+      Helpers.case "parse library shapes" parse_library_shapes;
+      Helpers.case "deploy round-trip" deploy_roundtrip;
+      Helpers.case "deploy logical from text" deploy_logical_from_text;
+      Helpers.case "deploy errors" deploy_errors ] )

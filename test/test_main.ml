@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "aqualogic_sql2xq"
+    [ Test_atomic.suite;
+      Test_xml.suite;
+      Test_relational.suite;
+      Test_sql_parser.suite;
+      Test_xqeval.suite;
+      Test_xquery_parser.suite;
+      Test_dsp.suite;
+      Test_translator.suite;
+      Test_golden_paper.suite;
+      Test_wrapper.suite;
+      Test_engine.suite;
+      Test_driver.suite;
+      Test_callable.suite;
+      Test_dsfile.suite;
+      Test_compile.suite;
+      Test_differential.suite ]

@@ -1,0 +1,136 @@
+(* Relational substrate: values, three-valued logic, schemas, tables,
+   rowset comparison. *)
+
+module Value = Aqua_relational.Value
+module Sql_type = Aqua_relational.Sql_type
+module Schema = Aqua_relational.Schema
+module Table = Aqua_relational.Table
+module Rowset = Aqua_relational.Rowset
+module Node = Aqua_xml.Node
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let three_valued_logic () =
+  let open Value in
+  check_bool "t and u" true (and3 True Unknown = Unknown);
+  check_bool "f and u" true (and3 False Unknown = False);
+  check_bool "t or u" true (or3 True Unknown = True);
+  check_bool "f or u" true (or3 False Unknown = Unknown);
+  check_bool "not u" true (not3 Unknown = Unknown);
+  check_bool "null equality is unknown" true (equal3 Null (Int 1) = Unknown);
+  check_bool "null vs null is unknown" true (equal3 Null Null = Unknown)
+
+let sql_comparison () =
+  check_bool "null sorts first" true (Value.compare_sql Value.Null (Value.Int 0) < 0);
+  check_bool "int vs num" true
+    (Value.compare_sql (Value.Int 2) (Value.Num 2.5) < 0);
+  check_bool "strings" true
+    (Value.compare_sql (Value.Str "a") (Value.Str "b") < 0);
+  (match Value.compare_sql (Value.Int 1) (Value.Str "x") with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "int vs string compared")
+
+let group_keys () =
+  check_bool "nulls group together" true
+    (Value.group_key Value.Null = Value.group_key Value.Null);
+  check_bool "int and equal num share keys" true
+    (Value.group_key (Value.Int 3) = Value.group_key (Value.Num 3.0))
+
+let promotion () =
+  check_bool "int+decimal" true
+    (Sql_type.promote Sql_type.Integer (Sql_type.Decimal None)
+    = Some (Sql_type.Decimal None));
+  check_bool "decimal+double" true
+    (Sql_type.promote (Sql_type.Decimal None) Sql_type.Double
+    = Some Sql_type.Double);
+  check_bool "varchar not numeric" true
+    (Sql_type.promote (Sql_type.Varchar None) Sql_type.Integer = None);
+  check_bool "comparable strings" true
+    (Sql_type.comparable (Sql_type.Char 3) (Sql_type.Varchar None));
+  check_bool "date and timestamp comparable" true
+    (Sql_type.comparable Sql_type.Date Sql_type.Timestamp);
+  check_bool "int and varchar not comparable" false
+    (Sql_type.comparable Sql_type.Integer (Sql_type.Varchar None))
+
+let schema_checks () =
+  let schema =
+    [ Schema.column ~nullable:false "ID" Sql_type.Integer;
+      Schema.column "NAME" (Sql_type.Varchar (Some 10)) ]
+  in
+  check_bool "valid row" true
+    (Schema.check_row schema [| Value.Int 1; Value.Str "x" |] = Ok ());
+  check_bool "null ok when nullable" true
+    (Schema.check_row schema [| Value.Int 1; Value.Null |] = Ok ());
+  check_bool "null rejected when not nullable" true
+    (Result.is_error (Schema.check_row schema [| Value.Null; Value.Str "x" |]));
+  check_bool "arity" true
+    (Result.is_error (Schema.check_row schema [| Value.Int 1 |]));
+  check_bool "type mismatch" true
+    (Result.is_error
+       (Schema.check_row schema [| Value.Str "oops"; Value.Str "x" |]))
+
+let table_flat_xml () =
+  let t =
+    Table.create "T"
+      [ Schema.column ~nullable:false "A" Sql_type.Integer;
+        Schema.column "B" (Sql_type.Varchar None) ]
+  in
+  Table.insert t [ Value.Int 1; Value.Str "x" ];
+  Table.insert t [ Value.Int 2; Value.Null ];
+  let xml = Table.to_flat_xml t in
+  Alcotest.(check int) "two rows" 2 (List.length xml);
+  (match xml with
+  | [ r1; r2 ] ->
+    check_str "row element name" "ns0:T" (Option.get (Node.name_of r1));
+    Alcotest.(check int) "row 1 has both columns" 2
+      (List.length (Node.children_elements r1));
+    Alcotest.(check int) "null column is absent" 1
+      (List.length (Node.children_elements r2))
+  | _ -> Alcotest.fail "wrong row count");
+  (match Table.insert t [ Value.Str "bad"; Value.Null ] with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "bad row accepted")
+
+let rowset_comparison () =
+  let schema = [ Schema.column "A" Sql_type.Integer ] in
+  let rs rows = Rowset.make schema (List.map (fun i -> [| Value.Int i |]) rows) in
+  check_bool "multiset equal ignores order" true
+    (Rowset.equal_as_multisets (rs [ 1; 2; 2 ]) (rs [ 2; 1; 2 ]));
+  check_bool "multiset counts matter" false
+    (Rowset.equal_as_multisets (rs [ 1; 2 ]) (rs [ 1; 1 ]));
+  check_bool "list equality is ordered" false
+    (Rowset.equal_as_lists (rs [ 1; 2 ]) (rs [ 2; 1 ]));
+  check_bool "diff none on equal" true
+    (Rowset.diff_summary (rs [ 1 ]) (rs [ 1 ]) = None);
+  check_bool "diff reports cardinality" true
+    (Rowset.diff_summary (rs [ 1 ]) (rs [ 1; 1 ]) <> None);
+  check_bool "order-by projection check" true
+    (Rowset.sorted_under_order_by ~keys:[ 0 ] (rs [ 1; 2 ]) (rs [ 1; 2 ]))
+
+let value_parsing () =
+  check_bool "int" true (Value.of_string Sql_type.Integer "42" = Value.Int 42);
+  check_bool "decimal" true
+    (Value.of_string (Sql_type.Decimal None) "4.5" = Value.Num 4.5);
+  check_bool "bool" true (Value.of_string Sql_type.Boolean "true" = Value.Bool true);
+  (match Value.of_string Sql_type.Integer "zap" with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "bad int accepted")
+
+let prop_group_key_injective =
+  QCheck.Test.make ~name:"group keys separate distinct ints" ~count:300
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      (a = b) = (Value.group_key (Value.Int a) = Value.group_key (Value.Int b)))
+
+let suite =
+  ( "relational",
+    [ Helpers.case "three-valued logic" three_valued_logic;
+      Helpers.case "sql comparison" sql_comparison;
+      Helpers.case "group keys" group_keys;
+      Helpers.case "type promotion" promotion;
+      Helpers.case "schema checks" schema_checks;
+      Helpers.case "flat xml" table_flat_xml;
+      Helpers.case "rowset comparison" rowset_comparison;
+      Helpers.case "value parsing" value_parsing;
+      QCheck_alcotest.to_alcotest prop_group_key_injective ] )

@@ -1,0 +1,216 @@
+(* Translator stages: semantic validation errors, result schema
+   computation, structural properties of the generated XQuery. *)
+
+module Errors = Aqua_translator.Errors
+module Outcol = Aqua_translator.Outcol
+module Sql_type = Aqua_relational.Sql_type
+module Translator = Aqua_translator.Translator
+module Semantic = Aqua_translator.Semantic
+module Generate = Aqua_translator.Generate
+module X = Aqua_xquery.Ast
+
+let app () = Helpers.demo_app ()
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let semantic_errors () =
+  let a = app () in
+  Helpers.expect_error ~kind:Errors.Unknown_table a "SELECT * FROM NOPE";
+  Helpers.expect_error ~kind:Errors.Unknown_column a
+    "SELECT NOPE FROM CUSTOMERS";
+  Helpers.expect_error ~kind:Errors.Unknown_column a
+    "SELECT X.CUSTOMERID FROM CUSTOMERS C";
+  Helpers.expect_error ~kind:Errors.Ambiguous_column a
+    "SELECT CUSTOMERID FROM CUSTOMERS, PO_CUSTOMERS";
+  (* the paper's grouping example: SELECT EMPNO ... GROUP BY EMPNAME *)
+  Helpers.expect_error ~kind:Errors.Grouping a
+    "SELECT CUSTOMERID FROM CUSTOMERS GROUP BY CUSTOMERNAME";
+  Helpers.expect_error ~kind:Errors.Grouping a
+    "SELECT CITY, COUNT(*) FROM CUSTOMERS GROUP BY CITY HAVING TIER > 1";
+  Helpers.expect_error ~kind:Errors.Grouping a
+    "SELECT * FROM CUSTOMERS WHERE COUNT(*) > 1";
+  Helpers.expect_error ~kind:Errors.Grouping a
+    "SELECT * FROM CUSTOMERS C, CUSTOMERS C";
+  Helpers.expect_error ~kind:Errors.Type_mismatch a
+    "SELECT CITY FROM CUSTOMERS UNION SELECT CITY, TIER FROM CUSTOMERS";
+  Helpers.expect_error ~kind:Errors.Type_mismatch a
+    "SELECT * FROM CUSTOMERS WHERE CUSTOMERNAME > 5";
+  Helpers.expect_error ~kind:Errors.Type_mismatch a
+    "SELECT CUSTOMERNAME + 1 FROM CUSTOMERS";
+  Helpers.expect_error ~kind:Errors.Unknown_column a
+    "SELECT CUSTOMERID FROM CUSTOMERS ORDER BY 9";
+  Helpers.expect_error ~kind:Errors.Cardinality a
+    "SELECT * FROM CUSTOMERS WHERE CUSTOMERID IN (SELECT CUSTOMERID, TIER FROM CUSTOMERS)";
+  Helpers.expect_error ~kind:Errors.Unsupported a
+    "SELECT BOGUSFN(CUSTOMERID) FROM CUSTOMERS";
+  (* correlation works, sibling derived tables must not see each other *)
+  Helpers.expect_error ~kind:Errors.Unknown_column a
+    "SELECT * FROM CUSTOMERS C, (SELECT CUSTOMERID FROM PO_CUSTOMERS WHERE CUSTOMERID = C.CUSTOMERID) D"
+
+let syntax_errors_carry_positions () =
+  match Translator.translate (Semantic.env_of_application (app ())) "SELECT FROM" with
+  | _ -> Alcotest.fail "expected syntax error"
+  | exception Errors.Error e ->
+    check_bool "kind" true (e.Errors.kind = Errors.Syntax);
+    check_bool "position" true (e.Errors.pos <> None)
+
+let result_schema () =
+  let t = Helpers.translate (app ()) "SELECT CUSTOMERID ID, CITY FROM CUSTOMERS" in
+  (match t.Translator.columns with
+  | [ c1; c2 ] ->
+    check_str "label 1" "ID" c1.Outcol.label;
+    check_bool "type 1" true (c1.Outcol.ty = Sql_type.Integer);
+    check_bool "not nullable" false c1.Outcol.nullable;
+    check_str "label 2" "CITY" c2.Outcol.label;
+    check_bool "nullable" true c2.Outcol.nullable
+  | _ -> Alcotest.fail "expected two columns");
+  (* outer join makes the inner side nullable *)
+  let t2 =
+    Helpers.translate (app ())
+      "SELECT P.PAYMENT FROM CUSTOMERS C LEFT OUTER JOIN PAYMENTS P ON C.CUSTOMERID = P.CUSTID"
+  in
+  (match t2.Translator.columns with
+  | [ c ] -> check_bool "outer-join nullability" true c.Outcol.nullable
+  | _ -> Alcotest.fail "expected one column");
+  (* aggregates *)
+  let t3 =
+    Helpers.translate (app ())
+      "SELECT COUNT(*) C, SUM(TIER) S, AVG(TIER) A FROM CUSTOMERS"
+  in
+  (match t3.Translator.columns with
+  | [ c; s; a ] ->
+    check_bool "count not null" false c.Outcol.nullable;
+    check_bool "sum nullable" true s.Outcol.nullable;
+    check_bool "avg nullable" true a.Outcol.nullable;
+    check_bool "count integer" true (c.Outcol.ty = Sql_type.Integer)
+  | _ -> Alcotest.fail "expected three columns");
+  (* wildcard expansion covers all columns of all tables *)
+  let t4 = Helpers.translate (app ()) "SELECT * FROM CUSTOMERS, PAYMENTS" in
+  check_int "star arity" 8 (List.length t4.Translator.columns)
+
+let structure_checks () =
+  let text = Helpers.xquery_text (app ()) "SELECT * FROM CUSTOMERS" in
+  Helpers.assert_contains ~needle:"import schema namespace ns0" text;
+  Helpers.assert_contains ~needle:"ld:TestDataServices/CUSTOMERS" text;
+  Helpers.assert_contains ~needle:"<RECORDSET>" text;
+  Helpers.assert_contains ~needle:"for $var1FR0 in ns0:CUSTOMERS()" text;
+  Helpers.assert_contains ~needle:"<RECORD>" text;
+  Helpers.assert_contains ~needle:"fn:data($var1FR0/CUSTOMERID)" text;
+  (* one import per distinct table even when referenced twice *)
+  let text2 =
+    Helpers.xquery_text (app ())
+      "SELECT A.CUSTOMERID FROM CUSTOMERS A, CUSTOMERS B WHERE A.CUSTOMERID = B.CUSTOMERID"
+  in
+  check_bool "single import" false
+    (Helpers.contains ~needle:"ns1" text2)
+
+let literal_casts () =
+  let text =
+    Helpers.xquery_text (app ())
+      "SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID > 10"
+  in
+  Helpers.assert_contains ~needle:"xs:int(10)" text
+
+let parameters_become_variables () =
+  let text =
+    Helpers.xquery_text (app ())
+      "SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERID = ? AND CUSTOMERNAME = ?"
+  in
+  Helpers.assert_contains ~needle:"$param1" text;
+  Helpers.assert_contains ~needle:"$param2" text
+
+let naive_vs_patterned () =
+  let env = Semantic.env_of_application (app ()) in
+  let sql = "SELECT CUSTOMERID FROM CUSTOMERS WHERE CUSTOMERNAME LIKE 'A%'" in
+  let patterned =
+    Aqua_xquery.Pretty.query_to_string
+      (Translator.translate ~style:Generate.Patterned env sql).Translator.xquery
+  in
+  let naive =
+    Aqua_xquery.Pretty.query_to_string
+      (Translator.translate ~style:Generate.Naive env sql).Translator.xquery
+  in
+  Helpers.assert_contains ~needle:"fn:starts-with" patterned;
+  Helpers.assert_contains ~needle:"fn-bea:like" naive;
+  (* naive style guards even non-nullable columns *)
+  Helpers.assert_contains ~needle:"fn:empty($var1FR0/CUSTOMERID)" naive
+
+let order_by_inside_flwor () =
+  let text =
+    Helpers.xquery_text (app ())
+      "SELECT CUSTOMERNAME FROM CUSTOMERS ORDER BY CUSTOMERID DESC"
+  in
+  Helpers.assert_contains ~needle:"order by" text;
+  Helpers.assert_contains ~needle:"descending" text
+
+let group_by_uses_bea_extension () =
+  let text =
+    Helpers.xquery_text (app ())
+      "SELECT CITY, COUNT(*) N FROM CUSTOMERS GROUP BY CITY"
+  in
+  Helpers.assert_contains ~needle:"group $" text;
+  Helpers.assert_contains ~needle:" by " text;
+  Helpers.assert_contains ~needle:"fn:count($" text
+
+let outer_join_pattern () =
+  let text =
+    Helpers.xquery_text (app ())
+      "SELECT CUSTOMERS.CUSTOMERID, PAYMENTS.PAYMENT FROM CUSTOMERS LEFT OUTER JOIN PAYMENTS ON CUSTOMERS.CUSTOMERID = PAYMENTS.CUSTID"
+  in
+  (* the Example-10 shape: a let-bound RECORDSET and an emptiness test *)
+  Helpers.assert_contains ~needle:"let $tempvar" text;
+  Helpers.assert_contains ~needle:"fn:empty" text;
+  Helpers.assert_contains ~needle:"CUSTOMERS.CUSTOMERID" text;
+  Helpers.assert_contains ~needle:"PAYMENTS.PAYMENT" text
+
+let explain_tree () =
+  (* the Figure-3 query shape: three tables, an inner join, two
+     subqueries, a union — plus the Figure-4 context numbering *)
+  let env = Semantic.env_of_application (app ()) in
+  let text =
+    Aqua_translator.Explain.statement env
+      (Aqua_sql.Parser.parse
+         "SELECT INFO.ID FROM (SELECT CUSTOMERID ID FROM CUSTOMERS WHERE \
+          TIER IN (SELECT TIER FROM CUSTOMERS)) AS INFO INNER JOIN PAYMENTS \
+          ON INFO.ID = PAYMENTS.CUSTID UNION SELECT ORDERID FROM \
+          PO_CUSTOMERS ORDER BY 1")
+  in
+  List.iter
+    (fun needle -> Helpers.assert_contains ~needle text)
+    [ "CTX0 (outermost scope)";
+      "RSN set operation: UNION";
+      "CTX1: query";
+      "RSN join (INNER JOIN)";
+      "RSN derived table AS INFO";
+      "CTX2: query";
+      "RSN subquery (in WHERE)";
+      "CTX3: query";
+      "RSN table PAYMENTS";
+      "CTX4: query";
+      "order by: 1" ]
+
+let translate_result_api () =
+  let env = Semantic.env_of_application (app ()) in
+  (match Translator.translate_result env "SELECT * FROM CUSTOMERS" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unexpected error %s" (Errors.to_string e));
+  match Translator.translate_result env "SELECT * FROM NOPE" with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e -> check_bool "kind" true (e.Errors.kind = Errors.Unknown_table)
+
+let suite =
+  ( "translator",
+    [ Helpers.case "semantic errors" semantic_errors;
+      Helpers.case "syntax errors carry positions" syntax_errors_carry_positions;
+      Helpers.case "result schema" result_schema;
+      Helpers.case "structural checks" structure_checks;
+      Helpers.case "literal casts" literal_casts;
+      Helpers.case "parameters" parameters_become_variables;
+      Helpers.case "naive vs patterned styles" naive_vs_patterned;
+      Helpers.case "order by inside flwor" order_by_inside_flwor;
+      Helpers.case "group-by uses BEA extension" group_by_uses_bea_extension;
+      Helpers.case "outer join pattern" outer_join_pattern;
+      Helpers.case "explain tree (figures 3-4)" explain_tree;
+      Helpers.case "translate_result api" translate_result_api ] )

@@ -1,0 +1,109 @@
+(* Section-4 text transport: encoding and decoding. *)
+
+module Wrapper = Aqua_translator.Wrapper
+module Outcol = Aqua_translator.Outcol
+module Sql_type = Aqua_relational.Sql_type
+module Functions = Aqua_xqeval.Functions
+
+let cols n =
+  List.init n (fun i ->
+      Outcol.make
+        ~label:(Printf.sprintf "C%d" i)
+        ~element:(Printf.sprintf "C%d" i)
+        ~ty:(Sql_type.Varchar None) ~nullable:true)
+
+let check_rows = Alcotest.(check (list (list (option string))))
+
+(* Encode rows the way the generated wrapper query does. *)
+let encode rows =
+  String.concat ""
+    (List.map
+       (fun row ->
+         String.concat ""
+           (List.mapi
+              (fun i cell ->
+                let sep = if i = 0 then ">" else "<" in
+                let body =
+                  match cell with
+                  | None -> "\x00"
+                  | Some s -> Functions.xml_escape s
+                in
+                sep ^ body)
+              row))
+       rows)
+
+let roundtrip rows ncols () =
+  let text = encode rows in
+  check_rows "decoded" rows (Wrapper.decode ~columns:(cols ncols) text)
+
+let nasty_rows =
+  [ [ Some "plain"; Some "" ];
+    [ Some "a<b>c&d"; None ];
+    [ Some ">starts"; Some "<mid<" ];
+    [ Some "new\nline"; Some "tab\there" ];
+    [ None; None ];
+    [ Some "\x01control"; Some "d\x1fe" ] ]
+
+let empty_result () =
+  check_rows "no rows" [] (Wrapper.decode ~columns:(cols 2) "")
+
+let decode_errors () =
+  (match Wrapper.decode ~columns:(cols 2) "junk" with
+  | exception Wrapper.Decode_error _ -> ()
+  | _ -> Alcotest.fail "missing row prefix accepted");
+  match Wrapper.decode ~columns:(cols 2) ">only-one-cell" with
+  | exception Wrapper.Decode_error _ -> ()
+  | _ -> Alcotest.fail "wrong arity accepted"
+
+let unescape_cases () =
+  Alcotest.(check string) "entities" "<&>" (Wrapper.unescape "&lt;&amp;&gt;");
+  Alcotest.(check string) "char ref" "\x01" (Wrapper.unescape "&#1;");
+  match Wrapper.unescape "&bogus;" with
+  | exception Wrapper.Decode_error _ -> ()
+  | _ -> Alcotest.fail "bad entity accepted"
+
+(* property: arbitrary strings and NULLs survive the round-trip *)
+let arb_cell =
+  QCheck.(
+    option
+      (string_gen_of_size (Gen.int_bound 12) (Gen.char_range '\x00' '\x7f')))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"text transport round-trip" ~count:500
+    QCheck.(list_of_size (Gen.int_range 1 6) (pair arb_cell arb_cell))
+    (fun rows ->
+      let rows = List.map (fun (a, b) -> [ a; b ]) rows in
+      Wrapper.decode ~columns:(cols 2) (encode rows) = rows)
+
+(* end-to-end: driver text transport equals xml transport on nasty data *)
+let transports_agree_on_nasty_data () =
+  let module Table = Aqua_relational.Table in
+  let module Schema = Aqua_relational.Schema in
+  let module Value = Aqua_relational.Value in
+  let module Artifact = Aqua_dsp.Artifact in
+  let t =
+    Table.create "NASTY"
+      [ Schema.column ~nullable:false "ID" Sql_type.Integer;
+        Schema.column "S" (Sql_type.Varchar None) ]
+  in
+  List.iteri
+    (fun i cell ->
+      Table.insert t
+        [ Value.Int i; (match cell with None -> Value.Null | Some s -> Value.Str s) ])
+    [ Some "a<b>&c"; None; Some ""; Some ">x<"; Some "q\"uote'"; Some "\ttab" ];
+  let app = Artifact.application "NastyApp" in
+  ignore (Artifact.import_physical_table app ~project:"P" t);
+  let sql = "SELECT ID, S FROM NASTY ORDER BY ID" in
+  let via_text = Helpers.driver_rows ~transport:Aqua_driver.Connection.Text app sql in
+  let via_xml = Helpers.driver_rows ~transport:Aqua_driver.Connection.Xml app sql in
+  Helpers.check_rows "transports agree" via_xml via_text
+
+let suite =
+  ( "wrapper",
+    [ Helpers.case "round-trip simple" (roundtrip [ [ Some "a"; Some "b" ] ] 2);
+      Helpers.case "round-trip nasty" (roundtrip nasty_rows 2);
+      Helpers.case "empty result" empty_result;
+      Helpers.case "decode errors" decode_errors;
+      Helpers.case "unescape" unescape_cases;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+      Helpers.case "transports agree on nasty data" transports_agree_on_nasty_data ] )

@@ -1,0 +1,132 @@
+(* XML node model, serializer and parser tests. *)
+
+module Node = Aqua_xml.Node
+module Item = Aqua_xml.Item
+module Serialize = Aqua_xml.Serialize
+module Parse = Aqua_xml.Parse
+module Atomic = Aqua_xml.Atomic
+
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let el = Node.element
+let tx = Node.text
+
+let escaping () =
+  check_str "text" "a&amp;b&lt;c&gt;d" (Serialize.escape_text "a&b<c>d");
+  check_str "attr" "say &quot;hi&quot;" (Serialize.escape_attr "say \"hi\"")
+
+let serialization () =
+  let node =
+    el "ROW" ~attrs:[ ("id", "1") ]
+      [ el "NAME" [ tx "Acme & Co" ]; el "EMPTY" [] ]
+  in
+  check_str "compact"
+    "<ROW id=\"1\"><NAME>Acme &amp; Co</NAME><EMPTY/></ROW>"
+    (Serialize.node_to_string node);
+  let pretty = Serialize.node_to_string ~indent:true node in
+  check_bool "indented has newlines" true (String.contains pretty '\n')
+
+let sequence_serialization () =
+  let seq =
+    [ Item.Atomic (Atomic.Integer 1);
+      Item.Atomic (Atomic.String "x");
+      Item.Node (el "E" []) ]
+  in
+  check_str "atomics joined by space" "1 x<E/>"
+    (Serialize.sequence_to_string seq)
+
+let parse_roundtrip () =
+  let node =
+    el "ns0:CUSTOMERS"
+      [ el "CUSTOMERID" [ tx "55" ];
+        el "CUSTOMERNAME" [ tx "Joe <\"quoted\"> & Sons" ] ]
+  in
+  let text = Serialize.node_to_string node in
+  let back = Parse.node_of_string text in
+  check_bool "round trip" true (Node.equal node back)
+
+let parse_details () =
+  let n = Parse.node_of_string "<a x='1' y=\"two\">mid<b/>tail</a>" in
+  (match n with
+  | Node.Element e ->
+    check_str "name" "a" e.Node.name;
+    Alcotest.(check (list (pair string string)))
+      "attrs"
+      [ ("x", "1"); ("y", "two") ]
+      e.Node.attrs;
+    Alcotest.(check int) "children" 3 (List.length e.Node.children)
+  | Node.Text _ -> Alcotest.fail "expected element");
+  let entities = Parse.node_of_string "<a>&lt;&amp;&gt;&#65;&#x42;</a>" in
+  check_str "entities" "<&>AB" (Node.string_value entities);
+  let decl = Parse.node_of_string "<?xml version=\"1.0\"?><!-- c --><a/>" in
+  check_bool "xml decl and comment skipped" true
+    (Node.name_of decl = Some "a")
+
+let parse_forest () =
+  let nodes = Parse.nodes_of_string "<a/><b/><c>t</c>" in
+  Alcotest.(check int) "three roots" 3 (List.length nodes)
+
+let parse_errors () =
+  let bad s =
+    match Parse.node_of_string s with
+    | exception Parse.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted malformed XML: %s" s
+  in
+  bad "<a><b></a></b>";
+  bad "<a";
+  bad "<a>&bogus;</a>";
+  bad "<a x=1/>";
+  bad ""
+
+let local_names () =
+  check_str "prefixed" "CUSTOMERS" (Node.local_name "ns0:CUSTOMERS");
+  check_str "plain" "CUSTOMERS" (Node.local_name "CUSTOMERS")
+
+let string_value () =
+  check_str "concatenated descendants" "ab"
+    (Node.string_value (el "r" [ el "x" [ tx "a" ]; tx "b" ]))
+
+(* random tree generator for the round-trip property *)
+let gen_tree =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "row"; "ns0:e"; "X_1" ] in
+  let text = oneofl [ "plain"; "a&b"; "<tag>"; "\"q\""; "x y z"; "" ] in
+  fix
+    (fun self depth ->
+      if depth = 0 then map Node.text text
+      else
+        frequency
+          [ (2, map Node.text text);
+            ( 3,
+              map2
+                (fun n children -> Node.element n children)
+                name
+                (list_size (int_bound 3) (self (depth - 1))) ) ])
+    3
+
+let arb_tree =
+  QCheck.make gen_tree ~print:(fun n -> Serialize.node_to_string n)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"serialize/parse round-trip" ~count:300 arb_tree
+    (fun node ->
+      (* wrap in a root so a bare text node is a valid document; the
+         round-trip target is the normalized tree, since adjacent and
+         empty text nodes are not representable in serialized XML *)
+      let root = Node.normalize (Node.element "root" [ node ]) in
+      let text = Serialize.node_to_string root in
+      Node.equal root (Parse.node_of_string text))
+
+let suite =
+  ( "xml",
+    [ Helpers.case "escaping" escaping;
+      Helpers.case "serialization" serialization;
+      Helpers.case "sequence serialization" sequence_serialization;
+      Helpers.case "parse round-trip" parse_roundtrip;
+      Helpers.case "parse details" parse_details;
+      Helpers.case "parse forest" parse_forest;
+      Helpers.case "parse errors" parse_errors;
+      Helpers.case "local names" local_names;
+      Helpers.case "string value" string_value;
+      QCheck_alcotest.to_alcotest prop_roundtrip ] )

@@ -1,0 +1,186 @@
+(* XQuery parser: unit cases plus the print/parse round-trip property
+   over every query the translator can emit. *)
+
+module X = Aqua_xquery.Ast
+module Parser = Aqua_xquery.Parser
+module Pretty = Aqua_xquery.Pretty
+module Atomic = Aqua_xml.Atomic
+module Item = Aqua_xml.Item
+
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let parse = Parser.parse_expr
+
+let roundtrip_expr src =
+  let e = parse src in
+  let once = Pretty.expr_to_string e in
+  let twice = Pretty.expr_to_string (parse once) in
+  check_str ("fixpoint: " ^ src) once twice
+
+let expression_cases () =
+  List.iter roundtrip_expr
+    [ "1 + 2 * 3";
+      "7 div 2";
+      "7 idiv 2";
+      "7 mod 2";
+      "-$x + 1";
+      "\"it\"\"s\"";
+      "$v/CUSTOMERID";
+      "$v/A/B[1]";
+      "$v/A[B = 1][2]";
+      "fn:data($v/X)";
+      "fn:concat(\"a\", \"b\", \"c\")";
+      "fn:true()";
+      "(1, 2, 3)";
+      "()";
+      "if (fn:empty($x)) then () else $x";
+      "some $x in (1, 2) satisfies $x > 1";
+      "every $x in $s, $y in $t satisfies $x = $y";
+      "$a = $b or $a < $b and fn:not($c)";
+      "$a eq $b";
+      "$a le 5";
+      "xs:integer(\"42\")";
+      "<RECORD><A>{fn:data($v/A)}</A></RECORD>";
+      "CUSTID";
+      "PAYMENTS[CUSTID = $c/ID]";
+      "." ]
+
+let parse_shapes () =
+  (match parse "$v/A" with
+  | X.Path (X.Var "v", [ { X.name = "A"; predicates = [] } ]) -> ()
+  | _ -> Alcotest.fail "path shape");
+  (match parse "CUSTID" with
+  | X.Path (X.Context_item, [ { X.name = "CUSTID"; _ } ]) -> ()
+  | _ -> Alcotest.fail "relative path shape");
+  (match parse "1 + 2 * 3" with
+  | X.Binop (X.B_arith X.Add, _, X.Binop (X.B_arith X.Mul, _, _)) -> ()
+  | _ -> Alcotest.fail "precedence shape");
+  (match parse "<E>literal</E>" with
+  | X.Elem { name = "E"; content = [ X.Text "literal" ] } -> ()
+  | _ -> Alcotest.fail "constructor text");
+  match parse "fn:count($p) < 3" with
+  | X.Binop (X.B_general X.Lt, X.Call ("fn:count", _), _) -> ()
+  | _ -> Alcotest.fail "lt vs constructor disambiguation"
+
+let flwor_cases () =
+  let q =
+    parse
+      "for $x in $src let $y := $x * 2 where $y > 4 order by $y descending \
+       return <R>{$y}</R>"
+  in
+  (match q with
+  | X.Flwor { clauses = [ X.For _; X.Let _; X.Where _; X.Order_by _ ]; _ } -> ()
+  | _ -> Alcotest.fail "flwor clause order");
+  let g =
+    parse
+      "for $r in $rows group $r as $p by fn:data($r/K) as $k return \
+       fn:count($p)"
+  in
+  (match g with
+  | X.Flwor { clauses = [ X.For _; X.Group { keys = [ _ ]; _ } ]; _ } -> ()
+  | _ -> Alcotest.fail "group clause")
+
+let prolog_case () =
+  let q =
+    Parser.parse_query
+      "import schema namespace ns0 = \"ld:P/T\" at \"ld:P/schemas/T.xsd\";\n\
+       (: authored view :)\n\
+       for $r in ns0:T() return $r"
+  in
+  (match q.X.prolog.X.imports with
+  | [ { X.prefix = "ns0"; namespace = "ld:P/T"; _ } ] -> ()
+  | _ -> Alcotest.fail "imports");
+  match q.X.body with X.Flwor _ -> () | _ -> Alcotest.fail "body"
+
+let errors () =
+  let bad s =
+    match Parser.parse_expr s with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted bad XQuery: %s" s
+  in
+  bad "";
+  bad "for $x in";
+  bad "<A>{1}</B>";
+  bad "if (1) then 2";
+  bad "(1, ";
+  bad "$";
+  bad "fn:count(1"
+
+(* every translated query must round-trip through print/parse, and the
+   reparsed query must evaluate identically *)
+let translator_roundtrip () =
+  let app = Helpers.demo_app () in
+  let env = Aqua_translator.Semantic.env_of_application app in
+  let srv = Aqua_dsp.Server.create app in
+  List.iter
+    (fun sql ->
+      let t = Aqua_translator.Translator.translate env sql in
+      let text = Aqua_xquery.Pretty.query_to_string t.Aqua_translator.Translator.xquery in
+      let reparsed = Parser.parse_query text in
+      let text2 = Aqua_xquery.Pretty.query_to_string reparsed in
+      check_str ("print/parse fixpoint for: " ^ sql) text text2;
+      let a = Aqua_dsp.Server.execute srv t.Aqua_translator.Translator.xquery in
+      let b = Aqua_dsp.Server.execute srv reparsed in
+      check_bool ("same result for: " ^ sql) true
+        (List.length a = List.length b && List.for_all2 Item.equal a b))
+    [ "SELECT * FROM CUSTOMERS";
+      "SELECT CUSTOMERID ID FROM CUSTOMERS WHERE CUSTOMERID > 2 ORDER BY 1 DESC";
+      "SELECT C.CUSTOMERNAME, P.PAYMENT FROM CUSTOMERS C LEFT OUTER JOIN PAYMENTS P ON C.CUSTOMERID = P.CUSTID";
+      "SELECT CITY, COUNT(*) N FROM CUSTOMERS GROUP BY CITY HAVING COUNT(*) > 1";
+      "SELECT CITY FROM CUSTOMERS WHERE TIER = 1 UNION SELECT CITY FROM CUSTOMERS WHERE TIER = 2";
+      "SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID IN (SELECT CUSTOMERID FROM PO_CUSTOMERS)";
+      "SELECT DISTINCT CITY FROM CUSTOMERS";
+      "SELECT COUNT(*), SUM(TIER) FROM CUSTOMERS" ]
+
+(* the same property over randomly generated SQL *)
+let prop_translated_roundtrip =
+  let app = Lazy.force (lazy (Aqua_workload.Datagen.application
+    { Aqua_workload.Datagen.customers = 10; orders = 15; lines_per_order = 2;
+      payments = 10 })) in
+  let tables = Aqua_dsp.Metadata.list_tables app in
+  let env = Aqua_translator.Semantic.env_of_application app in
+  QCheck.Test.make ~name:"translated queries round-trip through the parser"
+    ~count:150
+    QCheck.(
+      make
+        (fun rand -> Aqua_workload.Querygen.generate rand tables)
+        ~print:Aqua_sql.Pretty.statement_to_string)
+    (fun stmt ->
+      let t = Aqua_translator.Translator.translate_statement env stmt in
+      let text =
+        Aqua_xquery.Pretty.query_to_string t.Aqua_translator.Translator.xquery
+      in
+      let reparsed = Parser.parse_query text in
+      Aqua_xquery.Pretty.query_to_string reparsed = text)
+
+(* section-4 wrapper queries parse too *)
+let wrapper_roundtrip () =
+  let app = Helpers.demo_app () in
+  let env = Aqua_translator.Semantic.env_of_application app in
+  let t = Aqua_translator.Translator.translate env "SELECT CUSTOMERID, CITY FROM CUSTOMERS" in
+  let wrapped = Aqua_translator.Translator.for_text_transport t in
+  let text = Aqua_xquery.Pretty.query_to_string wrapped in
+  let reparsed = Parser.parse_query text in
+  check_str "wrapper fixpoint" text (Aqua_xquery.Pretty.query_to_string reparsed);
+  let srv = Aqua_dsp.Server.create app in
+  let direct = Aqua_dsp.Server.execute_to_text srv wrapped in
+  let via_text = Aqua_dsp.Server.execute_text srv text in
+  check_str "wrapper result" direct
+    (String.concat ""
+       (List.map
+          (function
+            | Item.Atomic a -> Atomic.to_lexical a
+            | Item.Node _ -> Alcotest.fail "node in text result")
+          via_text))
+
+let suite =
+  ( "xquery-parser",
+    [ Helpers.case "expression round-trips" expression_cases;
+      Helpers.case "parse shapes" parse_shapes;
+      Helpers.case "flwor" flwor_cases;
+      Helpers.case "prolog and comments" prolog_case;
+      Helpers.case "errors" errors;
+      Helpers.case "translator output round-trips" translator_roundtrip;
+      QCheck_alcotest.to_alcotest prop_translated_roundtrip;
+      Helpers.case "section-4 wrapper round-trips" wrapper_roundtrip ] )
