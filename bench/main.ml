@@ -1,5 +1,5 @@
 (* Benchmark harness regenerating the paper's performance story
-   (DESIGN.md experiments P1-P5).  One Bechamel test per measured
+   (DESIGN.md experiments P1-P8).  One Bechamel test per measured
    configuration; each experiment prints its table plus the derived
    ratios ("who wins, by what factor") that EXPERIMENTS.md records.
 
@@ -403,11 +403,129 @@ let p5 () =
   flush stdout
 
 (* ------------------------------------------------------------------ *)
-(* P6: query compilation (interpreted vs compiled evaluator)           *)
+(* P6: join strategy — nested loop vs hash equi-join (optimizer)       *)
+
+let p6_json_path = "BENCH_P6.json"
 
 let p6 () =
   print_endline
-    "\n== P6: server-side query compilation (interpreter vs compiled \
+    "\n== P6: join strategy, nested loop vs hash equi-join (optimizer) ==";
+  let scales =
+    [ ( "small",
+        { Datagen.customers = 50; orders = 200; lines_per_order = 2;
+          payments = 60 } );
+      ( "medium",
+        { Datagen.customers = 150; orders = 600; lines_per_order = 2;
+          payments = 180 } );
+      ( "large",
+        { Datagen.customers = 300; orders = 1200; lines_per_order = 2;
+          payments = 360 } ) ]
+  in
+  (* a comma-style join: the translator emits for/for/where, which the
+     optimizer rewrites into a hash equi-join plus a residual filter *)
+  let sql =
+    "SELECT C.CUSTOMERNAME, O.ORDERID FROM CUSTOMERS C, ORDERS O WHERE \
+     C.CUSTOMERID = O.CUSTOMERID AND O.PRIORITY > 1"
+  in
+  let cases =
+    List.map
+      (fun (label, s) ->
+        let app = Datagen.application s in
+        let env = Semantic.env_of_application app in
+        let t = Translator.translate env sql in
+        let naive_srv = Server.create ~optimize:false app in
+        let opt_srv = Server.create app in
+        let prepared = Server.prepare opt_srv t.Translator.xquery in
+        (label, s, t, naive_srv, opt_srv, prepared))
+      scales
+  in
+  (* sanity: the three strategies must agree before we time them *)
+  List.iter
+    (fun (label, _, t, naive_srv, opt_srv, prepared) ->
+      let ser items = Aqua_xml.Serialize.sequence_to_string items in
+      let a = ser (Server.execute naive_srv t.Translator.xquery) in
+      let b = ser (Server.execute opt_srv t.Translator.xquery) in
+      let c = ser (Server.execute_prepared prepared) in
+      if a <> b || a <> c then
+        failwith (Printf.sprintf "P6 %s: join strategies disagree" label))
+    cases;
+  let tests =
+    List.concat_map
+      (fun (label, _, t, naive_srv, opt_srv, prepared) ->
+        [ Test.make
+            ~name:("nested-loop-" ^ label)
+            (Staged.stage (fun () ->
+                 ignore (Server.execute naive_srv t.Translator.xquery)));
+          Test.make
+            ~name:("hash-join-" ^ label)
+            (Staged.stage (fun () ->
+                 ignore (Server.execute opt_srv t.Translator.xquery)));
+          Test.make
+            ~name:("hash-join-compiled-" ^ label)
+            (Staged.stage (fun () -> ignore (Server.execute_prepared prepared)))
+        ])
+      cases
+  in
+  let results = run_benchmarks (Test.make_grouped ~name:"p6" tests) in
+  let rows =
+    List.map
+      (fun (label, s, _, _, _, _) ->
+        let n = estimate results ("p6/nested-loop-" ^ label) in
+        let h = estimate results ("p6/hash-join-" ^ label) in
+        let c = estimate results ("p6/hash-join-compiled-" ^ label) in
+        (label, s, n, h, c))
+      cases
+  in
+  print_table "P6 inner join by strategy"
+    (List.concat_map
+       (fun (label, (s : Datagen.sizes), n, h, c) ->
+         let tag =
+           Printf.sprintf "%-6s (%dx%d)" label s.Datagen.customers
+             s.Datagen.orders
+         in
+         [ ("nested loop        " ^ tag, n);
+           ("hash join          " ^ tag, h);
+           ("hash join compiled " ^ tag, c) ])
+       rows);
+  Printf.printf "\nspeedup over the nested loop:\n";
+  List.iter
+    (fun (label, (s : Datagen.sizes), n, h, c) ->
+      Printf.printf
+        "  %-6s (%4d customers x %4d orders): hash %.2fx, hash+compile %.2fx\n"
+        label s.Datagen.customers s.Datagen.orders (ratio n h) (ratio n c))
+    rows;
+  (* machine-readable record for EXPERIMENTS.md / regression tracking *)
+  let jf f = if Float.is_nan f then "null" else Printf.sprintf "%.1f" f in
+  let jr f = if Float.is_nan f then "null" else Printf.sprintf "%.2f" f in
+  let oc = open_out p6_json_path in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"P6 join strategy\",\n  \"sql\": \"%s\",\n  \
+     \"units\": \"ns per query execution\",\n  \"scales\": [\n"
+    (String.concat " " (String.split_on_char '\n' (String.escaped sql)));
+  let n_rows = List.length rows in
+  List.iteri
+    (fun i (label, (s : Datagen.sizes), n, h, c) ->
+      Printf.fprintf oc
+        "    { \"label\": \"%s\", \"customers\": %d, \"orders\": %d,\n      \
+         \"nested_loop_ns\": %s, \"hash_join_ns\": %s, \
+         \"hash_join_compiled_ns\": %s,\n      \"speedup_hash\": %s, \
+         \"speedup_hash_compiled\": %s }%s\n"
+        label s.Datagen.customers s.Datagen.orders (jf n) (jf h) (jf c)
+        (jr (ratio n h))
+        (jr (ratio n c))
+        (if i = n_rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" p6_json_path;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* P8: query compilation (interpreted vs compiled evaluator)           *)
+
+let p8 () =
+  print_endline
+    "\n== P8: server-side query compilation (interpreter vs compiled \
      closures) ==";
   let app =
     Datagen.application
@@ -455,21 +573,21 @@ let p6 () =
                  ignore (Server.execute_prepared wrapped_prepared))) ])
       cases
   in
-  let results = run_benchmarks (Test.make_grouped ~name:"p6" tests) in
-  print_table "P6 execution by engine"
+  let results = run_benchmarks (Test.make_grouped ~name:"p8" tests) in
+  print_table "P8 execution by engine"
     (List.concat_map
        (fun (name, _, _, _) ->
-         [ ("interpreted      " ^ name, estimate results ("p6/interpreted-" ^ name));
-           ("compiled (hot)   " ^ name, estimate results ("p6/compiled-" ^ name));
-           ("compile+run      " ^ name, estimate results ("p6/compile+run-" ^ name));
-           ("compiled wrapper " ^ name, estimate results ("p6/compiled-text-wrapper-" ^ name)) ])
+         [ ("interpreted      " ^ name, estimate results ("p8/interpreted-" ^ name));
+           ("compiled (hot)   " ^ name, estimate results ("p8/compiled-" ^ name));
+           ("compile+run      " ^ name, estimate results ("p8/compile+run-" ^ name));
+           ("compiled wrapper " ^ name, estimate results ("p8/compiled-text-wrapper-" ^ name)) ])
        cases);
   List.iter
     (fun (name, _, _, _) ->
       Printf.printf "interpreted/compiled (%s): %.2fx\n" name
         (ratio
-           (estimate results ("p6/interpreted-" ^ name))
-           (estimate results ("p6/compiled-" ^ name))))
+           (estimate results ("p8/interpreted-" ^ name))
+           (estimate results ("p8/compiled-" ^ name))))
     cases;
   flush stdout
 
@@ -528,9 +646,9 @@ let () =
   let selected =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as picks) -> List.map String.uppercase_ascii picks
-    | _ -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7" ]
+    | _ -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8" ]
   in
-  let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7) ] in
+  let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7); ("P8", p8) ] in
   List.iter
     (fun name ->
       match List.assoc_opt name all with

@@ -36,6 +36,14 @@ let sql_arg =
 let naive_flag =
   Arg.(value & flag & info [ "naive" ] ~doc:"Use the naive emission style.")
 
+let no_optimize_flag =
+  Arg.(
+    value & flag
+    & info [ "no-optimize" ]
+        ~doc:
+          "Disable the XQuery optimizer (predicate pushdown, hash \
+           equi-joins); evaluate with the naive nested-loop pipeline.")
+
 let translate_cmd =
   let run sql naive =
     with_env (fun _app env ->
@@ -55,24 +63,24 @@ let translate_cmd =
     Term.(const run $ sql_arg $ naive_flag)
 
 let run_cmd =
-  let run sql naive =
+  let run sql naive no_optimize =
     with_env (fun app env ->
         let t = Translator.translate ~style:(style_of_naive naive) env sql in
-        let server = Server.create app in
+        let server = Server.create ~optimize:(not no_optimize) app in
         let items = Server.execute server t.Translator.xquery in
         print_endline (Aqua_xml.Serialize.sequence_to_string ~indent:true items))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Translate and execute; print the XML result")
-    Term.(const run $ sql_arg $ naive_flag)
+    Term.(const run $ sql_arg $ naive_flag $ no_optimize_flag)
 
 let text_cmd =
-  let run sql naive =
+  let run sql naive no_optimize =
     with_env (fun app env ->
         let t = Translator.translate ~style:(style_of_naive naive) env sql in
         let wrapped = Translator.for_text_transport t in
         print_endline (Aqua_xquery.Pretty.query_to_string wrapped);
-        let server = Server.create app in
+        let server = Server.create ~optimize:(not no_optimize) app in
         let text = Server.execute_to_text server wrapped in
         Printf.printf "-- wire text (%d bytes): %s\n" (String.length text)
           (String.escaped text))
@@ -80,7 +88,7 @@ let text_cmd =
   Cmd.v
     (Cmd.info "text"
        ~doc:"Print the text-transport wrapper query and its wire output")
-    Term.(const run $ sql_arg $ naive_flag)
+    Term.(const run $ sql_arg $ naive_flag $ no_optimize_flag)
 
 let diff_cmd =
   let run sql naive =
@@ -151,15 +159,31 @@ let wdiff_cmd =
     Term.(const run $ sql_arg $ naive_flag)
 
 let explain_cmd =
-  let run sql =
+  let show_xquery =
+    Arg.(
+      value & flag
+      & info [ "xquery" ]
+          ~doc:
+            "Also print the optimized XQuery (hash equi-joins appear as \
+             annotated for/where pairs).")
+  in
+  let run sql show_xquery =
     with_env (fun _app env ->
         print_string (Aqua_translator.Explain.statement env
-                        (Aqua_sql.Parser.parse sql)))
+                        (Aqua_sql.Parser.parse sql));
+        if show_xquery then begin
+          let t = Translator.translate env sql in
+          let optimized, _report =
+            Aqua_xqeval.Optimize.query t.Translator.xquery
+          in
+          print_endline "-- optimized xquery --";
+          print_endline (Aqua_xquery.Pretty.query_to_string optimized)
+        end)
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Show the query-context / resultset-node tree (paper Figs 3-4)")
-    Term.(const run $ sql_arg)
+    Term.(const run $ sql_arg $ show_xquery)
 
 let xq_cmd =
   (* parse raw XQuery text (from a file, or stdin with "-"), print the

@@ -104,6 +104,23 @@ and explain_query env p depth (q : A.query) =
     explain_query env p (depth + 1) left;
     explain_query env p (depth + 1) right
 
+(* The physical plan the XQuery optimizer would pick for this
+   statement: translate (stage three) and run the {!Aqua_xqeval}
+   optimizer pass on the result, reporting what fired. *)
+let explain_optimizer env p (stmt : A.statement) =
+  match Generate.generate env stmt with
+  | exception Errors.Error _ -> ()
+  | generated ->
+    let _, report = Aqua_xqeval.Optimize.query generated.Generate.query in
+    line p 1 "optimizer: %d predicate(s) pushed down, %d hash equi-join(s)"
+      report.Aqua_xqeval.Optimize.pushed_predicates
+      report.Aqua_xqeval.Optimize.hash_joins;
+    List.iter
+      (fun note -> line p 2 "PLAN %s" note)
+      report.Aqua_xqeval.Optimize.notes;
+    if report.Aqua_xqeval.Optimize.hash_joins = 0 then
+      line p 2 "PLAN joins (if any) run as nested loops"
+
 let statement env (stmt : A.statement) =
   (* validate first so the dump reflects a legal query *)
   ignore (Semantic.statement_columns env stmt);
@@ -122,4 +139,5 @@ let statement env (stmt : A.statement) =
               | A.Ord_expr e -> Pretty.expr_to_string e)
               ^ if o.A.descending then " DESC" else "")
             items)));
+  explain_optimizer env p stmt;
   Buffer.contents p.buf

@@ -10,20 +10,78 @@ module A = Aqua_sql.Ast
 
 type transport = Xml | Text
 
+(* Bounded LRU over translated queries, keyed by SQL text.  The
+   JDBC-reporting workload of the paper re-issues identical ad-hoc SQL
+   constantly; caching skips the parse/semantic/generate stages.  LRU
+   order is kept in a doubly-linked-list-free way: a use counter per
+   entry, evicting the least recently used entry when full. *)
+module Lru = struct
+  type 'a entry = { value : 'a; mutable stamp : int }
+
+  type 'a t = {
+    table : (string, 'a entry) Hashtbl.t;
+    capacity : int;
+    mutable clock : int;
+    mutable enabled : bool;
+  }
+
+  let create ~enabled capacity =
+    { table = Hashtbl.create 64; capacity; clock = 0; enabled }
+
+  let tick t =
+    t.clock <- t.clock + 1;
+    t.clock
+
+  let find t key =
+    if not t.enabled then None
+    else
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+        e.stamp <- tick t;
+        Some e.value
+      | None -> None
+
+  let evict_lru t =
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k e ->
+        match !victim with
+        | Some (_, stamp) when stamp <= e.stamp -> ()
+        | _ -> victim := Some (k, e.stamp))
+      t.table;
+    match !victim with
+    | Some (k, _) -> Hashtbl.remove t.table k
+    | None -> ()
+
+  let add t key value =
+    if t.enabled && not (Hashtbl.mem t.table key) then begin
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      Hashtbl.add t.table key { value; stamp = tick t }
+    end
+
+  let length t = Hashtbl.length t.table
+  let clear t = Hashtbl.reset t.table
+end
+
+let translation_cache_capacity = 128
+
 type t = {
   app : Artifact.application;
   srv : Server.t;
   cache : Metadata.Cache.t;
+  translations : Translator.t Lru.t;
   env : Semantic.env;
   mutable transport : transport;
 }
 
-let connect ?(transport = Text) ?(metadata_cache = true) app =
+let connect ?(transport = Text) ?(metadata_cache = true)
+    ?(translation_cache = true) ?(optimize = true) app =
   let cache = Metadata.Cache.create ~enabled:metadata_cache app in
   {
     app;
-    srv = Server.create app;
+    srv = Server.create ~optimize app;
     cache;
+    translations = Lru.create ~enabled:translation_cache translation_cache_capacity;
     env = Semantic.env_of_cache cache;
     transport;
   }
@@ -35,7 +93,16 @@ let application t = t.app
 let translator_env t = t.env
 let metadata_cache t = t.cache
 
-let translate t sql = Translator.translate t.env sql
+let translate t sql =
+  match Lru.find t.translations sql with
+  | Some tr -> tr
+  | None ->
+    let tr = Translator.translate t.env sql in
+    Lru.add t.translations sql tr;
+    tr
+
+let translation_cache_size t = Lru.length t.translations
+let clear_translation_cache t = Lru.clear t.translations
 
 let run_translated conn ?(bindings = []) (tr : Translator.t) =
   match conn.transport with

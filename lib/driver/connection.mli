@@ -16,10 +16,17 @@ type transport =
 val connect :
   ?transport:transport ->
   ?metadata_cache:bool ->
+  ?translation_cache:bool ->
+  ?optimize:bool ->
   Aqua_dsp.Artifact.application ->
   t
 (** [transport] defaults to [Text] (the shipping configuration);
-    [metadata_cache] defaults to [true]. *)
+    [metadata_cache] defaults to [true].  [translation_cache] (default
+    [true]) keeps a bounded LRU (128 entries) of translated queries
+    keyed by SQL text, so re-issued ad-hoc SQL skips the three-stage
+    translation.  [optimize] (default [true]) enables the XQuery-side
+    optimizer (predicate pushdown, hash equi-joins, streaming
+    pipeline) on the server this connection talks to. *)
 
 val transport : t -> transport
 val set_transport : t -> transport -> unit
@@ -29,8 +36,14 @@ val translator_env : t -> Aqua_translator.Semantic.env
 val metadata_cache : t -> Aqua_dsp.Metadata.Cache.t
 
 val translate : t -> string -> Aqua_translator.Translator.t
-(** Translation only (no execution).
+(** Translation only (no execution), served from the translation cache
+    when enabled.
     @raise Aqua_translator.Errors.Error *)
+
+val translation_cache_size : t -> int
+(** Number of cached translations currently held. *)
+
+val clear_translation_cache : t -> unit
 
 val execute_query : t -> string -> Result_set.t
 (** Translate, execute on the server, decode through the connection's

@@ -5,9 +5,9 @@ module Eval = Aqua_xqeval.Eval
 
 let fail = Aqua_xqeval.Error.fail
 
-type t = { app : Artifact.application }
+type t = { app : Artifact.application; optimize : bool }
 
-let create app = { app }
+let create ?(optimize = true) app = { app; optimize }
 let application t = t.app
 
 (* Recursion guard: logical services may call each other; a cycle in
@@ -58,14 +58,14 @@ and invoke t (_ds : Artifact.data_service) (f : Artifact.ds_function) depth :
         (ctx, 1) args
       |> fst
     in
-    Eval.eval ctx body
+    Eval.eval ~optimize:t.optimize ctx body
 
 let execute ?(bindings = []) t (q : X.query) =
   let ctx = Eval.context ~resolve:(resolver t q.prolog.imports 0) () in
   let ctx =
     List.fold_left (fun ctx (name, seq) -> Eval.bind ctx name seq) ctx bindings
   in
-  Eval.eval_query ctx q
+  Eval.eval_query ~optimize:t.optimize ctx q
 
 let execute_text ?bindings t src =
   execute ?bindings t (Aqua_xquery.Parser.parse_query src)
@@ -87,7 +87,7 @@ let execute_to_text ?bindings t q =
 type prepared = Aqua_xqeval.Compile.compiled
 
 let prepare ?(vars = []) t (q : X.query) =
-  Aqua_xqeval.Compile.compile
+  Aqua_xqeval.Compile.compile ~optimize:t.optimize
     ~resolve:(resolver t q.X.prolog.X.imports 0)
     ~vars q
 

@@ -8,7 +8,12 @@
 
 type t
 
-val create : Artifact.application -> t
+val create : ?optimize:bool -> Artifact.application -> t
+(** [optimize] (default [true]) runs the {!Aqua_xqeval.Optimize} pass
+    (predicate pushdown, hash equi-joins, streaming pipeline) on every
+    query and data-service body this server evaluates or prepares;
+    [~optimize:false] keeps the naive nested-loop evaluator as a
+    differential-testing oracle. *)
 
 val application : t -> Artifact.application
 

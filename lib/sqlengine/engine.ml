@@ -18,9 +18,12 @@ let type_error fmt = Format.kasprintf (fun s -> raise (Value.Type_error s)) fmt
 type env = {
   sem : Semantic.env;
   table_data : A.table_name -> A.pos -> Metadata.table * Value.t array list;
+  optimize : bool;
+      (* use the hash equi-join fast path for inner joins; off = the
+         pure nested-loop oracle *)
 }
 
-let env_of_application app =
+let env_of_application ?(optimize = true) app =
   let sem = Semantic.env_of_application app in
   let table_data (n : A.table_name) pos =
     match Metadata.lookup app ?catalog:n.A.catalog ?schema:n.A.schema n.A.table with
@@ -43,7 +46,7 @@ let env_of_application app =
             n.A.table
         | None -> fail ~pos Errors.Unknown_table "%s" n.A.table))
   in
-  { sem; table_data }
+  { sem; table_data; optimize }
 
 (* ------------------------------------------------------------------ *)
 (* Tuples: one value array per view, aligned with the view's columns. *)
@@ -584,17 +587,157 @@ and rows_of_table_ref ?(params : params = [||]) env outer_scope outer_frames
         Value.is_true (eval_pred ~params ctx c)
     in
     let nulls n = Array.make n Value.Null in
+    (* Hash equi-join fast path (inner joins only): find a conjunct
+       [lkey = rkey] of the ON condition whose column references
+       resolve entirely to one input per side, build a hash table over
+       the right input keyed by [Value.group_key], and probe with the
+       left — O(n+m) instead of the O(n*m) scan.  Output stays in
+       nested-loop order (left-major, right rows in input order), and
+       matches are re-verified with [Value.equal3] so the join never
+       trusts [group_key] beyond what three-valued equality grants
+       (NULL keys never match: [x = NULL] is Unknown).  Classification
+       is conservative: any subquery, aggregate or unresolvable column
+       reference falls back to the nested loop. *)
+    let join_scope = Scope.push outer_scope [ view ] in
+    let join_ctx combined =
+      {
+        env;
+        scope = join_scope;
+        frames = [ (view, combined) ] :: outer_frames;
+        group = None;
+      }
+    in
+    let classify_side e =
+      (* (uses_left_cols, uses_right_cols), or [None] to bail out *)
+      let exception Bail in
+      let l = ref false and r = ref false in
+      let rec go (e : A.expr) =
+        match e with
+        | A.Lit _ | A.Param _ -> ()
+        | A.Column { qualifier; name; _ } -> (
+          match Scope.resolve join_scope ?qualifier name with
+          | Error _ -> raise Bail
+          | Ok res ->
+            if res.Scope.res_depth > 0 then ()  (* outer correlation *)
+            else if List.memq res.Scope.res_col lcols then l := true
+            else r := true)
+        | A.Arith (_, a, b) | A.Concat (a, b) | A.Cmp (_, a, b)
+        | A.And (a, b) | A.Or (a, b) ->
+          go a;
+          go b
+        | A.Neg a | A.Not a | A.Cast (a, _) -> go a
+        | A.Is_null { arg; _ } -> go arg
+        | A.Between { arg; low; high; _ } ->
+          go arg;
+          go low;
+          go high
+        | A.Like { arg; pattern; escape; _ } ->
+          go arg;
+          go pattern;
+          Option.iter go escape
+        | A.In_list { arg; items; _ } ->
+          go arg;
+          List.iter go items
+        | A.Func { args; _ } -> List.iter go args
+        | A.Case { operand; branches; else_ } ->
+          Option.iter go operand;
+          List.iter
+            (fun (w, t) ->
+              go w;
+              go t)
+            branches;
+          Option.iter go else_
+        | A.In_query _ | A.Exists _ | A.Scalar_subquery _ | A.Quantified _
+        | A.Agg _ ->
+          raise Bail
+      in
+      match go e with
+      | () -> Some (!l, !r)
+      | exception Bail -> None
+    in
+    let hash_inner_join c =
+      let rec conjuncts = function
+        | A.And (a, b) -> conjuncts a @ conjuncts b
+        | e -> [ e ]
+      in
+      let rec pick seen = function
+        | [] -> None
+        | (A.Cmp (A.Eq, e1, e2) as cj) :: rest -> (
+          let pair =
+            match (classify_side e1, classify_side e2) with
+            | Some (l1, r1), Some (l2, r2) ->
+              if l1 && (not r1) && r2 && not l2 then Some (e1, e2)
+              else if l2 && (not r2) && r1 && not l1 then Some (e2, e1)
+              else None
+            | _ -> None
+          in
+          match pair with
+          | Some (lkey, rkey) -> Some (lkey, rkey, List.rev_append seen rest)
+          | None -> pick (cj :: seen) rest)
+        | cj :: rest -> pick (cj :: seen) rest
+      in
+      match pick [] (conjuncts c) with
+      | None -> None
+      | Some (lkey, rkey, residual) ->
+        let residual_holds =
+          match residual with
+          | [] -> fun _ _ -> true
+          | c0 :: more ->
+            let rc = List.fold_left (fun acc e -> A.And (acc, e)) c0 more in
+            fun lrow rrow ->
+              Value.is_true
+                (eval_pred ~params (join_ctx (Array.append lrow rrow)) rc)
+        in
+        let tbl = Hashtbl.create (max 16 (List.length rrows)) in
+        List.iter
+          (fun rrow ->
+            match
+              eval_expr ~params (join_ctx (Array.append (nulls lwidth) rrow))
+                rkey
+            with
+            | Value.Null -> ()
+            | rval -> Hashtbl.add tbl (Value.group_key rval) (rrow, rval))
+          rrows;
+        Some
+          (List.concat_map
+             (fun lrow ->
+               match
+                 eval_expr ~params (join_ctx (Array.append lrow (nulls rwidth)))
+                   lkey
+               with
+               | Value.Null -> []
+               | lval ->
+                 List.filter_map
+                   (fun (rrow, rval) ->
+                     if
+                       Value.is_true (Value.equal3 lval rval)
+                       && residual_holds lrow rrow
+                     then Some (Array.append lrow rrow)
+                     else None)
+                   (* find_all is most-recent-first; rev restores right
+                      input order *)
+                   (List.rev (Hashtbl.find_all tbl (Value.group_key lval))))
+             lrows)
+    in
     let rows =
       match kind with
-      | A.J_inner | A.J_cross ->
-        List.concat_map
-          (fun lrow ->
-            List.filter_map
-              (fun rrow ->
-                if on_holds lrow rrow then Some (Array.append lrow rrow)
-                else None)
-              rrows)
-          lrows
+      | A.J_inner | A.J_cross -> (
+        let hashed =
+          match (kind, cond) with
+          | A.J_inner, Some c when env.optimize -> hash_inner_join c
+          | _ -> None
+        in
+        match hashed with
+        | Some rows -> rows
+        | None ->
+          List.concat_map
+            (fun lrow ->
+              List.filter_map
+                (fun rrow ->
+                  if on_holds lrow rrow then Some (Array.append lrow rrow)
+                  else None)
+                rrows)
+            lrows)
       | A.J_left ->
         List.concat_map
           (fun lrow ->

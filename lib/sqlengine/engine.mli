@@ -13,9 +13,13 @@
 
 type env
 
-val env_of_application : Aqua_dsp.Artifact.application -> env
+val env_of_application : ?optimize:bool -> Aqua_dsp.Artifact.application -> env
 (** Tables are the application's physical data-service functions.
-    Logical (XQuery-bodied) services are not visible to this engine. *)
+    Logical (XQuery-bodied) services are not visible to this engine.
+    [optimize] (default [true]) enables the hash equi-join fast path
+    for inner joins; [~optimize:false] keeps the pure nested-loop
+    evaluation (outer joins and comma-style cross products always use
+    the nested loop). *)
 
 val execute : env -> Aqua_sql.Ast.statement -> Aqua_relational.Rowset.t
 (** @raise Aqua_translator.Errors.Error on semantic errors (the same

@@ -309,12 +309,18 @@ and compile_flwor cenv (f : X.flwor) : comp =
       ( (fun rt ->
           if Item.effective_boolean_value (ccond rt) then inner rt else []),
         cenv_out )
-    | (X.Order_by _ | X.Group _) :: _ -> assert false  (* split below *)
+    | (X.Order_by _ | X.Group _ | X.Hash_join _) :: _ ->
+      assert false  (* split below *)
   in
+  (* Hash joins are handled at the stage level (not inside a segment):
+     the build table must be created per invocation of the compiled
+     code — a compile-time closure would leak the table across
+     re-evaluations of the FLWOR under different outer bindings. *)
   let split_barrier clauses =
     let rec go acc = function
       | [] -> (List.rev acc, None, [])
-      | ((X.Order_by _ | X.Group _) as b) :: rest -> (List.rev acc, Some b, rest)
+      | ((X.Order_by _ | X.Group _ | X.Hash_join _) as b) :: rest ->
+        (List.rev acc, Some b, rest)
       | c :: rest -> go (c :: acc) rest
     in
     go [] clauses
@@ -430,6 +436,41 @@ and compile_flwor cenv (f : X.flwor) : comp =
           in
           crest rt grouped_snaps),
         cenv_out )
+    | Some (X.Hash_join { var; source; build_key; probe_key; value_cmp }) ->
+      let csrc = compile_expr_c cenv1 source in
+      let cprobe = compile_expr_c cenv1 probe_key in
+      let cenv2, var_slot = bind_slot cenv1 var in
+      let cbuild = compile_expr_c cenv2 build_key in
+      let crest, cenv_out = stages cenv2 rest in
+      ( (fun rt snaps ->
+          match lifted rt snaps with
+          | [] -> crest rt []  (* empty probe stream: never build *)
+          | first :: _ as snaps ->
+            (* [source] and [build_key] only read outer slots (plus the
+               join variable), which hold the same values in every
+               snapshot — evaluating against the first is safe. *)
+            Array.blit first 0 rt 0 (Array.length first);
+            let table =
+              Join_table.build (csrc rt)
+                ~key_of:(fun item ->
+                  rt.(var_slot) <- [ item ];
+                  cbuild rt)
+                ~value_cmp
+            in
+            let joined =
+              List.concat_map
+                (fun snap ->
+                  Array.blit snap 0 rt 0 (Array.length snap);
+                  let probe_atoms = Item.atomize (cprobe rt) in
+                  List.map
+                    (fun k ->
+                      rt.(var_slot) <- [ table.Join_table.items.(k) ];
+                      Array.copy rt)
+                    (Join_table.probe table ~value_cmp probe_atoms))
+                snaps
+            in
+            crest rt joined),
+        cenv_out )
     | Some (X.For _ | X.Let _ | X.Where _) -> assert false
   in
   let cstages, cenv_ret = stages cenv f.X.clauses in
@@ -452,7 +493,20 @@ type compiled = {
 
 let no_resolve _ = None
 
-let compile_expr ?(resolve = no_resolve) ?(vars = []) (e : X.expr) =
+let compile_expr ?(optimize = true) ?(resolve = no_resolve) ?(vars = [])
+    (e : X.expr) =
+  (* scoping is checked on the un-optimized AST: pushdown deliberately
+     leaves hazardous predicates in place, and the error should point
+     at what the caller wrote *)
+  (let bound =
+     List.fold_left
+       (fun s v -> Optimize.Vars.add v s)
+       Optimize.Vars.empty vars
+   in
+   match Optimize.scoping_hazard ~bound e with
+   | Some v -> cfail "where clause references $%s before it is bound" v
+   | None -> ());
+  let e = if optimize then fst (Optimize.expr e) else e in
   let cenv = { slots = []; next = ref 0; resolve } in
   let cenv, externals =
     List.fold_left
@@ -464,8 +518,8 @@ let compile_expr ?(resolve = no_resolve) ?(vars = []) (e : X.expr) =
   let code = compile_expr_c cenv e in
   { code; size = !(cenv.next); externals = List.rev externals }
 
-let compile ?resolve ?vars (q : X.query) =
-  compile_expr ?resolve ?vars q.X.body
+let compile ?optimize ?resolve ?vars (q : X.query) =
+  compile_expr ?optimize ?resolve ?vars q.X.body
 
 let run ?(bindings = []) t =
   let rt = Array.make (max t.size 1) [] in

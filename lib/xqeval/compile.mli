@@ -14,6 +14,7 @@ type compiled
 exception Compile_error of string
 
 val compile :
+  ?optimize:bool ->
   ?resolve:(string -> Eval.external_fn option) ->
   ?vars:string list ->
   Aqua_xquery.Ast.query ->
@@ -21,10 +22,14 @@ val compile :
 (** Resolves function names (built-ins first, then [resolve]) and
     variable slots now; dynamic errors remain dynamic.  [vars] names
     external bindings (e.g. prepared-statement parameters) supplied at
-    run time.
-    @raise Compile_error on unknown functions or variables. *)
+    run time.  With [optimize] (the default) the {!Optimize} pass runs
+    before lowering, enabling predicate pushdown and hash equi-joins.
+    @raise Compile_error on unknown functions or variables, and on a
+    [where] clause referencing a variable bound only by a later clause
+    of the same FLWOR. *)
 
 val compile_expr :
+  ?optimize:bool ->
   ?resolve:(string -> Eval.external_fn option) ->
   ?vars:string list ->
   Aqua_xquery.Ast.expr ->

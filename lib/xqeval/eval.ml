@@ -225,33 +225,64 @@ and eval_quantified ctx every bindings satisfies =
   in
   go ctx bindings
 
-(* FLWOR: clauses transform a stream of variable environments. *)
+(* FLWOR: clauses transform a stream of variable environments.  The
+   stream is a lazy [Seq.t], so a chain of for/let/where clauses (and
+   hash joins) runs tuple-at-a-time without materializing intermediate
+   cross products; only the [group by] and [order by] barriers snapshot
+   the stream to a list, mirroring the compile-time slot model. *)
 and eval_flwor ctx (f : X.flwor) : Item.sequence =
-  let streams =
+  let stream =
     List.fold_left
       (fun envs clause ->
         match clause with
         | X.For { var; source } ->
-          List.concat_map
+          Seq.concat_map
             (fun env ->
-              List.map
-                (fun item -> Env.add var [ item ] env)
-                (eval { ctx with vars = env } source))
+              List.to_seq (eval { ctx with vars = env } source)
+              |> Seq.map (fun item -> Env.add var [ item ] env))
             envs
         | X.Let { var; value } ->
-          List.map
+          Seq.map
             (fun env -> Env.add var (eval { ctx with vars = env } value) env)
             envs
         | X.Where cond ->
-          List.filter
+          Seq.filter
             (fun env ->
               Item.effective_boolean_value (eval { ctx with vars = env } cond))
             envs
-        | X.Group { grouped; partition; keys } -> eval_group ctx envs grouped partition keys
-        | X.Order_by specs -> eval_order ctx envs specs)
-      [ ctx.vars ] f.clauses
+        | X.Group { grouped; partition; keys } ->
+          List.to_seq (eval_group ctx (List.of_seq envs) grouped partition keys)
+        | X.Order_by specs -> List.to_seq (eval_order ctx (List.of_seq envs) specs)
+        | X.Hash_join { var; source; build_key; probe_key; value_cmp } ->
+          (* Build side hashed once, on first demand (if the incoming
+             stream is empty the source is never evaluated, matching
+             the nested loop).  Recognition guarantees [source] does
+             not depend on pipeline bindings, so the FLWOR's entry
+             context is the right evaluation environment. *)
+          let table =
+            lazy
+              (Join_table.build (eval ctx source)
+                 ~key_of:(fun item ->
+                   eval { ctx with vars = Env.add var [ item ] ctx.vars }
+                     build_key)
+                 ~value_cmp)
+          in
+          Seq.concat_map
+            (fun env ->
+              let t = Lazy.force table in
+              let probe_atoms =
+                Item.atomize (eval { ctx with vars = env } probe_key)
+              in
+              Join_table.probe t ~value_cmp probe_atoms
+              |> List.to_seq
+              |> Seq.map (fun k -> Env.add var [ t.Join_table.items.(k) ] env))
+            envs)
+      (Seq.return ctx.vars) f.clauses
   in
-  List.concat_map (fun env -> eval { ctx with vars = env } f.return) streams
+  List.of_seq
+    (Seq.concat_map
+       (fun env -> List.to_seq (eval { ctx with vars = env } f.return))
+       stream)
 
 and eval_group ctx envs grouped partition keys =
   (* Partition the tuple stream by the grouping keys.  The output
@@ -335,4 +366,24 @@ and eval_order ctx envs specs =
   in
   List.map snd (List.stable_sort compare_env keyed)
 
-let eval_query ctx (q : X.query) = eval ctx q.body
+(* ------------------------------------------------------------------ *)
+(* Public entry points                                                *)
+
+(* The scoping check and the optimizer each walk the AST once per
+   [eval] entry (never per tuple): the recursive evaluator above is
+   reached only through these wrappers from the outside. *)
+
+let check_scoping ctx e =
+  let bound =
+    Env.fold (fun v _ s -> Optimize.Vars.add v s) ctx.vars Optimize.Vars.empty
+  in
+  match Optimize.scoping_hazard ~bound e with
+  | Some v -> fail "where clause references $%s before it is bound" v
+  | None -> ()
+
+let eval ?(optimize = true) ctx (e : X.expr) =
+  check_scoping ctx e;
+  let e = if optimize then fst (Optimize.expr e) else e in
+  eval ctx e
+
+let eval_query ?optimize ctx (q : X.query) = eval ?optimize ctx q.body

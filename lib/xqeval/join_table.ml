@@ -1,0 +1,126 @@
+(* Hash-join build/probe machinery shared by the tree-walking
+   evaluator ([Eval]) and the slot compiler ([Compile]).
+
+   The table keys build-side atoms by [Atomic.hash_key].  That keying
+   is not faithful to [Atomic.compare_values] in two places: untyped
+   atomics compare against typed operands by casting (so
+   [Untyped "5"] equals [Integer 5] though their keys differ), and a
+   date equals the midnight dateTime on the same day.  Secondary keys
+   cover those typed lookups.  They are marked non-primary so that an
+   untyped probe never matches an untyped build atom through a typed
+   key — untyped-vs-untyped comparison has string semantics, where
+   "5.0" and "5" differ.  (No "s"-prefixed key is ever secondary, so
+   the two key spaces cannot collide.)
+
+   Divergence from the nested loop, by design: a probe/build pair
+   whose types are not comparable (say a string against an integer)
+   simply fails to match here, where [compare_values] in the nested
+   loop raises [Cast_error].  The translator casts both sides of every
+   SQL join predicate to the column type, so translated queries never
+   hit the difference. *)
+
+module Atomic = Aqua_xml.Atomic
+module Item = Aqua_xml.Item
+
+type t = {
+  items : Item.t array;  (** build side, in source order *)
+  tbl : (string, int * bool) Hashtbl.t;  (** key -> (row, is_primary) *)
+  poison : bool;
+      (** some build key had >= 2 atoms (value comparison only): every
+          probe with a nonempty key must raise the cardinality error *)
+  any_nonempty : bool;  (** some build key had >= 1 atoms *)
+}
+
+let secondary_keys (a : Atomic.t) : string list =
+  let try_cast f = try Some (f ()) with Atomic.Cast_error _ -> None in
+  match a with
+  | Atomic.Untyped s ->
+    List.filter_map
+      (fun k -> k)
+      [
+        (match float_of_string_opt (String.trim s) with
+        | Some f -> Some (Atomic.hash_key (Atomic.Double f))
+        | None -> None);
+        (match try_cast (fun () -> Atomic.cast_boolean (Atomic.String s)) with
+        | Some b -> Some (Atomic.hash_key (Atomic.Boolean b))
+        | None -> None);
+        (match try_cast (fun () -> Atomic.date_of_string s) with
+        | Some d -> Some (Atomic.hash_key (Atomic.Date d))
+        | None -> None);
+        (match try_cast (fun () -> Atomic.time_of_string s) with
+        | Some t -> Some (Atomic.hash_key (Atomic.Time t))
+        | None -> None);
+        (match try_cast (fun () -> Atomic.timestamp_of_string s) with
+        | Some ts -> Some (Atomic.hash_key (Atomic.Timestamp ts))
+        | None -> None);
+      ]
+  | Atomic.Date d ->
+    [
+      Atomic.hash_key
+        (Atomic.Timestamp
+           { date = d; time = { hour = 0; minute = 0; second = 0 } });
+    ]
+  | Atomic.Timestamp ts when ts.time = { hour = 0; minute = 0; second = 0 } ->
+    [ Atomic.hash_key (Atomic.Date ts.date) ]
+  | _ -> []
+
+(* [key_of] evaluates the build-key expression with the join variable
+   bound to the given item (each evaluator supplies its own closure). *)
+let build (source : Item.sequence) ~(key_of : Item.t -> Item.sequence)
+    ~(value_cmp : bool) : t =
+  let items = Array.of_list source in
+  let tbl = Hashtbl.create (max 16 (Array.length items)) in
+  let poison = ref false in
+  let any_nonempty = ref false in
+  Array.iteri
+    (fun i item ->
+      match Item.atomize (key_of item) with
+      | [] -> ()
+      | _ :: _ :: _ when value_cmp ->
+        any_nonempty := true;
+        poison := true
+      | atoms ->
+        any_nonempty := true;
+        List.iter
+          (fun a ->
+            Hashtbl.add tbl (Atomic.hash_key a) (i, true);
+            List.iter
+              (fun k -> Hashtbl.add tbl k (i, false))
+              (secondary_keys a))
+          atoms)
+    items;
+  { items; tbl; poison = !poison; any_nonempty = !any_nonempty }
+
+let rows_for_atom t a =
+  let rows_at key ~primary_only =
+    List.filter_map
+      (fun (row, primary) ->
+        if primary || not primary_only then Some row else None)
+      (Hashtbl.find_all t.tbl key)
+  in
+  rows_at (Atomic.hash_key a) ~primary_only:false
+  @ List.concat_map
+      (fun k -> rows_at k ~primary_only:true)
+      (secondary_keys a)
+
+(* Matching rows (sorted, deduplicated — i.e. in build order) for one
+   probe key.  Replicates [value_compare]'s cardinality rules exactly:
+   an empty operand short-circuits to the empty sequence before the
+   singleton check, so an empty probe never errors even against a
+   multi-atom build key. *)
+let probe t ~value_cmp (probe_atoms : Atomic.t list) : int list =
+  let matched =
+    if value_cmp then
+      match probe_atoms with
+      | [] -> []
+      | [ a ] ->
+        if t.poison then
+          Error.fail "value comparison requires singleton operands"
+        else rows_for_atom t a
+      | _ ->
+        if t.any_nonempty then
+          Error.fail "value comparison requires singleton operands"
+        else []
+    else List.concat_map (rows_for_atom t) probe_atoms
+  in
+  List.sort_uniq compare matched

@@ -1,0 +1,29 @@
+(** Hash-join build/probe machinery shared by {!Eval} and {!Compile}.
+
+    Builds a hash table over the build side's items keyed by
+    [Atomic.hash_key], with secondary keys covering the cross-type
+    equalities of [Atomic.compare_values] (untyped-vs-typed, date vs
+    midnight dateTime) that a single key cannot express. *)
+
+type t = {
+  items : Aqua_xml.Item.t array;  (** build side, in source order *)
+  tbl : (string, int * bool) Hashtbl.t;
+  poison : bool;
+  any_nonempty : bool;
+}
+
+val build :
+  Aqua_xml.Item.sequence ->
+  key_of:(Aqua_xml.Item.t -> Aqua_xml.Item.sequence) ->
+  value_cmp:bool ->
+  t
+(** [build source ~key_of ~value_cmp] hashes every item of [source] by
+    the atomized [key_of] result.  With [value_cmp] the cardinality
+    flags of XQuery value comparison are recorded instead of indexing
+    multi-atom keys. *)
+
+val probe : t -> value_cmp:bool -> Aqua_xml.Atomic.t list -> int list
+(** Matching build rows for one probe key, sorted ascending (build
+    order), deduplicated.  @raise Error.Dynamic_error on the value
+    comparison cardinality violation, exactly where the nested loop's
+    [value_compare] would. *)

@@ -1,0 +1,441 @@
+(* Logical optimizer over the XQuery AST, run before evaluation or
+   compilation.  Three rewrites, all scoped to FLWOR blocks:
+
+   1. Predicate pushdown: conjunctive [where] clauses are split into
+      their conjuncts and each conjunct is hoisted to the earliest
+      clause position at which all of its free variables are bound.
+      [group] clauses are barriers (filtering before grouping changes
+      the groups); [order by] is not (filtering commutes with a stable
+      sort).
+
+   2. Hash equi-join recognition: a [for $b in SRC] whose source does
+      not depend on earlier same-FLWOR bindings, followed by a
+      [where P eq/= B] where one side depends exactly on [$b] and the
+      other only on earlier bindings, becomes a [Hash_join] physical
+      operator.  The build side hashes SRC once by [Atomic.hash_key];
+      each incoming tuple probes instead of rescanning, turning the
+      O(n*m) nested loop into O(n+m).
+
+   3. A scoping check ([scoping_hazard]) used by both evaluators to
+      reject [where] clauses that reference a variable bound only by a
+      later clause of the same FLWOR — the naive clause fold would
+      otherwise silently filter everything out.
+
+   The pass is purely structural: it never evaluates expressions, so it
+   is safe to run on queries with unresolved external functions. *)
+
+module X = Aqua_xquery.Ast
+module Vars = Set.Make (String)
+
+type report = {
+  pushed_predicates : int;  (** conjuncts moved earlier in a pipeline *)
+  hash_joins : int;         (** [For]+[Where] pairs fused into [Hash_join] *)
+  notes : string list;      (** human-readable one-liners, newest first *)
+}
+
+let empty_report = { pushed_predicates = 0; hash_joins = 0; notes = [] }
+
+type acc = {
+  mutable pushed : int;
+  mutable joins : int;
+  mutable notes : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Precise free variables                                             *)
+
+(* [ast.ml]'s [free_vars] is deliberately conservative (it includes
+   bound variables); the optimizer needs the real thing, including the
+   context item "." treated as a variable and the scoping quirk of the
+   BEA group clause (pre-group bindings do not survive grouping). *)
+
+let rec fv bound acc (e : X.expr) : Vars.t =
+  match e with
+  | X.Literal _ | X.Text _ -> acc
+  | X.Var v -> if Vars.mem v bound then acc else Vars.add v acc
+  | X.Context_item -> if Vars.mem "." bound then acc else Vars.add "." acc
+  | X.Seq es -> List.fold_left (fv bound) acc es
+  | X.Flwor f -> fv_flwor bound acc f
+  | X.Path (base, steps) ->
+    let acc = fv bound acc base in
+    let bound_dot = Vars.add "." bound in
+    List.fold_left
+      (fun acc (s : X.step) -> List.fold_left (fv bound_dot) acc s.predicates)
+      acc steps
+  | X.Call (_, args) -> List.fold_left (fv bound) acc args
+  | X.Elem { content; _ } -> List.fold_left (fv bound) acc content
+  | X.If (c, t, e) -> fv bound (fv bound (fv bound acc c) t) e
+  | X.Binop (_, a, b) -> fv bound (fv bound acc a) b
+  | X.Neg e -> fv bound acc e
+  | X.Quantified { bindings; satisfies; _ } ->
+    let bound, acc =
+      List.fold_left
+        (fun (bound, acc) (v, src) -> (Vars.add v bound, fv bound acc src))
+        (bound, acc) bindings
+    in
+    fv bound acc satisfies
+  | X.Filter (base, pred) ->
+    fv (Vars.add "." bound) (fv bound acc base) pred
+
+and fv_flwor bound acc (f : X.flwor) : Vars.t =
+  let entry_bound = bound in
+  let bound, acc =
+    List.fold_left
+      (fun (bound, acc) clause ->
+        match clause with
+        | X.For { var; source } -> (Vars.add var bound, fv bound acc source)
+        | X.Let { var; value } -> (Vars.add var bound, fv bound acc value)
+        | X.Where cond -> (bound, fv bound acc cond)
+        | X.Group { grouped = _; partition; keys } ->
+          let acc =
+            List.fold_left (fun acc (k, _) -> fv bound acc k) acc keys
+          in
+          (* after grouping only the FLWOR's entry environment plus the
+             key variables and the partition remain bound *)
+          let bound' =
+            List.fold_left
+              (fun b (_, kv) -> Vars.add kv b)
+              (Vars.add partition entry_bound)
+              keys
+          in
+          (bound', acc)
+        | X.Order_by specs ->
+          (bound, List.fold_left (fun acc s -> fv bound acc s.X.key) acc specs)
+        | X.Hash_join { var; source; build_key; probe_key; _ } ->
+          let acc = fv bound acc source in
+          let acc = fv bound acc probe_key in
+          let acc = fv (Vars.add var bound) acc build_key in
+          (Vars.add var bound, acc))
+      (bound, acc) f.clauses
+  in
+  fv bound acc f.return
+
+let free_vars e = fv Vars.empty Vars.empty e
+
+(* ------------------------------------------------------------------ *)
+(* Per-clause binding bookkeeping                                     *)
+
+(* Variables a clause binds for the clauses after it. *)
+let clause_binds = function
+  | X.For { var; _ } | X.Let { var; _ } | X.Hash_join { var; _ } -> [ var ]
+  | X.Where _ | X.Order_by _ -> []
+  | X.Group { partition; keys; _ } ->
+    partition :: List.map snd keys
+
+let is_barrier = function X.Group _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Predicate pushdown                                                 *)
+
+let rec split_conjuncts e =
+  match e with
+  | X.Binop (X.B_and, a, b) -> split_conjuncts a @ split_conjuncts b
+  | _ -> [ e ]
+
+(* Rebuild a clause list with every [where] conjunct placed directly
+   after the latest of: the last clause (at or before its original
+   position) binding one of its free variables, and the last barrier
+   before its original position.  Conjuncts that reference a variable
+   bound only *later* in the same FLWOR stay put — the scoping check
+   turns those into a clear error at evaluation time. *)
+let push_predicates acc clauses =
+  let arr = Array.of_list clauses in
+  let n = Array.length arr in
+  (* buckets.(j) = wheres to emit right after clause j-1 (j=0: first) *)
+  let buckets = Array.make (n + 1) [] in
+  Array.iteri
+    (fun i clause ->
+      match clause with
+      | X.Where cond ->
+        List.iter
+          (fun conjunct ->
+            let fvs = fv Vars.empty Vars.empty conjunct in
+            let later =
+              (* vars first bound after position i *)
+              let rec collect j s =
+                if j >= n then s
+                else
+                  collect (j + 1)
+                    (List.fold_left
+                       (fun s v -> Vars.add v s)
+                       s
+                       (clause_binds arr.(j)))
+              in
+              collect (i + 1) Vars.empty
+            in
+            let target = ref 0 in
+            let hazard = ref false in
+            for j = 0 to i - 1 do
+              if is_barrier arr.(j) then target := max !target (j + 1);
+              List.iter
+                (fun v -> if Vars.mem v fvs then target := max !target (j + 1))
+                (clause_binds arr.(j))
+            done;
+            (* a free var not bound by any clause up to i but bound by a
+               later clause: leave the conjunct in place *)
+            Vars.iter
+              (fun v ->
+                let bound_before =
+                  let rec any j =
+                    j < i
+                    && (List.mem v (clause_binds arr.(j)) || any (j + 1))
+                  in
+                  any 0
+                in
+                if (not bound_before) && Vars.mem v later then hazard := true)
+              fvs;
+            let place = if !hazard then i else !target in
+            if place < i then acc.pushed <- acc.pushed + 1;
+            buckets.(place) <- X.Where conjunct :: buckets.(place))
+          (split_conjuncts cond)
+      | _ -> ())
+    arr;
+  let out = ref [] in
+  for j = n downto 0 do
+    (* non-where clause at position j (none for j = n) *)
+    (match if j < n then Some arr.(j) else None with
+    | Some (X.Where _) | None -> ()
+    | Some c -> out := c :: !out);
+    (* buckets hold wheres in reverse insertion order; rev_append
+       restores original relative order *)
+    out := List.rev_append buckets.(j) !out
+  done;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Hash equi-join recognition                                         *)
+
+(* Pipeline-relative free variables: the subset of [e]'s free vars that
+   are bound by this FLWOR's earlier clauses (given in [pipeline]). *)
+let pipeline_fv pipeline e = Vars.inter (free_vars e) pipeline
+
+let recognize_joins acc clauses =
+  let rec scan bound_before = function
+    | [] -> []
+    | (X.For { var; source } as forc) :: rest
+      when Vars.is_empty (pipeline_fv bound_before source)
+           && not (Vars.is_empty bound_before) -> (
+      (* look through the run of consecutive wheres following the for *)
+      let rec find_eq seen = function
+        | X.Where (X.Binop (((X.B_general X.Eq | X.B_value X.Eq) as op), l, r))
+          :: tail -> (
+          let value_cmp = match op with X.B_value _ -> true | _ -> false in
+          let lfv = pipeline_fv (Vars.add var bound_before) l in
+          let rfv = pipeline_fv (Vars.add var bound_before) r in
+          let solo s = Vars.equal s (Vars.singleton var) in
+          let probe_ok s =
+            (not (Vars.mem var s)) && not (Vars.is_empty s)
+          in
+          if solo lfv && probe_ok rfv then
+            Some (l, r, value_cmp, List.rev seen, tail)
+          else if solo rfv && probe_ok lfv then
+            Some (r, l, value_cmp, List.rev seen, tail)
+          else
+            find_eq
+              (X.Where (X.Binop (op, l, r)) :: seen)
+              tail)
+        | (X.Where _ as w) :: tail -> find_eq (w :: seen) tail
+        | _ -> None
+      in
+      match find_eq [] rest with
+      | Some (build_key, probe_key, value_cmp, kept_wheres, tail) ->
+        acc.joins <- acc.joins + 1;
+        acc.notes <-
+          Printf.sprintf "hash equi-join on $%s (%s comparison)" var
+            (if value_cmp then "value" else "general")
+          :: acc.notes;
+        let hj =
+          X.Hash_join { var; source; build_key; probe_key; value_cmp }
+        in
+        hj :: kept_wheres @ scan (Vars.add var bound_before) tail
+      | None ->
+        forc :: scan (Vars.add var bound_before) rest)
+    | clause :: rest ->
+      let bound_before =
+        match clause with
+        | X.Group { partition; keys; _ } ->
+          (* pre-group bindings do not survive the group clause *)
+          List.fold_left
+            (fun b (_, kv) -> Vars.add kv b)
+            (Vars.singleton partition)
+            keys
+        | _ ->
+          List.fold_left
+            (fun b v -> Vars.add v b)
+            bound_before (clause_binds clause)
+      in
+      clause :: scan bound_before rest
+  in
+  scan Vars.empty clauses
+
+(* ------------------------------------------------------------------ *)
+(* Bottom-up rewrite                                                  *)
+
+let rec rewrite acc (e : X.expr) : X.expr =
+  match e with
+  | X.Literal _ | X.Var _ | X.Context_item | X.Text _ -> e
+  | X.Seq es -> X.Seq (List.map (rewrite acc) es)
+  | X.Flwor f ->
+    let clauses = List.map (rewrite_clause acc) f.clauses in
+    let return = rewrite acc f.return in
+    let clauses = push_predicates acc clauses in
+    let clauses = recognize_joins acc clauses in
+    X.Flwor { clauses; return }
+  | X.Path (base, steps) ->
+    X.Path
+      ( rewrite acc base,
+        List.map
+          (fun (s : X.step) ->
+            { s with X.predicates = List.map (rewrite acc) s.predicates })
+          steps )
+  | X.Call (name, args) -> X.Call (name, List.map (rewrite acc) args)
+  | X.Elem { name; content } ->
+    X.Elem { name; content = List.map (rewrite acc) content }
+  | X.If (c, t, e) -> X.If (rewrite acc c, rewrite acc t, rewrite acc e)
+  | X.Binop (op, a, b) -> X.Binop (op, rewrite acc a, rewrite acc b)
+  | X.Neg e -> X.Neg (rewrite acc e)
+  | X.Quantified { every; bindings; satisfies } ->
+    X.Quantified
+      {
+        every;
+        bindings = List.map (fun (v, e) -> (v, rewrite acc e)) bindings;
+        satisfies = rewrite acc satisfies;
+      }
+  | X.Filter (base, pred) -> X.Filter (rewrite acc base, rewrite acc pred)
+
+and rewrite_clause acc = function
+  | X.For { var; source } -> X.For { var; source = rewrite acc source }
+  | X.Let { var; value } -> X.Let { var; value = rewrite acc value }
+  | X.Where cond -> X.Where (rewrite acc cond)
+  | X.Group { grouped; partition; keys } ->
+    X.Group
+      {
+        grouped;
+        partition;
+        keys = List.map (fun (k, v) -> (rewrite acc k, v)) keys;
+      }
+  | X.Order_by specs ->
+    X.Order_by
+      (List.map (fun (s : X.order_spec) -> { s with X.key = rewrite acc s.X.key }) specs)
+  | X.Hash_join { var; source; build_key; probe_key; value_cmp } ->
+    X.Hash_join
+      {
+        var;
+        source = rewrite acc source;
+        build_key = rewrite acc build_key;
+        probe_key = rewrite acc probe_key;
+        value_cmp;
+      }
+
+let expr e =
+  let acc = { pushed = 0; joins = 0; notes = [] } in
+  let e = rewrite acc e in
+  ( e,
+    {
+      pushed_predicates = acc.pushed;
+      hash_joins = acc.joins;
+      notes = List.rev acc.notes;
+    } )
+
+let query (q : X.query) =
+  let body, report = expr q.X.body in
+  ({ q with X.body }, report)
+
+(* ------------------------------------------------------------------ *)
+(* Scoping hazard check                                               *)
+
+(* Returns [Some v] when some [where] clause references [$v] before the
+   clause of the same FLWOR that binds it — the naive clause fold would
+   silently filter every tuple out (or worse, resolve an outer
+   shadowed binding).  [bound] seeds the statically-known outer
+   bindings.  Purely syntactic; never evaluates anything. *)
+let scoping_hazard ~bound e =
+  let hazard = ref None in
+  let note v = if !hazard = None then hazard := Some v in
+  let rec walk bound (e : X.expr) =
+    match e with
+    | X.Literal _ | X.Var _ | X.Context_item | X.Text _ -> ()
+    | X.Seq es -> List.iter (walk bound) es
+    | X.Flwor f -> walk_flwor bound f
+    | X.Path (base, steps) ->
+      walk bound base;
+      let bound = Vars.add "." bound in
+      List.iter
+        (fun (s : X.step) -> List.iter (walk bound) s.X.predicates)
+        steps
+    | X.Call (_, args) -> List.iter (walk bound) args
+    | X.Elem { content; _ } -> List.iter (walk bound) content
+    | X.If (c, t, e) ->
+      walk bound c;
+      walk bound t;
+      walk bound e
+    | X.Binop (_, a, b) ->
+      walk bound a;
+      walk bound b
+    | X.Neg e -> walk bound e
+    | X.Quantified { bindings; satisfies; _ } ->
+      let bound =
+        List.fold_left
+          (fun bound (v, src) ->
+            walk bound src;
+            Vars.add v bound)
+          bound bindings
+      in
+      walk bound satisfies
+    | X.Filter (base, pred) ->
+      walk bound base;
+      walk (Vars.add "." bound) pred
+  and walk_flwor bound (f : X.flwor) =
+    let arr = Array.of_list f.X.clauses in
+    let n = Array.length arr in
+    let binds_at j = clause_binds arr.(j) in
+    (* wheres: flag free vars bound only by later clauses *)
+    Array.iteri
+      (fun i clause ->
+        match clause with
+        | X.Where cond ->
+          let bound_now =
+            let rec go j b =
+              if j >= i then b
+              else
+                go (j + 1)
+                  (List.fold_left (fun b v -> Vars.add v b) b (binds_at j))
+            in
+            go 0 bound
+          in
+          Vars.iter
+            (fun v ->
+              if not (Vars.mem v bound_now) then
+                let rec bound_later j =
+                  j < n && (List.mem v (binds_at j) || bound_later (j + 1))
+                in
+                if bound_later (i + 1) then note v)
+            (free_vars cond)
+        | _ -> ())
+      arr;
+    (* recurse into subexpressions with a conservative bound set (every
+       variable the FLWOR binds anywhere) — only the where check above
+       is position-sensitive *)
+    let all_bound =
+      Array.fold_left
+        (fun b c -> List.fold_left (fun b v -> Vars.add v b) b (clause_binds c))
+        bound arr
+    in
+    Array.iter
+      (fun clause ->
+        match clause with
+        | X.For { source; _ } -> walk all_bound source
+        | X.Let { value; _ } -> walk all_bound value
+        | X.Where cond -> walk all_bound cond
+        | X.Group { keys; _ } -> List.iter (fun (k, _) -> walk all_bound k) keys
+        | X.Order_by specs ->
+          List.iter (fun (s : X.order_spec) -> walk all_bound s.X.key) specs
+        | X.Hash_join { source; build_key; probe_key; _ } ->
+          walk all_bound source;
+          walk all_bound build_key;
+          walk all_bound probe_key)
+      arr;
+    walk all_bound f.X.return
+  in
+  walk bound e;
+  !hazard

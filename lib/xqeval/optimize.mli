@@ -1,0 +1,40 @@
+(** Logical optimizer over the XQuery AST.
+
+    Runs before evaluation ([Eval]) or compilation ([Compile]) and
+    rewrites FLWOR blocks: conjunctive [where] clauses are split and
+    pushed to the earliest position where their free variables are
+    bound, and [for]+[where] equality patterns over independent clause
+    variables are fused into the [Ast.Hash_join] physical operator
+    (hash table on the build side keyed by [Atomic.hash_key], probed by
+    the incoming tuple stream — O(n+m) instead of the O(n*m) nested
+    loop).
+
+    The pass is purely structural and never evaluates expressions. *)
+
+module Vars : Set.S with type elt = string
+
+type report = {
+  pushed_predicates : int;  (** conjuncts moved earlier in a pipeline *)
+  hash_joins : int;         (** [For]+[Where] pairs fused into [Hash_join] *)
+  notes : string list;      (** human-readable one-liners *)
+}
+
+val empty_report : report
+
+val expr : Aqua_xquery.Ast.expr -> Aqua_xquery.Ast.expr * report
+(** Optimize an expression bottom-up. *)
+
+val query : Aqua_xquery.Ast.query -> Aqua_xquery.Ast.query * report
+(** Optimize a query body (prolog is untouched). *)
+
+val free_vars : Aqua_xquery.Ast.expr -> Vars.t
+(** Precise free variables of an expression, with the context item "."
+    treated as a variable.  Unlike [Ast.free_vars] this respects
+    binding structure (FLWOR clauses, quantifiers, predicates) and the
+    BEA group-by scoping rule (pre-group bindings do not survive). *)
+
+val scoping_hazard : bound:Vars.t -> Aqua_xquery.Ast.expr -> string option
+(** [scoping_hazard ~bound e] is [Some v] when a [where] clause inside
+    [e] references [$v] before the clause of the same FLWOR that binds
+    it (the naive clause fold would silently filter every tuple out).
+    [bound] seeds the statically-known outer bindings. *)

@@ -39,6 +39,22 @@ and clause =
       keys : (expr * string) list;
     }
   | Order_by of order_spec list
+  (* Physical operator introduced by the optimizer (never produced by
+     the translator or parser): a hash equi-join.  Logically equivalent
+     to [For {var; source}] followed by [Where (Binop (cmp, probe_key,
+     build_key))] where [cmp] is [B_value Eq] when [value_cmp] and
+     [B_general Eq] otherwise.  [source] and [probe_key] are evaluated
+     in the incoming environment; [build_key] additionally sees [var].
+     The build side hashes [source]'s items by [build_key]; each
+     incoming tuple probes with [probe_key].  Matches are emitted in
+     [source] order, preserving nested-loop tuple order. *)
+  | Hash_join of {
+      var : string;
+      source : expr;
+      build_key : expr;
+      probe_key : expr;
+      value_cmp : bool;
+    }
 
 and flwor = {
   clauses : clause list;
@@ -110,7 +126,9 @@ let rec free_vars acc = function
           | Group { keys; _ } ->
             List.fold_left (fun acc (k, _) -> free_vars acc k) acc keys
           | Order_by specs ->
-            List.fold_left (fun acc s -> free_vars acc s.key) acc specs)
+            List.fold_left (fun acc s -> free_vars acc s.key) acc specs
+          | Hash_join { source; build_key; probe_key; _ } ->
+            free_vars (free_vars (free_vars acc source) build_key) probe_key)
         acc clauses
     in
     free_vars acc return

@@ -219,7 +219,18 @@ and emit_flwor ctx f =
             match s.empty with
             | Empty_least -> ()
             | Empty_greatest -> add ctx " empty greatest")
-          specs)
+          specs
+      | Hash_join { var; source; build_key; probe_key; value_cmp } ->
+        (* printed in its logical (de-sugared) form so the output stays
+           legal, parseable XQuery; the comment marks the physical op *)
+        add ctx ("for $" ^ var ^ " in ");
+        emit ctx 3 source;
+        nl ctx;
+        add ctx "where ";
+        emit ctx 3 probe_key;
+        add ctx (if value_cmp then " eq " else " = ");
+        emit ctx 4 build_key;
+        add ctx " (: hash equi-join :)")
     f.clauses;
   nl ctx;
   add ctx "return";

@@ -15,4 +15,5 @@ let () =
       Test_callable.suite;
       Test_dsfile.suite;
       Test_compile.suite;
-      Test_differential.suite ]
+      Test_differential.suite;
+      Test_optimize.suite ]
