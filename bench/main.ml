@@ -4,7 +4,16 @@
    ratios ("who wins, by what factor") that EXPERIMENTS.md records.
 
      dune exec bench/main.exe            run everything
-     dune exec bench/main.exe -- P1 P3   run selected experiments *)
+     dune exec bench/main.exe -- P1 P3   run selected experiments
+     dune exec bench/main.exe -- --smoke P6   tiny scales + short quota (CI)
+
+   All synthetic data is generated from a fixed seed (override with
+   BENCH_SEED=<int>) so runs are reproducible; the seed is recorded in
+   the emitted BENCH_*.json and printed on any sanity failure. *)
+
+(* the raw ns clock from bechamel's stubs — aliased before [open
+   Toolkit], which shadows [Monotonic_clock] with its MEASURE wrapper *)
+module Mclock = Monotonic_clock
 
 open Bechamel
 open Toolkit
@@ -19,6 +28,29 @@ module Server = Aqua_dsp.Server
 module Engine = Aqua_sqlengine.Engine
 module Artifact = Aqua_dsp.Artifact
 module Datagen = Aqua_workload.Datagen
+module Telemetry = Aqua_core.Telemetry
+
+(* ------------------------------------------------------------------ *)
+(* Reproducibility and smoke mode                                     *)
+
+let seed =
+  match Option.bind (Sys.getenv_opt "BENCH_SEED") int_of_string_opt with
+  | Some s -> s
+  | None -> 42
+
+let smoke = ref false
+
+(* Smoke mode (CI): shrink the data scales ~10x and the measurement
+   quota so the whole run takes seconds, with the same output schema. *)
+let sc n = if !smoke then max 2 (n / 10) else n
+
+let sizes c o l p =
+  { Datagen.customers = sc c; orders = sc o; lines_per_order = l;
+    payments = sc p }
+
+(* Telemetry spans should use the same monotonic source the benchmark
+   measurements do, not the wall clock. *)
+let () = Telemetry.set_clock Mclock.now
 
 (* ------------------------------------------------------------------ *)
 (* Harness                                                            *)
@@ -30,7 +62,8 @@ let instance = Instance.monotonic_clock
 
 let run_benchmarks tests =
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+    if !smoke then Benchmark.cfg ~limit:100 ~quota:(Time.second 0.05) ~kde:None ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
   in
   let raw = Benchmark.all cfg [ instance ] tests in
   Analyze.all ols instance raw
@@ -42,6 +75,29 @@ let estimate results name =
     match Analyze.OLS.estimates ols_result with
     | Some (e :: _) -> e
     | _ -> nan)
+
+(* Interleaved A/B medians, for overhead comparisons.  Two bechamel
+   estimates taken tens of seconds apart drift by far more than a
+   few-percent effect (GC state, frequency scaling carried over from
+   earlier tests), so small overheads are measured by alternating the
+   two configurations and comparing medians of the same window. *)
+let ab_median_ratio ?(warmup = 10) ~iters (f : bool -> unit) =
+  let time b =
+    let t0 = Mclock.now () in
+    f b;
+    Int64.to_float (Int64.sub (Mclock.now ()) t0)
+  in
+  for _ = 1 to warmup do
+    ignore (time false);
+    ignore (time true)
+  done;
+  let off = ref [] and on_ = ref [] in
+  for _ = 1 to iters do
+    off := time false :: !off;
+    on_ := time true :: !on_
+  done;
+  let median l = List.nth (List.sort compare l) (iters / 2) in
+  median !on_ /. median !off
 
 let pretty_ns ns =
   if Float.is_nan ns then "n/a"
@@ -69,12 +125,16 @@ let ratio a b =
 
 let p1 () =
   print_endline "\n== P1: result handling, text transport vs XML (section 4) ==";
-  let configs = [ (100, 4); (100, 16); (1000, 4); (1000, 16); (4000, 8) ] in
+  let configs =
+    List.map
+      (fun (rows, cols) -> (sc rows, cols))
+      [ (100, 4); (100, 16); (1000, 4); (1000, 16); (4000, 8) ]
+  in
   let cases =
     List.map
       (fun (rows, cols) ->
         let name = Printf.sprintf "W%d" cols in
-        let table = Datagen.wide_table ~name ~columns:cols ~rows () in
+        let table = Datagen.wide_table ~seed ~name ~columns:cols ~rows () in
         let app = Artifact.application (Printf.sprintf "P1_%d_%d" rows cols) in
         ignore (Artifact.import_physical_table app ~project:"P" table);
         let env = Semantic.env_of_application app in
@@ -137,12 +197,16 @@ let p1 () =
 let p1b () =
   print_endline
     "\n== P1b: client-side result handling (decode wire to rows) ==";
-  let configs = [ (100, 4); (1000, 4); (1000, 16); (4000, 8) ] in
+  let configs =
+    List.map
+      (fun (rows, cols) -> (sc rows, cols))
+      [ (100, 4); (1000, 4); (1000, 16); (4000, 8) ]
+  in
   let cases =
     List.map
       (fun (rows, cols) ->
         let name = Printf.sprintf "W%d" cols in
-        let table = Datagen.wide_table ~name ~columns:cols ~rows () in
+        let table = Datagen.wide_table ~seed ~name ~columns:cols ~rows () in
         let app = Artifact.application (Printf.sprintf "P1b_%d_%d" rows cols) in
         ignore (Artifact.import_physical_table app ~project:"P" table);
         let env = Semantic.env_of_application app in
@@ -296,13 +360,8 @@ let p3 () =
 
 let p4 () =
   print_endline "\n== P4: end-to-end vs direct SQL engine ==";
-  let sizes =
-    [ ( "small",
-        { Datagen.customers = 20; orders = 60; lines_per_order = 2;
-          payments = 40 } );
-      ( "medium",
-        { Datagen.customers = 60; orders = 240; lines_per_order = 3;
-          payments = 150 } ) ]
+  let scales =
+    [ ("small", sizes 20 60 2 40); ("medium", sizes 60 240 3 150) ]
   in
   let sql =
     "SELECT C.CITY, COUNT(*) N, SUM(L.QTY * L.PRICE) REV FROM CUSTOMERS C \
@@ -312,12 +371,12 @@ let p4 () =
   let cases =
     List.map
       (fun (label, s) ->
-        let app = Datagen.application s in
+        let app = Datagen.application ~seed s in
         let conn = Connection.connect app in
         let engine_env = Engine.env_of_application app in
         let stmt = Aqua_sql.Parser.parse sql in
         (label, conn, engine_env, stmt))
-      sizes
+      scales
   in
   let tests =
     List.concat_map
@@ -356,11 +415,7 @@ let p4 () =
 
 let p5 () =
   print_endline "\n== P5: patterned vs naive XQuery emission (ablation) ==";
-  let app =
-    Datagen.application
-      { Datagen.customers = 40; orders = 150; lines_per_order = 2;
-        payments = 90 }
-  in
+  let app = Datagen.application ~seed (sizes 40 150 2 90) in
   let env = Semantic.env_of_application app in
   let srv = Server.create app in
   let queries =
@@ -411,15 +466,8 @@ let p6 () =
   print_endline
     "\n== P6: join strategy, nested loop vs hash equi-join (optimizer) ==";
   let scales =
-    [ ( "small",
-        { Datagen.customers = 50; orders = 200; lines_per_order = 2;
-          payments = 60 } );
-      ( "medium",
-        { Datagen.customers = 150; orders = 600; lines_per_order = 2;
-          payments = 180 } );
-      ( "large",
-        { Datagen.customers = 300; orders = 1200; lines_per_order = 2;
-          payments = 360 } ) ]
+    [ ("small", sizes 50 200 2 60); ("medium", sizes 150 600 2 180);
+      ("large", sizes 300 1200 2 360) ]
   in
   (* a comma-style join: the translator emits for/for/where, which the
      optimizer rewrites into a hash equi-join plus a residual filter *)
@@ -430,7 +478,7 @@ let p6 () =
   let cases =
     List.map
       (fun (label, s) ->
-        let app = Datagen.application s in
+        let app = Datagen.application ~seed s in
         let env = Semantic.env_of_application app in
         let t = Translator.translate env sql in
         let naive_srv = Server.create ~optimize:false app in
@@ -447,7 +495,9 @@ let p6 () =
       let b = ser (Server.execute opt_srv t.Translator.xquery) in
       let c = ser (Server.execute_prepared prepared) in
       if a <> b || a <> c then
-        failwith (Printf.sprintf "P6 %s: join strategies disagree" label))
+        failwith
+          (Printf.sprintf "P6 %s: join strategies disagree (BENCH_SEED=%d)"
+             label seed))
     cases;
   let tests =
     List.concat_map
@@ -460,6 +510,14 @@ let p6 () =
             ~name:("hash-join-" ^ label)
             (Staged.stage (fun () ->
                  ignore (Server.execute opt_srv t.Translator.xquery)));
+          (* same path with the telemetry probes live, to bound the
+             instrumentation overhead *)
+          Test.make
+            ~name:("hash-join-telemetry-" ^ label)
+            (Staged.stage (fun () ->
+                 Telemetry.set_enabled true;
+                 ignore (Server.execute opt_srv t.Translator.xquery);
+                 Telemetry.set_enabled false));
           Test.make
             ~name:("hash-join-compiled-" ^ label)
             (Staged.stage (fun () -> ignore (Server.execute_prepared prepared)))
@@ -472,50 +530,88 @@ let p6 () =
       (fun (label, s, _, _, _, _) ->
         let n = estimate results ("p6/nested-loop-" ^ label) in
         let h = estimate results ("p6/hash-join-" ^ label) in
+        let ht = estimate results ("p6/hash-join-telemetry-" ^ label) in
         let c = estimate results ("p6/hash-join-compiled-" ^ label) in
-        (label, s, n, h, c))
+        (label, s, n, h, ht, c))
       cases
   in
   print_table "P6 inner join by strategy"
     (List.concat_map
-       (fun (label, (s : Datagen.sizes), n, h, c) ->
+       (fun (label, (s : Datagen.sizes), n, h, ht, c) ->
          let tag =
            Printf.sprintf "%-6s (%dx%d)" label s.Datagen.customers
              s.Datagen.orders
          in
          [ ("nested loop        " ^ tag, n);
            ("hash join          " ^ tag, h);
+           ("hash join w/telem  " ^ tag, ht);
            ("hash join compiled " ^ tag, c) ])
        rows);
+  (* the telemetry overhead is a few percent, far below the run-to-run
+     drift of sequential bechamel estimates — so measure it with the
+     interleaved A/B harness instead of dividing two table rows *)
+  let overheads =
+    List.map
+      (fun (label, _, t, _, opt_srv, _) ->
+        let r =
+          ab_median_ratio
+            ~iters:(if !smoke then 30 else 150)
+            (fun enabled ->
+              Telemetry.set_enabled enabled;
+              ignore (Server.execute opt_srv t.Translator.xquery);
+              Telemetry.set_enabled false)
+        in
+        (label, r))
+      cases
+  in
   Printf.printf "\nspeedup over the nested loop:\n";
   List.iter
-    (fun (label, (s : Datagen.sizes), n, h, c) ->
+    (fun (label, (s : Datagen.sizes), n, h, _, c) ->
       Printf.printf
-        "  %-6s (%4d customers x %4d orders): hash %.2fx, hash+compile %.2fx\n"
-        label s.Datagen.customers s.Datagen.orders (ratio n h) (ratio n c))
+        "  %-6s (%4d customers x %4d orders): hash %.2fx, hash+compile %.2fx, \
+         telemetry overhead %+.1f%% (interleaved)\n"
+        label s.Datagen.customers s.Datagen.orders (ratio n h) (ratio n c)
+        ((List.assoc label overheads -. 1.0) *. 100.0))
     rows;
+  (* one instrumented execution at the largest scale: its counter
+     snapshot is embedded in the JSON record *)
+  let telemetry_json, telemetry_label =
+    match List.rev cases with
+    | (label, _, t, _, opt_srv, _) :: _ ->
+      Telemetry.reset ();
+      Telemetry.set_enabled true;
+      ignore (Server.execute opt_srv t.Translator.xquery);
+      Telemetry.set_enabled false;
+      (Telemetry.metrics_to_json (Telemetry.snapshot ()), label)
+    | [] -> ("null", "none")
+  in
   (* machine-readable record for EXPERIMENTS.md / regression tracking *)
   let jf f = if Float.is_nan f then "null" else Printf.sprintf "%.1f" f in
   let jr f = if Float.is_nan f then "null" else Printf.sprintf "%.2f" f in
   let oc = open_out p6_json_path in
   Printf.fprintf oc
     "{\n  \"experiment\": \"P6 join strategy\",\n  \"sql\": \"%s\",\n  \
-     \"units\": \"ns per query execution\",\n  \"scales\": [\n"
-    (String.concat " " (String.split_on_char '\n' (String.escaped sql)));
+     \"units\": \"ns per query execution\",\n  \"seed\": %d,\n  \
+     \"smoke\": %b,\n  \"scales\": [\n"
+    (String.concat " " (String.split_on_char '\n' (String.escaped sql)))
+    seed !smoke;
   let n_rows = List.length rows in
   List.iteri
-    (fun i (label, (s : Datagen.sizes), n, h, c) ->
+    (fun i (label, (s : Datagen.sizes), n, h, ht, c) ->
       Printf.fprintf oc
         "    { \"label\": \"%s\", \"customers\": %d, \"orders\": %d,\n      \
          \"nested_loop_ns\": %s, \"hash_join_ns\": %s, \
-         \"hash_join_compiled_ns\": %s,\n      \"speedup_hash\": %s, \
-         \"speedup_hash_compiled\": %s }%s\n"
-        label s.Datagen.customers s.Datagen.orders (jf n) (jf h) (jf c)
+         \"hash_join_telemetry_ns\": %s, \"hash_join_compiled_ns\": %s,\n      \
+         \"speedup_hash\": %s, \"speedup_hash_compiled\": %s, \
+         \"telemetry_overhead\": %s }%s\n"
+        label s.Datagen.customers s.Datagen.orders (jf n) (jf h) (jf ht) (jf c)
         (jr (ratio n h))
         (jr (ratio n c))
+        (jr (List.assoc label overheads))
         (if i = n_rows - 1 then "" else ","))
     rows;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n  \"telemetry_scale\": \"%s\",\n  \"telemetry\": %s\n}\n"
+    telemetry_label telemetry_json;
   close_out oc;
   Printf.printf "\nwrote %s\n" p6_json_path;
   flush stdout
@@ -527,11 +623,7 @@ let p8 () =
   print_endline
     "\n== P8: server-side query compilation (interpreter vs compiled \
      closures) ==";
-  let app =
-    Datagen.application
-      { Datagen.customers = 40; orders = 150; lines_per_order = 2;
-        payments = 90 }
-  in
+  let app = Datagen.application ~seed (sizes 40 150 2 90) in
   let env = Semantic.env_of_application app in
   let srv = Server.create app in
   let queries =
@@ -597,11 +689,7 @@ let p8 () =
 let p7 () =
   print_endline
     "\n== P7: prepared statements vs ad hoc statements (driver) ==";
-  let app =
-    Datagen.application
-      { Datagen.customers = 40; orders = 150; lines_per_order = 2;
-        payments = 90 }
-  in
+  let app = Datagen.application ~seed (sizes 40 150 2 90) in
   let conn = Connection.connect app in
   let sql_template =
     "SELECT ORDERID, STATUS FROM ORDERS WHERE CUSTOMERID = ?"
@@ -643,10 +731,22 @@ let p7 () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--smoke" || String.uppercase_ascii a = "SMOKE" then begin
+          smoke := true;
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
+  if !smoke then
+    Printf.printf "(smoke mode: tiny scales, short quota, seed=%d)\n" seed;
   let selected =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as picks) -> List.map String.uppercase_ascii picks
-    | _ -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8" ]
+    match args with
+    | _ :: _ -> List.map String.uppercase_ascii args
+    | [] -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8" ]
   in
   let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7); ("P8", p8) ] in
   List.iter

@@ -1,0 +1,98 @@
+(* Schema check for the BENCH_*.json files the harness emits — used by
+   the CI bench-smoke job, runnable locally:
+
+     dune exec bench/validate.exe BENCH_P6.json
+
+   Exit 0 when the file parses and carries every required field with
+   the right type; exit 1 with a list of problems otherwise. *)
+
+module Json = Aqua_core.Json
+
+let problems : string list ref = ref []
+let problem fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt
+
+let check_field path obj name pred ty =
+  match Json.member name obj with
+  | None -> problem "%s: missing field %S" path name
+  | Some v -> if not (pred v) then problem "%s: field %S is not %s" path name ty
+
+let is_string = function Json.Str _ -> true | _ -> false
+let is_bool = function Json.Bool _ -> true | _ -> false
+let is_number_or_null = function Json.Num _ | Json.Null -> true | _ -> false
+
+let is_int = function
+  | Json.Num f -> Float.is_integer f
+  | _ -> false
+
+let telemetry_int_fields =
+  [ "translations"; "parse_ns"; "semantic_ns"; "generate_ns"; "rows_emitted";
+    "hash_join_builds"; "hash_join_build_rows"; "hash_join_probes";
+    "hash_join_collisions"; "pushdown_rewrites"; "hash_join_rewrites";
+    "engine_rows_scanned"; "engine_rows_joined"; "cache_hits"; "cache_misses";
+    "resultset_rows"; "ds_calls"; "ds_call_ns" ]
+
+let scale_fields =
+  [ ("label", is_string, "a string");
+    ("customers", is_int, "an integer");
+    ("orders", is_int, "an integer");
+    ("nested_loop_ns", is_number_or_null, "a number or null");
+    ("hash_join_ns", is_number_or_null, "a number or null");
+    ("hash_join_telemetry_ns", is_number_or_null, "a number or null");
+    ("hash_join_compiled_ns", is_number_or_null, "a number or null");
+    ("speedup_hash", is_number_or_null, "a number or null");
+    ("speedup_hash_compiled", is_number_or_null, "a number or null");
+    ("telemetry_overhead", is_number_or_null, "a number or null") ]
+
+let validate path json =
+  check_field path json "experiment" is_string "a string";
+  check_field path json "sql" is_string "a string";
+  check_field path json "units" is_string "a string";
+  check_field path json "seed" is_int "an integer";
+  check_field path json "smoke" is_bool "a boolean";
+  (match Json.member "scales" json with
+  | Some (Json.Arr scales) ->
+    if scales = [] then problem "%s: \"scales\" is empty" path;
+    List.iteri
+      (fun i scale ->
+        let spath = Printf.sprintf "%s: scales[%d]" path i in
+        match scale with
+        | Json.Obj _ ->
+          List.iter
+            (fun (name, pred, ty) -> check_field spath scale name pred ty)
+            scale_fields
+        | _ -> problem "%s is not an object" spath)
+      scales
+  | Some _ -> problem "%s: \"scales\" is not an array" path
+  | None -> problem "%s: missing field \"scales\"" path);
+  (match Json.member "telemetry" json with
+  | Some (Json.Obj _ as telemetry) ->
+    List.iter
+      (fun name ->
+        check_field (path ^ ": telemetry") telemetry name is_int "an integer")
+      telemetry_int_fields
+  | Some _ -> problem "%s: \"telemetry\" is not an object" path
+  | None -> problem "%s: missing field \"telemetry\"" path)
+
+let () =
+  let paths =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] ->
+      prerr_endline "usage: validate BENCH_XX.json ...";
+      exit 2
+    | paths -> paths
+  in
+  List.iter
+    (fun path ->
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error m -> problem "%s: %s" path m
+      | contents -> (
+        match Json.parse contents with
+        | exception Json.Parse_error m -> problem "%s: %s" path m
+        | json -> validate path json))
+    paths;
+  match List.rev !problems with
+  | [] ->
+    Printf.printf "validate: %s ok\n" (String.concat ", " paths)
+  | ps ->
+    List.iter prerr_endline ps;
+    exit 1

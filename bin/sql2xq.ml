@@ -14,6 +14,7 @@ module Semantic = Aqua_translator.Semantic
 module Errors = Aqua_translator.Errors
 module Server = Aqua_dsp.Server
 module Metadata = Aqua_dsp.Metadata
+module Telemetry = Aqua_core.Telemetry
 
 let with_env f =
   let app = Aqua_workload.Demo.build () in
@@ -62,17 +63,122 @@ let translate_cmd =
     (Cmd.info "translate" ~doc:"Translate SQL to XQuery and print it")
     Term.(const run $ sql_arg $ naive_flag)
 
+let trace_flag =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Emit NDJSON telemetry trace events to stderr (one span per \
+           line, plus a final snapshot of all counters).")
+
+let start_trace () =
+  Telemetry.set_enabled true;
+  Telemetry.reset ();
+  Telemetry.set_trace_sink (Some prerr_endline)
+
+let finish_trace () =
+  prerr_endline
+    ("{\"ev\":\"snapshot\",\"metrics\":"
+    ^ Telemetry.metrics_to_json (Telemetry.snapshot ())
+    ^ "}")
+
 let run_cmd =
-  let run sql naive no_optimize =
+  let run sql naive no_optimize trace =
     with_env (fun app env ->
+        if trace then start_trace ();
         let t = Translator.translate ~style:(style_of_naive naive) env sql in
         let server = Server.create ~optimize:(not no_optimize) app in
-        let items = Server.execute server t.Translator.xquery in
-        print_endline (Aqua_xml.Serialize.sequence_to_string ~indent:true items))
+        let items =
+          Telemetry.with_span "execute" (fun () ->
+              Server.execute server t.Translator.xquery)
+        in
+        print_endline (Aqua_xml.Serialize.sequence_to_string ~indent:true items);
+        if trace then finish_trace ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Translate and execute; print the XML result")
-    Term.(const run $ sql_arg $ naive_flag $ no_optimize_flag)
+    Term.(const run $ sql_arg $ naive_flag $ no_optimize_flag $ trace_flag)
+
+let analyze_cmd =
+  let ms ns = Int64.to_float ns /. 1e6 in
+  let run sql naive no_optimize trace =
+    with_env (fun app env ->
+        Telemetry.set_enabled true;
+        Telemetry.reset ();
+        if trace then Telemetry.set_trace_sink (Some prerr_endline);
+        let t = Translator.translate ~style:(style_of_naive naive) env sql in
+        let server = Server.create ~optimize:(not no_optimize) app in
+        let items =
+          Telemetry.with_span "execute" (fun () ->
+              Server.execute server t.Translator.xquery)
+        in
+        let serialized =
+          Telemetry.with_span "serialize" (fun () ->
+              Aqua_xml.Serialize.sequence_to_string items)
+        in
+        let snap = Telemetry.snapshot () in
+        let clause_rows = Telemetry.clause_rows () in
+        let span_stats = Telemetry.span_stats () in
+        let execute_ns = Telemetry.span_total_ns "execute" in
+        let serialize_ns = Telemetry.span_total_ns "serialize" in
+        if trace then finish_trace ();
+        Telemetry.set_enabled false;
+        (* the counters are frozen now, so re-running the optimizer for
+           its notes does not skew the snapshot *)
+        let _, report = Aqua_xqeval.Optimize.query t.Translator.xquery in
+        Printf.printf "EXPLAIN ANALYZE  %s\n" sql;
+        Printf.printf "translation (three stages):\n";
+        Printf.printf "  stage 1 parse      %8.3f ms\n" (ms snap.Telemetry.parse_ns);
+        Printf.printf "  stage 2 semantic   %8.3f ms\n" (ms snap.Telemetry.semantic_ns);
+        Printf.printf "  stage 3 generate   %8.3f ms\n" (ms snap.Telemetry.generate_ns);
+        if no_optimize then Printf.printf "optimizer: disabled (--no-optimize)\n"
+        else begin
+          Printf.printf "optimizer: %d predicate(s) pushed down, %d hash equi-join(s)\n"
+            report.Aqua_xqeval.Optimize.pushed_predicates
+            report.Aqua_xqeval.Optimize.hash_joins;
+          List.iter
+            (fun note -> Printf.printf "  note: %s\n" note)
+            report.Aqua_xqeval.Optimize.notes
+        end;
+        Printf.printf "execution: %.3f ms, %d item(s) returned\n" (ms execute_ns)
+          (List.length items);
+        if clause_rows <> [] then begin
+          Printf.printf "plan (clause -> actual rows):\n";
+          List.iter
+            (fun (label, rows) -> Printf.printf "  %-28s %8d\n" label rows)
+            clause_rows
+        end;
+        Printf.printf "engine counters:\n";
+        Printf.printf "  rows emitted (all clauses)   %8d\n" snap.Telemetry.rows_emitted;
+        Printf.printf
+          "  hash join: builds=%d build_rows=%d probes=%d collisions=%d\n"
+          snap.Telemetry.hash_join_builds snap.Telemetry.hash_join_build_rows
+          snap.Telemetry.hash_join_probes snap.Telemetry.hash_join_collisions;
+        let ds_spans =
+          List.filter
+            (fun (name, _, _) ->
+              String.length name > 9 && String.sub name 0 9 = "dsp.call.")
+            span_stats
+        in
+        if ds_spans <> [] then begin
+          Printf.printf "data-service calls:\n";
+          List.iter
+            (fun (name, n, total) ->
+              Printf.printf "  %-28s n=%-4d %8.3f ms\n"
+                (String.sub name 9 (String.length name - 9))
+                n (ms total))
+            ds_spans
+        end;
+        Printf.printf "serialize: %.3f ms (%d bytes)\n" (ms serialize_ns)
+          (String.length serialized))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Translate, execute and print an EXPLAIN ANALYZE-style report: \
+          per-stage timings, optimizer decisions, per-clause row counts \
+          and engine counters.")
+    Term.(const run $ sql_arg $ naive_flag $ no_optimize_flag $ trace_flag)
 
 let text_cmd =
   let run sql naive no_optimize =
@@ -240,4 +346,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "sql2xq" ~doc)
-          [ translate_cmd; run_cmd; text_cmd; diff_cmd; wdiff_cmd; explain_cmd; xq_cmd; tables_cmd ]))
+          [ translate_cmd; run_cmd; analyze_cmd; text_cmd; diff_cmd; wdiff_cmd;
+            explain_cmd; xq_cmd; tables_cmd ]))

@@ -6,16 +6,23 @@ type t = {
   columns : Outcol.t list;
 }
 
+module Telemetry = Aqua_core.Telemetry
+
 let parse_stage sql : A.statement =
+  Telemetry.with_span "translate.parse" @@ fun () ->
   try Aqua_sql.Parser.parse sql
   with Aqua_sql.Parser.Parse_error { pos; message } ->
     raise (Errors.Error { Errors.kind = Errors.Syntax; message; pos = Some pos })
 
 let translate_statement ?style env (statement : A.statement) : t =
   (* stage two: semantic validation against metadata *)
-  ignore (Semantic.statement_columns env statement);
+  Telemetry.with_span "translate.semantic" (fun () ->
+      ignore (Semantic.statement_columns env statement));
   (* stage three: XQuery generation *)
-  let output = Generate.generate ?style env statement in
+  let output =
+    Telemetry.with_span "translate.generate" (fun () ->
+        Generate.generate ?style env statement)
+  in
   {
     statement;
     xquery = output.Generate.query;
@@ -23,6 +30,8 @@ let translate_statement ?style env (statement : A.statement) : t =
   }
 
 let translate ?style env sql : t =
+  Telemetry.incr Telemetry.c_translations;
+  Telemetry.with_span "translate" @@ fun () ->
   translate_statement ?style env (parse_stage sql)
 
 let translate_result ?style env sql =

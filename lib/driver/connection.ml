@@ -94,9 +94,13 @@ let translator_env t = t.env
 let metadata_cache t = t.cache
 
 let translate t sql =
+  let module T = Aqua_core.Telemetry in
   match Lru.find t.translations sql with
-  | Some tr -> tr
+  | Some tr ->
+    T.incr T.c_cache_hits;
+    tr
   | None ->
+    T.incr T.c_cache_misses;
     let tr = Translator.translate t.env sql in
     Lru.add t.translations sql tr;
     tr

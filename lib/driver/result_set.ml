@@ -20,6 +20,8 @@ let column_label t i =
   | None -> invalid_arg (Printf.sprintf "column index %d out of range" i)
 
 let of_rows cols rows =
+  let module T = Aqua_core.Telemetry in
+  if T.enabled () then T.add T.c_resultset_rows (List.length rows);
   { cols; rows; current = None; last_was_null = false }
 
 let next t =

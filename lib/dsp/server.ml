@@ -40,6 +40,7 @@ let rec resolver t (imports : X.schema_import list) depth :
 and invoke t (_ds : Artifact.data_service) (f : Artifact.ds_function) depth :
     Eval.external_fn =
   fun args ->
+  Aqua_core.Telemetry.with_span ("dsp.call." ^ f.Artifact.fn_name) @@ fun () ->
   if depth > max_call_depth then
     fail "data service call depth exceeded (cycle in logical services?)";
   if List.length args <> List.length f.Artifact.params then

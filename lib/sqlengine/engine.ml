@@ -542,6 +542,8 @@ and rows_of_table_ref ?(params : params = [||]) env outer_scope outer_frames
   match tr with
   | A.Primary (A.Table_ref_name { name; alias; pos }) ->
     let meta, rows = env.table_data name pos in
+    let module T = Aqua_core.Telemetry in
+    if T.enabled () then T.add T.c_engine_rows_scanned (List.length rows);
     (Semantic.table_view meta ~alias, rows)
   | A.Primary (A.Derived { query; alias }) ->
     let cols, rows = exec_query ~params env Scope.root [] query in
@@ -794,6 +796,8 @@ and rows_of_table_ref ?(params : params = [||]) env outer_scope outer_frames
         in
         left_part @ right_part
     in
+    let module T = Aqua_core.Telemetry in
+    if T.enabled () then T.add T.c_engine_rows_joined (List.length rows);
     (view, rows)
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,208 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let error st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance st; true
+    | _ -> false
+  do () done
+
+let expect st ch =
+  match peek st with
+  | Some c when c = ch -> advance st
+  | _ -> error st (Printf.sprintf "expected '%c'" ch)
+
+let parse_hex4 st =
+  let code = ref 0 in
+  for _ = 1 to 4 do
+    (match peek st with
+    | Some c ->
+        let d =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+          | _ -> error st "bad \\u escape"
+        in
+        code := (!code * 16) + d
+    | None -> error st "bad \\u escape");
+    advance st
+  done;
+  !code
+
+(* Encode a code point as UTF-8.  Surrogate pairs in \u escapes are not
+   recombined — each half is encoded as-is, which is fine for
+   validation purposes. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st; Buffer.contents buf
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some '"' -> advance st; Buffer.add_char buf '"'; loop ()
+        | Some '\\' -> advance st; Buffer.add_char buf '\\'; loop ()
+        | Some '/' -> advance st; Buffer.add_char buf '/'; loop ()
+        | Some 'b' -> advance st; Buffer.add_char buf '\b'; loop ()
+        | Some 'f' -> advance st; Buffer.add_char buf '\012'; loop ()
+        | Some 'n' -> advance st; Buffer.add_char buf '\n'; loop ()
+        | Some 'r' -> advance st; Buffer.add_char buf '\r'; loop ()
+        | Some 't' -> advance st; Buffer.add_char buf '\t'; loop ()
+        | Some 'u' -> advance st; add_utf8 buf (parse_hex4 st); loop ()
+        | _ -> error st "bad escape")
+    | Some c when Char.code c < 0x20 -> error st "control character in string"
+    | Some c -> advance st; Buffer.add_char buf c; loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let consume_while pred =
+    while (match peek st with Some c when pred c -> true | _ -> false) do
+      advance st
+    done
+  in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  let digits_before = st.pos in
+  consume_while (function '0' .. '9' -> true | _ -> false);
+  if st.pos = digits_before then error st "expected digit";
+  (match peek st with
+  | Some '.' ->
+      advance st;
+      let d = st.pos in
+      consume_while (function '0' .. '9' -> true | _ -> false);
+      if st.pos = d then error st "expected fraction digit"
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      let d = st.pos in
+      consume_while (function '0' .. '9' -> true | _ -> false);
+      if st.pos = d then error st "expected exponent digit"
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> error st "bad number"
+
+let parse_literal st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else error st (Printf.sprintf "expected %s" word)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '"' -> Str (parse_string st)
+  | Some '{' -> parse_object st
+  | Some '[' -> parse_array st
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some ('-' | '0' .. '9') -> Num (parse_number st)
+  | Some c -> error st (Printf.sprintf "unexpected '%c'" c)
+
+and parse_object st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin advance st; Obj [] end
+  else begin
+    let rec members acc =
+      skip_ws st;
+      let key = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st; members ((key, v) :: acc)
+      | Some '}' -> advance st; Obj (List.rev ((key, v) :: acc))
+      | _ -> error st "expected ',' or '}'"
+    in
+    members []
+  end
+
+and parse_array st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin advance st; Arr [] end
+  else begin
+    let rec elems acc =
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st; elems (v :: acc)
+      | Some ']' -> advance st; Arr (List.rev (v :: acc))
+      | _ -> error st "expected ',' or ']'"
+    in
+    elems []
+  end
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then error st "trailing garbage";
+  v
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool true -> "true"
+  | Bool false -> "false"
+  | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.0f" f
+      else Printf.sprintf "%g" f
+  | Str s -> Printf.sprintf "\"%s\"" (Telemetry.json_escape s)
+  | Arr xs -> "[" ^ String.concat "," (List.map to_string xs) ^ "]"
+  | Obj fields ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "\"%s\":%s" (Telemetry.json_escape k)
+                 (to_string v))
+             fields)
+      ^ "}"

@@ -1,0 +1,24 @@
+(** A minimal JSON parser — just enough to validate the NDJSON trace
+    stream and the BENCH_*.json files without adding a dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised with a position-annotated message on malformed input. *)
+
+val parse : string -> t
+(** Parse one complete JSON value; trailing whitespace is allowed,
+    trailing garbage is not. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] looks up key [k]; [None] on missing key or
+    non-object. *)
+
+val to_string : t -> string
+(** Re-serialize (compact, keys in stored order). *)

@@ -1,0 +1,236 @@
+(* Spans, counters and NDJSON trace events.  Everything here must be
+   cheap when disabled: every probe is a single [if !enabled_flag]
+   branch over mutable ints, so the layer can stay threaded through the
+   hot paths of both engines permanently. *)
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+(* The stdlib has no monotonic clock; [Unix.gettimeofday] is the best
+   dependency-free default.  Benchmarks install a true monotonic source
+   via [set_clock]. *)
+let default_clock () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let clock = ref default_clock
+let set_clock f = clock := f
+let now_ns () = !clock ()
+
+(* Counters ---------------------------------------------------------- *)
+
+type counter = { name : string; mutable count : int }
+
+(* Registration order matters for reporting, so keep a reverse-ordered
+   list alongside the by-name table. *)
+let counter_table : (string, counter) Hashtbl.t = Hashtbl.create 64
+let counter_order : counter list ref = ref []
+
+let counter name =
+  match Hashtbl.find_opt counter_table name with
+  | Some c -> c
+  | None ->
+      let c = { name; count = 0 } in
+      Hashtbl.add counter_table name c;
+      counter_order := c :: !counter_order;
+      c
+
+let incr c = if !enabled_flag then c.count <- c.count + 1
+let add c n = if !enabled_flag then c.count <- c.count + n
+let value c = c.count
+
+let counters () =
+  List.rev_map (fun c -> (c.name, c.count)) !counter_order
+
+let c_translations = counter "translator.translations"
+let c_rows_emitted = counter "xqeval.rows_emitted"
+let c_hash_join_builds = counter "hash_join.builds"
+let c_hash_join_build_rows = counter "hash_join.build_rows"
+let c_hash_join_probes = counter "hash_join.probes"
+let c_hash_join_collisions = counter "hash_join.collisions"
+let c_pushdown_rewrites = counter "optimize.pushdown_rewrites"
+let c_hash_join_rewrites = counter "optimize.hash_join_rewrites"
+let c_engine_rows_scanned = counter "sqlengine.rows_scanned"
+let c_engine_rows_joined = counter "sqlengine.rows_joined"
+let c_cache_hits = counter "driver.cache_hits"
+let c_cache_misses = counter "driver.cache_misses"
+let c_resultset_rows = counter "driver.resultset_rows"
+
+(* Per-clause row accounting ----------------------------------------- *)
+
+(* Clause counters live in their own namespace so a generic counter and
+   a plan node can never collide, and so [reset] can drop them entirely
+   (the set of labels is query-dependent). *)
+let clause_table : (string, counter) Hashtbl.t = Hashtbl.create 16
+let clause_order : counter list ref = ref []
+
+let clause_counter label =
+  match Hashtbl.find_opt clause_table label with
+  | Some c -> c
+  | None ->
+      let c = { name = label; count = 0 } in
+      Hashtbl.add clause_table label c;
+      clause_order := c :: !clause_order;
+      c
+
+let clause_rows () =
+  List.rev_map (fun c -> (c.name, c.count)) !clause_order
+
+(* JSON escaping ------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Tracing ------------------------------------------------------------ *)
+
+let trace_sink : (string -> unit) option ref = ref None
+let set_trace_sink s = trace_sink := s
+
+let emit_line line =
+  match !trace_sink with Some sink -> sink line | None -> ()
+
+let trace_event ev fields =
+  if !enabled_flag && !trace_sink <> None then begin
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf (Printf.sprintf "{\"ev\":\"%s\"" (json_escape ev));
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf ",\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+      fields;
+    Buffer.add_char buf '}';
+    emit_line (Buffer.contents buf)
+  end
+
+(* Spans -------------------------------------------------------------- *)
+
+type span_agg = { span_name : string; mutable n : int; mutable total_ns : int64 }
+
+let span_table : (string, span_agg) Hashtbl.t = Hashtbl.create 32
+let span_order : span_agg list ref = ref []
+let span_depth = ref 0
+
+let span_agg name =
+  match Hashtbl.find_opt span_table name with
+  | Some a -> a
+  | None ->
+      let a = { span_name = name; n = 0; total_ns = 0L } in
+      Hashtbl.add span_table name a;
+      span_order := a :: !span_order;
+      a
+
+let with_span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let start = now_ns () in
+    let depth = !span_depth in
+    Stdlib.incr span_depth;
+    let finish () =
+      Stdlib.decr span_depth;
+      let dur = Int64.sub (now_ns ()) start in
+      let a = span_agg name in
+      a.n <- a.n + 1;
+      a.total_ns <- Int64.add a.total_ns dur;
+      if !trace_sink <> None then
+        emit_line
+          (Printf.sprintf
+             "{\"ev\":\"span\",\"name\":\"%s\",\"depth\":%d,\"start_ns\":%Ld,\"dur_ns\":%Ld}"
+             (json_escape name) depth start dur)
+    in
+    match f () with
+    | v -> finish (); v
+    | exception e -> finish (); raise e
+  end
+
+let span_stats () =
+  List.rev_map (fun a -> (a.span_name, a.n, a.total_ns)) !span_order
+
+let span_total_ns name =
+  match Hashtbl.find_opt span_table name with
+  | Some a -> a.total_ns
+  | None -> 0L
+
+(* Snapshot ----------------------------------------------------------- *)
+
+type metrics = {
+  translations : int;
+  parse_ns : int64;
+  semantic_ns : int64;
+  generate_ns : int64;
+  rows_emitted : int;
+  hash_join_builds : int;
+  hash_join_build_rows : int;
+  hash_join_probes : int;
+  hash_join_collisions : int;
+  pushdown_rewrites : int;
+  hash_join_rewrites : int;
+  engine_rows_scanned : int;
+  engine_rows_joined : int;
+  cache_hits : int;
+  cache_misses : int;
+  resultset_rows : int;
+  ds_calls : int;
+  ds_call_ns : int64;
+}
+
+let ds_call_prefix = "dsp.call."
+
+let snapshot () =
+  let ds_calls, ds_call_ns =
+    Hashtbl.fold
+      (fun name a (calls, ns) ->
+        if String.length name > String.length ds_call_prefix
+           && String.sub name 0 (String.length ds_call_prefix) = ds_call_prefix
+        then (calls + a.n, Int64.add ns a.total_ns)
+        else (calls, ns))
+      span_table (0, 0L)
+  in
+  {
+    translations = value c_translations;
+    parse_ns = span_total_ns "translate.parse";
+    semantic_ns = span_total_ns "translate.semantic";
+    generate_ns = span_total_ns "translate.generate";
+    rows_emitted = value c_rows_emitted;
+    hash_join_builds = value c_hash_join_builds;
+    hash_join_build_rows = value c_hash_join_build_rows;
+    hash_join_probes = value c_hash_join_probes;
+    hash_join_collisions = value c_hash_join_collisions;
+    pushdown_rewrites = value c_pushdown_rewrites;
+    hash_join_rewrites = value c_hash_join_rewrites;
+    engine_rows_scanned = value c_engine_rows_scanned;
+    engine_rows_joined = value c_engine_rows_joined;
+    cache_hits = value c_cache_hits;
+    cache_misses = value c_cache_misses;
+    resultset_rows = value c_resultset_rows;
+    ds_calls;
+    ds_call_ns;
+  }
+
+let metrics_to_json m =
+  Printf.sprintf
+    "{\"translations\":%d,\"parse_ns\":%Ld,\"semantic_ns\":%Ld,\"generate_ns\":%Ld,\"rows_emitted\":%d,\"hash_join_builds\":%d,\"hash_join_build_rows\":%d,\"hash_join_probes\":%d,\"hash_join_collisions\":%d,\"pushdown_rewrites\":%d,\"hash_join_rewrites\":%d,\"engine_rows_scanned\":%d,\"engine_rows_joined\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"resultset_rows\":%d,\"ds_calls\":%d,\"ds_call_ns\":%Ld}"
+    m.translations m.parse_ns m.semantic_ns m.generate_ns m.rows_emitted
+    m.hash_join_builds m.hash_join_build_rows m.hash_join_probes
+    m.hash_join_collisions m.pushdown_rewrites m.hash_join_rewrites
+    m.engine_rows_scanned m.engine_rows_joined m.cache_hits m.cache_misses
+    m.resultset_rows m.ds_calls m.ds_call_ns
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counter_table;
+  Hashtbl.reset clause_table;
+  clause_order := [];
+  Hashtbl.reset span_table;
+  span_order := [];
+  span_depth := 0

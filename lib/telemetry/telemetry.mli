@@ -1,0 +1,133 @@
+(** Lightweight telemetry: spans, counters and trace events.
+
+    The layer is off by default and costs a single branch per probe when
+    disabled, so it can stay permanently threaded through the translator
+    stages, both XQuery engines, the SQL engine, the driver and the DSP
+    server.  Enable it with {!set_enabled}, run a workload, then read the
+    aggregate {!snapshot} or attach an NDJSON {!set_trace_sink} for
+    per-span events. *)
+
+(** {1 Switch and clock} *)
+
+val set_enabled : bool -> unit
+(** Turn the probes on or off (off by default).  Disabling does not clear
+    accumulated data; use {!reset} for that. *)
+
+val enabled : unit -> bool
+
+val set_clock : (unit -> int64) -> unit
+(** Install a nanosecond clock.  The default derives from
+    [Unix.gettimeofday]; benchmarks may install a true monotonic source
+    (e.g. bechamel's [Monotonic_clock.now]). *)
+
+val now_ns : unit -> int64
+(** Read the installed clock (works even when disabled). *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** [counter name] returns the counter registered under [name], creating
+    it on first use.  Counter names are unique; calling [counter] twice
+    with the same name yields the same counter. *)
+
+val incr : counter -> unit
+(** No-op while disabled. *)
+
+val add : counter -> int -> unit
+(** No-op while disabled. *)
+
+val value : counter -> int
+
+val counters : unit -> (string * int) list
+(** All registered counters in first-registration order. *)
+
+(** Pre-registered counters used by the instrumented libraries. *)
+
+val c_translations : counter       (* SQL statements translated *)
+val c_rows_emitted : counter       (* tuples emitted by FLWOR clauses (xqeval) *)
+val c_hash_join_builds : counter   (* hash tables built (both engines) *)
+val c_hash_join_build_rows : counter (* rows inserted into hash tables *)
+val c_hash_join_probes : counter   (* hash-table probes *)
+val c_hash_join_collisions : counter (* insert-side bucket collisions (key already present) *)
+val c_pushdown_rewrites : counter  (* predicates pushed down by the optimizer *)
+val c_hash_join_rewrites : counter (* equi-joins rewritten to hash joins *)
+val c_engine_rows_scanned : counter (* base-table rows scanned (sqlengine) *)
+val c_engine_rows_joined : counter  (* rows produced by sqlengine joins *)
+val c_cache_hits : counter         (* driver LRU translation-cache hits *)
+val c_cache_misses : counter       (* driver LRU translation-cache misses *)
+val c_resultset_rows : counter     (* rows materialized into driver result sets *)
+
+(** {1 Per-clause row accounting}
+
+    The xqeval FLWOR pipeline registers one counter per plan node (clause)
+    it streams tuples through, labelled by clause kind and variable.
+    {!clause_rows} returns them in first-seen order, which for a single
+    query is pipeline order — the skeleton of an EXPLAIN ANALYZE tree. *)
+
+val clause_counter : string -> counter
+val clause_rows : unit -> (string * int) list
+
+(** {1 Spans} *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f ()] and aggregates the duration under
+    [name].  Spans nest; the current depth is recorded on each trace
+    event.  When disabled this is just [f ()].  The span is closed (and
+    traced) even if [f] raises. *)
+
+val span_stats : unit -> (string * int * int64) list
+(** [(name, count, total_ns)] per span name, first-seen order. *)
+
+val span_total_ns : string -> int64
+(** Total nanoseconds accumulated under one span name (0 if unknown). *)
+
+(** {1 Tracing} *)
+
+val set_trace_sink : (string -> unit) option -> unit
+(** When set (and telemetry is enabled), every span close emits one
+    NDJSON line to the sink:
+    [{"ev":"span","name":...,"depth":N,"start_ns":...,"dur_ns":...}]. *)
+
+val trace_event : string -> (string * string) list -> unit
+(** [trace_event ev fields] emits a custom NDJSON line
+    [{"ev":ev, field:value, ...}] to the sink, if any.  Values are
+    emitted as JSON strings. *)
+
+(** {1 Snapshot} *)
+
+type metrics = {
+  translations : int;
+  parse_ns : int64;
+  semantic_ns : int64;
+  generate_ns : int64;
+  rows_emitted : int;
+  hash_join_builds : int;
+  hash_join_build_rows : int;
+  hash_join_probes : int;
+  hash_join_collisions : int;
+  pushdown_rewrites : int;
+  hash_join_rewrites : int;
+  engine_rows_scanned : int;
+  engine_rows_joined : int;
+  cache_hits : int;
+  cache_misses : int;
+  resultset_rows : int;
+  ds_calls : int;          (** DSP data-service function invocations *)
+  ds_call_ns : int64;      (** total latency across those invocations *)
+}
+
+val snapshot : unit -> metrics
+
+val metrics_to_json : metrics -> string
+(** One-line JSON object, schema documented in DESIGN.md §8. *)
+
+val reset : unit -> unit
+(** Zero all counters, span aggregates and clause-row records.  Does not
+    change the enabled flag, clock or trace sink. *)
+
+(** {1 JSON string escaping} *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion inside JSON double quotes. *)

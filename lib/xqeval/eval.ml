@@ -2,6 +2,7 @@ module Atomic = Aqua_xml.Atomic
 module Item = Aqua_xml.Item
 module Node = Aqua_xml.Node
 module X = Aqua_xquery.Ast
+module Telemetry = Aqua_core.Telemetry
 
 module Env = Map.Make (String)
 
@@ -231,10 +232,34 @@ and eval_quantified ctx every bindings satisfies =
    cross products; only the [group by] and [order by] barriers snapshot
    the stream to a list, mirroring the compile-time slot model. *)
 and eval_flwor ctx (f : X.flwor) : Item.sequence =
-  let stream =
-    List.fold_left
-      (fun envs clause ->
+  (* Telemetry: when enabled, each clause's output stream is wrapped
+     with a per-clause row counter (resolved once per FLWOR evaluation,
+     not per tuple).  Labels read like plan nodes; positional suffixes
+     keep same-kind clauses of one pipeline distinct. *)
+  let instrument = Telemetry.enabled () in
+  let count_rows i clause envs =
+    if not instrument then envs
+    else begin
+      let label =
         match clause with
+        | X.For { var; _ } -> "for $" ^ var
+        | X.Let { var; _ } -> "let $" ^ var
+        | X.Where _ -> Printf.sprintf "where@%d" i
+        | X.Group { partition; _ } -> "group by -> $" ^ partition
+        | X.Order_by _ -> Printf.sprintf "order-by@%d" i
+        | X.Hash_join { var; _ } -> "hash-join $" ^ var
+      in
+      let c = Telemetry.clause_counter label in
+      Seq.map
+        (fun env ->
+          Telemetry.incr c;
+          Telemetry.incr Telemetry.c_rows_emitted;
+          env)
+        envs
+    end
+  in
+  let apply envs clause =
+    match clause with
         | X.For { var; source } ->
           Seq.concat_map
             (fun env ->
@@ -276,8 +301,12 @@ and eval_flwor ctx (f : X.flwor) : Item.sequence =
               Join_table.probe t ~value_cmp probe_atoms
               |> List.to_seq
               |> Seq.map (fun k -> Env.add var [ t.Join_table.items.(k) ] env))
-            envs)
-      (Seq.return ctx.vars) f.clauses
+            envs
+  in
+  let _, stream =
+    List.fold_left
+      (fun (i, envs) clause -> (i + 1, count_rows i clause (apply envs clause)))
+      (0, Seq.return ctx.vars) f.clauses
   in
   List.of_seq
     (Seq.concat_map

@@ -68,7 +68,10 @@ let secondary_keys (a : Atomic.t) : string list =
    bound to the given item (each evaluator supplies its own closure). *)
 let build (source : Item.sequence) ~(key_of : Item.t -> Item.sequence)
     ~(value_cmp : bool) : t =
+  let module T = Aqua_core.Telemetry in
   let items = Array.of_list source in
+  T.incr T.c_hash_join_builds;
+  T.add T.c_hash_join_build_rows (Array.length items);
   let tbl = Hashtbl.create (max 16 (Array.length items)) in
   let poison = ref false in
   let any_nonempty = ref false in
@@ -83,7 +86,9 @@ let build (source : Item.sequence) ~(key_of : Item.t -> Item.sequence)
         any_nonempty := true;
         List.iter
           (fun a ->
-            Hashtbl.add tbl (Atomic.hash_key a) (i, true);
+            let key = Atomic.hash_key a in
+            if Hashtbl.mem tbl key then T.incr T.c_hash_join_collisions;
+            Hashtbl.add tbl key (i, true);
             List.iter
               (fun k -> Hashtbl.add tbl k (i, false))
               (secondary_keys a))
@@ -109,6 +114,8 @@ let rows_for_atom t a =
    singleton check, so an empty probe never errors even against a
    multi-atom build key. *)
 let probe t ~value_cmp (probe_atoms : Atomic.t list) : int list =
+  let module T = Aqua_core.Telemetry in
+  T.incr T.c_hash_join_probes;
   let matched =
     if value_cmp then
       match probe_atoms with

@@ -330,6 +330,9 @@ and rewrite_clause acc = function
 let expr e =
   let acc = { pushed = 0; joins = 0; notes = [] } in
   let e = rewrite acc e in
+  let module T = Aqua_core.Telemetry in
+  T.add T.c_pushdown_rewrites acc.pushed;
+  T.add T.c_hash_join_rewrites acc.joins;
   ( e,
     {
       pushed_predicates = acc.pushed;

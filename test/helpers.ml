@@ -69,3 +69,19 @@ let assert_contains ~needle haystack =
     Alcotest.failf "expected to find %S in:\n%s" needle haystack
 
 let case name f = Alcotest.test_case name `Quick f
+
+(* Every property-based test routes through here so the whole suite is
+   byte-reproducible: one seed (default 42, override with QCHECK_SEED)
+   drives all generators.  qcheck-alcotest's default is
+   [Random.self_init], which makes failures unreproducible in CI. *)
+let qcheck_seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some s -> s
+  | None -> 42
+
+let () = Printf.eprintf "qcheck seed: %d (override with QCHECK_SEED)\n%!" qcheck_seed
+
+let qcheck cell =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| qcheck_seed |])
+    cell

@@ -110,6 +110,6 @@ let suite =
       Helpers.case "casts" casts;
       Helpers.case "comparisons" comparisons;
       Helpers.case "equality and hash keys" equality_and_keys;
-      QCheck_alcotest.to_alcotest prop_int_order;
-      QCheck_alcotest.to_alcotest prop_hash_key_consistent;
-      QCheck_alcotest.to_alcotest prop_date_roundtrip ] )
+      Helpers.qcheck prop_int_order;
+      Helpers.qcheck prop_hash_key_consistent;
+      Helpers.qcheck prop_date_roundtrip ] )

@@ -175,4 +175,4 @@ let suite =
       Helpers.case "external bindings" external_bindings;
       Helpers.case "server agreement" server_agreement;
       Helpers.case "prepared parameters" prepared_parameters_via_server;
-      QCheck_alcotest.to_alcotest prop_agreement ] )
+      Helpers.qcheck prop_agreement ] )

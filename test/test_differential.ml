@@ -289,5 +289,5 @@ let suite =
     [ Helpers.case "battery via text transport" (battery_case Connection.Text);
       Helpers.case "battery via xml transport" (battery_case Connection.Xml);
       Helpers.case "naive style agrees" naive_style_agrees;
-      QCheck_alcotest.to_alcotest prop_differential;
-      QCheck_alcotest.to_alcotest prop_differential_reporting ] )
+      Helpers.qcheck prop_differential;
+      Helpers.qcheck prop_differential_reporting ] )

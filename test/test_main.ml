@@ -16,4 +16,5 @@ let () =
       Test_dsfile.suite;
       Test_compile.suite;
       Test_differential.suite;
-      Test_optimize.suite ]
+      Test_optimize.suite;
+      Test_telemetry.suite ]

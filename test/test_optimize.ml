@@ -321,4 +321,4 @@ let suite =
       Helpers.case "lru cache basics" lru_cache;
       Helpers.case "lru cache eviction" lru_eviction;
       Helpers.case "lru cache disabled" lru_disabled;
-      QCheck_alcotest.to_alcotest prop_corpus_identical ] )
+      Helpers.qcheck prop_corpus_identical ] )

@@ -133,4 +133,4 @@ let suite =
       Helpers.case "flat xml" table_flat_xml;
       Helpers.case "rowset comparison" rowset_comparison;
       Helpers.case "value parsing" value_parsing;
-      QCheck_alcotest.to_alcotest prop_group_key_injective ] )
+      Helpers.qcheck prop_group_key_injective ] )

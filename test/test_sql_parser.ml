@@ -202,4 +202,4 @@ let suite =
       Helpers.case "string escapes" string_escapes;
       Helpers.case "comments" comments_skipped;
       Helpers.case "lexer positions" lexer_positions;
-      QCheck_alcotest.to_alcotest prop_roundtrip ] )
+      Helpers.qcheck prop_roundtrip ] )

@@ -1,0 +1,285 @@
+(* Telemetry layer: span nesting across the three translation stages,
+   engine counters on known query shapes (the P6 join), NDJSON trace
+   validity, and the driver cache/result-set counters. *)
+
+module Telemetry = Aqua_core.Telemetry
+module Json = Aqua_core.Json
+module Translator = Aqua_translator.Translator
+module Semantic = Aqua_translator.Semantic
+module Server = Aqua_dsp.Server
+module Connection = Aqua_driver.Connection
+module Result_set = Aqua_driver.Result_set
+module Datagen = Aqua_workload.Datagen
+
+let case = Helpers.case
+
+(* Run [f] with telemetry enabled and a fresh slate, collecting trace
+   lines; always disable and detach the sink afterwards so the rest of
+   the suite is unaffected. *)
+let with_telemetry f =
+  let lines = ref [] in
+  Telemetry.set_trace_sink (Some (fun l -> lines := l :: !lines));
+  Telemetry.set_enabled true;
+  Telemetry.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.set_enabled false;
+      Telemetry.set_trace_sink None)
+    (fun () ->
+      let v = f () in
+      (v, List.rev !lines))
+
+let p6_sizes =
+  { Datagen.customers = 10; orders = 40; lines_per_order = 2; payments = 12 }
+
+let p6_sql =
+  "SELECT C.CUSTOMERNAME, O.ORDERID FROM CUSTOMERS C, ORDERS O WHERE \
+   C.CUSTOMERID = O.CUSTOMERID AND O.PRIORITY > 1"
+
+(* --- spans ---------------------------------------------------------- *)
+
+let span_events lines =
+  List.filter_map
+    (fun line ->
+      let j = Json.parse line in
+      match Json.member "ev" j with
+      | Some (Json.Str "span") -> Some j
+      | _ -> None)
+    lines
+
+let field_num name j =
+  match Json.member name j with
+  | Some (Json.Num f) -> f
+  | _ -> Alcotest.failf "span event lacks numeric %S in %s" name (Json.to_string j)
+
+let field_str name j =
+  match Json.member name j with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.failf "span event lacks string %S in %s" name (Json.to_string j)
+
+let test_stage_spans_nest () =
+  let app = Helpers.demo_app () in
+  let env = Semantic.env_of_application app in
+  let (), lines =
+    with_telemetry (fun () ->
+        ignore (Translator.translate env "SELECT CUSTOMERNAME FROM CUSTOMERS"))
+  in
+  let spans = span_events lines in
+  let depth_of name =
+    match
+      List.find_opt (fun j -> field_str "name" j = name) spans
+    with
+    | Some j -> int_of_float (field_num "depth" j)
+    | None ->
+      Alcotest.failf "no span named %s in trace:\n%s" name
+        (String.concat "\n" lines)
+  in
+  (* the three stages are children (depth 1) of the depth-0 translate span *)
+  Alcotest.(check int) "translate depth" 0 (depth_of "translate");
+  Alcotest.(check int) "parse depth" 1 (depth_of "translate.parse");
+  Alcotest.(check int) "semantic depth" 1 (depth_of "translate.semantic");
+  Alcotest.(check int) "generate depth" 1 (depth_of "translate.generate");
+  (* stage spans aggregate into the snapshot *)
+  let snap = Telemetry.snapshot () in
+  Alcotest.(check int) "one translation" 1 snap.Telemetry.translations;
+  Alcotest.(check bool) "parse time recorded" true (snap.Telemetry.parse_ns >= 0L);
+  (* child stage totals cannot exceed the enclosing translate span *)
+  let stage_total =
+    Int64.add snap.Telemetry.parse_ns
+      (Int64.add snap.Telemetry.semantic_ns snap.Telemetry.generate_ns)
+  in
+  Alcotest.(check bool) "stages within parent" true
+    (stage_total <= Telemetry.span_total_ns "translate")
+
+let test_span_stats_aggregate () =
+  let (), _ =
+    with_telemetry (fun () ->
+        for _ = 1 to 3 do
+          Telemetry.with_span "outer" (fun () ->
+              Telemetry.with_span "inner" (fun () -> ()))
+        done)
+  in
+  let find name =
+    match
+      List.find_opt (fun (n, _, _) -> n = name) (Telemetry.span_stats ())
+    with
+    | Some (_, count, total) -> (count, total)
+    | None -> Alcotest.failf "no span stats for %s" name
+  in
+  let outer_n, outer_ns = find "outer" in
+  let inner_n, inner_ns = find "inner" in
+  Alcotest.(check int) "outer count" 3 outer_n;
+  Alcotest.(check int) "inner count" 3 inner_n;
+  Alcotest.(check bool) "inner within outer" true (inner_ns <= outer_ns)
+
+(* --- engine counters ------------------------------------------------ *)
+
+let test_p6_join_counters () =
+  let app = Datagen.application p6_sizes in
+  let env = Semantic.env_of_application app in
+  let t = Translator.translate env p6_sql in
+  let srv = Server.create app in
+  let (), _ =
+    with_telemetry (fun () -> ignore (Server.execute srv t.Translator.xquery))
+  in
+  let snap = Telemetry.snapshot () in
+  (* one hash join: ORDERS (second for) is the build side, one probe
+     per customer tuple streaming through the pipeline *)
+  Alcotest.(check int) "builds" 1 snap.Telemetry.hash_join_builds;
+  Alcotest.(check int) "build rows = orders" p6_sizes.Datagen.orders
+    snap.Telemetry.hash_join_build_rows;
+  Alcotest.(check int) "probes = customers" p6_sizes.Datagen.customers
+    snap.Telemetry.hash_join_probes;
+  Alcotest.(check bool) "join rewrite fired" true
+    (snap.Telemetry.hash_join_rewrites >= 1);
+  Alcotest.(check bool) "rows emitted" true (snap.Telemetry.rows_emitted > 0);
+  (* per-clause accounting saw the hash join *)
+  let clause_rows = Telemetry.clause_rows () in
+  Alcotest.(check bool) "hash-join clause recorded" true
+    (List.exists
+       (fun (label, _) ->
+         String.length label >= 9 && String.sub label 0 9 = "hash-join")
+       clause_rows)
+
+let test_p6_naive_no_hash_join () =
+  let app = Datagen.application p6_sizes in
+  let env = Semantic.env_of_application app in
+  let t = Translator.translate env p6_sql in
+  let srv = Server.create ~optimize:false app in
+  let (), _ =
+    with_telemetry (fun () -> ignore (Server.execute srv t.Translator.xquery))
+  in
+  let snap = Telemetry.snapshot () in
+  Alcotest.(check int) "no hash builds" 0 snap.Telemetry.hash_join_builds;
+  Alcotest.(check int) "no probes" 0 snap.Telemetry.hash_join_probes;
+  (* the nested loop pushes every customer x order pair through the
+     where clause *)
+  Alcotest.(check bool) "nested loop emits the cross product" true
+    (snap.Telemetry.rows_emitted
+    >= p6_sizes.Datagen.customers * p6_sizes.Datagen.orders)
+
+let test_disabled_counts_nothing () =
+  Telemetry.reset ();
+  let app = Datagen.application p6_sizes in
+  let env = Semantic.env_of_application app in
+  let t = Translator.translate env p6_sql in
+  ignore (Server.execute (Server.create app) t.Translator.xquery);
+  let snap = Telemetry.snapshot () in
+  Alcotest.(check int) "no translations" 0 snap.Telemetry.translations;
+  Alcotest.(check int) "no builds" 0 snap.Telemetry.hash_join_builds;
+  Alcotest.(check int) "no rows" 0 snap.Telemetry.rows_emitted
+
+(* --- driver counters ------------------------------------------------ *)
+
+let test_driver_cache_counters () =
+  let app = Helpers.demo_app () in
+  let sql = "SELECT CUSTOMERNAME FROM CUSTOMERS ORDER BY 1" in
+  let (), _ =
+    with_telemetry (fun () ->
+        let conn = Connection.connect app in
+        ignore (Result_set.to_rowset (Connection.execute_query conn sql));
+        ignore (Result_set.to_rowset (Connection.execute_query conn sql)))
+  in
+  let snap = Telemetry.snapshot () in
+  Alcotest.(check int) "one miss" 1 snap.Telemetry.cache_misses;
+  Alcotest.(check int) "one hit" 1 snap.Telemetry.cache_hits;
+  Alcotest.(check bool) "rows materialized" true
+    (snap.Telemetry.resultset_rows > 0);
+  Alcotest.(check bool) "ds calls recorded" true (snap.Telemetry.ds_calls > 0)
+
+(* --- NDJSON trace --------------------------------------------------- *)
+
+let test_trace_is_ndjson () =
+  let app = Helpers.demo_app () in
+  let env = Semantic.env_of_application app in
+  let sql =
+    "SELECT CUSTOMERS.CUSTOMERID, PAYMENTS.PAYMENT FROM CUSTOMERS LEFT \
+     OUTER JOIN PAYMENTS ON CUSTOMERS.CUSTOMERID = PAYMENTS.CUSTID"
+  in
+  let (), lines =
+    with_telemetry (fun () ->
+        let t = Translator.translate env sql in
+        ignore (Server.execute (Server.create app) t.Translator.xquery))
+  in
+  Alcotest.(check bool) "trace nonempty" true (lines <> []);
+  (* every line is one standalone JSON object *)
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Json.Obj _ as j ->
+        if Json.member "ev" j = None then
+          Alcotest.failf "trace line lacks \"ev\": %s" line
+      | _ -> Alcotest.failf "trace line is not an object: %s" line
+      | exception Json.Parse_error m ->
+        Alcotest.failf "trace line does not parse (%s): %s" m line)
+    lines;
+  (* all three stages appear *)
+  let names = List.map (field_str "name") (span_events lines) in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool) (stage ^ " traced") true (List.mem stage names))
+    [ "translate.parse"; "translate.semantic"; "translate.generate" ];
+  (* durations are sane *)
+  List.iter
+    (fun j ->
+      Alcotest.(check bool) "dur_ns >= 0" true (field_num "dur_ns" j >= 0.0))
+    (span_events lines);
+  (* the snapshot serializes to parseable JSON too *)
+  match Json.parse (Telemetry.metrics_to_json (Telemetry.snapshot ())) with
+  | Json.Obj fields ->
+    Alcotest.(check bool) "snapshot has fields" true (List.length fields >= 18)
+  | _ -> Alcotest.fail "snapshot JSON is not an object"
+
+let test_reset_zeroes () =
+  let (), _ =
+    with_telemetry (fun () ->
+        Telemetry.incr Telemetry.c_cache_hits;
+        Telemetry.with_span "x" (fun () -> ());
+        ignore (Telemetry.clause_counter "for $x");
+        Telemetry.reset ();
+        let snap = Telemetry.snapshot () in
+        Alcotest.(check int) "hits zeroed" 0 snap.Telemetry.cache_hits;
+        Alcotest.(check (list (pair string int))) "clauses cleared" []
+          (Telemetry.clause_rows ());
+        Alcotest.(check int) "span stats cleared" 0
+          (List.length (Telemetry.span_stats ())))
+  in
+  ()
+
+(* --- Json parser ---------------------------------------------------- *)
+
+let test_json_parser () =
+  let roundtrip s = Json.to_string (Json.parse s) in
+  Alcotest.(check string) "object"
+    {|{"a":1,"b":[true,null,"x"]}|}
+    (roundtrip {|{ "a": 1, "b": [true, null, "x"] }|});
+  Alcotest.(check string) "escapes" {|{"k":"a\"b"}|} (roundtrip {|{"k":"a\"b"}|});
+  Alcotest.(check bool) "nested member" true
+    (Json.member "b" (Json.parse {|{"a":{"c":2},"b":3}|}) = Some (Json.Num 3.0));
+  (match Json.parse "[1, 2.5, -3e2]" with
+  | Json.Arr [ Json.Num a; Json.Num b; Json.Num c ] ->
+    Alcotest.(check (float 0.0)) "int" 1.0 a;
+    Alcotest.(check (float 0.0)) "frac" 2.5 b;
+    Alcotest.(check (float 0.0)) "exp" (-300.0) c
+  | _ -> Alcotest.fail "array parse");
+  let expect_error s =
+    match Json.parse s with
+    | _ -> Alcotest.failf "expected a parse error for %s" s
+    | exception Json.Parse_error _ -> ()
+  in
+  expect_error "{\"a\":1} trailing";
+  expect_error "{\"a\":}";
+  expect_error "[1,]";
+  expect_error "\"unterminated"
+
+let suite =
+  ( "telemetry",
+    [ case "three stages nest under translate" test_stage_spans_nest;
+      case "span stats aggregate" test_span_stats_aggregate;
+      case "p6 join counters" test_p6_join_counters;
+      case "naive pipeline has no hash join" test_p6_naive_no_hash_join;
+      case "disabled telemetry counts nothing" test_disabled_counts_nothing;
+      case "driver cache and result-set counters" test_driver_cache_counters;
+      case "trace output is NDJSON over all stages" test_trace_is_ndjson;
+      case "reset zeroes everything" test_reset_zeroes;
+      case "json parser" test_json_parser ] )

@@ -105,5 +105,5 @@ let suite =
       Helpers.case "empty result" empty_result;
       Helpers.case "decode errors" decode_errors;
       Helpers.case "unescape" unescape_cases;
-      QCheck_alcotest.to_alcotest prop_roundtrip;
+      Helpers.qcheck prop_roundtrip;
       Helpers.case "transports agree on nasty data" transports_agree_on_nasty_data ] )

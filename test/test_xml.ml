@@ -129,4 +129,4 @@ let suite =
       Helpers.case "parse errors" parse_errors;
       Helpers.case "local names" local_names;
       Helpers.case "string value" string_value;
-      QCheck_alcotest.to_alcotest prop_roundtrip ] )
+      Helpers.qcheck prop_roundtrip ] )

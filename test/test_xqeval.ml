@@ -338,7 +338,7 @@ let suite =
       Helpers.case "casts" casts_in_queries;
       Helpers.case "if and ebv" if_and_ebv;
       Helpers.case "undefined variable" undefined_variable;
-      QCheck_alcotest.to_alcotest prop_sum_matches;
-      QCheck_alcotest.to_alcotest prop_minmax_matches;
-      QCheck_alcotest.to_alcotest prop_order_by_sorts;
-      QCheck_alcotest.to_alcotest prop_distinct_values ] )
+      Helpers.qcheck prop_sum_matches;
+      Helpers.qcheck prop_minmax_matches;
+      Helpers.qcheck prop_order_by_sorts;
+      Helpers.qcheck prop_distinct_values ] )

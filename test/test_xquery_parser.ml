@@ -182,5 +182,5 @@ let suite =
       Helpers.case "prolog and comments" prolog_case;
       Helpers.case "errors" errors;
       Helpers.case "translator output round-trips" translator_roundtrip;
-      QCheck_alcotest.to_alcotest prop_translated_roundtrip;
+      Helpers.qcheck prop_translated_roundtrip;
       Helpers.case "section-4 wrapper round-trips" wrapper_roundtrip ] )
