@@ -15,11 +15,19 @@ module Errors = Aqua_translator.Errors
 module Server = Aqua_dsp.Server
 module Metadata = Aqua_dsp.Metadata
 module Telemetry = Aqua_core.Telemetry
+module Budget = Aqua_resilience.Budget
+module Failpoint = Aqua_resilience.Failpoint
+module Sqlstate = Aqua_resilience.Sqlstate
 
 let with_env f =
   let app = Aqua_workload.Demo.build () in
   let env = Semantic.env_of_application app in
-  try f app env with
+  (* every failure mode funnels through the driver taxonomy, so the
+     CLI prints one "[SQLSTATE] condition: message" line and exits 1 *)
+  try Aqua_driver.Sql_error.wrap (fun () -> f app env) with
+  | Sqlstate.Error e ->
+    prerr_endline (Sqlstate.to_string e);
+    exit 1
   | Errors.Error e ->
     prerr_endline (Errors.to_string e);
     exit 1
@@ -71,6 +79,69 @@ let trace_flag =
           "Emit NDJSON telemetry trace events to stderr (one span per \
            line, plus a final snapshot of all counters).")
 
+let timeout_opt =
+  Arg.(
+    value & opt (some int) None
+    & info [ "timeout" ] ~docv:"MS"
+        ~doc:
+          "Per-query deadline in milliseconds; exceeding it cancels the \
+           query with SQLSTATE 57014.")
+
+let max_rows_opt =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-rows" ] ~docv:"N"
+        ~doc:
+          "Per-query output-row governor; exceeding it fails the query \
+           with SQLSTATE 53400.")
+
+let failpoints_opt =
+  Arg.(
+    value & opt (some string) None
+    & info [ "failpoints" ] ~docv:"SPEC"
+        ~doc:
+          "Arm fault-injection sites, e.g. \
+           'dsp.invoke=fail(1);engine.scan=delay(5ms)'.  Also read from \
+           \\$(b,AQUA_FAILPOINTS).")
+
+(* Arm --failpoints (the flag wins over the environment) and build the
+   query budget from the governor flags. *)
+let governors ?timeout ?max_rows failpoints =
+  (match failpoints with
+   | Some spec -> Failpoint.arm spec
+   | None -> ignore (Failpoint.arm_from_env ()));
+  Budget.limits ?timeout_ms:timeout ?max_rows ()
+
+(* Server.execute returns XML items, not decoded rows: count the
+   RECORD children of a RECORDSET (one per row), and any other item as
+   itself, against the row governor. *)
+let tick_items_as_rows items =
+  List.iter
+    (fun item ->
+      match item with
+      | Aqua_xml.Item.Node (Aqua_xml.Node.Element e)
+        when Aqua_xml.Node.local_name e.Aqua_xml.Node.name = "RECORDSET" ->
+        Budget.tick_rows
+          (List.length
+             (Aqua_xml.Node.children_elements (Aqua_xml.Node.Element e)))
+      | _ -> Budget.tick_rows 1)
+    items
+
+(* Execute with graceful degradation, mirroring the driver: a crash
+   inside the optimized evaluator gets one more attempt with the
+   optimizer off, counted as a fallback. *)
+let execute_degrading ~no_optimize app server xquery ~span =
+  let execute srv =
+    Telemetry.with_span span (fun () ->
+        let items = Server.execute srv xquery in
+        tick_items_as_rows items;
+        items)
+  in
+  try execute server
+  with e when (not no_optimize) && Aqua_driver.Sql_error.degradable e ->
+    Telemetry.incr Telemetry.c_fallbacks_unoptimized;
+    execute (Server.create ~optimize:false app)
+
 let start_trace () =
   Telemetry.set_enabled true;
   Telemetry.reset ();
@@ -83,34 +154,42 @@ let finish_trace () =
     ^ "}")
 
 let run_cmd =
-  let run sql naive no_optimize trace =
+  let run sql naive no_optimize trace timeout max_rows failpoints =
     with_env (fun app env ->
         if trace then start_trace ();
+        let limits = governors ?timeout ?max_rows failpoints in
+        Failpoint.hit "driver.translate";
         let t = Translator.translate ~style:(style_of_naive naive) env sql in
         let server = Server.create ~optimize:(not no_optimize) app in
         let items =
-          Telemetry.with_span "execute" (fun () ->
-              Server.execute server t.Translator.xquery)
+          Budget.with_budget limits @@ fun () ->
+          execute_degrading ~no_optimize app server t.Translator.xquery
+            ~span:"execute"
         in
         print_endline (Aqua_xml.Serialize.sequence_to_string ~indent:true items);
         if trace then finish_trace ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Translate and execute; print the XML result")
-    Term.(const run $ sql_arg $ naive_flag $ no_optimize_flag $ trace_flag)
+    Term.(
+      const run $ sql_arg $ naive_flag $ no_optimize_flag $ trace_flag
+      $ timeout_opt $ max_rows_opt $ failpoints_opt)
 
 let analyze_cmd =
   let ms ns = Int64.to_float ns /. 1e6 in
-  let run sql naive no_optimize trace =
+  let run sql naive no_optimize trace timeout max_rows failpoints =
     with_env (fun app env ->
         Telemetry.set_enabled true;
         Telemetry.reset ();
         if trace then Telemetry.set_trace_sink (Some prerr_endline);
+        let limits = governors ?timeout ?max_rows failpoints in
+        Failpoint.hit "driver.translate";
         let t = Translator.translate ~style:(style_of_naive naive) env sql in
         let server = Server.create ~optimize:(not no_optimize) app in
         let items =
-          Telemetry.with_span "execute" (fun () ->
-              Server.execute server t.Translator.xquery)
+          Budget.with_budget limits @@ fun () ->
+          execute_degrading ~no_optimize app server t.Translator.xquery
+            ~span:"execute"
         in
         let serialized =
           Telemetry.with_span "serialize" (fun () ->
@@ -169,6 +248,32 @@ let analyze_cmd =
                 n (ms total))
             ds_spans
         end;
+        let v = Telemetry.value in
+        let resilience_active =
+          v Telemetry.c_retry_attempts + v Telemetry.c_retry_giveups
+          + v Telemetry.c_breaker_trips + v Telemetry.c_breaker_recoveries
+          + v Telemetry.c_breaker_rejections + v Telemetry.c_deadline_exceeded
+          + v Telemetry.c_resource_exhausted + v Telemetry.c_faults_injected
+          + v Telemetry.c_fallbacks_unoptimized
+          > 0
+        in
+        if resilience_active then begin
+          Printf.printf "resilience:\n";
+          Printf.printf "  faults injected=%d retries=%d giveups=%d\n"
+            (v Telemetry.c_faults_injected)
+            (v Telemetry.c_retry_attempts)
+            (v Telemetry.c_retry_giveups);
+          Printf.printf "  breaker trips=%d recoveries=%d rejections=%d\n"
+            (v Telemetry.c_breaker_trips)
+            (v Telemetry.c_breaker_recoveries)
+            (v Telemetry.c_breaker_rejections);
+          Printf.printf
+            "  deadline exceeded=%d resources exhausted=%d \
+             unoptimized fallbacks=%d\n"
+            (v Telemetry.c_deadline_exceeded)
+            (v Telemetry.c_resource_exhausted)
+            (v Telemetry.c_fallbacks_unoptimized)
+        end;
         Printf.printf "serialize: %.3f ms (%d bytes)\n" (ms serialize_ns)
           (String.length serialized))
   in
@@ -176,9 +281,12 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Translate, execute and print an EXPLAIN ANALYZE-style report: \
-          per-stage timings, optimizer decisions, per-clause row counts \
-          and engine counters.")
-    Term.(const run $ sql_arg $ naive_flag $ no_optimize_flag $ trace_flag)
+          per-stage timings, optimizer decisions, per-clause row counts, \
+          engine counters and resilience counters (retries, breaker \
+          state changes, governor trips).")
+    Term.(
+      const run $ sql_arg $ naive_flag $ no_optimize_flag $ trace_flag
+      $ timeout_opt $ max_rows_opt $ failpoints_opt)
 
 let text_cmd =
   let run sql naive no_optimize =

@@ -30,6 +30,19 @@ let kind_to_string = function
   | Unsupported -> "unsupported construct"
   | Cardinality -> "cardinality error"
 
+(* SQLSTATE class 42 (syntax error or access rule violation) and
+   friends, matching what a JDBC client would see from a relational
+   backend for the same mistake. *)
+let sqlstate = function
+  | Syntax -> "42601"
+  | Unknown_table -> "42P01"
+  | Unknown_column -> "42703"
+  | Ambiguous_column -> "42702"
+  | Grouping -> "42803"
+  | Type_mismatch -> "42804"
+  | Unsupported -> "0A000"
+  | Cardinality -> "21000"
+
 let to_string e =
   let pos =
     match e.pos with

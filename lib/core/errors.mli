@@ -22,6 +22,10 @@ exception Error of t
 
 val kind_to_string : kind -> string
 
+val sqlstate : kind -> string
+(** The SQLSTATE code a JDBC client would see for this failure class
+    (e.g. [Syntax] is ["42601"], [Unknown_table] is ["42P01"]). *)
+
 val to_string : t -> string
 (** Human-readable message including the position when known. *)
 

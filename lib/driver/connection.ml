@@ -6,6 +6,8 @@ module Server = Aqua_dsp.Server
 module Artifact = Aqua_dsp.Artifact
 module Translator = Aqua_translator.Translator
 module Semantic = Aqua_translator.Semantic
+module Budget = Aqua_resilience.Budget
+module Failpoint = Aqua_resilience.Failpoint
 module A = Aqua_sql.Ast
 
 type transport = Xml | Text
@@ -14,21 +16,36 @@ type transport = Xml | Text
    JDBC-reporting workload of the paper re-issues identical ad-hoc SQL
    constantly; caching skips the parse/semantic/generate stages.  LRU
    order is kept in a doubly-linked-list-free way: a use counter per
-   entry, evicting the least recently used entry when full. *)
+   entry, evicting the least recently used entry when full.  The
+   counter is renumbered (compacted to 0..n-1, preserving order) when
+   it reaches [stamp_limit], so a long-lived connection can never
+   overflow it. *)
 module Lru = struct
   type 'a entry = { value : 'a; mutable stamp : int }
 
   type 'a t = {
     table : (string, 'a entry) Hashtbl.t;
     capacity : int;
+    stamp_limit : int;
     mutable clock : int;
     mutable enabled : bool;
   }
 
-  let create ~enabled capacity =
-    { table = Hashtbl.create 64; capacity; clock = 0; enabled }
+  let create ?(stamp_limit = max_int - 1) ~enabled capacity =
+    { table = Hashtbl.create 64; capacity; stamp_limit; clock = 0; enabled }
+
+  (* Reassign stamps 0..n-1 in current LRU order; recency is all the
+     eviction scan looks at, so the compaction is invisible. *)
+  let renumber t =
+    let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.table [] in
+    let entries =
+      List.sort (fun a b -> compare a.stamp b.stamp) entries
+    in
+    List.iteri (fun i e -> e.stamp <- i) entries;
+    t.clock <- List.length entries
 
   let tick t =
+    if t.clock >= t.stamp_limit then renumber t;
     t.clock <- t.clock + 1;
     t.clock
 
@@ -60,6 +77,7 @@ module Lru = struct
     end
 
   let length t = Hashtbl.length t.table
+  let clock t = t.clock
   let clear t = Hashtbl.reset t.table
 end
 
@@ -68,22 +86,33 @@ let translation_cache_capacity = 128
 type t = {
   app : Artifact.application;
   srv : Server.t;
+  srv_unopt : Server.t;
+      (* same application, optimizer off: the graceful-degradation
+         target when an optimized plan crashes mid-evaluation *)
   cache : Metadata.Cache.t;
   translations : Translator.t Lru.t;
   env : Semantic.env;
+  optimize : bool;
+  mutable limits : Budget.limits;
   mutable transport : transport;
+  mutable seen_revision : int;
 }
 
 let connect ?(transport = Text) ?(metadata_cache = true)
-    ?(translation_cache = true) ?(optimize = true) app =
+    ?(translation_cache = true) ?(optimize = true)
+    ?(limits = Budget.no_limits) app =
   let cache = Metadata.Cache.create ~enabled:metadata_cache app in
   {
     app;
     srv = Server.create ~optimize app;
+    srv_unopt = Server.create ~optimize:false app;
     cache;
     translations = Lru.create ~enabled:translation_cache translation_cache_capacity;
     env = Semantic.env_of_cache cache;
+    optimize;
+    limits;
     transport;
+    seen_revision = Artifact.revision app;
   }
 
 let transport t = t.transport
@@ -92,9 +121,29 @@ let server t = t.srv
 let application t = t.app
 let translator_env t = t.env
 let metadata_cache t = t.cache
+let limits t = t.limits
+let set_limits t l = t.limits <- l
+
+(* A metadata change (a service added after connect) silently
+   invalidates every cached translation and catalog answer; compare
+   the application's revision on each use and flush when stale. *)
+let revalidate t =
+  let rev = Artifact.revision t.app in
+  if rev <> t.seen_revision then begin
+    Lru.clear t.translations;
+    Metadata.Cache.clear t.cache;
+    t.seen_revision <- rev
+  end
+
+let invalidate t =
+  Lru.clear t.translations;
+  Metadata.Cache.clear t.cache;
+  t.seen_revision <- Artifact.revision t.app
 
 let translate t sql =
   let module T = Aqua_core.Telemetry in
+  revalidate t;
+  Failpoint.hit "driver.translate";
   match Lru.find t.translations sql with
   | Some tr ->
     T.incr T.c_cache_hits;
@@ -106,20 +155,37 @@ let translate t sql =
     tr
 
 let translation_cache_size t = Lru.length t.translations
+let translation_cache_clock t = Lru.clock t.translations
 let clear_translation_cache t = Lru.clear t.translations
 
-let run_translated conn ?(bindings = []) (tr : Translator.t) =
+let run_on conn srv ~bindings (tr : Translator.t) =
   match conn.transport with
   | Xml ->
     (* server executes, serializes; the client parses the text *)
-    let text = Server.execute_to_xml ~bindings conn.srv tr.Translator.xquery in
+    let text = Server.execute_to_xml ~bindings srv tr.Translator.xquery in
     Result_set.of_xml_text tr.Translator.columns text
   | Text ->
     let wrapped = Translator.for_text_transport tr in
-    let text = Server.execute_to_text ~bindings conn.srv wrapped in
+    let text = Server.execute_to_text ~bindings srv wrapped in
     Result_set.of_encoded_text tr.Translator.columns text
 
-let execute_query t sql = run_translated t (translate t sql)
+let run_translated conn ?(bindings = []) (tr : Translator.t) =
+  if not conn.optimize then run_on conn conn.srv ~bindings tr
+  else
+    try run_on conn conn.srv ~bindings tr
+    with e when Sql_error.degradable e ->
+      let module T = Aqua_core.Telemetry in
+      if T.enabled () then begin
+        T.incr T.c_fallbacks_unoptimized;
+        T.trace_event "fallback"
+          [ ("reason", Printexc.to_string e); ("plan", "unoptimized") ]
+      end;
+      run_on conn conn.srv_unopt ~bindings tr
+
+let execute_query t sql =
+  Sql_error.wrap @@ fun () ->
+  Budget.with_budget t.limits @@ fun () ->
+  run_translated t (translate t sql)
 
 (* ------------------------------------------------------------------ *)
 
@@ -231,6 +297,8 @@ module Prepared = struct
            stmt.params)
     in
     let columns = stmt.translated.Translator.columns in
+    Sql_error.wrap @@ fun () ->
+    Budget.with_budget stmt.conn.limits @@ fun () ->
     match stmt.conn.transport with
     | Xml ->
       let items = Server.execute_prepared ~bindings stmt.compiled_xml in
@@ -253,17 +321,23 @@ module Database_metadata = struct
   let catalog t = t.app.Artifact.app_name
 
   let schemas t =
+    revalidate t;
     List.sort_uniq String.compare
       (List.map
          (fun (m : Metadata.table) -> m.Metadata.schema)
          (Metadata.list_tables t.app))
 
-  let tables t = Metadata.list_tables t.app
+  let tables t =
+    revalidate t;
+    Metadata.list_tables t.app
 
   let columns t ~table =
+    revalidate t;
     match Metadata.lookup t.app table with
     | Ok m -> Some m.Metadata.columns
     | Error _ -> None
 
-  let procedures t = Metadata.list_procedures t.app
+  let procedures t =
+    revalidate t;
+    Metadata.list_procedures t.app
 end

@@ -13,11 +13,30 @@ type transport =
   | Xml   (** materialize XML, parse client-side *)
   | Text  (** section-4 delimiter-encoded text *)
 
+(** The bounded LRU used for the translation cache, exposed for direct
+    testing.  Stamps are compacted (preserving recency order) when the
+    internal clock reaches [stamp_limit], so a long-lived connection
+    can never overflow the counter. *)
+module Lru : sig
+  type 'a t
+
+  val create : ?stamp_limit:int -> enabled:bool -> int -> 'a t
+  (** [create ~enabled capacity]; [stamp_limit] defaults to
+      [max_int - 1]. *)
+
+  val find : 'a t -> string -> 'a option
+  val add : 'a t -> string -> 'a -> unit
+  val length : 'a t -> int
+  val clock : 'a t -> int
+  val clear : 'a t -> unit
+end
+
 val connect :
   ?transport:transport ->
   ?metadata_cache:bool ->
   ?translation_cache:bool ->
   ?optimize:bool ->
+  ?limits:Aqua_resilience.Budget.limits ->
   Aqua_dsp.Artifact.application ->
   t
 (** [transport] defaults to [Text] (the shipping configuration);
@@ -26,7 +45,9 @@ val connect :
     keyed by SQL text, so re-issued ad-hoc SQL skips the three-stage
     translation.  [optimize] (default [true]) enables the XQuery-side
     optimizer (predicate pushdown, hash equi-joins, streaming
-    pipeline) on the server this connection talks to. *)
+    pipeline) on the server this connection talks to.  [limits]
+    (default {!Aqua_resilience.Budget.no_limits}) is the per-query
+    budget installed around every [execute_query]. *)
 
 val transport : t -> transport
 val set_transport : t -> transport -> unit
@@ -34,6 +55,17 @@ val server : t -> Aqua_dsp.Server.t
 val application : t -> Aqua_dsp.Artifact.application
 val translator_env : t -> Aqua_translator.Semantic.env
 val metadata_cache : t -> Aqua_dsp.Metadata.Cache.t
+
+val limits : t -> Aqua_resilience.Budget.limits
+val set_limits : t -> Aqua_resilience.Budget.limits -> unit
+(** The per-query budget installed around every [execute_query] /
+    [Prepared.execute_query] on this connection. *)
+
+val invalidate : t -> unit
+(** Flush the translation cache and the metadata cache.  Also happens
+    automatically when the application's
+    {!Aqua_dsp.Artifact.revision} changes (a service added after
+    connect), so stale translations are never served. *)
 
 val translate : t -> string -> Aqua_translator.Translator.t
 (** Translation only (no execution), served from the translation cache
@@ -43,13 +75,20 @@ val translate : t -> string -> Aqua_translator.Translator.t
 val translation_cache_size : t -> int
 (** Number of cached translations currently held. *)
 
+val translation_cache_clock : t -> int
+(** Current LRU stamp counter (testing aid). *)
+
 val clear_translation_cache : t -> unit
 
 val execute_query : t -> string -> Result_set.t
 (** Translate, execute on the server, decode through the connection's
-    transport.
-    @raise Aqua_translator.Errors.Error on bad SQL
-    @raise Aqua_xqeval.Error.Dynamic_error on evaluation errors *)
+    transport — the full pipeline, run under the connection's budget
+    with every failure mapped through {!Sql_error}.  If the optimized
+    evaluator crashes mid-query, the driver retries once on the
+    unoptimized server (graceful degradation, counted as
+    [driver.fallbacks_unoptimized] in telemetry).
+    @raise Aqua_resilience.Sqlstate.Error with a stable SQLSTATE code
+    (see {!Sql_error}) on any classified failure *)
 
 (** Prepared statements with ['?'] parameters. *)
 module Prepared : sig

@@ -22,6 +22,7 @@ let column_label t i =
 let of_rows cols rows =
   let module T = Aqua_core.Telemetry in
   if T.enabled () then T.add T.c_resultset_rows (List.length rows);
+  Aqua_resilience.Budget.tick_rows (List.length rows);
   { cols; rows; current = None; last_was_null = false }
 
 let next t =
@@ -128,6 +129,7 @@ let of_xml_sequence cols (seq : Item.sequence) =
   of_rows cols (List.map (record_to_row cols) records)
 
 let of_xml_text cols text =
+  Aqua_resilience.Failpoint.hit "driver.decode";
   if String.trim text = "" then of_rows cols []
   else
     let nodes =
@@ -141,6 +143,7 @@ let of_xml_text cols text =
 (* Text transport decoding (paper section 4)                          *)
 
 let of_encoded_text cols text =
+  Aqua_resilience.Failpoint.hit "driver.decode";
   let decoded =
     try Aqua_translator.Wrapper.decode ~columns:cols text
     with Aqua_translator.Wrapper.Decode_error m -> raise (Decode_error m)

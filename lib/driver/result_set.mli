@@ -31,6 +31,10 @@ val was_null : t -> bool
 val to_rowset : t -> Aqua_relational.Rowset.t
 (** Materializes all remaining rows (cursor-position independent). *)
 
+exception Decode_error of string
+(** A malformed wire result (either transport); surfaces at the driver
+    boundary as SQLSTATE 08P01 (protocol violation). *)
+
 val of_rows :
   Aqua_translator.Outcol.t list -> Aqua_relational.Value.t array list -> t
 

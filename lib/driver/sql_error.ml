@@ -1,0 +1,76 @@
+(* The driver boundary's error taxonomy: every failure mode of the
+   translate/execute/decode pipeline is mapped to one SQLSTATE-coded
+   error, so a JDBC-style client sees stable codes instead of a zoo of
+   internal exceptions. *)
+
+module Sqlstate = Aqua_resilience.Sqlstate
+module Budget = Aqua_resilience.Budget
+module Breaker = Aqua_resilience.Breaker
+module Failpoint = Aqua_resilience.Failpoint
+module Errors = Aqua_translator.Errors
+
+let classify : exn -> Sqlstate.t option = function
+  | Sqlstate.Error e -> Some e
+  | Budget.Exceeded v -> Some (Budget.to_sqlstate v)
+  | Breaker.Open_circuit { name } ->
+    Some
+      (Sqlstate.make ~sqlstate:Sqlstate.connection_rejected
+         ~condition:"circuit breaker open"
+         (Printf.sprintf
+            "data-service function %s is failing; circuit breaker is open"
+            name))
+  | Failpoint.Injected { site; hit } ->
+    Some
+      (Sqlstate.make ~sqlstate:Sqlstate.connection_failure
+         ~condition:"transient backend failure"
+         (Printf.sprintf "injected fault at %s (hit %d)" site hit))
+  | Errors.Error e ->
+    (* the source position (line/column) travels with the
+       driver-facing message *)
+    let message =
+      match e.Errors.pos with
+      | Some p when p.Aqua_sql.Ast.line > 0 ->
+        Printf.sprintf "at line %d, column %d: %s" p.Aqua_sql.Ast.line
+          p.Aqua_sql.Ast.col e.Errors.message
+      | _ -> e.Errors.message
+    in
+    Some
+      (Sqlstate.make ~sqlstate:(Errors.sqlstate e.Errors.kind)
+         ~condition:(Errors.kind_to_string e.Errors.kind)
+         message)
+  | Aqua_xqeval.Error.Dynamic_error msg ->
+    Some
+      (Sqlstate.make ~sqlstate:Sqlstate.external_routine_exception
+         ~condition:"dynamic evaluation error" msg)
+  | Result_set.Decode_error msg ->
+    Some
+      (Sqlstate.make ~sqlstate:Sqlstate.protocol_violation
+         ~condition:"result decode error" msg)
+  | Aqua_xqeval.Compile.Compile_error msg ->
+    Some
+      (Sqlstate.make ~sqlstate:Sqlstate.internal_error
+         ~condition:"query compilation error" msg)
+  | Aqua_xquery.Parser.Parse_error { offset; message } ->
+    Some
+      (Sqlstate.make ~sqlstate:Sqlstate.internal_error
+         ~condition:"generated XQuery parse error"
+         (Printf.sprintf "%s (offset %d)" message offset))
+  | _ -> None
+
+(* Worth one more attempt on the unoptimized evaluator: a crash inside
+   the optimized pipeline (a dynamic error, or an injected fault at an
+   xqeval site).  The optimizer is the riskier code path and the naive
+   pipeline is the differential oracle. *)
+let degradable = function
+  | Aqua_xqeval.Error.Dynamic_error _ -> true
+  | Failpoint.Injected { site; _ } ->
+    String.length site >= 6 && String.sub site 0 6 = "xqeval"
+  | _ -> false
+
+let wrap f =
+  try f () with
+  | Sqlstate.Error _ as e -> raise e
+  | e -> (
+    match classify e with
+    | Some s -> raise (Sqlstate.Error s)
+    | None -> raise e)

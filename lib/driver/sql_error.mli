@@ -1,0 +1,35 @@
+(** The driver boundary's error taxonomy.
+
+    [Connection.execute_query] and friends funnel every failure of the
+    translate/execute/decode pipeline through {!wrap}, so clients see
+    one exception type, {!Aqua_resilience.Sqlstate.Error}, with a
+    stable SQLSTATE code:
+
+    - 57014 — query canceled (deadline exceeded)
+    - 53400 — configured limit exceeded (row governor)
+    - 53000 — insufficient resources (item/fuel governors)
+    - 08006 — connection failure (transient backend fault)
+    - 08004 — connection rejected (circuit breaker open)
+    - 08P01 — protocol violation (result decode error)
+    - 54001 — statement too complex (data-service call cycle)
+    - 42xxx / 0A000 / 21000 — translation errors by
+      {!Aqua_translator.Errors.kind}, messages carrying the source
+      position
+    - 38000 — external routine exception (dynamic evaluation error)
+    - XX000 — internal error (compile or generated-XQuery parse
+      failure) *)
+
+val classify : exn -> Aqua_resilience.Sqlstate.t option
+(** The SQLSTATE-coded form of a pipeline exception, or [None] for
+    exceptions that are not part of the driver taxonomy
+    (e.g. [Invalid_argument], [Out_of_memory]). *)
+
+val degradable : exn -> bool
+(** Whether the failure came from inside the optimized evaluator (a
+    dynamic error or an injected fault at an [xqeval.*] site) and the
+    query deserves one more attempt on the unoptimized pipeline. *)
+
+val wrap : (unit -> 'a) -> 'a
+(** Run [f], re-raising any classifiable exception as
+    {!Aqua_resilience.Sqlstate.Error}.  Unclassifiable exceptions
+    propagate unchanged. *)

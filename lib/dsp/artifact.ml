@@ -44,9 +44,12 @@ type data_service = {
 type application = {
   app_name : string;
   mutable services : data_service list;
+  mutable revision : int;
 }
 
-let application name = { app_name = name; services = [] }
+let application name = { app_name = name; services = []; revision = 0 }
+
+let revision app = app.revision
 
 let namespace_of_service ds = Printf.sprintf "ld:%s/%s" ds.ds_path ds.ds_name
 
@@ -64,7 +67,8 @@ let add_service app ds =
   then
     invalid_arg
       (Printf.sprintf "data service %s/%s already exists" ds.ds_path ds.ds_name);
-  app.services <- app.services @ [ ds ]
+  app.services <- app.services @ [ ds ];
+  app.revision <- app.revision + 1
 
 (* Metadata import of a relational table (paper Example 2): produces a
    .ds file named after the table, holding one parameterless function

@@ -40,9 +40,16 @@ type data_service = {
 type application = {
   app_name : string;
   mutable services : data_service list;
+  mutable revision : int;
+      (** bumped on every metadata change; caches key on it *)
 }
 
 val application : string -> application
+
+val revision : application -> int
+(** Monotonic metadata revision: incremented whenever a service is
+    added.  Driver-side caches compare it to invalidate stale
+    translations and metadata. *)
 
 val namespace_of_service : data_service -> string
 (** e.g. ["ld:TestDataServices/CUSTOMERS"]. *)

@@ -2,13 +2,27 @@ module Item = Aqua_xml.Item
 module Table = Aqua_relational.Table
 module X = Aqua_xquery.Ast
 module Eval = Aqua_xqeval.Eval
+module Budget = Aqua_resilience.Budget
+module Breaker = Aqua_resilience.Breaker
+module Retry = Aqua_resilience.Retry
+module Failpoint = Aqua_resilience.Failpoint
+module Sqlstate = Aqua_resilience.Sqlstate
 
 let fail = Aqua_xqeval.Error.fail
 
-type t = { app : Artifact.application; optimize : bool }
+type t = {
+  app : Artifact.application;
+  optimize : bool;
+  retry : Retry.policy;
+  breakers : Breaker.registry;
+}
 
-let create ?(optimize = true) app = { app; optimize }
+let create ?(optimize = true) ?(retry = Retry.default_policy)
+    ?(breaker = Breaker.default_config) app =
+  { app; optimize; retry; breakers = Breaker.registry ~config:breaker () }
+
 let application t = t.app
+let breakers t = Breaker.all t.breakers
 
 (* Recursion guard: logical services may call each other; a cycle in
    .ds definitions must not hang the server. *)
@@ -21,7 +35,16 @@ let split_qname name =
       String.sub name (i + 1) (String.length name - i - 1) )
   | None -> ("", name)
 
-let rec resolver t (imports : X.schema_import list) depth :
+(* Exceptions that say nothing about the invoked function's health:
+   budget cancellations, structural errors already carrying a SQLSTATE,
+   and rejections from breakers further down the chain. *)
+let count_failure = function
+  | Budget.Exceeded _ | Sqlstate.Error _ | Breaker.Open_circuit _ -> false
+  | _ -> true
+
+(* [chain] is the invocation path, most recent call first; its length
+   is the call depth. *)
+let rec resolver t (imports : X.schema_import list) chain :
     string -> Eval.external_fn option =
   let by_prefix = List.map (fun (i : X.schema_import) -> (i.prefix, i.namespace)) imports in
   fun qname ->
@@ -35,34 +58,50 @@ let rec resolver t (imports : X.schema_import list) depth :
         match Artifact.find_function ds local with
         | None ->
           fail "data service %s has no function %s" namespace local
-        | Some f -> Some (invoke t ds f depth)))
+        | Some f -> Some (invoke t ds f chain)))
 
-and invoke t (_ds : Artifact.data_service) (f : Artifact.ds_function) depth :
+and invoke t (ds : Artifact.data_service) (f : Artifact.ds_function) chain :
     Eval.external_fn =
   fun args ->
   Aqua_core.Telemetry.with_span ("dsp.call." ^ f.Artifact.fn_name) @@ fun () ->
-  if depth > max_call_depth then
-    fail "data service call depth exceeded (cycle in logical services?)";
+  let label = Artifact.sql_schema_of_service ds ^ ":" ^ f.Artifact.fn_name in
+  let chain = label :: chain in
+  if List.length chain > max_call_depth then
+    Sqlstate.error ~sqlstate:Sqlstate.statement_too_complex
+      ~condition:"call depth exceeded"
+      "data service call depth %d exceeded (cycle in logical services?); \
+       call chain: %s"
+      max_call_depth
+      (String.concat " -> " (List.rev chain));
   if List.length args <> List.length f.Artifact.params then
     fail "function %s expects %d argument(s), got %d" f.Artifact.fn_name
       (List.length f.Artifact.params)
       (List.length args);
-  match f.Artifact.body with
-  | Artifact.Physical table -> List.map Item.node (Table.to_flat_xml table)
-  | Artifact.Logical { imports; body } ->
-    let ctx =
-      Eval.context ~resolve:(resolver t imports (depth + 1)) ()
-    in
-    let ctx =
-      List.fold_left
-        (fun (ctx, i) arg -> (Eval.bind ctx (Printf.sprintf "p%d" i) arg, i + 1))
-        (ctx, 1) args
-      |> fst
-    in
-    Eval.eval ~optimize:t.optimize ctx body
+  let run () =
+    Failpoint.hit "dsp.invoke";
+    match f.Artifact.body with
+    | Artifact.Physical table -> List.map Item.node (Table.to_flat_xml table)
+    | Artifact.Logical { imports; body } ->
+      let ctx = Eval.context ~resolve:(resolver t imports chain) () in
+      let ctx =
+        List.fold_left
+          (fun (ctx, i) arg ->
+            (Eval.bind ctx (Printf.sprintf "p%d" i) arg, i + 1))
+          (ctx, 1) args
+        |> fst
+      in
+      Eval.eval ~optimize:t.optimize ctx body
+  in
+  let br = Breaker.get t.breakers label in
+  let guarded () = Breaker.call ~count_failure br run in
+  (* Retry only at the root of the invocation chain: retrying at every
+     nesting level would multiply the attempts exponentially. *)
+  match chain with
+  | [ _ ] -> Retry.with_retry ~policy:t.retry guarded
+  | _ -> guarded ()
 
 let execute ?(bindings = []) t (q : X.query) =
-  let ctx = Eval.context ~resolve:(resolver t q.prolog.imports 0) () in
+  let ctx = Eval.context ~resolve:(resolver t q.prolog.imports []) () in
   let ctx =
     List.fold_left (fun ctx (name, seq) -> Eval.bind ctx name seq) ctx bindings
   in
@@ -89,7 +128,7 @@ type prepared = Aqua_xqeval.Compile.compiled
 
 let prepare ?(vars = []) t (q : X.query) =
   Aqua_xqeval.Compile.compile ~optimize:t.optimize
-    ~resolve:(resolver t q.X.prolog.X.imports 0)
+    ~resolve:(resolver t q.X.prolog.X.imports [])
     ~vars q
 
 let execute_prepared ?bindings prepared =
@@ -101,4 +140,4 @@ let call_function t ~path ~name ~fn args =
   | Some ds -> (
     match Artifact.find_function ds fn with
     | None -> fail "data service %s/%s has no function %s" path name fn
-    | Some f -> invoke t ds f 0 args)
+    | Some f -> invoke t ds f [] args)

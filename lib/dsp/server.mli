@@ -8,14 +8,30 @@
 
 type t
 
-val create : ?optimize:bool -> Artifact.application -> t
+val create :
+  ?optimize:bool ->
+  ?retry:Aqua_resilience.Retry.policy ->
+  ?breaker:Aqua_resilience.Breaker.config ->
+  Artifact.application ->
+  t
 (** [optimize] (default [true]) runs the {!Aqua_xqeval.Optimize} pass
     (predicate pushdown, hash equi-joins, streaming pipeline) on every
     query and data-service body this server evaluates or prepares;
     [~optimize:false] keeps the naive nested-loop evaluator as a
-    differential-testing oracle. *)
+    differential-testing oracle.
+
+    Every data-service function invocation runs through a
+    per-function circuit breaker ([breaker], default
+    {!Aqua_resilience.Breaker.default_config}); root invocations are
+    additionally retried with backoff on transient failures ([retry],
+    default {!Aqua_resilience.Retry.default_policy} — pass
+    {!Aqua_resilience.Retry.no_retry} to disable). *)
 
 val application : t -> Artifact.application
+
+val breakers : t -> Aqua_resilience.Breaker.t list
+(** The per-function circuit breakers created so far, sorted by
+    function label ("path/service:function"). *)
 
 val execute :
   ?bindings:(string * Aqua_xml.Item.sequence) list ->
@@ -25,7 +41,10 @@ val execute :
 (** [bindings] provides external variables (prepared-statement
     parameters, bound as [$param1 ..]).
     @raise Aqua_xqeval.Error.Dynamic_error on unresolvable function
-    names or dynamic evaluation errors. *)
+    names or dynamic evaluation errors
+    @raise Aqua_resilience.Sqlstate.Error (54001) when the
+    data-service call depth is exceeded — the message carries the full
+    invocation chain ("path/service:function -> ...") *)
 
 val execute_text :
   ?bindings:(string * Aqua_xml.Item.sequence) list ->

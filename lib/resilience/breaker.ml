@@ -1,0 +1,121 @@
+(* Per-data-service-function circuit breakers.  Closed passes calls
+   through and counts consecutive failures; at the threshold the
+   breaker opens and rejects calls instantly (so a persistently-down
+   backend fails fast instead of burning the query's budget on doomed
+   retries); after a cooldown one trial call is admitted (half-open) —
+   success closes the breaker, failure re-opens it.  Time comes from
+   the pluggable Telemetry clock, so tests drive transitions with a
+   fake clock. *)
+
+module Telemetry = Aqua_core.Telemetry
+
+type state = Closed | Open | Half_open
+
+type config = { failure_threshold : int; cooldown_ns : int64 }
+
+let default_config = { failure_threshold = 5; cooldown_ns = 100_000_000L }
+
+type t = {
+  name : string;
+  config : config;
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable opened_at : int64;
+  mutable trips : int;
+  mutable recoveries : int;
+  mutable rejections : int;
+}
+
+exception Open_circuit of { name : string }
+
+let create ?(config = default_config) name =
+  {
+    name;
+    config;
+    state = Closed;
+    consecutive_failures = 0;
+    opened_at = 0L;
+    trips = 0;
+    recoveries = 0;
+    rejections = 0;
+  }
+
+let name b = b.name
+let state b = b.state
+let trips b = b.trips
+let recoveries b = b.recoveries
+let rejections b = b.rejections
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+let trip b =
+  b.state <- Open;
+  b.opened_at <- Telemetry.now_ns ();
+  b.trips <- b.trips + 1;
+  Telemetry.incr Telemetry.c_breaker_trips;
+  Telemetry.trace_event "breaker"
+    [ ("name", b.name); ("state", "open") ]
+
+let on_success b =
+  if b.state = Half_open then begin
+    b.recoveries <- b.recoveries + 1;
+    Telemetry.incr Telemetry.c_breaker_recoveries;
+    Telemetry.trace_event "breaker"
+      [ ("name", b.name); ("state", "closed") ]
+  end;
+  b.state <- Closed;
+  b.consecutive_failures <- 0
+
+let on_failure b =
+  b.consecutive_failures <- b.consecutive_failures + 1;
+  if b.state = Half_open || b.consecutive_failures >= b.config.failure_threshold
+  then trip b
+
+let call ?(count_failure = fun _ -> true) b f =
+  (match b.state with
+  | Open ->
+    if
+      Int64.sub (Telemetry.now_ns ()) b.opened_at >= b.config.cooldown_ns
+    then b.state <- Half_open
+    else begin
+      b.rejections <- b.rejections + 1;
+      Telemetry.incr Telemetry.c_breaker_rejections;
+      raise (Open_circuit { name = b.name })
+    end
+  | Closed | Half_open -> ());
+  match f () with
+  | v ->
+    on_success b;
+    v
+  | exception e ->
+    if count_failure e then on_failure b;
+    raise e
+
+(* Registry: one breaker per data-service function, shared by every
+   query a server runs. *)
+
+type registry = { config : config; table : (string, t) Hashtbl.t }
+
+let registry ?(config = default_config) () =
+  { config; table = Hashtbl.create 8 }
+
+let get reg name =
+  match Hashtbl.find_opt reg.table name with
+  | Some b -> b
+  | None ->
+    let b = create ~config:reg.config name in
+    Hashtbl.add reg.table name b;
+    b
+
+let all reg =
+  Hashtbl.fold (fun _ b acc -> b :: acc) reg.table []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let () =
+  Printexc.register_printer (function
+    | Open_circuit { name } ->
+      Some (Printf.sprintf "Breaker.Open_circuit(%s)" name)
+    | _ -> None)

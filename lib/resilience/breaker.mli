@@ -1,0 +1,51 @@
+(** Per-data-service-function circuit breakers.
+
+    Closed passes calls through and counts consecutive failures; at
+    [failure_threshold] the breaker opens and rejects calls instantly
+    ({!Open_circuit}, SQLSTATE 08004 at the driver boundary), so a
+    persistently-failing backend fails fast instead of burning the
+    query's budget on doomed retries.  After [cooldown_ns] one trial
+    call is admitted (half-open): success closes the breaker (a
+    recovery), failure re-opens it (another trip).  Time comes from
+    the pluggable {!Aqua_core.Telemetry} clock. *)
+
+type state = Closed | Open | Half_open
+
+type config = { failure_threshold : int; cooldown_ns : int64 }
+
+val default_config : config
+(** 5 consecutive failures trip; 100 ms cooldown. *)
+
+type t
+
+exception Open_circuit of { name : string }
+
+val create : ?config:config -> string -> t
+val name : t -> string
+val state : t -> state
+val state_to_string : state -> string
+
+val trips : t -> int
+val recoveries : t -> int
+val rejections : t -> int
+
+val call : ?count_failure:(exn -> bool) -> t -> (unit -> 'a) -> 'a
+(** Run [f] through the breaker.  [count_failure] (default: every
+    exception) decides whether a raised exception counts toward the
+    failure threshold — budget cancellations, for example, say nothing
+    about the backend's health and should not trip it.
+    @raise Open_circuit instantly while the breaker is open. *)
+
+(** {1 Registry} *)
+
+type registry
+(** One breaker per data-service function, shared by every query a
+    server runs. *)
+
+val registry : ?config:config -> unit -> registry
+
+val get : registry -> string -> t
+(** The breaker registered under [name], created on first use. *)
+
+val all : registry -> t list
+(** All breakers, sorted by name. *)

@@ -1,0 +1,81 @@
+(* Retry with exponential backoff and deterministic jitter.  The
+   backoff schedule is a pure function of the policy (including its
+   seed), so tests can assert the exact delays; the sleep function is
+   pluggable so unit tests run in zero wall-clock time. *)
+
+module Telemetry = Aqua_core.Telemetry
+
+type policy = {
+  max_attempts : int;  (* total attempts, including the first *)
+  base_delay_ns : int64;
+  multiplier : float;
+  max_delay_ns : int64;
+  jitter : float;  (* +/- fraction of the delay, in [0, 1] *)
+  seed : int;
+}
+
+let default_policy =
+  {
+    max_attempts = 3;
+    base_delay_ns = 1_000_000L;  (* 1 ms *)
+    multiplier = 2.0;
+    max_delay_ns = 100_000_000L;  (* 100 ms cap *)
+    jitter = 0.2;
+    seed = 0;
+  }
+
+let no_retry = { default_policy with max_attempts = 1 }
+
+(* Deterministic jitter in [-1, 1] from (seed, attempt). *)
+let jitter_unit policy ~attempt =
+  let h = Hashtbl.hash (policy.seed, attempt, "retry.jitter") in
+  float_of_int (h land 0xffff) /. 32767.5 -. 1.0
+
+let delay_ns policy ~attempt =
+  (* delay before re-attempt [attempt] (attempt 2 is the first retry) *)
+  let exp =
+    Int64.to_float policy.base_delay_ns
+    *. (policy.multiplier ** float_of_int (attempt - 2))
+  in
+  let capped = Float.min exp (Int64.to_float policy.max_delay_ns) in
+  let jittered =
+    capped *. (1.0 +. (policy.jitter *. jitter_unit policy ~attempt))
+  in
+  Int64.of_float (Float.max 0.0 jittered)
+
+let backoff_schedule policy =
+  List.init
+    (max 0 (policy.max_attempts - 1))
+    (fun i -> delay_ns policy ~attempt:(i + 2))
+
+type outcome = Transient | Fatal
+
+let default_classify = function
+  | Failpoint.Injected _ -> Transient
+  | _ -> Fatal
+
+let default_sleep ns = Unix.sleepf (Int64.to_float ns /. 1e9)
+
+let with_retry ?(policy = default_policy) ?(classify = default_classify)
+    ?(sleep = default_sleep) f =
+  let rec attempt n =
+    match f () with
+    | v -> v
+    | exception e -> (
+      match classify e with
+      | Fatal -> raise e
+      | Transient ->
+        if n >= policy.max_attempts then begin
+          Telemetry.incr Telemetry.c_retry_giveups;
+          raise e
+        end
+        else begin
+          Telemetry.incr Telemetry.c_retry_attempts;
+          (* never sleep through the deadline: check before backing off *)
+          Budget.check_now ();
+          sleep (delay_ns policy ~attempt:(n + 1));
+          Budget.check_now ();
+          attempt (n + 1)
+        end)
+  in
+  attempt 1

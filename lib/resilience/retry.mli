@@ -1,0 +1,43 @@
+(** Retry with exponential backoff and deterministic jitter.
+
+    The backoff schedule is a pure function of the policy (including
+    its seed) so tests can assert the exact delays.  Only exceptions
+    classified [Transient] are retried; by default that is exactly
+    {!Failpoint.Injected} — in-process evaluation errors are
+    deterministic and retrying them would waste the query's budget. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first *)
+  base_delay_ns : int64;
+  multiplier : float;
+  max_delay_ns : int64;  (** cap on any single delay *)
+  jitter : float;  (** +/- fraction of the delay, in [0, 1] *)
+  seed : int;  (** drives the deterministic jitter *)
+}
+
+val default_policy : policy
+(** 3 attempts, 1 ms base, x2 backoff, 100 ms cap, 20% jitter. *)
+
+val no_retry : policy
+(** A single attempt: disables retrying. *)
+
+val delay_ns : policy -> attempt:int -> int64
+(** Deterministic delay before re-attempt [attempt] (the first retry
+    is attempt 2). *)
+
+val backoff_schedule : policy -> int64 list
+(** The delays before attempts [2 .. max_attempts], in order. *)
+
+type outcome = Transient | Fatal
+
+val with_retry :
+  ?policy:policy ->
+  ?classify:(exn -> outcome) ->
+  ?sleep:(int64 -> unit) ->
+  (unit -> 'a) ->
+  'a
+(** Run [f], retrying transient failures with backoff.  The budget
+    deadline is checked before and after each backoff sleep so retries
+    cannot outlive the query's deadline.  Telemetry counts each retry
+    ([resilience.retry_attempts]) and each exhaustion
+    ([resilience.retry_giveups]). *)

@@ -1,0 +1,58 @@
+(* The typed error taxonomy of the driver boundary.  Every failure the
+   JDBC-style driver can surface maps to a stable five-character
+   SQLSTATE-style code, so legacy reporting tools see bounded, typed
+   SQL errors instead of ad-hoc exception strings.  The code table is
+   documented in DESIGN.md §9. *)
+
+type t = {
+  sqlstate : string;  (** five characters: two-char class + subclass *)
+  condition : string;  (** symbolic condition name, stable across releases *)
+  message : string;  (** human-readable detail, position included when known *)
+}
+
+exception Error of t
+
+(* Class 08 — connection (the data-service backend stands in for the
+   remote connection). *)
+let connection_failure = "08006"
+let connection_rejected = "08004"
+let protocol_violation = "08P01"
+
+(* Class 21/22/38 — data and routine errors surfaced at evaluation. *)
+let cardinality_violation = "21000"
+let data_exception = "22000"
+let external_routine_exception = "38000"
+
+(* Class 42 — translation-time errors (SQL syntax and semantics). *)
+let syntax_error = "42601"
+let undefined_table = "42P01"
+let undefined_column = "42703"
+let ambiguous_column = "42702"
+let grouping_error = "42803"
+let datatype_mismatch = "42804"
+
+(* Class 0A — translator limitations. *)
+let feature_not_supported = "0A000"
+
+(* Class 53/54/57 — resource governors and cancellation. *)
+let insufficient_resources = "53000"
+let configured_limit_exceeded = "53400"
+let statement_too_complex = "54001"
+let query_canceled = "57014"
+
+(* Class XX — invariant violations inside the translator/evaluator. *)
+let internal_error = "XX000"
+
+let make ~sqlstate ~condition message = { sqlstate; condition; message }
+
+let error ~sqlstate ~condition fmt =
+  Format.kasprintf
+    (fun message -> raise (Error { sqlstate; condition; message }))
+    fmt
+
+let to_string e = Printf.sprintf "[%s] %s: %s" e.sqlstate e.condition e.message
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Sqlstate.Error " ^ to_string e)
+    | _ -> None)

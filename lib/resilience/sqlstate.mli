@@ -1,0 +1,69 @@
+(** SQLSTATE-style typed errors for the driver boundary.
+
+    Every failure the driver can surface carries a stable five-character
+    code (class + subclass, modelled on SQL:1992 / PostgreSQL usage) so
+    that the legacy reporting tools sitting above the JDBC driver see
+    bounded, typed SQL errors.  The full code table lives in
+    DESIGN.md §9. *)
+
+type t = {
+  sqlstate : string;  (** five characters: two-char class + subclass *)
+  condition : string;  (** symbolic condition name, stable across releases *)
+  message : string;  (** human-readable detail, position included when known *)
+}
+
+exception Error of t
+
+(** {1 The code table} *)
+
+val connection_failure : string  (** 08006 — transient backend failure *)
+
+val connection_rejected : string  (** 08004 — circuit breaker open *)
+
+val protocol_violation : string  (** 08P01 — malformed wire result *)
+
+val cardinality_violation : string  (** 21000 *)
+
+val data_exception : string  (** 22000 — dynamic evaluation error *)
+
+val external_routine_exception : string
+(** 38000 — a data-service function body failed *)
+
+val syntax_error : string  (** 42601 *)
+
+val undefined_table : string  (** 42P01 *)
+
+val undefined_column : string  (** 42703 *)
+
+val ambiguous_column : string  (** 42702 *)
+
+val grouping_error : string  (** 42803 *)
+
+val datatype_mismatch : string  (** 42804 *)
+
+val feature_not_supported : string  (** 0A000 *)
+
+val insufficient_resources : string
+(** 53000 — materialization/fuel governor tripped *)
+
+val configured_limit_exceeded : string
+(** 53400 — the configured max-rows limit tripped *)
+
+val statement_too_complex : string
+(** 54001 — data-service call depth / cycle guard *)
+
+val query_canceled : string  (** 57014 — deadline exceeded *)
+
+val internal_error : string  (** XX000 *)
+
+(** {1 Constructors} *)
+
+val make : sqlstate:string -> condition:string -> string -> t
+
+val error :
+  sqlstate:string -> condition:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error ~sqlstate ~condition fmt ...] raises {!Error} with a
+    formatted message. *)
+
+val to_string : t -> string
+(** [[sqlstate] condition: message]. *)

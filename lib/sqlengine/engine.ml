@@ -311,6 +311,10 @@ let literal_value (lit : A.literal) : Value.t =
 type params = Value.t array  (* 0-indexed by parameter number - 1 *)
 
 let rec eval_expr ?(params : params = [||]) ctx (e : A.expr) : Value.t =
+  (* cooperative budget probe (fuel + amortized deadline), mirroring
+     the xqeval evaluator: every scan/join/filter loop funnels through
+     expression evaluation *)
+  Aqua_resilience.Budget.step ();
   let eval = eval_expr ~params in
   match e with
   | A.Lit lit -> literal_value lit
@@ -541,9 +545,11 @@ and rows_of_table_ref ?(params : params = [||]) env outer_scope outer_frames
     (tr : A.table_ref) : Scope.view * Value.t array list =
   match tr with
   | A.Primary (A.Table_ref_name { name; alias; pos }) ->
+    Aqua_resilience.Failpoint.hit "engine.scan";
     let meta, rows = env.table_data name pos in
     let module T = Aqua_core.Telemetry in
     if T.enabled () then T.add T.c_engine_rows_scanned (List.length rows);
+    Aqua_resilience.Budget.tick_items (List.length rows);
     (Semantic.table_view meta ~alias, rows)
   | A.Primary (A.Derived { query; alias }) ->
     let cols, rows = exec_query ~params env Scope.root [] query in
@@ -798,6 +804,7 @@ and rows_of_table_ref ?(params : params = [||]) env outer_scope outer_frames
     in
     let module T = Aqua_core.Telemetry in
     if T.enabled () then T.add T.c_engine_rows_joined (List.length rows);
+    Aqua_resilience.Budget.tick_items (List.length rows);
     (view, rows)
 
 (* ------------------------------------------------------------------ *)

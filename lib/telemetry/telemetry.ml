@@ -54,6 +54,15 @@ let c_engine_rows_joined = counter "sqlengine.rows_joined"
 let c_cache_hits = counter "driver.cache_hits"
 let c_cache_misses = counter "driver.cache_misses"
 let c_resultset_rows = counter "driver.resultset_rows"
+let c_retry_attempts = counter "resilience.retry_attempts"
+let c_retry_giveups = counter "resilience.retry_giveups"
+let c_breaker_trips = counter "resilience.breaker_trips"
+let c_breaker_recoveries = counter "resilience.breaker_recoveries"
+let c_breaker_rejections = counter "resilience.breaker_rejections"
+let c_deadline_exceeded = counter "resilience.deadline_exceeded"
+let c_resource_exhausted = counter "resilience.resource_exhausted"
+let c_faults_injected = counter "resilience.faults_injected"
+let c_fallbacks_unoptimized = counter "driver.fallbacks_unoptimized"
 
 (* Per-clause row accounting ----------------------------------------- *)
 

@@ -58,6 +58,15 @@ val c_engine_rows_joined : counter  (* rows produced by sqlengine joins *)
 val c_cache_hits : counter         (* driver LRU translation-cache hits *)
 val c_cache_misses : counter       (* driver LRU translation-cache misses *)
 val c_resultset_rows : counter     (* rows materialized into driver result sets *)
+val c_retry_attempts : counter     (* backend calls re-attempted after a transient fault *)
+val c_retry_giveups : counter      (* retries exhausted; the fault propagated *)
+val c_breaker_trips : counter      (* circuit breakers opened *)
+val c_breaker_recoveries : counter (* breakers closed again from half-open *)
+val c_breaker_rejections : counter (* calls rejected by an open breaker *)
+val c_deadline_exceeded : counter  (* queries canceled by their deadline *)
+val c_resource_exhausted : counter (* row/item/fuel governors tripped *)
+val c_faults_injected : counter    (* failpoint faults fired *)
+val c_fallbacks_unoptimized : counter (* driver reran a query with the optimizer off *)
 
 (** {1 Per-clause row accounting}
 

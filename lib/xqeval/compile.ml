@@ -2,6 +2,8 @@ module Atomic = Aqua_xml.Atomic
 module Item = Aqua_xml.Item
 module Node = Aqua_xml.Node
 module X = Aqua_xquery.Ast
+module Budget = Aqua_resilience.Budget
+module Failpoint = Aqua_resilience.Failpoint
 
 exception Compile_error of string
 
@@ -283,7 +285,13 @@ and compile_flwor cenv (f : X.flwor) : comp =
   (* a segment enumerates the tuples reachable from the current slots *)
   let rec segment cenv clauses : (rt -> rt list) * cenv =
     match clauses with
-    | [] -> ((fun rt -> [ Array.copy rt ]), cenv)
+    | [] ->
+      ( (fun rt ->
+          (* one budget step per tuple completing a segment: the
+             compiled pipeline stays cancelable between tuples *)
+          Budget.step ();
+          [ Array.copy rt ]),
+        cenv )
     | X.For { var; source } :: rest ->
       let csrc = compile_expr_c cenv source in
       let cenv', slot = bind_slot cenv var in
@@ -291,6 +299,7 @@ and compile_flwor cenv (f : X.flwor) : comp =
       ( (fun rt ->
           List.concat_map
             (fun item ->
+              Budget.step ();
               rt.(slot) <- [ item ];
               inner rt)
             (csrc rt)),
@@ -443,6 +452,7 @@ and compile_flwor cenv (f : X.flwor) : comp =
       let cbuild = compile_expr_c cenv2 build_key in
       let crest, cenv_out = stages cenv2 rest in
       ( (fun rt snaps ->
+          Failpoint.hit "xqeval.hashjoin";
           match lifted rt snaps with
           | [] -> crest rt []  (* empty probe stream: never build *)
           | first :: _ as snaps ->

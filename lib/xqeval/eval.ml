@@ -3,6 +3,8 @@ module Item = Aqua_xml.Item
 module Node = Aqua_xml.Node
 module X = Aqua_xquery.Ast
 module Telemetry = Aqua_core.Telemetry
+module Budget = Aqua_resilience.Budget
+module Failpoint = Aqua_resilience.Failpoint
 
 module Env = Map.Make (String)
 
@@ -140,6 +142,10 @@ let children_matching name (item : Item.t) : Item.sequence =
 (* The evaluator                                                      *)
 
 let rec eval ctx (e : X.expr) : Item.sequence =
+  (* cooperative budget probe: one fuel step per AST node evaluated,
+     with an amortized deadline check — a runaway query cannot evaluate
+     anything without passing through here *)
+  Budget.step ();
   match e with
   | X.Literal a -> [ Item.Atomic a ]
   | X.Var v -> lookup_var ctx v
@@ -258,7 +264,23 @@ and eval_flwor ctx (f : X.flwor) : Item.sequence =
         envs
     end
   in
+  (* Resilience: each clause is a failpoint site, and when a budget is
+     installed every tuple leaving a clause costs one budget step — so
+     a deadline cancels the pipeline between tuples, never mid-clause. *)
+  let governed = Budget.active () in
+  let govern envs =
+    if not governed then envs
+    else
+      Seq.map
+        (fun env ->
+          Budget.step ();
+          env)
+        envs
+  in
   let apply envs clause =
+    Failpoint.hit "xqeval.clause";
+    (match clause with X.Hash_join _ -> Failpoint.hit "xqeval.hashjoin" | _ -> ());
+    govern @@
     match clause with
         | X.For { var; source } ->
           Seq.concat_map

@@ -72,6 +72,9 @@ let build (source : Item.sequence) ~(key_of : Item.t -> Item.sequence)
   let items = Array.of_list source in
   T.incr T.c_hash_join_builds;
   T.add T.c_hash_join_build_rows (Array.length items);
+  (* the build side is materialized wholesale: charge it to the
+     budget's item governor before keying it *)
+  Aqua_resilience.Budget.tick_items (Array.length items);
   let tbl = Hashtbl.create (max 16 (Array.length items)) in
   let poison = ref false in
   let any_nonempty = ref false in

@@ -227,7 +227,14 @@ let recursion_guard () =
     }
   in
   match Server.execute srv q with
-  | exception Aqua_xqeval.Error.Dynamic_error _ -> ()
+  | exception Aqua_resilience.Sqlstate.Error e ->
+    Alcotest.(check string) "sqlstate" "54001" e.Aqua_resilience.Sqlstate.sqlstate;
+    (* the error names the cycling function in its call chain *)
+    if
+      not
+        (Helpers.contains ~needle:"P/LOOP:LOOP -> P/LOOP:LOOP"
+           e.Aqua_resilience.Sqlstate.message)
+    then Alcotest.failf "call chain missing: %s" e.Aqua_resilience.Sqlstate.message
   | _ -> Alcotest.fail "infinite recursion not caught"
 
 let suite =

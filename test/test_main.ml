@@ -17,4 +17,5 @@ let () =
       Test_compile.suite;
       Test_differential.suite;
       Test_optimize.suite;
-      Test_telemetry.suite ]
+      Test_telemetry.suite;
+      Test_resilience.suite ]
