@@ -29,6 +29,9 @@ module Engine = Aqua_sqlengine.Engine
 module Artifact = Aqua_dsp.Artifact
 module Datagen = Aqua_workload.Datagen
 module Telemetry = Aqua_core.Telemetry
+module Obs_stats = Aqua_obs.Stats
+module Recorder = Aqua_obs.Recorder
+module Histogram = Aqua_obs.Histogram
 
 (* ------------------------------------------------------------------ *)
 (* Reproducibility and smoke mode                                     *)
@@ -574,16 +577,34 @@ let p6 () =
         ((List.assoc label overheads -. 1.0) *. 100.0))
     rows;
   (* one instrumented execution at the largest scale: its counter
-     snapshot is embedded in the JSON record *)
-  let telemetry_json, telemetry_label =
+     snapshot and per-span latency histograms are embedded in the JSON
+     record *)
+  let telemetry_json, obs_json, telemetry_label =
     match List.rev cases with
     | (label, _, t, _, opt_srv, _) :: _ ->
       Telemetry.reset ();
+      Obs_stats.reset ();
+      Obs_stats.install_span_histograms ();
       Telemetry.set_enabled true;
       ignore (Server.execute opt_srv t.Translator.xquery);
       Telemetry.set_enabled false;
-      (Telemetry.metrics_to_json (Telemetry.snapshot ()), label)
-    | [] -> ("null", "none")
+      Obs_stats.uninstall_span_histograms ();
+      let hists =
+        List.filter
+          (fun (_, h) -> not (Histogram.is_empty h))
+          (Obs_stats.histograms ())
+      in
+      let obs =
+        "{"
+        ^ String.concat ", "
+            (List.map
+               (fun (name, h) ->
+                 Printf.sprintf "%S: %s" name (Histogram.quantiles_to_json h))
+               hists)
+        ^ "}"
+      in
+      (Telemetry.metrics_to_json (Telemetry.snapshot ()), obs, label)
+    | [] -> ("null", "{}", "none")
   in
   (* machine-readable record for EXPERIMENTS.md / regression tracking *)
   let jf f = if Float.is_nan f then "null" else Printf.sprintf "%.1f" f in
@@ -610,8 +631,10 @@ let p6 () =
         (jr (List.assoc label overheads))
         (if i = n_rows - 1 then "" else ","))
     rows;
-  Printf.fprintf oc "  ],\n  \"telemetry_scale\": \"%s\",\n  \"telemetry\": %s\n}\n"
-    telemetry_label telemetry_json;
+  Printf.fprintf oc
+    "  ],\n  \"telemetry_scale\": \"%s\",\n  \"telemetry\": %s,\n  \
+     \"obs_histograms\": %s\n}\n"
+    telemetry_label telemetry_json obs_json;
   close_out oc;
   Printf.printf "\nwrote %s\n" p6_json_path;
   flush stdout
@@ -729,6 +752,81 @@ let p7 () =
   flush stdout
 
 (* ------------------------------------------------------------------ *)
+(* P9: observability probe overhead (flight recorder, fingerprint      *)
+(* stats, telemetry spans) on the driver's hot path                    *)
+
+let p9_json_path = "BENCH_P9.json"
+
+let p9 () =
+  print_endline
+    "\n== P9: observability probe overhead (recorder / stats / telemetry) ==";
+  let app = Datagen.application ~seed (sizes 40 150 2 90) in
+  let conn = Connection.connect app in
+  let sql =
+    "SELECT C.CUSTOMERNAME, O.ORDERID FROM CUSTOMERS C INNER JOIN ORDERS O \
+     ON C.CUSTOMERID = O.CUSTOMERID WHERE O.PRIORITY > 1"
+  in
+  ignore (Connection.execute_query conn sql) (* warm the translation cache *);
+  let all_off () =
+    Telemetry.set_enabled false;
+    Obs_stats.set_enabled false;
+    Recorder.set_enabled false;
+    Obs_stats.uninstall_span_histograms ()
+  in
+  let iters = if !smoke then 30 else 150 in
+  (* each configuration is measured interleaved against all-probes-off;
+     the enable/disable flips inside the window are single ref writes *)
+  let overhead label switch_on =
+    all_off ();
+    let r =
+      ab_median_ratio ~iters (fun enabled ->
+          if enabled then switch_on () else all_off ();
+          ignore (Connection.execute_query conn sql))
+    in
+    all_off ();
+    (label, r)
+  in
+  let overheads =
+    [
+      overhead "recorder-only" (fun () -> Recorder.set_enabled true);
+      overhead "stats+recorder" (fun () ->
+          Recorder.set_enabled true;
+          Obs_stats.set_enabled true);
+      overhead "telemetry+stats+recorder" (fun () ->
+          Recorder.set_enabled true;
+          Obs_stats.set_enabled true;
+          Obs_stats.install_span_histograms ();
+          Telemetry.set_enabled true);
+    ]
+  in
+  (* restore the library defaults the other experiments run under *)
+  Recorder.set_enabled true;
+  Printf.printf "\noverhead vs all probes disabled (interleaved medians):\n";
+  List.iter
+    (fun (label, r) ->
+      Printf.printf "  %-26s %+.1f%%\n" label ((r -. 1.0) *. 100.0))
+    overheads;
+  let jr f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f in
+  let oc = open_out p9_json_path in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"P9 observability overhead\",\n  \"sql\": \"%s\",\n  \
+     \"units\": \"ratio vs probes-disabled\",\n  \"seed\": %d,\n  \
+     \"smoke\": %b,\n  \"iters\": %d,\n  \"overheads\": [\n"
+    (String.concat " " (String.split_on_char '\n' (String.escaped sql)))
+    seed !smoke iters;
+  let n = List.length overheads in
+  List.iteri
+    (fun i (label, r) ->
+      Printf.fprintf oc "    { \"label\": \"%s\", \"ratio\": %s }%s\n" label
+        (jr r)
+        (if i = n - 1 then "" else ","))
+    overheads;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" p9_json_path;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args =
@@ -746,9 +844,9 @@ let () =
   let selected =
     match args with
     | _ :: _ -> List.map String.uppercase_ascii args
-    | [] -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8" ]
+    | [] -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8"; "P9" ]
   in
-  let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7); ("P8", p8) ] in
+  let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7); ("P8", p8); ("P9", p9) ] in
   List.iter
     (fun name ->
       match List.assoc_opt name all with

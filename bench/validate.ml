@@ -1,10 +1,16 @@
 (* Schema check for the BENCH_*.json files the harness emits — used by
-   the CI bench-smoke job, runnable locally:
+   the CI bench-smoke and obs-smoke jobs, runnable locally:
 
-     dune exec bench/validate.exe BENCH_P6.json
+     dune exec bench/validate.exe BENCH_P6.json BENCH_P9.json
+     dune exec bench/validate.exe -- --max-overhead 1.5 BENCH_P9.json
+     dune exec bench/validate.exe -- --prom metrics.prom
 
-   Exit 0 when the file parses and carries every required field with
-   the right type; exit 1 with a list of problems otherwise. *)
+   JSON files are dispatched on their "experiment" field (P6 join
+   strategy vs P9 observability overhead).  --prom switches to linting
+   Prometheus text expositions ({!Aqua_obs.Expose.lint}); \
+   --max-overhead R additionally fails a P9 file whose measured probe
+   overhead ratio exceeds R.  Exit 0 when everything checks out;
+   exit 1 with a list of problems otherwise. *)
 
 module Json = Aqua_core.Json
 
@@ -43,7 +49,39 @@ let scale_fields =
     ("speedup_hash_compiled", is_number_or_null, "a number or null");
     ("telemetry_overhead", is_number_or_null, "a number or null") ]
 
-let validate path json =
+let histogram_int_fields =
+  [ "count"; "total_ns"; "min_ns"; "p50_ns"; "p90_ns"; "p99_ns"; "max_ns" ]
+
+(* P9: observability probe overhead — each ratio is on/off of the same
+   driver path, so values far from 1 mean a broken measurement (or an
+   expensive probe, which is exactly what --max-overhead guards). *)
+let validate_p9 ?max_overhead path json =
+  check_field path json "experiment" is_string "a string";
+  check_field path json "sql" is_string "a string";
+  check_field path json "units" is_string "a string";
+  check_field path json "seed" is_int "an integer";
+  check_field path json "smoke" is_bool "a boolean";
+  check_field path json "iters" is_int "an integer";
+  match Json.member "overheads" json with
+  | Some (Json.Arr overheads) ->
+    if overheads = [] then problem "%s: \"overheads\" is empty" path;
+    List.iteri
+      (fun i entry ->
+        let epath = Printf.sprintf "%s: overheads[%d]" path i in
+        match entry with
+        | Json.Obj _ -> (
+          check_field epath entry "label" is_string "a string";
+          check_field epath entry "ratio" is_number_or_null "a number or null";
+          match (Json.member "ratio" entry, max_overhead) with
+          | Some (Json.Num r), Some cap when r > cap ->
+            problem "%s: ratio %.3f exceeds --max-overhead %.3f" epath r cap
+          | _ -> ())
+        | _ -> problem "%s is not an object" epath)
+      overheads
+  | Some _ -> problem "%s: \"overheads\" is not an array" path
+  | None -> problem "%s: missing field \"overheads\"" path
+
+let validate_p6 path json =
   check_field path json "experiment" is_string "a string";
   check_field path json "sql" is_string "a string";
   check_field path json "units" is_string "a string";
@@ -71,24 +109,67 @@ let validate path json =
         check_field (path ^ ": telemetry") telemetry name is_int "an integer")
       telemetry_int_fields
   | Some _ -> problem "%s: \"telemetry\" is not an object" path
-  | None -> problem "%s: missing field \"telemetry\"" path)
+  | None -> problem "%s: missing field \"telemetry\"" path);
+  match Json.member "obs_histograms" json with
+  | Some (Json.Obj members) ->
+    List.iter
+      (fun (span, h) ->
+        let hpath = Printf.sprintf "%s: obs_histograms[%S]" path span in
+        match h with
+        | Json.Obj _ ->
+          List.iter
+            (fun name -> check_field hpath h name is_int "an integer")
+            histogram_int_fields
+        | _ -> problem "%s is not an object" hpath)
+      members
+  | Some _ -> problem "%s: \"obs_histograms\" is not an object" path
+  | None -> problem "%s: missing field \"obs_histograms\"" path
+
+let validate ?max_overhead path json =
+  match Json.member "experiment" json with
+  | Some (Json.Str e)
+    when String.length e >= 2 && String.sub e 0 2 = "P9" ->
+    validate_p9 ?max_overhead path json
+  | _ -> validate_p6 path json
+
+let validate_prom path contents =
+  List.iter
+    (fun msg -> problem "%s: %s" path msg)
+    (Aqua_obs.Expose.lint contents)
+
+let usage () =
+  prerr_endline
+    "usage: validate [--prom] [--max-overhead R] BENCH_XX.json|FILE.prom ...";
+  exit 2
 
 let () =
-  let paths =
-    match List.tl (Array.to_list Sys.argv) with
-    | [] ->
-      prerr_endline "usage: validate BENCH_XX.json ...";
-      exit 2
-    | paths -> paths
+  let prom = ref false and max_overhead = ref None in
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "--prom" :: rest ->
+      prom := true;
+      parse_args acc rest
+    | "--max-overhead" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some r ->
+        max_overhead := Some r;
+        parse_args acc rest
+      | None -> usage ())
+    | "--max-overhead" :: [] -> usage ()
+    | path :: rest -> parse_args (path :: acc) rest
   in
+  let paths = parse_args [] (List.tl (Array.to_list Sys.argv)) in
+  if paths = [] then usage ();
   List.iter
     (fun path ->
       match In_channel.with_open_text path In_channel.input_all with
       | exception Sys_error m -> problem "%s: %s" path m
-      | contents -> (
-        match Json.parse contents with
-        | exception Json.Parse_error m -> problem "%s: %s" path m
-        | json -> validate path json))
+      | contents ->
+        if !prom then validate_prom path contents
+        else (
+          match Json.parse contents with
+          | exception Json.Parse_error m -> problem "%s: %s" path m
+          | json -> validate ?max_overhead:!max_overhead path json))
     paths;
   match List.rev !problems with
   | [] ->

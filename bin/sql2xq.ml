@@ -18,6 +18,11 @@ module Telemetry = Aqua_core.Telemetry
 module Budget = Aqua_resilience.Budget
 module Failpoint = Aqua_resilience.Failpoint
 module Sqlstate = Aqua_resilience.Sqlstate
+module Obs_stats = Aqua_obs.Stats
+module Histogram = Aqua_obs.Histogram
+module Fingerprint = Aqua_obs.Fingerprint
+module Recorder = Aqua_obs.Recorder
+module Expose = Aqua_obs.Expose
 
 let with_env f =
   let app = Aqua_workload.Demo.build () in
@@ -157,17 +162,25 @@ let run_cmd =
   let run sql naive no_optimize trace timeout max_rows failpoints =
     with_env (fun app env ->
         if trace then start_trace ();
-        let limits = governors ?timeout ?max_rows failpoints in
-        Failpoint.hit "driver.translate";
-        let t = Translator.translate ~style:(style_of_naive naive) env sql in
-        let server = Server.create ~optimize:(not no_optimize) app in
-        let items =
-          Budget.with_budget limits @@ fun () ->
-          execute_degrading ~no_optimize app server t.Translator.xquery
-            ~span:"execute"
-        in
-        print_endline (Aqua_xml.Serialize.sequence_to_string ~indent:true items);
-        if trace then finish_trace ())
+        (* the final counter snapshot must reach the sink even when
+           translation or execution raises — that failing trace is the
+           one worth reading *)
+        Fun.protect
+          ~finally:(fun () -> if trace then finish_trace ())
+          (fun () ->
+            let limits = governors ?timeout ?max_rows failpoints in
+            Failpoint.hit "driver.translate";
+            let t =
+              Translator.translate ~style:(style_of_naive naive) env sql
+            in
+            let server = Server.create ~optimize:(not no_optimize) app in
+            let items =
+              Budget.with_budget limits @@ fun () ->
+              execute_degrading ~no_optimize app server t.Translator.xquery
+                ~span:"execute"
+            in
+            print_endline
+              (Aqua_xml.Serialize.sequence_to_string ~indent:true items)))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Translate and execute; print the XML result")
@@ -181,7 +194,17 @@ let analyze_cmd =
     with_env (fun app env ->
         Telemetry.set_enabled true;
         Telemetry.reset ();
+        Obs_stats.reset ();
+        Obs_stats.set_enabled true;
+        Obs_stats.install_span_histograms ();
         if trace then Telemetry.set_trace_sink (Some prerr_endline);
+        Fun.protect
+          ~finally:(fun () ->
+            Obs_stats.uninstall_span_histograms ();
+            (* flush the snapshot even when translation or execution
+               raises mid-report *)
+            if trace then finish_trace ())
+        @@ fun () ->
         let limits = governors ?timeout ?max_rows failpoints in
         Failpoint.hit "driver.translate";
         let t = Translator.translate ~style:(style_of_naive naive) env sql in
@@ -200,8 +223,8 @@ let analyze_cmd =
         let span_stats = Telemetry.span_stats () in
         let execute_ns = Telemetry.span_total_ns "execute" in
         let serialize_ns = Telemetry.span_total_ns "serialize" in
-        if trace then finish_trace ();
         Telemetry.set_enabled false;
+        Obs_stats.set_enabled false;
         (* the counters are frozen now, so re-running the optimizer for
            its notes does not skew the snapshot *)
         let _, report = Aqua_xqeval.Optimize.query t.Translator.xquery in
@@ -274,6 +297,26 @@ let analyze_cmd =
             (v Telemetry.c_resource_exhausted)
             (v Telemetry.c_fallbacks_unoptimized)
         end;
+        let hists =
+          List.filter
+            (fun (_, h) -> not (Histogram.is_empty h))
+            (Obs_stats.histograms ())
+        in
+        if hists <> [] then begin
+          Printf.printf "latency distributions (per span, ms):\n";
+          List.iter
+            (fun (name, h) ->
+              Printf.printf
+                "  %-28s n=%-4d p50=%8.3f p90=%8.3f p99=%8.3f max=%8.3f\n"
+                name (Histogram.count h)
+                (ms (Histogram.p50 h))
+                (ms (Histogram.p90 h))
+                (ms (Histogram.p99 h))
+                (ms (Histogram.max_value h)))
+            hists
+        end;
+        let digest, shape = Fingerprint.fingerprint sql in
+        Printf.printf "fingerprint: %s  %s\n" digest shape;
         Printf.printf "serialize: %.3f ms (%d bytes)\n" (ms serialize_ns)
           (String.length serialized))
   in
@@ -287,6 +330,179 @@ let analyze_cmd =
     Term.(
       const run $ sql_arg $ naive_flag $ no_optimize_flag $ trace_flag
       $ timeout_opt $ max_rows_opt $ failpoints_opt)
+
+(* sql2xq stats: replay a workload through the driver (the real
+   Connection path: translation cache, budgets, fallback, transports)
+   with the per-fingerprint stats registry and the flight recorder on,
+   then render the registry — the pg_stat_statements view of the
+   workload. *)
+let stats_cmd =
+  let ms ns = Int64.to_float ns /. 1e6 in
+  let queries_opt =
+    Arg.(
+      value & opt (some string) None
+      & info [ "queries" ] ~docv:"FILE"
+          ~doc:
+            "Replay the SQL statements in $(docv), one per line (blank \
+             lines and lines starting with '#' are skipped).  Without \
+             this flag a reproducible random reporting workload is \
+             generated.")
+  in
+  let count_opt =
+    Arg.(
+      value & opt int 12
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Distinct generated statements (ignored with --queries).")
+  in
+  let repeat_opt =
+    Arg.(
+      value & opt int 5
+      & info [ "repeat" ] ~docv:"R"
+          ~doc:"Times the statement list is replayed.")
+  in
+  let seed_opt =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Workload-generator seed.")
+  in
+  let top_opt =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Fingerprints shown (table format).")
+  in
+  let by_opt =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("time", Obs_stats.By_total_time);
+               ("p99", Obs_stats.By_p99);
+               ("calls", Obs_stats.By_calls);
+             ])
+          Obs_stats.By_total_time
+      & info [ "by" ] ~docv:"ORDER"
+          ~doc:"Ranking for --top: $(b,time), $(b,p99) or $(b,calls).")
+  in
+  let format_opt =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("prom", `Prom); ("json", `Json) ])
+          `Table
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: human $(b,table), Prometheus text exposition \
+             ($(b,prom)) or $(b,json).")
+  in
+  let read_queries file =
+    In_channel.with_open_text file In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then None else Some line)
+  in
+  let print_table ~executed ~failures top by =
+    let entries = Obs_stats.top ~by top in
+    Printf.printf "%d statement(s) executed, %d failed, %d fingerprint(s)\n"
+      executed failures
+      (List.length (Obs_stats.entries ()));
+    List.iter
+      (fun (e : Obs_stats.entry) ->
+        let errors =
+          if e.Obs_stats.errors = 0 then ""
+          else
+            Printf.sprintf " errors=%d (%s)" e.Obs_stats.errors
+              (String.concat ", "
+                 (List.map
+                    (fun (cls, n) -> Printf.sprintf "class %s: %d" cls n)
+                    (Obs_stats.error_classes e)))
+        in
+        Printf.printf "\nfingerprint %s  calls=%d rows=%d cache-hits=%d%s\n"
+          e.Obs_stats.fingerprint e.Obs_stats.calls e.Obs_stats.rows
+          e.Obs_stats.cache_hits errors;
+        Printf.printf "  shape: %s\n" e.Obs_stats.shape;
+        Printf.printf "  %-10s %10s %10s %10s %10s  (ms)\n" "stage" "p50"
+          "p90" "p99" "max";
+        List.iter
+          (fun (stage, h) ->
+            if not (Histogram.is_empty h) then
+              Printf.printf "  %-10s %10.3f %10.3f %10.3f %10.3f\n" stage
+                (ms (Histogram.p50 h))
+                (ms (Histogram.p90 h))
+                (ms (Histogram.p99 h))
+                (ms (Histogram.max_value h)))
+          [
+            ("translate", e.Obs_stats.translate);
+            ("execute", e.Obs_stats.execute);
+            ("decode", e.Obs_stats.decode);
+            ("total", e.Obs_stats.total);
+          ])
+      entries;
+    match Recorder.last_error () with
+    | Some ev ->
+      Printf.printf "\nlast failure (flight recorder):\n%s\n"
+        (Recorder.event_to_ndjson ev)
+    | None -> ()
+  in
+  let run queries count repeat seed top by format trace timeout max_rows
+      failpoints =
+    with_env (fun app _env ->
+        Telemetry.set_enabled true;
+        Telemetry.reset ();
+        Obs_stats.reset ();
+        Obs_stats.set_enabled true;
+        Obs_stats.install_span_histograms ();
+        Recorder.clear ();
+        if trace then begin
+          Telemetry.set_trace_sink (Some prerr_endline);
+          (* failing statements dump the flight-recorder ring into the
+             same NDJSON stream *)
+          Recorder.set_dump_sink (Some prerr_endline)
+        end;
+        let limits = governors ?timeout ?max_rows failpoints in
+        let sqls =
+          match queries with
+          | Some file -> read_queries file
+          | None ->
+            let tables = Metadata.list_tables app in
+            let st = Random.State.make [| seed |] in
+            List.init count (fun _ ->
+                Aqua_workload.Querygen.generate_sql
+                  ~profile:Aqua_workload.Querygen.reporting_profile st tables)
+        in
+        if sqls = [] then begin
+          prerr_endline "stats: no statements to replay";
+          exit 1
+        end;
+        let conn = Aqua_driver.Connection.connect ~limits app in
+        let executed = ref 0 and failures = ref 0 in
+        for _ = 1 to max 1 repeat do
+          List.iter
+            (fun sql ->
+              incr executed;
+              match Aqua_driver.Connection.execute_query conn sql with
+              | _rs -> ()
+              | exception Sqlstate.Error _ -> incr failures)
+            sqls
+        done;
+        Obs_stats.uninstall_span_histograms ();
+        if trace then finish_trace ();
+        match format with
+        | `Prom -> print_string (Expose.prometheus ())
+        | `Json -> print_endline (Expose.json ())
+        | `Table -> print_table ~executed:!executed ~failures:!failures top by)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Replay a workload through the driver and report per-fingerprint \
+          statistics: calls, rows, translation-cache hits, errors by \
+          SQLSTATE class, and p50/p90/p99 latency per stage.  \
+          $(b,--format prom) emits the Prometheus text exposition.")
+    Term.(
+      const run $ queries_opt $ count_opt $ repeat_opt $ seed_opt $ top_opt
+      $ by_opt $ format_opt $ trace_flag $ timeout_opt $ max_rows_opt
+      $ failpoints_opt)
 
 let text_cmd =
   let run sql naive no_optimize =
@@ -454,5 +670,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "sql2xq" ~doc)
-          [ translate_cmd; run_cmd; analyze_cmd; text_cmd; diff_cmd; wdiff_cmd;
-            explain_cmd; xq_cmd; tables_cmd ]))
+          [ translate_cmd; run_cmd; analyze_cmd; stats_cmd; text_cmd;
+            diff_cmd; wdiff_cmd; explain_cmd; xq_cmd; tables_cmd ]))

@@ -140,39 +140,80 @@ let invalidate t =
   Metadata.Cache.clear t.cache;
   t.seen_revision <- Artifact.revision t.app
 
-let translate t sql =
+let translate_cached t sql =
   let module T = Aqua_core.Telemetry in
   revalidate t;
   Failpoint.hit "driver.translate";
   match Lru.find t.translations sql with
   | Some tr ->
     T.incr T.c_cache_hits;
-    tr
+    (tr, true)
   | None ->
     T.incr T.c_cache_misses;
     let tr = Translator.translate t.env sql in
     Lru.add t.translations sql tr;
-    tr
+    (tr, false)
+
+let translate t sql = fst (translate_cached t sql)
 
 let translation_cache_size t = Lru.length t.translations
 let translation_cache_clock t = Lru.clock t.translations
 let clear_translation_cache t = Lru.clear t.translations
 
-let run_on conn srv ~bindings (tr : Translator.t) =
+(* --- per-statement stage clocks and observation -------------------- *)
+
+(* Accumulators for the three driver-visible stages of one statement.
+   Accumulated (not assigned) so a fallback rerun adds its second
+   execute/decode pass to the same statement's totals. *)
+type stages = {
+  mutable translate_ns : int64;
+  mutable execute_ns : int64;
+  mutable decode_ns : int64;
+  mutable cache_hit : bool;
+}
+
+let fresh_stages () =
+  { translate_ns = 0L; execute_ns = 0L; decode_ns = 0L; cache_hit = false }
+
+(* Time [f], crediting the (0-clamped) elapsed time via [credit] even
+   when [f] raises — a failing stage's cost is still its cost. *)
+let timed credit f =
+  let module T = Aqua_core.Telemetry in
+  let t0 = T.now_ns () in
+  let finish () =
+    let d = Int64.sub (T.now_ns ()) t0 in
+    credit (if Int64.compare d 0L < 0 then 0L else d)
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+let run_on conn srv ~stages ~bindings (tr : Translator.t) =
+  let exec d = stages.execute_ns <- Int64.add stages.execute_ns d in
+  let dec d = stages.decode_ns <- Int64.add stages.decode_ns d in
   match conn.transport with
   | Xml ->
     (* server executes, serializes; the client parses the text *)
-    let text = Server.execute_to_xml ~bindings srv tr.Translator.xquery in
-    Result_set.of_xml_text tr.Translator.columns text
+    let text =
+      timed exec (fun () ->
+          Server.execute_to_xml ~bindings srv tr.Translator.xquery)
+    in
+    timed dec (fun () -> Result_set.of_xml_text tr.Translator.columns text)
   | Text ->
     let wrapped = Translator.for_text_transport tr in
-    let text = Server.execute_to_text ~bindings srv wrapped in
-    Result_set.of_encoded_text tr.Translator.columns text
+    let text =
+      timed exec (fun () -> Server.execute_to_text ~bindings srv wrapped)
+    in
+    timed dec (fun () -> Result_set.of_encoded_text tr.Translator.columns text)
 
-let run_translated conn ?(bindings = []) (tr : Translator.t) =
-  if not conn.optimize then run_on conn conn.srv ~bindings tr
+let run_translated conn ?(bindings = []) ~stages (tr : Translator.t) =
+  if not conn.optimize then run_on conn conn.srv ~stages ~bindings tr
   else
-    try run_on conn conn.srv ~bindings tr
+    try run_on conn conn.srv ~stages ~bindings tr
     with e when Sql_error.degradable e ->
       let module T = Aqua_core.Telemetry in
       if T.enabled () then begin
@@ -180,12 +221,78 @@ let run_translated conn ?(bindings = []) (tr : Translator.t) =
         T.trace_event "fallback"
           [ ("reason", Printexc.to_string e); ("plan", "unoptimized") ]
       end;
-      run_on conn conn.srv_unopt ~bindings tr
+      run_on conn conn.srv_unopt ~stages ~bindings tr
+
+module Stats = Aqua_obs.Stats
+module Recorder = Aqua_obs.Recorder
+module Fingerprint = Aqua_obs.Fingerprint
+
+(* Run one statement under observation: feed the per-fingerprint stats
+   registry and the flight recorder, tagging the event with the
+   resilience outcome (deltas of the telemetry counters across the
+   call — meaningful when telemetry is enabled, zero otherwise).  When
+   a SQLSTATE error escapes, the recorder ring is dumped to its sink
+   so the operator sees what the last statements actually did. *)
+let observe_run ~digest ~shape ~stages ~plan run =
+  let module T = Aqua_core.Telemetry in
+  let start = T.now_ns () in
+  let b_retries = T.value T.c_retry_attempts in
+  let b_fallbacks = T.value T.c_fallbacks_unoptimized in
+  let b_faults = T.value T.c_faults_injected in
+  let b_rejections = T.value T.c_breaker_rejections in
+  let finish ~rows outcome error =
+    let dur = Int64.sub (T.now_ns ()) start in
+    let dur = if Int64.compare dur 0L < 0 then 0L else dur in
+    let resilience =
+      {
+        Recorder.retries = T.value T.c_retry_attempts - b_retries;
+        fallbacks = T.value T.c_fallbacks_unoptimized - b_fallbacks;
+        faults = T.value T.c_faults_injected - b_faults;
+        breaker_rejections = T.value T.c_breaker_rejections - b_rejections;
+      }
+    in
+    let plan =
+      if resilience.Recorder.fallbacks > 0 then "fallback-unoptimized"
+      else plan
+    in
+    Stats.observe ~digest ~shape ~translate_ns:stages.translate_ns
+      ~execute_ns:stages.execute_ns ~decode_ns:stages.decode_ns ~rows
+      ~cache_hit:stages.cache_hit ?error ~total_ns:dur ();
+    Recorder.record ~fingerprint:digest ~shape ~start_ns:start ~dur_ns:dur
+      ~rows ~cache_hit:stages.cache_hit ~plan ~resilience outcome
+  in
+  match run () with
+  | rs ->
+    finish ~rows:(Result_set.row_count rs) Recorder.Done None;
+    rs
+  | exception (Aqua_resilience.Sqlstate.Error e as ex) ->
+    finish ~rows:0 (Recorder.Failed e.Aqua_resilience.Sqlstate.sqlstate)
+      (Some e.Aqua_resilience.Sqlstate.sqlstate);
+    ignore (Recorder.dump_to_sink ~reason:e.Aqua_resilience.Sqlstate.sqlstate ());
+    raise ex
+
+let observing () = Stats.enabled () || Recorder.enabled ()
 
 let execute_query t sql =
-  Sql_error.wrap @@ fun () ->
-  Budget.with_budget t.limits @@ fun () ->
-  run_translated t (translate t sql)
+  let stages = fresh_stages () in
+  let run () =
+    Sql_error.wrap @@ fun () ->
+    Budget.with_budget t.limits @@ fun () ->
+    let tr =
+      timed
+        (fun d -> stages.translate_ns <- Int64.add stages.translate_ns d)
+        (fun () ->
+          let tr, hit = translate_cached t sql in
+          stages.cache_hit <- hit;
+          tr)
+    in
+    run_translated t ~bindings:[] ~stages tr
+  in
+  if not (observing ()) then run ()
+  else
+    let digest, shape = Fingerprint.fingerprint sql in
+    let plan = if t.optimize then "optimized" else "unoptimized" in
+    observe_run ~digest ~shape ~stages ~plan run
 
 (* ------------------------------------------------------------------ *)
 
@@ -199,6 +306,8 @@ module Prepared = struct
     compiled_xml : Server.prepared;
     compiled_text : Server.prepared;
     params : Item.sequence option array;
+    fp_digest : string;
+    fp_shape : string;
   }
 
   let count_params (s : A.statement) =
@@ -257,7 +366,16 @@ module Prepared = struct
     let compiled_text =
       Server.prepare ~vars conn.srv (Translator.for_text_transport translated)
     in
-    { conn; translated; compiled_xml; compiled_text; params = Array.make n None }
+    let fp_digest, fp_shape = Fingerprint.fingerprint sql in
+    {
+      conn;
+      translated;
+      compiled_xml;
+      compiled_text;
+      params = Array.make n None;
+      fp_digest;
+      fp_shape;
+    }
 
   let parameter_count stmt = Array.length stmt.params
 
@@ -297,22 +415,41 @@ module Prepared = struct
            stmt.params)
     in
     let columns = stmt.translated.Translator.columns in
-    Sql_error.wrap @@ fun () ->
-    Budget.with_budget stmt.conn.limits @@ fun () ->
-    match stmt.conn.transport with
-    | Xml ->
-      let items = Server.execute_prepared ~bindings stmt.compiled_xml in
-      Result_set.of_xml_text columns
-        (Aqua_xml.Serialize.sequence_to_string items)
-    | Text ->
-      let buf = Buffer.create 256 in
-      List.iter
-        (fun item ->
-          match item with
-          | Item.Atomic a -> Buffer.add_string buf (Atomic.to_lexical a)
-          | Item.Node _ -> invalid_arg "text transport returned a node")
-        (Server.execute_prepared ~bindings stmt.compiled_text);
-      Result_set.of_encoded_text columns (Buffer.contents buf)
+    let stages = fresh_stages () in
+    (* translation happened at prepare time: a prepared execution is
+       the cache-hit case by construction *)
+    stages.cache_hit <- true;
+    let exec d = stages.execute_ns <- Int64.add stages.execute_ns d in
+    let dec d = stages.decode_ns <- Int64.add stages.decode_ns d in
+    let run () =
+      Sql_error.wrap @@ fun () ->
+      Budget.with_budget stmt.conn.limits @@ fun () ->
+      match stmt.conn.transport with
+      | Xml ->
+        let text =
+          timed exec (fun () ->
+              Aqua_xml.Serialize.sequence_to_string
+                (Server.execute_prepared ~bindings stmt.compiled_xml))
+        in
+        timed dec (fun () -> Result_set.of_xml_text columns text)
+      | Text ->
+        let text =
+          timed exec (fun () ->
+              let buf = Buffer.create 256 in
+              List.iter
+                (fun item ->
+                  match item with
+                  | Item.Atomic a -> Buffer.add_string buf (Atomic.to_lexical a)
+                  | Item.Node _ -> invalid_arg "text transport returned a node")
+                (Server.execute_prepared ~bindings stmt.compiled_text);
+              Buffer.contents buf)
+        in
+        timed dec (fun () -> Result_set.of_encoded_text columns text)
+    in
+    if not (observing ()) then run ()
+    else
+      observe_run ~digest:stmt.fp_digest ~shape:stmt.fp_shape ~stages
+        ~plan:"prepared" run
 end
 
 (* ------------------------------------------------------------------ *)

@@ -25,6 +25,8 @@ let of_rows cols rows =
   Aqua_resilience.Budget.tick_rows (List.length rows);
   { cols; rows; current = None; last_was_null = false }
 
+let row_count t = List.length t.rows
+
 let next t =
   match t.rows with
   | [] ->

@@ -10,6 +10,10 @@ val column_count : t -> int
 val column_label : t -> int -> string
 (** 1-based, like JDBC. *)
 
+val row_count : t -> int
+(** Rows ahead of the cursor — the full decoded row count on a fresh
+    result set (rows are materialized at decode time). *)
+
 val next : t -> bool
 (** Advances the cursor; [false] past the last row. *)
 

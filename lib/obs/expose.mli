@@ -1,0 +1,32 @@
+(** Metric exposition: Prometheus text format and JSON.
+
+    Renders everything the obs layer knows — telemetry counters and
+    span aggregates, the named latency histograms, and the
+    per-fingerprint registry — for scraping ({!prometheus}) or
+    programmatic consumption ({!json}).  {!lint} is a standalone
+    checker for the Prometheus text format, used by the CI [obs-smoke]
+    job (via [bench/validate.exe --prom]) and the test suite, so the
+    renderer can never silently drift from the format. *)
+
+val prometheus : unit -> string
+(** Prometheus exposition (text format 0.0.4):
+    - every telemetry counter as [aqua_<name>_total];
+    - span aggregates as [aqua_span_count_total{span=…}] /
+      [aqua_span_duration_ns_total{span=…}];
+    - each named histogram as the [aqua_latency_ns{op=…}] histogram
+      family (cumulative [le] buckets from the sparse log-linear
+      representation, plus [_sum]/[_count]);
+    - per-fingerprint calls / rows / cache hits / errors-by-class
+      counters and an [aqua_query_latency_ns{fp=…,stage=…}] summary
+      (p50/p90/p99 quantiles). *)
+
+val json : unit -> string
+(** The same data as one JSON object:
+    [{"counters":…,"spans":…,"histograms":…,"fingerprints":…}]. *)
+
+val lint : string -> string list
+(** Problems found in a Prometheus text exposition (empty = valid):
+    malformed lines, samples without a preceding [# TYPE], unknown
+    metric types, duplicate [TYPE] declarations, malformed labels or
+    values, histogram buckets out of order / non-cumulative / missing
+    [le="+Inf"], and [_count] disagreeing with the [+Inf] bucket. *)

@@ -1,0 +1,155 @@
+(* Lexical SQL normalizer + FNV-1a digest.  This deliberately does not
+   reuse the SQL parser: fingerprinting must work on statements the
+   parser rejects (so errors aggregate by shape), and must not care
+   about grammar details.  One left-to-right pass produces a token
+   list; a second tiny pass collapses literal IN-lists. *)
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '$'
+let is_digit c = c >= '0' && c <= '9'
+
+(* Two-character operators that must stay one token. *)
+let two_char_ops = [ "<="; ">="; "<>"; "!="; "||" ]
+
+let tokens sql =
+  let n = String.length sql in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = sql.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && sql.[!i + 1] = '-' then begin
+      (* line comment *)
+      while !i < n && sql.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && sql.[!i + 1] = '*' then begin
+      (* block comment (unterminated: swallow the rest) *)
+      i := !i + 2;
+      let fin = ref false in
+      while not !fin && !i < n do
+        if sql.[!i] = '*' && !i + 1 < n && sql.[!i + 1] = '/' then begin
+          i := !i + 2;
+          fin := true
+        end
+        else incr i
+      done
+    end
+    else if c = '\'' then begin
+      (* string literal, '' escapes; unterminated swallows the rest *)
+      incr i;
+      let fin = ref false in
+      while not !fin && !i < n do
+        if sql.[!i] = '\'' then
+          if !i + 1 < n && sql.[!i + 1] = '\'' then i := !i + 2
+          else begin
+            incr i;
+            fin := true
+          end
+        else incr i
+      done;
+      push "?"
+    end
+    else if c = '"' then begin
+      (* quoted identifier: kept verbatim, case preserved *)
+      let start = !i in
+      incr i;
+      while !i < n && sql.[!i] <> '"' do incr i done;
+      if !i < n then incr i;
+      push (String.sub sql start (!i - start))
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit sql.[!i + 1])
+    then begin
+      (* numeric literal: digits [. digits] [eE [+-] digits] *)
+      while !i < n && is_digit sql.[!i] do incr i done;
+      if !i < n && sql.[!i] = '.' then begin
+        incr i;
+        while !i < n && is_digit sql.[!i] do incr i done
+      end;
+      if !i < n && (sql.[!i] = 'e' || sql.[!i] = 'E') then begin
+        let j = !i + 1 in
+        let j = if j < n && (sql.[j] = '+' || sql.[j] = '-') then j + 1 else j in
+        if j < n && is_digit sql.[j] then begin
+          i := j;
+          while !i < n && is_digit sql.[!i] do incr i done
+        end
+      end;
+      push "?"
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char sql.[!i] do incr i done;
+      push (String.uppercase_ascii (String.sub sql start (!i - start)))
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub sql !i 2) else None
+      in
+      match two with
+      | Some op when List.mem op two_char_ops ->
+        push op;
+        i := !i + 2
+      | _ ->
+        push (String.make 1 c);
+        incr i
+    end
+  done;
+  List.rev !toks
+
+(* [IN ( ? , ? , ... ? )] -> [IN ( ? )]: the arity of a literal
+   IN-list is workload noise, not query shape. *)
+let rec collapse_in_lists = function
+  | "IN" :: "(" :: "?" :: rest -> (
+    let rec eat = function
+      | "," :: "?" :: r -> eat r
+      | ")" :: r -> Some r
+      | _ -> None
+    in
+    match eat rest with
+    | Some r -> "IN" :: "(" :: "?" :: ")" :: collapse_in_lists r
+    | None -> "IN" :: "(" :: "?" :: collapse_in_lists rest)
+  | tok :: rest -> tok :: collapse_in_lists rest
+  | [] -> []
+
+(* Spacing: single separators, but punctuation hugs its operand — no
+   space before commas, dots or parens and none after an opening paren
+   or dot — so shapes read like [COUNT(STAR)] and [IN(?)]. *)
+let assemble toks =
+  let buf = Buffer.create 128 in
+  let no_space_before t = t = "," || t = ")" || t = "." || t = "(" in
+  let no_space_after t = t = "(" || t = "." in
+  let prev = ref None in
+  List.iter
+    (fun t ->
+      (match !prev with
+      | Some p when not (no_space_before t) && not (no_space_after p) ->
+        Buffer.add_char buf ' '
+      | _ -> ());
+      Buffer.add_string buf t;
+      prev := Some t)
+    toks;
+  Buffer.contents buf
+
+let normalize sql = assemble (collapse_in_lists (tokens sql))
+
+(* FNV-1a, 64-bit *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let digest_of_normalized s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let normalize_and_digest sql =
+  let n = normalize sql in
+  (digest_of_normalized n, n)
+
+let digest sql = fst (normalize_and_digest sql)
+let fingerprint = normalize_and_digest

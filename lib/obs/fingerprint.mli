@@ -1,0 +1,24 @@
+(** SQL query-shape fingerprints (pg_stat_statements style).
+
+    {!normalize} reduces a SQL text to its shape: literals become [?],
+    keywords and identifiers are case-folded to upper case, whitespace
+    collapses to single separators, and [IN]-lists of literals
+    collapse to [IN (?)] — so the ad-hoc SQL a reporting tool
+    regenerates with different constants, casing or layout lands on
+    one stable key.  {!digest} is a 64-bit FNV-1a hash of the
+    normalized text in fixed-width hex, usable as a metric label.
+
+    The normalizer is a standalone lexical pass (it does not parse),
+    so even SQL the translator rejects still fingerprints — errors
+    aggregate by shape too. *)
+
+val normalize : string -> string
+(** The canonical shape text.  Quoted identifiers ["..."] keep their
+    case; string literals ['...'] (with [''] escapes) and numeric
+    literals (including decimals and exponents) become [?]. *)
+
+val digest : string -> string
+(** 16 lowercase hex characters: FNV-1a 64 over [normalize sql]. *)
+
+val fingerprint : string -> string * string
+(** [(digest, normalized)] computed in one pass over the input. *)

@@ -1,0 +1,80 @@
+(** Flight recorder: an always-on bounded ring of recent query events.
+
+    The driver appends one event per executed statement — fingerprint,
+    shape, duration, rows, plan note, and the resilience outcome
+    (retries, unoptimized fallbacks, injected faults, breaker
+    rejections) — into a fixed-capacity ring.  When a SQLSTATE error
+    escapes the driver boundary the ring is dumped as NDJSON to the
+    configured sink, so the operator sees what the last queries —
+    including the failing one — actually did; {!dump} reads it on
+    demand.  Appending is O(1) into a preallocated array; with
+    recording disabled the probe is a single branch. *)
+
+type resilience = {
+  retries : int;
+  fallbacks : int;  (** reruns on the unoptimized server *)
+  faults : int;  (** failpoint faults injected *)
+  breaker_rejections : int;
+}
+
+val no_resilience : resilience
+
+type outcome = Done | Failed of string  (** SQLSTATE *)
+
+type event = {
+  seq : int;  (** monotonically increasing, survives ring wrap *)
+  fingerprint : string;
+  shape : string;  (** normalized SQL *)
+  start_ns : int64;
+  dur_ns : int64;
+  rows : int;
+  cache_hit : bool;
+  plan : string;  (** plan shape note, e.g. ["optimized"] *)
+  outcome : outcome;
+  resilience : resilience;
+}
+
+val set_enabled : bool -> unit
+(** Default [true] — the recorder is meant to be always on. *)
+
+val enabled : unit -> bool
+
+val set_capacity : int -> unit
+(** Resize (and clear) the ring.  Default 64 events. *)
+
+val capacity : unit -> int
+
+val record :
+  fingerprint:string ->
+  shape:string ->
+  start_ns:int64 ->
+  dur_ns:int64 ->
+  ?rows:int ->
+  ?cache_hit:bool ->
+  ?plan:string ->
+  ?resilience:resilience ->
+  outcome ->
+  unit
+
+val events : unit -> event list
+(** Oldest first; at most {!capacity} entries. *)
+
+val last_error : unit -> event option
+(** The most recent [Failed _] event still in the ring. *)
+
+val event_to_ndjson : event -> string
+(** One-line JSON object, [{"ev":"query",...}]. *)
+
+val dump : ?reason:string -> unit -> string list
+(** A [{"ev":"recorder","reason":…,"events":N}] header line followed
+    by every ring event as NDJSON, oldest first. *)
+
+val set_dump_sink : (string -> unit) option -> unit
+(** Where {!dump_to_sink} writes, one line per call. *)
+
+val dump_to_sink : ?reason:string -> unit -> bool
+(** Dump the ring to the sink; [false] (and no work) when no sink is
+    installed.  The driver calls this when a SQLSTATE error escapes. *)
+
+val clear : unit -> unit
+(** Empty the ring (the sequence counter keeps advancing). *)

@@ -1,0 +1,122 @@
+(* Per-fingerprint statistics registry + named latency histograms.
+   Mirrors the registration discipline of [Aqua_core.Telemetry]: a
+   by-key hashtable plus a reverse-ordered list for stable reporting
+   order, mutable records for O(1) accumulation. *)
+
+module Telemetry = Aqua_core.Telemetry
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+type entry = {
+  fingerprint : string;
+  shape : string;
+  mutable calls : int;
+  mutable rows : int;
+  mutable cache_hits : int;
+  mutable errors : int;
+  error_classes : (string, int) Hashtbl.t;
+  translate : Histogram.t;
+  execute : Histogram.t;
+  decode : Histogram.t;
+  total : Histogram.t;
+}
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 64
+let order : entry list ref = ref []
+
+let entry ~digest ~shape =
+  match Hashtbl.find_opt table digest with
+  | Some e -> e
+  | None ->
+    let e =
+      {
+        fingerprint = digest;
+        shape;
+        calls = 0;
+        rows = 0;
+        cache_hits = 0;
+        errors = 0;
+        error_classes = Hashtbl.create 4;
+        translate = Histogram.create ();
+        execute = Histogram.create ();
+        decode = Histogram.create ();
+        total = Histogram.create ();
+      }
+    in
+    Hashtbl.add table digest e;
+    order := e :: !order;
+    e
+
+let sqlstate_class code =
+  if String.length code >= 2 then String.sub code 0 2 else code
+
+let observe ~digest ~shape ?translate_ns ?execute_ns ?decode_ns ?(rows = 0)
+    ?(cache_hit = false) ?error ~total_ns () =
+  if !enabled_flag then begin
+    let e = entry ~digest ~shape in
+    e.calls <- e.calls + 1;
+    e.rows <- e.rows + rows;
+    if cache_hit then e.cache_hits <- e.cache_hits + 1;
+    (match error with
+    | Some code ->
+      e.errors <- e.errors + 1;
+      let cls = sqlstate_class code in
+      Hashtbl.replace e.error_classes cls
+        (1 + Option.value ~default:0 (Hashtbl.find_opt e.error_classes cls))
+    | None -> ());
+    let stage h = function Some ns -> Histogram.record h ns | None -> () in
+    stage e.translate translate_ns;
+    stage e.execute execute_ns;
+    stage e.decode decode_ns;
+    Histogram.record e.total total_ns
+  end
+
+let entries () = List.rev !order
+let find digest = Hashtbl.find_opt table digest
+
+type order = By_total_time | By_p99 | By_calls
+
+let top ?(by = By_total_time) n =
+  let weight e =
+    match by with
+    | By_total_time -> Int64.to_float (Histogram.total e.total)
+    | By_p99 -> Int64.to_float (Histogram.p99 e.total)
+    | By_calls -> float_of_int e.calls
+  in
+  let sorted =
+    List.sort (fun a b -> compare (weight b) (weight a)) (entries ())
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
+let error_classes e =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) e.error_classes [])
+
+(* Named histograms ---------------------------------------------------- *)
+
+let h_table : (string, Histogram.t) Hashtbl.t = Hashtbl.create 32
+let h_order : (string * Histogram.t) list ref = ref []
+
+let histogram name =
+  match Hashtbl.find_opt h_table name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create () in
+    Hashtbl.add h_table name h;
+    h_order := (name, h) :: !h_order;
+    h
+
+let histograms () = List.rev !h_order
+
+let install_span_histograms () =
+  Telemetry.set_span_observer
+    (Some (fun name dur -> Histogram.record (histogram name) dur))
+
+let uninstall_span_histograms () = Telemetry.set_span_observer None
+
+let reset () =
+  Hashtbl.reset table;
+  order := [];
+  Hashtbl.reset h_table;
+  h_order := []

@@ -1,0 +1,85 @@
+(** Per-fingerprint query statistics and named latency histograms.
+
+    The driver feeds one {!observe} per executed statement; the
+    registry aggregates by {!Fingerprint} digest: call and row counts,
+    translation-cache hits, errors bucketed by SQLSTATE class, and
+    per-stage (translate / execute / decode / total) latency
+    histograms.  Off by default — {!observe} is a single branch until
+    {!set_enabled} — so the always-threaded driver path stays cheap.
+
+    Independent of fingerprints, a histogram registry keyed by
+    operation name collects latency distributions; installing
+    {!install_span_histograms} routes every telemetry span close into
+    it, upgrading the span layer from total-ns aggregates to full
+    distributions (p50/p90/p99 per stage). *)
+
+(** {1 Switch} *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** {1 Per-fingerprint registry} *)
+
+type entry = {
+  fingerprint : string;  (** {!Fingerprint.digest} of the shape *)
+  shape : string;  (** normalized SQL text *)
+  mutable calls : int;
+  mutable rows : int;  (** result rows returned across all calls *)
+  mutable cache_hits : int;  (** translation-LRU hits *)
+  mutable errors : int;  (** calls that raised *)
+  error_classes : (string, int) Hashtbl.t;
+      (** two-character SQLSTATE class -> count *)
+  translate : Histogram.t;
+  execute : Histogram.t;
+  decode : Histogram.t;
+  total : Histogram.t;
+}
+
+val observe :
+  digest:string ->
+  shape:string ->
+  ?translate_ns:int64 ->
+  ?execute_ns:int64 ->
+  ?decode_ns:int64 ->
+  ?rows:int ->
+  ?cache_hit:bool ->
+  ?error:string ->
+  total_ns:int64 ->
+  unit ->
+  unit
+(** Record one statement execution.  [error] is the five-character
+    SQLSTATE when the statement failed; its class (first two
+    characters) is what aggregates.  No-op while disabled. *)
+
+val entries : unit -> entry list
+(** First-seen order. *)
+
+val find : string -> entry option
+(** Lookup by fingerprint digest. *)
+
+type order = By_total_time | By_p99 | By_calls
+
+val top : ?by:order -> int -> entry list
+(** The [n] heaviest fingerprints (default {!By_total_time}). *)
+
+val error_classes : entry -> (string * int) list
+(** Sorted by class. *)
+
+(** {1 Named latency histograms} *)
+
+val histogram : string -> Histogram.t
+(** The histogram registered under an operation name, created on
+    first use (same registration discipline as telemetry counters). *)
+
+val histograms : unit -> (string * Histogram.t) list
+(** First-seen order. *)
+
+val install_span_histograms : unit -> unit
+(** Set the {!Aqua_core.Telemetry} span observer to record every span
+    close into {!histogram} under the span's name. *)
+
+val uninstall_span_histograms : unit -> unit
+
+val reset : unit -> unit
+(** Drop all fingerprint entries and named histograms.  Does not
+    change the enabled flag or the span observer. *)

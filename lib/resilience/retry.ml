@@ -73,7 +73,8 @@ let with_retry ?(policy = default_policy) ?(classify = default_classify)
           Telemetry.incr Telemetry.c_retry_attempts;
           (* never sleep through the deadline: check before backing off *)
           Budget.check_now ();
-          sleep (delay_ns policy ~attempt:(n + 1));
+          Telemetry.with_span "resilience.backoff" (fun () ->
+              sleep (delay_ns policy ~attempt:(n + 1)));
           Budget.check_now ();
           attempt (n + 1)
         end)

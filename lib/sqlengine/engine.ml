@@ -545,9 +545,10 @@ and rows_of_table_ref ?(params : params = [||]) env outer_scope outer_frames
     (tr : A.table_ref) : Scope.view * Value.t array list =
   match tr with
   | A.Primary (A.Table_ref_name { name; alias; pos }) ->
+    let module T = Aqua_core.Telemetry in
+    T.with_span "engine.scan" @@ fun () ->
     Aqua_resilience.Failpoint.hit "engine.scan";
     let meta, rows = env.table_data name pos in
-    let module T = Aqua_core.Telemetry in
     if T.enabled () then T.add T.c_engine_rows_scanned (List.length rows);
     Aqua_resilience.Budget.tick_items (List.length rows);
     (Semantic.table_view meta ~alias, rows)

@@ -8,9 +8,17 @@ let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
 
 (* The stdlib has no monotonic clock; [Unix.gettimeofday] is the best
-   dependency-free default.  Benchmarks install a true monotonic source
-   via [set_clock]. *)
-let default_clock () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+   dependency-free default, but the wall clock can step backwards (NTP
+   slew, VM suspend).  The default is therefore monotonicized: a read
+   below the previous one returns the previous one, so intervals taken
+   through it are never negative.  Benchmarks install a true monotonic
+   source via [set_clock]. *)
+let default_clock =
+  let last = ref Int64.min_int in
+  fun () ->
+    let t = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+    if t > !last then last := t;
+    !last
 
 let clock = ref default_clock
 let set_clock f = clock := f
@@ -125,6 +133,13 @@ let trace_event ev fields =
 
 (* Spans -------------------------------------------------------------- *)
 
+(* A hook observing every span close (name, clamped duration); the obs
+   layer installs a histogram recorder here so that per-span latency
+   distributions never require telemetry itself to know about
+   histograms (no dependency cycle). *)
+let span_observer : (string -> int64 -> unit) option ref = ref None
+let set_span_observer f = span_observer := f
+
 type span_agg = { span_name : string; mutable n : int; mutable total_ns : int64 }
 
 let span_table : (string, span_agg) Hashtbl.t = Hashtbl.create 32
@@ -148,10 +163,14 @@ let with_span name f =
     Stdlib.incr span_depth;
     let finish () =
       Stdlib.decr span_depth;
+      (* an installed clock may still step backwards (the default one
+         cannot); a span must never record a negative duration *)
       let dur = Int64.sub (now_ns ()) start in
+      let dur = if Int64.compare dur 0L < 0 then 0L else dur in
       let a = span_agg name in
       a.n <- a.n + 1;
       a.total_ns <- Int64.add a.total_ns dur;
+      (match !span_observer with Some f -> f name dur | None -> ());
       if !trace_sink <> None then
         emit_line
           (Printf.sprintf

@@ -17,8 +17,12 @@ val enabled : unit -> bool
 
 val set_clock : (unit -> int64) -> unit
 (** Install a nanosecond clock.  The default derives from
-    [Unix.gettimeofday]; benchmarks may install a true monotonic source
-    (e.g. bechamel's [Monotonic_clock.now]). *)
+    [Unix.gettimeofday] monotonicized (a wall-clock step backwards
+    returns the previous reading rather than going back in time);
+    benchmarks may install a true monotonic source (e.g. bechamel's
+    [Monotonic_clock.now]).  Span durations are clamped at 0 in any
+    case, so a misbehaving installed clock can never record negative
+    time. *)
 
 val now_ns : unit -> int64
 (** Read the installed clock (works even when disabled). *)
@@ -91,6 +95,11 @@ val span_stats : unit -> (string * int * int64) list
 
 val span_total_ns : string -> int64
 (** Total nanoseconds accumulated under one span name (0 if unknown). *)
+
+val set_span_observer : (string -> int64 -> unit) option -> unit
+(** When set, every span close (telemetry enabled) also calls the
+    observer with the span name and its clamped duration.  The obs
+    layer installs its histogram recorder here. *)
 
 (** {1 Tracing} *)
 

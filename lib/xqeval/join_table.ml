@@ -69,6 +69,7 @@ let secondary_keys (a : Atomic.t) : string list =
 let build (source : Item.sequence) ~(key_of : Item.t -> Item.sequence)
     ~(value_cmp : bool) : t =
   let module T = Aqua_core.Telemetry in
+  T.with_span "xqeval.hashjoin.build" @@ fun () ->
   let items = Array.of_list source in
   T.incr T.c_hash_join_builds;
   T.add T.c_hash_join_build_rows (Array.length items);

@@ -18,4 +18,5 @@ let () =
       Test_differential.suite;
       Test_optimize.suite;
       Test_telemetry.suite;
+      Test_obs.suite;
       Test_resilience.suite ]

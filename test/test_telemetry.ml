@@ -246,6 +246,44 @@ let test_reset_zeroes () =
   in
   ()
 
+(* --- clock robustness ----------------------------------------------- *)
+
+(* Regression: the default clock derives from gettimeofday, which can
+   step backwards (NTP).  A span closing before its rigged clock's
+   "earlier" reading must record 0, never negative — and a later
+   well-behaved span must still aggregate normally. *)
+let test_backwards_clock_clamps () =
+  let readings = ref [ 1_000L; 400L; 2_000L; 2_500L ] in
+  let rigged () =
+    match !readings with
+    | [] -> 3_000L
+    | t :: rest ->
+      readings := rest;
+      t
+  in
+  Telemetry.set_clock rigged;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.set_clock (fun () ->
+          Int64.of_float (Unix.gettimeofday () *. 1e9)))
+    (fun () ->
+      let (), lines =
+        with_telemetry (fun () ->
+            Telemetry.with_span "rigged" (fun () -> ());
+            Telemetry.with_span "rigged" (fun () -> ()))
+      in
+      (* first close: 400 - 1000 clamps to 0; second: 2500 - 2000 *)
+      Alcotest.(check int64) "clamped total" 500L
+        (Telemetry.span_total_ns "rigged");
+      List.iter
+        (fun j ->
+          match Json.member "dur_ns" (Json.parse j) with
+          | Some (Json.Num d) ->
+            if d < 0.0 then
+              Alcotest.failf "negative traced duration: %s" j
+          | _ -> ())
+        lines)
+
 (* --- Json parser ---------------------------------------------------- *)
 
 let test_json_parser () =
@@ -282,4 +320,5 @@ let suite =
       case "driver cache and result-set counters" test_driver_cache_counters;
       case "trace output is NDJSON over all stages" test_trace_is_ndjson;
       case "reset zeroes everything" test_reset_zeroes;
+      case "backwards clock clamps to zero" test_backwards_clock_clamps;
       case "json parser" test_json_parser ] )
