@@ -827,6 +827,89 @@ let p9 () =
   flush stdout
 
 (* ------------------------------------------------------------------ *)
+(* P10: scan materialization (per-plan sharing + cross-query cache)    *)
+
+let p10_json_path = "BENCH_P10.json"
+
+let p10 () =
+  print_endline
+    "\n== P10: scan materialization (shared-scan hoist + revision-aware \
+     cache) ==";
+  let app = Datagen.application ~seed (sizes 300 400 2 200) in
+  (* a self-join (two occurrences of the same scan) whose filter holds
+     an uncorrelated subquery (a third scan, re-invoked per row unless
+     hoisted) — the paper's repeated-data-service-call shape *)
+  let sql =
+    "SELECT A.CUSTOMERNAME, B.CITY FROM CUSTOMERS A, CUSTOMERS B WHERE \
+     A.CUSTOMERID = B.CUSTOMERID AND B.TIER > 1 AND A.CUSTOMERID IN \
+     (SELECT CUSTOMERID FROM ORDERS WHERE PRIORITY > 2)"
+  in
+  let iters = if !smoke then 20 else 100 in
+  (* Each phase interleaves a cache-on connection against a cache-off
+     one (same app, same translation cache state) and compares medians
+     of the same window; speedup = off/on. *)
+  let phase label ~prep =
+    let conn_on = Connection.connect app in
+    let conn_off = Connection.connect ~scan_cache:false app in
+    (* warm both translation caches and the scan cache *)
+    ignore (Connection.execute_query conn_on sql);
+    ignore (Connection.execute_query conn_off sql);
+    let r =
+      ab_median_ratio ~iters (fun enabled ->
+          let conn = if enabled then conn_on else conn_off in
+          prep conn;
+          ignore (Connection.execute_query conn sql))
+    in
+    (label, 1.0 /. r, Aqua_dsp.Scan_cache.stats (Connection.scan_cache conn_on))
+  in
+  let phases =
+    [ (* warm: scans stay resident across queries — the shipping path *)
+      phase "warm" ~prep:(fun _ -> ());
+      (* cold: the cache-on side starts every query empty, so it pays
+         materialization AND admission *)
+      phase "cold" ~prep:(fun conn ->
+          Aqua_dsp.Scan_cache.flush (Connection.scan_cache conn));
+      (* invalidated: a metadata revision bump before every query, the
+         worst case for a revision-checked cache *)
+      phase "invalidated" ~prep:(fun _ ->
+          app.Artifact.revision <- app.Artifact.revision + 1) ]
+  in
+  Printf.printf "\nspeedup vs --no-scan-cache (interleaved medians):\n";
+  List.iter
+    (fun (label, s, _) -> Printf.printf "  %-12s %.2fx\n" label s)
+    phases;
+  let _, _, warm_stats = List.hd phases in
+  let module SC = Aqua_dsp.Scan_cache in
+  Printf.printf
+    "warm cache counters: hits=%d misses=%d evictions=%d invalidations=%d \
+     entries=%d bytes=%d\n"
+    warm_stats.SC.hits warm_stats.SC.misses warm_stats.SC.evictions
+    warm_stats.SC.invalidations warm_stats.SC.entries warm_stats.SC.bytes;
+  let jr f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f in
+  let oc = open_out p10_json_path in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"P10 scan materialization\",\n  \"sql\": \"%s\",\n  \
+     \"units\": \"speedup vs scan cache disabled\",\n  \"seed\": %d,\n  \
+     \"smoke\": %b,\n  \"iters\": %d,\n  \"phases\": [\n"
+    (String.concat " " (String.split_on_char '\n' (String.escaped sql)))
+    seed !smoke iters;
+  let n = List.length phases in
+  List.iteri
+    (fun i (label, s, _) ->
+      Printf.fprintf oc "    { \"label\": \"%s\", \"speedup\": %s }%s\n" label
+        (jr s)
+        (if i = n - 1 then "" else ","))
+    phases;
+  Printf.fprintf oc
+    "  ],\n  \"cache\": { \"hits\": %d, \"misses\": %d, \"evictions\": %d, \
+     \"invalidations\": %d, \"entries\": %d, \"bytes\": %d }\n}\n"
+    warm_stats.SC.hits warm_stats.SC.misses warm_stats.SC.evictions
+    warm_stats.SC.invalidations warm_stats.SC.entries warm_stats.SC.bytes;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" p10_json_path;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args =
@@ -844,9 +927,9 @@ let () =
   let selected =
     match args with
     | _ :: _ -> List.map String.uppercase_ascii args
-    | [] -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8"; "P9" ]
+    | [] -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8"; "P9"; "P10" ]
   in
-  let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7); ("P8", p8); ("P9", p9) ] in
+  let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7); ("P8", p8); ("P9", p9); ("P10", p10) ] in
   List.iter
     (fun name ->
       match List.assoc_opt name all with

@@ -6,11 +6,12 @@
      dune exec bench/validate.exe -- --prom metrics.prom
 
    JSON files are dispatched on their "experiment" field (P6 join
-   strategy vs P9 observability overhead).  --prom switches to linting
-   Prometheus text expositions ({!Aqua_obs.Expose.lint}); \
-   --max-overhead R additionally fails a P9 file whose measured probe
-   overhead ratio exceeds R.  Exit 0 when everything checks out;
-   exit 1 with a list of problems otherwise. *)
+   strategy, P9 observability overhead, P10 scan materialization).
+   --prom switches to linting Prometheus text expositions
+   ({!Aqua_obs.Expose.lint}); --max-overhead R additionally fails a P9
+   file whose measured probe overhead ratio exceeds R; --min-speedup S
+   fails a P10 file whose warm-phase speedup is below S.  Exit 0 when
+   everything checks out; exit 1 with a list of problems otherwise. *)
 
 module Json = Aqua_core.Json
 
@@ -35,7 +36,9 @@ let telemetry_int_fields =
     "hash_join_builds"; "hash_join_build_rows"; "hash_join_probes";
     "hash_join_collisions"; "pushdown_rewrites"; "hash_join_rewrites";
     "engine_rows_scanned"; "engine_rows_joined"; "cache_hits"; "cache_misses";
-    "resultset_rows"; "ds_calls"; "ds_call_ns" ]
+    "resultset_rows"; "ds_calls"; "ds_call_ns"; "scan_cache_hits";
+    "scan_cache_misses"; "scan_cache_evictions"; "scan_cache_bytes";
+    "shared_scan_rewrites" ]
 
 let scale_fields =
   [ ("label", is_string, "a string");
@@ -125,8 +128,59 @@ let validate_p6 path json =
   | Some _ -> problem "%s: \"obs_histograms\" is not an object" path
   | None -> problem "%s: missing field \"obs_histograms\"" path
 
-let validate ?max_overhead path json =
+(* P10: scan materialization — speedups are off/on of the same driver
+   path, so a value below 1 means the cache slowed the query down;
+   --min-speedup S additionally requires the warm phase to clear S. *)
+let validate_p10 ?min_speedup path json =
+  check_field path json "experiment" is_string "a string";
+  check_field path json "sql" is_string "a string";
+  check_field path json "units" is_string "a string";
+  check_field path json "seed" is_int "an integer";
+  check_field path json "smoke" is_bool "a boolean";
+  check_field path json "iters" is_int "an integer";
+  (match Json.member "phases" json with
+  | Some (Json.Arr phases) ->
+    if phases = [] then problem "%s: \"phases\" is empty" path;
+    let saw_warm = ref false in
+    List.iteri
+      (fun i entry ->
+        let epath = Printf.sprintf "%s: phases[%d]" path i in
+        match entry with
+        | Json.Obj _ -> (
+          check_field epath entry "label" is_string "a string";
+          check_field epath entry "speedup" is_number_or_null
+            "a number or null";
+          match (Json.member "label" entry, Json.member "speedup" entry) with
+          | Some (Json.Str "warm"), Some speedup -> (
+            saw_warm := true;
+            match (speedup, min_speedup) with
+            | Json.Num s, Some floor when s < floor ->
+              problem "%s: warm speedup %.3f below --min-speedup %.3f" epath
+                s floor
+            | Json.Null, Some _ ->
+              problem "%s: warm speedup is null but --min-speedup given"
+                epath
+            | _ -> ())
+          | _ -> ())
+        | _ -> problem "%s is not an object" epath)
+      phases;
+    if not !saw_warm then problem "%s: no phase labelled \"warm\"" path
+  | Some _ -> problem "%s: \"phases\" is not an array" path
+  | None -> problem "%s: missing field \"phases\"" path);
+  match Json.member "cache" json with
+  | Some (Json.Obj _ as cache) ->
+    List.iter
+      (fun name ->
+        check_field (path ^ ": cache") cache name is_int "an integer")
+      [ "hits"; "misses"; "evictions"; "invalidations"; "entries"; "bytes" ]
+  | Some _ -> problem "%s: \"cache\" is not an object" path
+  | None -> problem "%s: missing field \"cache\"" path
+
+let validate ?max_overhead ?min_speedup path json =
   match Json.member "experiment" json with
+  | Some (Json.Str e)
+    when String.length e >= 3 && String.sub e 0 3 = "P10" ->
+    validate_p10 ?min_speedup path json
   | Some (Json.Str e)
     when String.length e >= 2 && String.sub e 0 2 = "P9" ->
     validate_p9 ?max_overhead path json
@@ -139,11 +193,12 @@ let validate_prom path contents =
 
 let usage () =
   prerr_endline
-    "usage: validate [--prom] [--max-overhead R] BENCH_XX.json|FILE.prom ...";
+    "usage: validate [--prom] [--max-overhead R] [--min-speedup S] \
+     BENCH_XX.json|FILE.prom ...";
   exit 2
 
 let () =
-  let prom = ref false and max_overhead = ref None in
+  let prom = ref false and max_overhead = ref None and min_speedup = ref None in
   let rec parse_args acc = function
     | [] -> List.rev acc
     | "--prom" :: rest ->
@@ -156,6 +211,13 @@ let () =
         parse_args acc rest
       | None -> usage ())
     | "--max-overhead" :: [] -> usage ()
+    | "--min-speedup" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some r ->
+        min_speedup := Some r;
+        parse_args acc rest
+      | None -> usage ())
+    | "--min-speedup" :: [] -> usage ()
     | path :: rest -> parse_args (path :: acc) rest
   in
   let paths = parse_args [] (List.tl (Array.to_list Sys.argv)) in
@@ -169,7 +231,9 @@ let () =
         else (
           match Json.parse contents with
           | exception Json.Parse_error m -> problem "%s: %s" path m
-          | json -> validate ?max_overhead:!max_overhead path json))
+          | json ->
+            validate ?max_overhead:!max_overhead ?min_speedup:!min_speedup
+              path json))
     paths;
   match List.rev !problems with
   | [] ->

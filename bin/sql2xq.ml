@@ -58,6 +58,15 @@ let no_optimize_flag =
           "Disable the XQuery optimizer (predicate pushdown, hash \
            equi-joins); evaluate with the naive nested-loop pipeline.")
 
+let no_scan_cache_flag =
+  Arg.(
+    value & flag
+    & info [ "no-scan-cache" ]
+        ~doc:
+          "Disable scan materialization: the per-plan shared-scan hoist \
+           and the cross-query materialized scan cache for parameterless \
+           data-service calls.")
+
 let translate_cmd =
   let run sql naive =
     with_env (fun _app env ->
@@ -145,7 +154,9 @@ let execute_degrading ~no_optimize app server xquery ~span =
   try execute server
   with e when (not no_optimize) && Aqua_driver.Sql_error.degradable e ->
     Telemetry.incr Telemetry.c_fallbacks_unoptimized;
-    execute (Server.create ~optimize:false app)
+    (* the fallback server shares the crashed server's scan cache, so
+       scans the optimized run already materialized are not re-fetched *)
+    execute (Server.create ~optimize:false ~cache:(Server.scan_cache server) app)
 
 let start_trace () =
   Telemetry.set_enabled true;
@@ -159,7 +170,7 @@ let finish_trace () =
     ^ "}")
 
 let run_cmd =
-  let run sql naive no_optimize trace timeout max_rows failpoints =
+  let run sql naive no_optimize no_scan_cache trace timeout max_rows failpoints =
     with_env (fun app env ->
         if trace then start_trace ();
         (* the final counter snapshot must reach the sink even when
@@ -173,7 +184,10 @@ let run_cmd =
             let t =
               Translator.translate ~style:(style_of_naive naive) env sql
             in
-            let server = Server.create ~optimize:(not no_optimize) app in
+            let server =
+              Server.create ~optimize:(not no_optimize)
+                ~scan_cache:(not no_scan_cache) app
+            in
             let items =
               Budget.with_budget limits @@ fun () ->
               execute_degrading ~no_optimize app server t.Translator.xquery
@@ -185,12 +199,12 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Translate and execute; print the XML result")
     Term.(
-      const run $ sql_arg $ naive_flag $ no_optimize_flag $ trace_flag
-      $ timeout_opt $ max_rows_opt $ failpoints_opt)
+      const run $ sql_arg $ naive_flag $ no_optimize_flag $ no_scan_cache_flag
+      $ trace_flag $ timeout_opt $ max_rows_opt $ failpoints_opt)
 
 let analyze_cmd =
   let ms ns = Int64.to_float ns /. 1e6 in
-  let run sql naive no_optimize trace timeout max_rows failpoints =
+  let run sql naive no_optimize no_scan_cache trace timeout max_rows failpoints =
     with_env (fun app env ->
         Telemetry.set_enabled true;
         Telemetry.reset ();
@@ -208,7 +222,10 @@ let analyze_cmd =
         let limits = governors ?timeout ?max_rows failpoints in
         Failpoint.hit "driver.translate";
         let t = Translator.translate ~style:(style_of_naive naive) env sql in
-        let server = Server.create ~optimize:(not no_optimize) app in
+        let server =
+          Server.create ~optimize:(not no_optimize)
+            ~scan_cache:(not no_scan_cache) app
+        in
         let items =
           Budget.with_budget limits @@ fun () ->
           execute_degrading ~no_optimize app server t.Translator.xquery
@@ -227,7 +244,10 @@ let analyze_cmd =
         Obs_stats.set_enabled false;
         (* the counters are frozen now, so re-running the optimizer for
            its notes does not skew the snapshot *)
-        let _, report = Aqua_xqeval.Optimize.query t.Translator.xquery in
+        let _, report =
+          Aqua_xqeval.Optimize.query ~share_scans:(not no_scan_cache)
+            t.Translator.xquery
+        in
         Printf.printf "EXPLAIN ANALYZE  %s\n" sql;
         Printf.printf "translation (three stages):\n";
         Printf.printf "  stage 1 parse      %8.3f ms\n" (ms snap.Telemetry.parse_ns);
@@ -235,12 +255,25 @@ let analyze_cmd =
         Printf.printf "  stage 3 generate   %8.3f ms\n" (ms snap.Telemetry.generate_ns);
         if no_optimize then Printf.printf "optimizer: disabled (--no-optimize)\n"
         else begin
-          Printf.printf "optimizer: %d predicate(s) pushed down, %d hash equi-join(s)\n"
+          Printf.printf
+            "optimizer: %d predicate(s) pushed down, %d hash equi-join(s), \
+             %d shared scan(s)\n"
             report.Aqua_xqeval.Optimize.pushed_predicates
-            report.Aqua_xqeval.Optimize.hash_joins;
+            report.Aqua_xqeval.Optimize.hash_joins
+            report.Aqua_xqeval.Optimize.shared_scans;
           List.iter
             (fun note -> Printf.printf "  note: %s\n" note)
             report.Aqua_xqeval.Optimize.notes
+        end;
+        if no_scan_cache then
+          Printf.printf "scan cache: disabled (--no-scan-cache)\n"
+        else begin
+          let sc = Aqua_dsp.Scan_cache.stats (Server.scan_cache server) in
+          Printf.printf
+            "scan cache: hits=%d misses=%d evictions=%d entries=%d bytes=%d\n"
+            sc.Aqua_dsp.Scan_cache.hits sc.Aqua_dsp.Scan_cache.misses
+            sc.Aqua_dsp.Scan_cache.evictions sc.Aqua_dsp.Scan_cache.entries
+            sc.Aqua_dsp.Scan_cache.bytes
         end;
         Printf.printf "execution: %.3f ms, %d item(s) returned\n" (ms execute_ns)
           (List.length items);
@@ -328,8 +361,8 @@ let analyze_cmd =
           engine counters and resilience counters (retries, breaker \
           state changes, governor trips).")
     Term.(
-      const run $ sql_arg $ naive_flag $ no_optimize_flag $ trace_flag
-      $ timeout_opt $ max_rows_opt $ failpoints_opt)
+      const run $ sql_arg $ naive_flag $ no_optimize_flag $ no_scan_cache_flag
+      $ trace_flag $ timeout_opt $ max_rows_opt $ failpoints_opt)
 
 (* sql2xq stats: replay a workload through the driver (the real
    Connection path: translation cache, budgets, fallback, transports)
@@ -444,8 +477,8 @@ let stats_cmd =
         (Recorder.event_to_ndjson ev)
     | None -> ()
   in
-  let run queries count repeat seed top by format trace timeout max_rows
-      failpoints =
+  let run queries count repeat seed top by format no_scan_cache trace timeout
+      max_rows failpoints =
     with_env (fun app _env ->
         Telemetry.set_enabled true;
         Telemetry.reset ();
@@ -474,7 +507,10 @@ let stats_cmd =
           prerr_endline "stats: no statements to replay";
           exit 1
         end;
-        let conn = Aqua_driver.Connection.connect ~limits app in
+        let conn =
+          Aqua_driver.Connection.connect ~limits
+            ~scan_cache:(not no_scan_cache) app
+        in
         let executed = ref 0 and failures = ref 0 in
         for _ = 1 to max 1 repeat do
           List.iter
@@ -501,8 +537,8 @@ let stats_cmd =
           $(b,--format prom) emits the Prometheus text exposition.")
     Term.(
       const run $ queries_opt $ count_opt $ repeat_opt $ seed_opt $ top_opt
-      $ by_opt $ format_opt $ trace_flag $ timeout_opt $ max_rows_opt
-      $ failpoints_opt)
+      $ by_opt $ format_opt $ no_scan_cache_flag $ trace_flag $ timeout_opt
+      $ max_rows_opt $ failpoints_opt)
 
 let text_cmd =
   let run sql naive no_optimize =

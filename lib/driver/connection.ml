@@ -89,6 +89,10 @@ type t = {
   srv_unopt : Server.t;
       (* same application, optimizer off: the graceful-degradation
          target when an optimized plan crashes mid-evaluation *)
+  scans : Aqua_dsp.Scan_cache.t;
+      (* ONE materialized scan cache shared by both servers: a
+         fallback rerun reuses the scans the crashed optimized run
+         already fetched *)
   cache : Metadata.Cache.t;
   translations : Translator.t Lru.t;
   env : Semantic.env;
@@ -99,13 +103,15 @@ type t = {
 }
 
 let connect ?(transport = Text) ?(metadata_cache = true)
-    ?(translation_cache = true) ?(optimize = true)
+    ?(translation_cache = true) ?(optimize = true) ?(scan_cache = true)
     ?(limits = Budget.no_limits) app =
   let cache = Metadata.Cache.create ~enabled:metadata_cache app in
+  let scans = Aqua_dsp.Scan_cache.create ~enabled:scan_cache app in
   {
     app;
-    srv = Server.create ~optimize app;
-    srv_unopt = Server.create ~optimize:false app;
+    srv = Server.create ~optimize ~cache:scans app;
+    srv_unopt = Server.create ~optimize:false ~cache:scans app;
+    scans;
     cache;
     translations = Lru.create ~enabled:translation_cache translation_cache_capacity;
     env = Semantic.env_of_cache cache;
@@ -123,6 +129,7 @@ let translator_env t = t.env
 let metadata_cache t = t.cache
 let limits t = t.limits
 let set_limits t l = t.limits <- l
+let scan_cache t = t.scans
 
 (* A metadata change (a service added after connect) silently
    invalidates every cached translation and catalog answer; compare
@@ -132,12 +139,16 @@ let revalidate t =
   if rev <> t.seen_revision then begin
     Lru.clear t.translations;
     Metadata.Cache.clear t.cache;
+    (* the scan cache also self-checks the revision on every touch;
+       flushing here keeps the two invalidation paths in lockstep *)
+    Aqua_dsp.Scan_cache.flush t.scans;
     t.seen_revision <- rev
   end
 
 let invalidate t =
   Lru.clear t.translations;
   Metadata.Cache.clear t.cache;
+  Aqua_dsp.Scan_cache.flush t.scans;
   t.seen_revision <- Artifact.revision t.app
 
 let translate_cached t sql =

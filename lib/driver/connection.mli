@@ -36,6 +36,7 @@ val connect :
   ?metadata_cache:bool ->
   ?translation_cache:bool ->
   ?optimize:bool ->
+  ?scan_cache:bool ->
   ?limits:Aqua_resilience.Budget.limits ->
   Aqua_dsp.Artifact.application ->
   t
@@ -45,9 +46,15 @@ val connect :
     keyed by SQL text, so re-issued ad-hoc SQL skips the three-stage
     translation.  [optimize] (default [true]) enables the XQuery-side
     optimizer (predicate pushdown, hash equi-joins, streaming
-    pipeline) on the server this connection talks to.  [limits]
-    (default {!Aqua_resilience.Budget.no_limits}) is the per-query
-    budget installed around every [execute_query]. *)
+    pipeline) on the server this connection talks to.  [scan_cache]
+    (default [true]) enables scan materialization: the optimizer's
+    per-plan scan-sharing hoist plus a revision-aware
+    {!Aqua_dsp.Scan_cache} shared by the optimized server and its
+    unoptimized fallback twin, so repeated parameterless data-service
+    scans are fetched once across queries and a fallback rerun reuses
+    the scans the crashed run materialized.  [limits] (default
+    {!Aqua_resilience.Budget.no_limits}) is the per-query budget
+    installed around every [execute_query]. *)
 
 val transport : t -> transport
 val set_transport : t -> transport -> unit
@@ -61,11 +68,16 @@ val set_limits : t -> Aqua_resilience.Budget.limits -> unit
 (** The per-query budget installed around every [execute_query] /
     [Prepared.execute_query] on this connection. *)
 
+val scan_cache : t -> Aqua_dsp.Scan_cache.t
+(** The materialized scan cache shared by this connection's optimized
+    and fallback servers (disabled when connected with
+    [~scan_cache:false]). *)
+
 val invalidate : t -> unit
-(** Flush the translation cache and the metadata cache.  Also happens
-    automatically when the application's
-    {!Aqua_dsp.Artifact.revision} changes (a service added after
-    connect), so stale translations are never served. *)
+(** Flush the translation cache, the metadata cache and the
+    materialized scan cache.  Also happens automatically when the
+    application's {!Aqua_dsp.Artifact.revision} changes (a service
+    added after connect), so stale translations are never served. *)
 
 val translate : t -> string -> Aqua_translator.Translator.t
 (** Translation only (no execution), served from the translation cache

@@ -1,0 +1,206 @@
+(* Cross-query materialized scan cache (paper section 4: repeated
+   data-service scans dominate translated-query cost).
+
+   Parameterless data-service calls are pure functions of the
+   application's metadata revision: a physical function returns its
+   backing table, a logical one a deterministic view over other
+   services.  [Server.invoke] therefore serves them from this cache
+   across queries, keyed by the invocation label
+   ("path/service:function").
+
+   Revision safety: every lookup and store first compares
+   [Artifact.revision] against the revision the resident entries were
+   materialized under; on any metadata change the whole cache is
+   flushed before proceeding, so a stale scan can never be served
+   (the same protocol as the driver's translation cache).
+
+   Budgets: an entry's row count is charged to the ambient
+   [Budget] item governor on every cache-hit serve — a query reading
+   rows out of the cache pays the same materialization toll as one
+   that produced them, so caching cannot be used to evade governors.
+   Capacity is bounded three ways: entry count, resident bytes
+   (structural estimate), and a per-entry row cap above which results
+   are served but never cached (one huge scan must not wipe the
+   working set).  Eviction is LRU by access stamp.
+
+   A disabled instance ([enabled:false]) is the oracle: every lookup
+   misses silently, nothing is stored, no counters move. *)
+
+module Item = Aqua_xml.Item
+module Node = Aqua_xml.Node
+module Atomic = Aqua_xml.Atomic
+module Budget = Aqua_resilience.Budget
+module T = Aqua_core.Telemetry
+
+type entry = {
+  seq : Item.sequence;
+  bytes : int;
+  rows : int;
+  mutable stamp : int;  (** last access; larger = more recent *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;  (** capacity evictions only *)
+  invalidations : int;  (** entries dropped by a revision change *)
+  entries : int;
+  bytes : int;  (** resident estimate *)
+}
+
+type t = {
+  app : Artifact.application;
+  enabled : bool;
+  max_entries : int;
+  max_bytes : int;
+  max_rows : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable seen_revision : int;
+  mutable clock : int;
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let create ?(enabled = true) ?(max_entries = 64)
+    ?(max_bytes = 8 * 1024 * 1024) ?(max_rows = 100_000) app =
+  {
+    app;
+    enabled;
+    max_entries = max 1 max_entries;
+    max_bytes = max 1 max_bytes;
+    max_rows = max 1 max_rows;
+    tbl = Hashtbl.create 16;
+    seen_revision = Artifact.revision app;
+    clock = 0;
+    bytes = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let enabled t = t.enabled
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    invalidations = t.invalidations;
+    entries = Hashtbl.length t.tbl;
+    bytes = t.bytes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Size estimation                                                    *)
+
+(* A cheap structural estimate — per-node overhead plus payload string
+   lengths.  It only has to be monotone in actual memory use for the
+   byte budget to bound the cache sensibly. *)
+
+let atomic_bytes = function
+  | Atomic.String s | Atomic.Untyped s -> 16 + String.length s
+  | _ -> 16
+
+let rec node_bytes = function
+  | Node.Text s -> 16 + String.length s
+  | Node.Element { name; attrs; children } ->
+    List.fold_left
+      (fun acc (k, v) -> acc + 16 + String.length k + String.length v)
+      (32 + String.length name)
+      attrs
+    + List.fold_left (fun acc c -> acc + node_bytes c) 0 children
+
+let item_bytes = function
+  | Item.Atomic a -> atomic_bytes a
+  | Item.Node n -> node_bytes n
+
+let sequence_bytes seq = List.fold_left (fun acc i -> acc + item_bytes i) 0 seq
+
+(* ------------------------------------------------------------------ *)
+(* Revision tracking and eviction                                     *)
+
+let drop t key (e : entry) ~invalidated =
+  Hashtbl.remove t.tbl key;
+  t.bytes <- t.bytes - e.bytes;
+  T.add T.c_scan_cache_bytes (-e.bytes);
+  if invalidated then t.invalidations <- t.invalidations + 1
+  else begin
+    t.evictions <- t.evictions + 1;
+    T.incr T.c_scan_cache_evictions
+  end
+
+let flush t =
+  let all = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.tbl [] in
+  List.iter (fun (k, e) -> drop t k e ~invalidated:true) all
+
+(* Flush everything the moment the application's metadata revision
+   moves — called on every cache touch, so a served entry is always
+   from the current revision. *)
+let revalidate t =
+  let rev = Artifact.revision t.app in
+  if rev <> t.seen_revision then begin
+    flush t;
+    t.seen_revision <- rev
+  end
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best.stamp <= e.stamp -> acc
+        | _ -> Some (k, e))
+      t.tbl None
+  in
+  match victim with
+  | Some (k, e) -> drop t k e ~invalidated:false
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Lookup / store                                                     *)
+
+let find t key =
+  if not t.enabled then None
+  else begin
+    revalidate t;
+    match Hashtbl.find_opt t.tbl key with
+    | Some e ->
+      t.clock <- t.clock + 1;
+      e.stamp <- t.clock;
+      t.hits <- t.hits + 1;
+      T.incr T.c_scan_cache_hits;
+      (* a cached serve pays the same materialization toll as a fresh
+         one — caching must not evade the item governor *)
+      Budget.tick_items e.rows;
+      Some e.seq
+    | None ->
+      t.misses <- t.misses + 1;
+      T.incr T.c_scan_cache_misses;
+      None
+  end
+
+let store t key (seq : Item.sequence) =
+  if t.enabled then begin
+    revalidate t;
+    if not (Hashtbl.mem t.tbl key) then begin
+      let rows = List.length seq in
+      let bytes = sequence_bytes seq in
+      (* oversized scans are served but never resident: admitting one
+         would evict the entire working set for a single entry *)
+      if rows <= t.max_rows && bytes <= t.max_bytes then begin
+        t.clock <- t.clock + 1;
+        Hashtbl.replace t.tbl key { seq; bytes; rows; stamp = t.clock };
+        t.bytes <- t.bytes + bytes;
+        T.add T.c_scan_cache_bytes bytes;
+        while
+          Hashtbl.length t.tbl > t.max_entries || t.bytes > t.max_bytes
+        do
+          evict_lru t
+        done
+      end
+    end
+  end

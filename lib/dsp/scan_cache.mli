@@ -1,0 +1,57 @@
+(** Cross-query materialized scan cache for parameterless data-service
+    calls.
+
+    Keyed by the invocation label ("path/service:function") and the
+    application's metadata revision: any [Artifact.revision] change
+    flushes the whole cache before the next lookup or store, so a
+    stale scan is never served.  Capacity is bounded by entry count,
+    resident bytes and a per-entry row cap, with LRU eviction; every
+    cache-hit serve charges the entry's row count to the ambient
+    {!Aqua_resilience.Budget} item governor so caching cannot evade
+    result-size governors.
+
+    Global telemetry counters ([scan_cache.hits/misses/evictions] and
+    the [scan_cache.bytes] resident gauge) move on every operation;
+    [stats] exposes per-instance figures for tests and the CLI. *)
+
+type t
+
+val create :
+  ?enabled:bool ->
+  ?max_entries:int ->
+  ?max_bytes:int ->
+  ?max_rows:int ->
+  Artifact.application ->
+  t
+(** A fresh cache bound to [app]'s revision counter.  [enabled]
+    (default [true]): a disabled instance misses every lookup, stores
+    nothing and moves no counters — the differential-testing oracle.
+    Defaults: 64 entries, 8 MiB resident, 100k rows per entry (larger
+    results are served but never cached). *)
+
+val enabled : t -> bool
+
+val find : t -> string -> Aqua_xml.Item.sequence option
+(** Revision-checked lookup; a hit refreshes the entry's LRU stamp and
+    ticks the budget item governor by the entry's row count. *)
+
+val store : t -> string -> Aqua_xml.Item.sequence -> unit
+(** Admit a materialized scan (no-op when disabled, when the key is
+    already resident, or when the result exceeds the per-entry row or
+    byte cap), then evict LRU entries until within budget. *)
+
+val flush : t -> unit
+(** Drop every entry (counted as invalidations, not evictions) —
+    called by the driver's invalidation machinery alongside the
+    translation cache. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;  (** capacity evictions only *)
+  invalidations : int;  (** entries dropped by a revision change *)
+  entries : int;
+  bytes : int;  (** resident estimate *)
+}
+
+val stats : t -> stats

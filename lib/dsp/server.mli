@@ -12,6 +12,8 @@ val create :
   ?optimize:bool ->
   ?retry:Aqua_resilience.Retry.policy ->
   ?breaker:Aqua_resilience.Breaker.config ->
+  ?scan_cache:bool ->
+  ?cache:Scan_cache.t ->
   Artifact.application ->
   t
 (** [optimize] (default [true]) runs the {!Aqua_xqeval.Optimize} pass
@@ -19,6 +21,16 @@ val create :
     query and data-service body this server evaluates or prepares;
     [~optimize:false] keeps the naive nested-loop evaluator as a
     differential-testing oracle.
+
+    [scan_cache] (default [true]) enables scan materialization at both
+    levels: the optimizer's per-plan scan-sharing hoist and the
+    cross-query {!Scan_cache} serving parameterless data-service calls
+    (revision-checked, so metadata changes invalidate automatically).
+    [cache] supplies an existing cache instance instead — used by the
+    driver to share one store between its optimized and fallback
+    servers, so a rerun after an optimized-plan crash reuses already
+    materialized scans.  When [cache] is given its own enabled flag
+    governs and [scan_cache] is ignored.
 
     Every data-service function invocation runs through a
     per-function circuit breaker ([breaker], default
@@ -28,6 +40,9 @@ val create :
     {!Aqua_resilience.Retry.no_retry} to disable). *)
 
 val application : t -> Artifact.application
+
+val scan_cache : t -> Scan_cache.t
+(** The server's materialized scan cache (possibly disabled). *)
 
 val breakers : t -> Aqua_resilience.Breaker.t list
 (** The per-function circuit breakers created so far, sorted by

@@ -23,9 +23,9 @@ type env = {
          pure nested-loop oracle *)
 }
 
-let env_of_application ?(optimize = true) app =
+let env_of_application ?(optimize = true) ?(scan_cache = true) app =
   let sem = Semantic.env_of_application app in
-  let table_data (n : A.table_name) pos =
+  let lookup_table_data (n : A.table_name) pos =
     match Metadata.lookup app ?catalog:n.A.catalog ?schema:n.A.schema n.A.table with
     | Error e ->
       fail ~pos Errors.Unknown_table "%s" (Metadata.error_to_string e)
@@ -45,6 +45,44 @@ let env_of_application ?(optimize = true) app =
             "the baseline engine only reads physical tables (%s is logical)"
             n.A.table
         | None -> fail ~pos Errors.Unknown_table "%s" n.A.table))
+  in
+  (* Revision-aware scan memo: the catalog lookup chain (metadata,
+     service-by-namespace, function) is three linear scans per table
+     reference, repeated for every scan of the same table inside one
+     statement and across statements.  Successful resolutions are
+     memoized until the application's metadata revision moves (same
+     protocol as the driver caches); failures are never cached — their
+     errors carry the reference position.  Counted against the shared
+     scan-cache telemetry so the baseline engine's scan reuse shows up
+     in the same place as the DSP server's. *)
+  let table_data =
+    if not scan_cache then lookup_table_data
+    else begin
+      let module T = Aqua_core.Telemetry in
+      let memo :
+          (string option * string option * string,
+           Metadata.table * Value.t array list)
+          Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let seen_revision = ref (Artifact.revision app) in
+      fun (n : A.table_name) pos ->
+        let rev = Artifact.revision app in
+        if rev <> !seen_revision then begin
+          Hashtbl.reset memo;
+          seen_revision := rev
+        end;
+        let key = (n.A.catalog, n.A.schema, n.A.table) in
+        match Hashtbl.find_opt memo key with
+        | Some r ->
+          T.incr T.c_scan_cache_hits;
+          r
+        | None ->
+          T.incr T.c_scan_cache_misses;
+          let r = lookup_table_data n pos in
+          Hashtbl.replace memo key r;
+          r
+    end
   in
   { sem; table_data; optimize }
 

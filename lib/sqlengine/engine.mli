@@ -13,13 +13,17 @@
 
 type env
 
-val env_of_application : ?optimize:bool -> Aqua_dsp.Artifact.application -> env
+val env_of_application :
+  ?optimize:bool -> ?scan_cache:bool -> Aqua_dsp.Artifact.application -> env
 (** Tables are the application's physical data-service functions.
     Logical (XQuery-bodied) services are not visible to this engine.
     [optimize] (default [true]) enables the hash equi-join fast path
     for inner joins; [~optimize:false] keeps the pure nested-loop
     evaluation (outer joins and comma-style cross products always use
-    the nested loop). *)
+    the nested loop).  [scan_cache] (default [true]) memoizes table
+    resolution (metadata + service + function lookup) per table name
+    until the application's metadata revision changes; hits and misses
+    move the shared [scan_cache.*] telemetry counters. *)
 
 val execute : env -> Aqua_sql.Ast.statement -> Aqua_relational.Rowset.t
 (** @raise Aqua_translator.Errors.Error on semantic errors (the same

@@ -71,6 +71,14 @@ let c_deadline_exceeded = counter "resilience.deadline_exceeded"
 let c_resource_exhausted = counter "resilience.resource_exhausted"
 let c_faults_injected = counter "resilience.faults_injected"
 let c_fallbacks_unoptimized = counter "driver.fallbacks_unoptimized"
+let c_scan_cache_hits = counter "scan_cache.hits"
+let c_scan_cache_misses = counter "scan_cache.misses"
+let c_scan_cache_evictions = counter "scan_cache.evictions"
+(* resident bytes: incremented on insert, decremented on evict/flush —
+   a gauge kept in the counter table so snapshots and the Prometheus
+   exposition pick it up for free *)
+let c_scan_cache_bytes = counter "scan_cache.bytes"
+let c_shared_scan_rewrites = counter "optimize.shared_scan_rewrites"
 
 (* Per-clause row accounting ----------------------------------------- *)
 
@@ -211,6 +219,11 @@ type metrics = {
   resultset_rows : int;
   ds_calls : int;
   ds_call_ns : int64;
+  scan_cache_hits : int;
+  scan_cache_misses : int;
+  scan_cache_evictions : int;
+  scan_cache_bytes : int;
+  shared_scan_rewrites : int;
 }
 
 let ds_call_prefix = "dsp.call."
@@ -244,16 +257,23 @@ let snapshot () =
     resultset_rows = value c_resultset_rows;
     ds_calls;
     ds_call_ns;
+    scan_cache_hits = value c_scan_cache_hits;
+    scan_cache_misses = value c_scan_cache_misses;
+    scan_cache_evictions = value c_scan_cache_evictions;
+    scan_cache_bytes = value c_scan_cache_bytes;
+    shared_scan_rewrites = value c_shared_scan_rewrites;
   }
 
 let metrics_to_json m =
   Printf.sprintf
-    "{\"translations\":%d,\"parse_ns\":%Ld,\"semantic_ns\":%Ld,\"generate_ns\":%Ld,\"rows_emitted\":%d,\"hash_join_builds\":%d,\"hash_join_build_rows\":%d,\"hash_join_probes\":%d,\"hash_join_collisions\":%d,\"pushdown_rewrites\":%d,\"hash_join_rewrites\":%d,\"engine_rows_scanned\":%d,\"engine_rows_joined\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"resultset_rows\":%d,\"ds_calls\":%d,\"ds_call_ns\":%Ld}"
+    "{\"translations\":%d,\"parse_ns\":%Ld,\"semantic_ns\":%Ld,\"generate_ns\":%Ld,\"rows_emitted\":%d,\"hash_join_builds\":%d,\"hash_join_build_rows\":%d,\"hash_join_probes\":%d,\"hash_join_collisions\":%d,\"pushdown_rewrites\":%d,\"hash_join_rewrites\":%d,\"engine_rows_scanned\":%d,\"engine_rows_joined\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"resultset_rows\":%d,\"ds_calls\":%d,\"ds_call_ns\":%Ld,\"scan_cache_hits\":%d,\"scan_cache_misses\":%d,\"scan_cache_evictions\":%d,\"scan_cache_bytes\":%d,\"shared_scan_rewrites\":%d}"
     m.translations m.parse_ns m.semantic_ns m.generate_ns m.rows_emitted
     m.hash_join_builds m.hash_join_build_rows m.hash_join_probes
     m.hash_join_collisions m.pushdown_rewrites m.hash_join_rewrites
     m.engine_rows_scanned m.engine_rows_joined m.cache_hits m.cache_misses
-    m.resultset_rows m.ds_calls m.ds_call_ns
+    m.resultset_rows m.ds_calls m.ds_call_ns m.scan_cache_hits
+    m.scan_cache_misses m.scan_cache_evictions m.scan_cache_bytes
+    m.shared_scan_rewrites
 
 let reset () =
   Hashtbl.iter (fun _ c -> c.count <- 0) counter_table;

@@ -71,6 +71,11 @@ val c_deadline_exceeded : counter  (* queries canceled by their deadline *)
 val c_resource_exhausted : counter (* row/item/fuel governors tripped *)
 val c_faults_injected : counter    (* failpoint faults fired *)
 val c_fallbacks_unoptimized : counter (* driver reran a query with the optimizer off *)
+val c_scan_cache_hits : counter      (* materialized-scan cache hits (dsp) *)
+val c_scan_cache_misses : counter    (* scan-cache misses (scan fetched and stored) *)
+val c_scan_cache_evictions : counter (* entries evicted by the byte/row/entry budgets *)
+val c_scan_cache_bytes : counter     (* resident scan-cache bytes (gauge: +insert/-evict) *)
+val c_shared_scan_rewrites : counter (* repeated scans hoisted into a shared let *)
 
 (** {1 Per-clause row accounting}
 
@@ -134,6 +139,11 @@ type metrics = {
   resultset_rows : int;
   ds_calls : int;          (** DSP data-service function invocations *)
   ds_call_ns : int64;      (** total latency across those invocations *)
+  scan_cache_hits : int;
+  scan_cache_misses : int;
+  scan_cache_evictions : int;
+  scan_cache_bytes : int;  (** resident bytes at snapshot time *)
+  shared_scan_rewrites : int;
 }
 
 val snapshot : unit -> metrics

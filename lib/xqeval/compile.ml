@@ -411,17 +411,7 @@ and compile_flwor cenv (f : X.flwor) : comp =
           List.iter
             (fun snap ->
               let key_values = List.map (fun ck -> ck snap) ckeys in
-              let key_string =
-                String.concat "\x01"
-                  (List.map
-                     (fun seq ->
-                       match Item.atomize seq with
-                       | [] -> "\x00empty"
-                       | atoms ->
-                         String.concat "\x02"
-                           (List.map Atomic.hash_key atoms))
-                     key_values)
-              in
+              let key_string = Group_key.composite key_values in
               match Hashtbl.find_opt table key_string with
               | Some (acc, _, _) -> acc := snap.(grouped_slot) :: !acc
               | None ->
@@ -503,8 +493,8 @@ type compiled = {
 
 let no_resolve _ = None
 
-let compile_expr ?(optimize = true) ?(resolve = no_resolve) ?(vars = [])
-    (e : X.expr) =
+let compile_expr ?(optimize = true) ?(scan_cache = true)
+    ?(resolve = no_resolve) ?(vars = []) (e : X.expr) =
   (* scoping is checked on the un-optimized AST: pushdown deliberately
      leaves hazardous predicates in place, and the error should point
      at what the caller wrote *)
@@ -516,7 +506,9 @@ let compile_expr ?(optimize = true) ?(resolve = no_resolve) ?(vars = [])
    match Optimize.scoping_hazard ~bound e with
    | Some v -> cfail "where clause references $%s before it is bound" v
    | None -> ());
-  let e = if optimize then fst (Optimize.expr e) else e in
+  let e =
+    if optimize then fst (Optimize.expr ~share_scans:scan_cache e) else e
+  in
   let cenv = { slots = []; next = ref 0; resolve } in
   let cenv, externals =
     List.fold_left
@@ -528,8 +520,8 @@ let compile_expr ?(optimize = true) ?(resolve = no_resolve) ?(vars = [])
   let code = compile_expr_c cenv e in
   { code; size = !(cenv.next); externals = List.rev externals }
 
-let compile ?optimize ?resolve ?vars (q : X.query) =
-  compile_expr ?optimize ?resolve ?vars q.X.body
+let compile ?optimize ?scan_cache ?resolve ?vars (q : X.query) =
+  compile_expr ?optimize ?scan_cache ?resolve ?vars q.X.body
 
 let run ?(bindings = []) t =
   let rt = Array.make (max t.size 1) [] in

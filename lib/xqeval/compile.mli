@@ -15,6 +15,7 @@ exception Compile_error of string
 
 val compile :
   ?optimize:bool ->
+  ?scan_cache:bool ->
   ?resolve:(string -> Eval.external_fn option) ->
   ?vars:string list ->
   Aqua_xquery.Ast.query ->
@@ -23,13 +24,16 @@ val compile :
     variable slots now; dynamic errors remain dynamic.  [vars] names
     external bindings (e.g. prepared-statement parameters) supplied at
     run time.  With [optimize] (the default) the {!Optimize} pass runs
-    before lowering, enabling predicate pushdown and hash equi-joins.
+    before lowering, enabling predicate pushdown and hash equi-joins;
+    [scan_cache] (default [true]) additionally enables the optimizer's
+    scan-sharing hoist for repeated data-service calls.
     @raise Compile_error on unknown functions or variables, and on a
     [where] clause referencing a variable bound only by a later clause
     of the same FLWOR. *)
 
 val compile_expr :
   ?optimize:bool ->
+  ?scan_cache:bool ->
   ?resolve:(string -> Eval.external_fn option) ->
   ?vars:string list ->
   Aqua_xquery.Ast.expr ->

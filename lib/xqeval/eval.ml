@@ -348,15 +348,7 @@ and eval_group ctx envs grouped partition keys =
     (fun env ->
       let ctx = { ctx with vars = env } in
       let key_values = List.map (fun (k, _) -> eval ctx k) keys in
-      let key_string =
-        String.concat "\x01"
-          (List.map
-             (fun seq ->
-               match Item.atomize seq with
-               | [] -> "\x00empty"
-               | atoms -> String.concat "\x02" (List.map Atomic.hash_key atoms))
-             key_values)
-      in
+      let key_string = Group_key.composite key_values in
       let grouped_items =
         match Env.find_opt grouped env with
         | Some seq -> seq
@@ -432,9 +424,12 @@ let check_scoping ctx e =
   | Some v -> fail "where clause references $%s before it is bound" v
   | None -> ()
 
-let eval ?(optimize = true) ctx (e : X.expr) =
+let eval ?(optimize = true) ?(scan_cache = true) ctx (e : X.expr) =
   check_scoping ctx e;
-  let e = if optimize then fst (Optimize.expr e) else e in
+  let e =
+    if optimize then fst (Optimize.expr ~share_scans:scan_cache e) else e
+  in
   eval ctx e
 
-let eval_query ?optimize ctx (q : X.query) = eval ?optimize ctx q.body
+let eval_query ?optimize ?scan_cache ctx (q : X.query) =
+  eval ?optimize ?scan_cache ctx q.body

@@ -23,19 +23,30 @@ val bind : context -> string -> Aqua_xml.Item.sequence -> context
 (** Binds a variable (name without the ['$']). *)
 
 val eval :
-  ?optimize:bool -> context -> Aqua_xquery.Ast.expr -> Aqua_xml.Item.sequence
+  ?optimize:bool ->
+  ?scan_cache:bool ->
+  context ->
+  Aqua_xquery.Ast.expr ->
+  Aqua_xml.Item.sequence
 (** Evaluates an expression.  With [optimize] (the default) the
     {!Optimize} pass runs first, enabling predicate pushdown, hash
     equi-joins and the streaming clause pipeline; [~optimize:false]
     keeps the naive nested-loop semantics as a differential-testing
-    oracle.  Either way a [where] clause referencing a variable bound
-    only by a later clause of the same FLWOR raises a clear error
-    naming the variable.
+    oracle.  [scan_cache] (default [true]) additionally enables the
+    optimizer's scan-sharing hoist, which materializes repeated
+    data-service calls once per plan; [~scan_cache:false] keeps every
+    call in place (the no-materialization oracle).  Either way a
+    [where] clause referencing a variable bound only by a later clause
+    of the same FLWOR raises a clear error naming the variable.
     @raise Error.Dynamic_error on dynamic errors (unknown variable or
     function, type mismatches, cast failures). *)
 
 val eval_query :
-  ?optimize:bool -> context -> Aqua_xquery.Ast.query -> Aqua_xml.Item.sequence
+  ?optimize:bool ->
+  ?scan_cache:bool ->
+  context ->
+  Aqua_xquery.Ast.query ->
+  Aqua_xml.Item.sequence
 (** Evaluates a full query; the prolog's schema imports carry no
     dynamic semantics in this engine (function resolution is by
     prefixed name). *)

@@ -1,0 +1,12 @@
+(** Injective composite-key encoding for group-by partitioning.
+
+    Every atom's [Atomic.hash_key] is length-prefixed and every key
+    expression's component is terminated, so two distinct key-value
+    tuples can never encode to the same string — even when key atoms
+    contain arbitrary bytes (the flat separator-joined encoding this
+    replaces collided on keys containing the separator). *)
+
+val composite : Aqua_xml.Item.sequence list -> string
+(** One string per group: the encoded tuple of atomized key values, in
+    key order.  Empty key sequences are marked distinctly from every
+    non-empty one. *)

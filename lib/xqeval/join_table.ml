@@ -112,6 +112,36 @@ let rows_for_atom t a =
       (fun k -> rows_at k ~primary_only:true)
       (secondary_keys a)
 
+(* Deduplicate row indices and return them ascending (= build order).
+   [Hashtbl.find_all] yields newest-first, and build inserts rows in
+   ascending order, so each per-key run arrives strictly descending —
+   the common single-key probe is a linear dedup plus one reverse.
+   Only a probe whose atoms matched through several keys can interleave
+   runs, and only then is a (monomorphic int) sort paid.  The previous
+   [List.sort_uniq compare] ran a polymorphic-compare sort on every
+   probe. *)
+let dedup_build_order (matched : int list) : int list =
+  match matched with
+  | [] | [ _ ] -> matched
+  | _ ->
+    let seen = Hashtbl.create 16 in
+    let uniq =
+      List.filter
+        (fun (r : int) ->
+          if Hashtbl.mem seen r then false
+          else begin
+            Hashtbl.add seen r ();
+            true
+          end)
+        matched
+    in
+    let rec descending = function
+      | (a : int) :: (b :: _ as rest) -> a > b && descending rest
+      | _ -> true
+    in
+    if descending uniq then List.rev uniq
+    else List.sort (fun (a : int) b -> compare a b) uniq
+
 (* Matching rows (sorted, deduplicated — i.e. in build order) for one
    probe key.  Replicates [value_compare]'s cardinality rules exactly:
    an empty operand short-circuits to the empty sequence before the
@@ -134,4 +164,4 @@ let probe t ~value_cmp (probe_atoms : Atomic.t list) : int list =
         else []
     else List.concat_map (rows_for_atom t) probe_atoms
   in
-  List.sort_uniq compare matched
+  dedup_build_order matched

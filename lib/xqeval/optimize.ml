@@ -30,14 +30,17 @@ module Vars = Set.Make (String)
 type report = {
   pushed_predicates : int;  (** conjuncts moved earlier in a pipeline *)
   hash_joins : int;         (** [For]+[Where] pairs fused into [Hash_join] *)
+  shared_scans : int;       (** repeated scans hoisted into a shared [let] *)
   notes : string list;      (** human-readable one-liners, newest first *)
 }
 
-let empty_report = { pushed_predicates = 0; hash_joins = 0; notes = [] }
+let empty_report =
+  { pushed_predicates = 0; hash_joins = 0; shared_scans = 0; notes = [] }
 
 type acc = {
   mutable pushed : int;
   mutable joins : int;
+  mutable shared : int;
   mutable notes : string list;
 }
 
@@ -327,21 +330,164 @@ and rewrite_clause acc = function
         value_cmp;
       }
 
-let expr e =
-  let acc = { pushed = 0; joins = 0; notes = [] } in
+(* ------------------------------------------------------------------ *)
+(* Per-plan scan sharing                                               *)
+
+(* A "scan" is a parameterless prefixed call that is not a built-in
+   function — i.e. a data-service function invocation that returns the
+   same sequence every time within one plan.  When the same scan
+   appears more than once (a self-join, an uncorrelated subquery, two
+   branches of a union), every invocation re-fetches through the DSP
+   server; hoisting them into one [let]-bound materialization at the
+   top of the plan fetches once and shares the sequence.
+
+   The hoisted call has no free variables, so lifting it to the top is
+   always scope-safe.  It does trade laziness for sharing: a scan
+   whose every use sat behind an unvisited branch (or an empty-probe
+   hash-join build) is now fetched exactly once anyway — acceptable
+   for deterministic data-service scans, and the cross-query cache
+   makes the fetch a lookup in the warm case. *)
+
+let is_scan_call name args =
+  args = [] && String.contains name ':' && Functions.lookup name = None
+
+(* Variable names carry a '#' so they can never collide with anything
+   the parser produces (identifiers only). *)
+let scan_var name = "#scan:" ^ name
+
+let share_scans_pass acc (e : X.expr) : X.expr =
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let first_seen = ref [] in
+  let note name =
+    match Hashtbl.find_opt counts name with
+    | Some n -> Hashtbl.replace counts name (n + 1)
+    | None ->
+      Hashtbl.add counts name 1;
+      first_seen := name :: !first_seen
+  in
+  let rec count (e : X.expr) =
+    match e with
+    | X.Literal _ | X.Var _ | X.Context_item | X.Text _ -> ()
+    | X.Seq es -> List.iter count es
+    | X.Flwor f ->
+      List.iter count_clause f.clauses;
+      count f.return
+    | X.Path (base, steps) ->
+      count base;
+      List.iter (fun (s : X.step) -> List.iter count s.predicates) steps
+    | X.Call (name, args) ->
+      if is_scan_call name args then note name;
+      List.iter count args
+    | X.Elem { content; _ } -> List.iter count content
+    | X.If (c, t, e) -> count c; count t; count e
+    | X.Binop (_, a, b) -> count a; count b
+    | X.Neg e -> count e
+    | X.Quantified { bindings; satisfies; _ } ->
+      List.iter (fun (_, src) -> count src) bindings;
+      count satisfies
+    | X.Filter (base, pred) -> count base; count pred
+  and count_clause = function
+    | X.For { source = e; _ } | X.Let { value = e; _ } | X.Where e -> count e
+    | X.Group { keys; _ } -> List.iter (fun (k, _) -> count k) keys
+    | X.Order_by specs -> List.iter (fun (s : X.order_spec) -> count s.X.key) specs
+    | X.Hash_join { source; build_key; probe_key; _ } ->
+      count source; count build_key; count probe_key
+  in
+  count e;
+  let shared =
+    List.filter (fun n -> Hashtbl.find counts n >= 2) (List.rev !first_seen)
+  in
+  if shared = [] then e
+  else begin
+    let rec sub (e : X.expr) : X.expr =
+      match e with
+      | X.Call (name, args) when is_scan_call name args && List.mem name shared
+        ->
+        X.Var (scan_var name)
+      | X.Literal _ | X.Var _ | X.Context_item | X.Text _ -> e
+      | X.Seq es -> X.Seq (List.map sub es)
+      | X.Flwor f ->
+        X.Flwor
+          { clauses = List.map sub_clause f.clauses; return = sub f.return }
+      | X.Path (base, steps) ->
+        X.Path
+          ( sub base,
+            List.map
+              (fun (s : X.step) ->
+                { s with X.predicates = List.map sub s.predicates })
+              steps )
+      | X.Call (name, args) -> X.Call (name, List.map sub args)
+      | X.Elem { name; content } ->
+        X.Elem { name; content = List.map sub content }
+      | X.If (c, t, e) -> X.If (sub c, sub t, sub e)
+      | X.Binop (op, a, b) -> X.Binop (op, sub a, sub b)
+      | X.Neg e -> X.Neg (sub e)
+      | X.Quantified { every; bindings; satisfies } ->
+        X.Quantified
+          {
+            every;
+            bindings = List.map (fun (v, src) -> (v, sub src)) bindings;
+            satisfies = sub satisfies;
+          }
+      | X.Filter (base, pred) -> X.Filter (sub base, sub pred)
+    and sub_clause = function
+      | X.For { var; source } -> X.For { var; source = sub source }
+      | X.Let { var; value } -> X.Let { var; value = sub value }
+      | X.Where cond -> X.Where (sub cond)
+      | X.Group { grouped; partition; keys } ->
+        X.Group
+          { grouped; partition; keys = List.map (fun (k, v) -> (sub k, v)) keys }
+      | X.Order_by specs ->
+        X.Order_by
+          (List.map
+             (fun (s : X.order_spec) -> { s with X.key = sub s.X.key })
+             specs)
+      | X.Hash_join { var; source; build_key; probe_key; value_cmp } ->
+        X.Hash_join
+          {
+            var;
+            source = sub source;
+            build_key = sub build_key;
+            probe_key = sub probe_key;
+            value_cmp;
+          }
+    in
+    acc.shared <- acc.shared + List.length shared;
+    List.iter
+      (fun n ->
+        acc.notes <-
+          Printf.sprintf "shared scan %s (%d occurrences)" n
+            (Hashtbl.find counts n)
+          :: acc.notes)
+      shared;
+    X.Flwor
+      {
+        clauses =
+          List.map
+            (fun n -> X.Let { var = scan_var n; value = X.Call (n, []) })
+            shared;
+        return = sub e;
+      }
+  end
+
+let expr ?(share_scans = true) e =
+  let acc = { pushed = 0; joins = 0; shared = 0; notes = [] } in
   let e = rewrite acc e in
+  let e = if share_scans then share_scans_pass acc e else e in
   let module T = Aqua_core.Telemetry in
   T.add T.c_pushdown_rewrites acc.pushed;
   T.add T.c_hash_join_rewrites acc.joins;
+  T.add T.c_shared_scan_rewrites acc.shared;
   ( e,
     {
       pushed_predicates = acc.pushed;
       hash_joins = acc.joins;
+      shared_scans = acc.shared;
       notes = List.rev acc.notes;
     } )
 
-let query (q : X.query) =
-  let body, report = expr q.X.body in
+let query ?share_scans (q : X.query) =
+  let body, report = expr ?share_scans q.X.body in
   ({ q with X.body }, report)
 
 (* ------------------------------------------------------------------ *)

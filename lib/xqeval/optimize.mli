@@ -9,6 +9,12 @@
     the incoming tuple stream — O(n+m) instead of the O(n*m) nested
     loop).
 
+    A final scan-sharing pass hoists parameterless data-service calls
+    that occur more than once in the plan (self-joins, uncorrelated
+    subqueries) into a single [let]-bound materialization at the top,
+    so the service is invoked once per plan instead of once per
+    occurrence.
+
     The pass is purely structural and never evaluates expressions. *)
 
 module Vars : Set.S with type elt = string
@@ -16,15 +22,23 @@ module Vars : Set.S with type elt = string
 type report = {
   pushed_predicates : int;  (** conjuncts moved earlier in a pipeline *)
   hash_joins : int;         (** [For]+[Where] pairs fused into [Hash_join] *)
+  shared_scans : int;       (** repeated scans hoisted into a shared [let] *)
   notes : string list;      (** human-readable one-liners *)
 }
 
 val empty_report : report
 
-val expr : Aqua_xquery.Ast.expr -> Aqua_xquery.Ast.expr * report
-(** Optimize an expression bottom-up. *)
+val scan_var : string -> string
+(** The hoisted binding name for a shared scan of the named function
+    ('#'-prefixed, so it can never collide with parsed identifiers). *)
 
-val query : Aqua_xquery.Ast.query -> Aqua_xquery.Ast.query * report
+val expr :
+  ?share_scans:bool -> Aqua_xquery.Ast.expr -> Aqua_xquery.Ast.expr * report
+(** Optimize an expression bottom-up.  [share_scans] (default [true])
+    controls the scan-sharing hoist. *)
+
+val query :
+  ?share_scans:bool -> Aqua_xquery.Ast.query -> Aqua_xquery.Ast.query * report
 (** Optimize a query body (prolog is untouched). *)
 
 val free_vars : Aqua_xquery.Ast.expr -> Vars.t

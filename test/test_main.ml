@@ -19,4 +19,5 @@ let () =
       Test_optimize.suite;
       Test_telemetry.suite;
       Test_obs.suite;
-      Test_resilience.suite ]
+      Test_resilience.suite;
+      Test_scan_cache.suite ]
