@@ -77,7 +77,10 @@ val invalidate : t -> unit
 (** Flush the translation cache, the metadata cache and the
     materialized scan cache.  Also happens automatically when the
     application's {!Aqua_dsp.Artifact.revision} changes (a service
-    added after connect), so stale translations are never served. *)
+    added after connect), so stale translations are never served.  The
+    scan cache additionally watches {!Aqua_dsp.Artifact.data_revision}
+    on its own, so row inserts flush materialized scans without
+    touching the metadata-only caches. *)
 
 val translate : t -> string -> Aqua_translator.Translator.t
 (** Translation only (no execution), served from the translation cache

@@ -2,26 +2,29 @@
    data-service scans dominate translated-query cost).
 
    Parameterless data-service calls are pure functions of the
-   application's metadata revision: a physical function returns its
+   application's data revision: a physical function returns its
    backing table, a logical one a deterministic view over other
    services.  [Server.invoke] therefore serves them from this cache
    across queries, keyed by the invocation label
-   ("path/service:function").
+   ("path/service:function", suffixed with the evaluator flavor for
+   logical bodies — see server.ml).
 
    Revision safety: every lookup and store first compares
-   [Artifact.revision] against the revision the resident entries were
-   materialized under; on any metadata change the whole cache is
-   flushed before proceeding, so a stale scan can never be served
-   (the same protocol as the driver's translation cache).
+   [Artifact.data_revision] — metadata revision plus every physical
+   table's data version — against the revision the resident entries
+   were materialized under; on any metadata change OR row insert the
+   whole cache is flushed before proceeding, so a stale scan can never
+   be served (the driver's translation cache follows the same
+   protocol, on the metadata revision alone).
 
-   Budgets: an entry's row count is charged to the ambient
-   [Budget] item governor on every cache-hit serve — a query reading
-   rows out of the cache pays the same materialization toll as one
-   that produced them, so caching cannot be used to evade governors.
-   Capacity is bounded three ways: entry count, resident bytes
-   (structural estimate), and a per-entry row cap above which results
-   are served but never cached (one huge scan must not wipe the
-   working set).  Eviction is LRU by access stamp.
+   Budgets: the materialization toll ([Budget.tick_items] over the
+   served row count) is charged by [Server.invoke] at serve time,
+   identically for a cold fetch and a cache hit, so warm and cold runs
+   of one query see the same budget accounting and caching cannot be
+   used to evade governors.  Capacity is bounded three ways: entry
+   count, resident bytes (structural estimate), and a per-entry row
+   cap above which results are served but never cached (one huge scan
+   must not wipe the working set).  Eviction is LRU by access stamp.
 
    A disabled instance ([enabled:false]) is the oracle: every lookup
    misses silently, nothing is stored, no counters move. *)
@@ -29,7 +32,6 @@
 module Item = Aqua_xml.Item
 module Node = Aqua_xml.Node
 module Atomic = Aqua_xml.Atomic
-module Budget = Aqua_resilience.Budget
 module T = Aqua_core.Telemetry
 
 type entry = {
@@ -73,7 +75,7 @@ let create ?(enabled = true) ?(max_entries = 64)
     max_bytes = max 1 max_bytes;
     max_rows = max 1 max_rows;
     tbl = Hashtbl.create 16;
-    seen_revision = Artifact.revision app;
+    seen_revision = Artifact.data_revision app;
     clock = 0;
     bytes = 0;
     hits = 0;
@@ -137,11 +139,12 @@ let flush t =
   let all = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.tbl [] in
   List.iter (fun (k, e) -> drop t k e ~invalidated:true) all
 
-(* Flush everything the moment the application's metadata revision
-   moves — called on every cache touch, so a served entry is always
-   from the current revision. *)
+(* Flush everything the moment the application's data revision moves
+   (metadata change or a row inserted into any physical table) —
+   called on every cache touch, so a served entry is always from the
+   current revision. *)
 let revalidate t =
-  let rev = Artifact.revision t.app in
+  let rev = Artifact.data_revision t.app in
   if rev <> t.seen_revision then begin
     flush t;
     t.seen_revision <- rev
@@ -173,9 +176,6 @@ let find t key =
       e.stamp <- t.clock;
       t.hits <- t.hits + 1;
       T.incr T.c_scan_cache_hits;
-      (* a cached serve pays the same materialization toll as a fresh
-         one — caching must not evade the item governor *)
-      Budget.tick_items e.rows;
       Some e.seq
     | None ->
       t.misses <- t.misses + 1;

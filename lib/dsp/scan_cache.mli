@@ -1,14 +1,18 @@
 (** Cross-query materialized scan cache for parameterless data-service
     calls.
 
-    Keyed by the invocation label ("path/service:function") and the
-    application's metadata revision: any [Artifact.revision] change
-    flushes the whole cache before the next lookup or store, so a
-    stale scan is never served.  Capacity is bounded by entry count,
-    resident bytes and a per-entry row cap, with LRU eviction; every
-    cache-hit serve charges the entry's row count to the ambient
-    {!Aqua_resilience.Budget} item governor so caching cannot evade
-    result-size governors.
+    Keyed by the invocation label ("path/service:function", plus an
+    evaluator-flavor suffix for logical bodies — the server owns the
+    key format) and the application's data revision: any
+    [Artifact.data_revision] change — a metadata mutation or a row
+    inserted into any physical table — flushes the whole cache before
+    the next lookup or store, so a stale scan is never served.
+    Capacity is bounded by entry count, resident bytes and a per-entry
+    row cap, with LRU eviction.  Budget accounting is the server's
+    job: [Server.invoke] charges the served row count to the ambient
+    {!Aqua_resilience.Budget} item governor at serve time, identically
+    for hits and misses, so caching cannot evade result-size governors
+    and a query admitted cold is never rejected warm.
 
     Global telemetry counters ([scan_cache.hits/misses/evictions] and
     the [scan_cache.bytes] resident gauge) move on every operation;
@@ -32,8 +36,8 @@ val create :
 val enabled : t -> bool
 
 val find : t -> string -> Aqua_xml.Item.sequence option
-(** Revision-checked lookup; a hit refreshes the entry's LRU stamp and
-    ticks the budget item governor by the entry's row count. *)
+(** Revision-checked lookup; a hit refreshes the entry's LRU stamp.
+    Budget accounting happens at the serve site, not here. *)
 
 val store : t -> string -> Aqua_xml.Item.sequence -> unit
 (** Admit a materialized scan (no-op when disabled, when the key is

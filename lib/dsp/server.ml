@@ -116,18 +116,42 @@ and invoke t (ds : Artifact.data_service) (f : Artifact.ds_function) chain :
     | [ _ ] -> Retry.with_retry ~policy:t.retry guarded
     | _ -> guarded ()
   in
-  (* Parameterless calls are pure in the metadata revision: serve them
+  (* Parameterless calls are pure in the data revision: serve them
      from the materialized scan cache.  A hit bypasses the failpoint /
      breaker / retry chain entirely — in particular a fallback rerun
      after an optimized-plan crash reuses the scans the crashed run
-     already materialized. *)
-  if args = [] then (
-    match Scan_cache.find t.scan_cache label with
-    | Some seq -> seq
-    | None ->
-      let seq = serve () in
-      Scan_cache.store t.scan_cache label seq;
-      seq)
+     already materialized.
+
+     Physical scans are evaluator-independent, so the optimized and
+     fallback servers sharing one cache also share those entries.  A
+     logical body, however, is *evaluated* (by whichever pipeline
+     [t.optimize] selects), so its entries carry the flag in the key:
+     the graceful-degradation rerun must recompute logical scans
+     rather than inherit results the suspect optimized evaluator
+     produced. *)
+  if args = [] then begin
+    let key =
+      match f.Artifact.body with
+      | Artifact.Physical _ -> label
+      | Artifact.Logical _ ->
+        label ^ if t.optimize then "|opt" else "|unopt"
+    in
+    let seq =
+      match Scan_cache.find t.scan_cache key with
+      | Some seq -> seq
+      | None ->
+        let seq = serve () in
+        Scan_cache.store t.scan_cache key seq;
+        seq
+    in
+    (* The materialization toll, charged at serve time whether the
+       rows were fetched or found resident: warm and cold runs of one
+       query must see identical item-governor accounting (a cached
+       logical serve still skips its nested serves' charges, exactly
+       as it skips their work). *)
+    if Budget.active () then Budget.tick_items (List.length seq);
+    seq
+  end
   else serve ()
 
 let execute ?(bindings = []) t (q : X.query) =

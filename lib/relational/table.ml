@@ -4,18 +4,24 @@ type t = {
   name : string;
   schema : Schema.t;
   mutable rows : Value.t array list;
+  mutable version : int;
 }
 
-let create name schema = { name; schema; rows = [] }
+let create name schema = { name; schema; rows = []; version = 0 }
 
 let insert t row =
   let row = Array.of_list row in
   match Schema.check_row t.schema row with
-  | Ok () -> t.rows <- row :: t.rows
+  | Ok () ->
+    t.rows <- row :: t.rows;
+    (* data version: any row mutation must be visible to revision-keyed
+       caches (scan cache, engine memo) via [Artifact.data_revision] *)
+    t.version <- t.version + 1
   | Error msg ->
     raise (Value.Type_error (Printf.sprintf "table %s: %s" t.name msg))
 
 let insert_all t rows = List.iter (insert t) rows
+let version t = t.version
 let rows t = List.rev t.rows
 let cardinality t = List.length t.rows
 

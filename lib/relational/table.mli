@@ -5,9 +5,15 @@ type t = private {
   name : string;
   schema : Schema.t;
   mutable rows : Value.t array list;  (** in insertion order, reversed *)
+  mutable version : int;
+      (** monotonic data version, bumped on every insert — revision-keyed
+          caches fold it into their invalidation signal *)
 }
 
 val create : string -> Schema.t -> t
+
+val version : t -> int
+(** Current data version (0 for a fresh table). *)
 
 val insert : t -> Value.t list -> unit
 (** @raise Value.Type_error if the row does not match the schema. *)

@@ -50,11 +50,13 @@ let env_of_application ?(optimize = true) ?(scan_cache = true) app =
      service-by-namespace, function) is three linear scans per table
      reference, repeated for every scan of the same table inside one
      statement and across statements.  Successful resolutions are
-     memoized until the application's metadata revision moves (same
-     protocol as the driver caches); failures are never cached — their
-     errors carry the reference position.  Counted against the shared
-     scan-cache telemetry so the baseline engine's scan reuse shows up
-     in the same place as the DSP server's. *)
+     memoized until the application's *data* revision moves — the memo
+     snapshots row lists, so a [Table.insert] (which bumps the table's
+     data version) must flush it just like a metadata change; failures
+     are never cached — their errors carry the reference position.
+     Counted against the shared scan-cache telemetry so the baseline
+     engine's scan reuse shows up in the same place as the DSP
+     server's. *)
   let table_data =
     if not scan_cache then lookup_table_data
     else begin
@@ -65,9 +67,9 @@ let env_of_application ?(optimize = true) ?(scan_cache = true) app =
           Hashtbl.t =
         Hashtbl.create 16
       in
-      let seen_revision = ref (Artifact.revision app) in
+      let seen_revision = ref (Artifact.data_revision app) in
       fun (n : A.table_name) pos ->
-        let rev = Artifact.revision app in
+        let rev = Artifact.data_revision app in
         if rev <> !seen_revision then begin
           Hashtbl.reset memo;
           seen_revision := rev

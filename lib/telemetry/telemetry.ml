@@ -276,7 +276,13 @@ let metrics_to_json m =
     m.shared_scan_rewrites
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counter_table;
+  (* [c_scan_cache_bytes] is a gauge, not a counter: it tracks bytes
+     resident in live scan caches via +insert/-drop deltas.  Zeroing it
+     while entries remain resident would make subsequent drops push it
+     negative, so reset leaves it alone. *)
+  Hashtbl.iter
+    (fun _ c -> if c != c_scan_cache_bytes then c.count <- 0)
+    counter_table;
   Hashtbl.reset clause_table;
   clause_order := [];
   Hashtbl.reset span_table;

@@ -153,7 +153,10 @@ val metrics_to_json : metrics -> string
 
 val reset : unit -> unit
 (** Zero all counters, span aggregates and clause-row records.  Does not
-    change the enabled flag, clock or trace sink. *)
+    change the enabled flag, clock or trace sink — and does not touch
+    the {!c_scan_cache_bytes} gauge, whose value tracks bytes still
+    resident in live scan caches (zeroing it mid-life would let later
+    evictions drive it negative). *)
 
 (** {1 JSON string escaping} *)
 

@@ -342,11 +342,16 @@ and rewrite_clause acc = function
    top of the plan fetches once and shares the sequence.
 
    The hoisted call has no free variables, so lifting it to the top is
-   always scope-safe.  It does trade laziness for sharing: a scan
-   whose every use sat behind an unvisited branch (or an empty-probe
-   hash-join build) is now fetched exactly once anyway — acceptable
-   for deterministic data-service scans, and the cross-query cache
-   makes the fetch a lookup in the warm case. *)
+   always scope-safe.  Eager hoisting does trade laziness for sharing,
+   so a scan is hoisted only when at least one of its occurrences sits
+   in an always-evaluated position (an "anchor"): then the unshared
+   plan would have invoked the service at least once anyway, and the
+   hoist can only ever *reduce* the number of invocations.  A scan
+   whose every occurrence is conditional — never-taken [if] branches,
+   short-circuited [and]/[or] operands, tuple-driven FLWOR positions,
+   lazily-built hash-join sides — stays in place: hoisting it could
+   invoke a breaker-open or failpoint-armed service that the plan
+   would never have touched. *)
 
 let is_scan_call name args =
   args = [] && String.contains name ':' && Functions.lookup name = None
@@ -357,45 +362,79 @@ let scan_var name = "#scan:" ^ name
 
 let share_scans_pass acc (e : X.expr) : X.expr =
   let counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  (* scans with at least one anchor occurrence (a position evaluated
+     whenever the whole plan is) — the precondition for eager hoisting *)
+  let anchored : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   let first_seen = ref [] in
-  let note name =
-    match Hashtbl.find_opt counts name with
+  let note ~cond name =
+    (match Hashtbl.find_opt counts name with
     | Some n -> Hashtbl.replace counts name (n + 1)
     | None ->
       Hashtbl.add counts name 1;
-      first_seen := name :: !first_seen
+      first_seen := name :: !first_seen);
+    if not cond then Hashtbl.replace anchored name ()
   in
-  let rec count (e : X.expr) =
+  (* [cond] marks positions the evaluators may skip: if-branches, the
+     short-circuited right operand of and/or, everything driven by a
+     FLWOR's tuple stream (all clauses after the first, the return),
+     predicates, non-leading quantifier bindings and satisfies
+     clauses, and the lazily-built sides of a hash join. *)
+  let rec count cond (e : X.expr) =
     match e with
     | X.Literal _ | X.Var _ | X.Context_item | X.Text _ -> ()
-    | X.Seq es -> List.iter count es
+    | X.Seq es -> List.iter (count cond) es
     | X.Flwor f ->
-      List.iter count_clause f.clauses;
-      count f.return
+      (match f.clauses with
+      | first :: rest ->
+        count_clause cond first;
+        List.iter (count_clause true) rest
+      | [] -> ());
+      count true f.return
     | X.Path (base, steps) ->
-      count base;
-      List.iter (fun (s : X.step) -> List.iter count s.predicates) steps
+      count cond base;
+      List.iter (fun (s : X.step) -> List.iter (count true) s.predicates) steps
     | X.Call (name, args) ->
-      if is_scan_call name args then note name;
-      List.iter count args
-    | X.Elem { content; _ } -> List.iter count content
-    | X.If (c, t, e) -> count c; count t; count e
-    | X.Binop (_, a, b) -> count a; count b
-    | X.Neg e -> count e
+      if is_scan_call name args then note ~cond name;
+      List.iter (count cond) args
+    | X.Elem { content; _ } -> List.iter (count cond) content
+    | X.If (c, t, e) ->
+      count cond c;
+      count true t;
+      count true e
+    | X.Binop ((X.B_and | X.B_or), a, b) ->
+      count cond a;
+      count true b
+    | X.Binop (_, a, b) -> count cond a; count cond b
+    | X.Neg e -> count cond e
     | X.Quantified { bindings; satisfies; _ } ->
-      List.iter (fun (_, src) -> count src) bindings;
-      count satisfies
-    | X.Filter (base, pred) -> count base; count pred
-  and count_clause = function
-    | X.For { source = e; _ } | X.Let { value = e; _ } | X.Where e -> count e
-    | X.Group { keys; _ } -> List.iter (fun (k, _) -> count k) keys
-    | X.Order_by specs -> List.iter (fun (s : X.order_spec) -> count s.X.key) specs
+      (match bindings with
+      | (_, src) :: rest ->
+        count cond src;
+        List.iter (fun (_, src) -> count true src) rest
+      | [] -> ());
+      count true satisfies
+    | X.Filter (base, pred) ->
+      count cond base;
+      count true pred
+  and count_clause cond = function
+    (* a leading for/let source (and a leading where, probed by the
+       single initial tuple) runs whenever the FLWOR does; grouping and
+       ordering keys and hash-join sides are tuple- or demand-driven *)
+    | X.For { source = e; _ } | X.Let { value = e; _ } | X.Where e ->
+      count cond e
+    | X.Group { keys; _ } -> List.iter (fun (k, _) -> count true k) keys
+    | X.Order_by specs ->
+      List.iter (fun (s : X.order_spec) -> count true s.X.key) specs
     | X.Hash_join { source; build_key; probe_key; _ } ->
-      count source; count build_key; count probe_key
+      count true source;
+      count true build_key;
+      count true probe_key
   in
-  count e;
+  count false e;
   let shared =
-    List.filter (fun n -> Hashtbl.find counts n >= 2) (List.rev !first_seen)
+    List.filter
+      (fun n -> Hashtbl.find counts n >= 2 && Hashtbl.mem anchored n)
+      (List.rev !first_seen)
   in
   if shared = [] then e
   else begin

@@ -17,6 +17,10 @@ module Server = Aqua_dsp.Server
 module Connection = Aqua_driver.Connection
 module Result_set = Aqua_driver.Result_set
 module Rowset = Aqua_relational.Rowset
+module Table = Aqua_relational.Table
+module Schema = Aqua_relational.Schema
+module Sql_type = Aqua_relational.Sql_type
+module Value = Aqua_relational.Value
 module Engine = Aqua_sqlengine.Engine
 module Failpoint = Aqua_resilience.Failpoint
 module Budget = Aqua_resilience.Budget
@@ -83,9 +87,45 @@ let hoist_goldens () =
   in
   let opt, report = Optimize.expr e in
   check_int "for-sources shared" 1 report.Optimize.shared_scans;
-  match opt with
+  (match opt with
   | X.Flwor { clauses = X.Let _ :: _; _ } -> ()
-  | _ -> Alcotest.fail "expected the shared let to wrap the plan"
+  | _ -> Alcotest.fail "expected the shared let to wrap the plan");
+  (* laziness guard: a scan whose every occurrence hides in if-branches
+     is never hoisted — eager evaluation could invoke a breaker-open or
+     failing service the plan would never have touched *)
+  let cond = X.Literal (Atomic.Boolean false) in
+  let e = X.If (cond, scan "ns0:T", scan "ns0:T") in
+  let opt, report = Optimize.expr e in
+  check_int "branch-only scans stay lazy" 0 report.Optimize.shared_scans;
+  check_bool "conditional ast unchanged" true (opt = e);
+  (* ...but one always-evaluated occurrence anchors the hoist: the plan
+     was going to invoke the service anyway, sharing only reduces calls *)
+  let e = pair (scan "ns0:T") (X.If (cond, scan "ns0:T", X.Seq [])) in
+  let _, report = Optimize.expr e in
+  check_int "anchored scan hoisted" 1 report.Optimize.shared_scans;
+  (* a lazily-built hash-join side alone is conditional; paired with an
+     anchored for-source it shares the anchor's materialization *)
+  let e =
+    X.Flwor
+      {
+        clauses =
+          [
+            X.For { var = "a"; source = scan "ns0:T" };
+            X.Hash_join
+              {
+                var = "b";
+                source = scan "ns0:T";
+                build_key = X.Var "b";
+                probe_key = X.Var "a";
+                value_cmp = false;
+              };
+          ];
+        return = X.Var "a";
+      }
+  in
+  let _, report = Optimize.expr e in
+  check_int "join build shares the anchored scan" 1
+    report.Optimize.shared_scans
 
 (* The hoist must be semantics-preserving on executable queries: a
    self-join through the server returns the same rows with the cache
@@ -190,19 +230,134 @@ let budget_eviction () =
   check_int "oversized result not resident" 0
     (Scan_cache.stats capped).Scan_cache.entries
 
-let hit_charges_budget () =
+(* A one-table application small enough to reason about exact row and
+   budget counts. *)
+let tiny_app rows =
   let app = Artifact.application "App" in
-  let c = Scan_cache.create app in
-  Scan_cache.store c "k" [ Item.Atomic (Atomic.Integer 1); Item.Atomic (Atomic.Integer 2) ];
-  (* 2 rows per serve against a 3-item budget: the second hit must trip
-     the governor — cached serves cannot evade result-size limits *)
-  match
+  let schema = [ Schema.column ~nullable:false "ID" Sql_type.Integer ] in
+  let t = Table.create "T" schema in
+  List.iter (fun i -> Table.insert t [ Value.Int i ]) rows;
+  ignore (Artifact.import_physical_table app ~project:"P" t);
+  (app, t)
+
+let serve_rows srv = Server.call_function srv ~path:"P" ~name:"T" ~fn:"T" []
+
+(* The item governor must charge cached serves exactly like uncached
+   ones: a query admitted cold is admitted warm, a query rejected cold
+   is rejected warm — the cache changes latency, never admission. *)
+let serve_budget_symmetry () =
+  let twice ~scan_cache =
+    let app, _ = tiny_app [ 1; 2 ] in
+    let srv = Server.create ~scan_cache app in
     Budget.with_budget (Budget.limits ~max_items:3 ()) @@ fun () ->
-    ignore (Scan_cache.find c "k");
-    ignore (Scan_cache.find c "k")
-  with
-  | () -> Alcotest.fail "expected the item governor to trip"
-  | exception Budget.Exceeded _ -> ()
+    ignore (serve_rows srv);
+    ignore (serve_rows srv)
+  in
+  (* 2 rows per serve against a 3-item budget: the second serve trips
+     the governor whether it re-fetches (cache off) or hits (warm) *)
+  (match twice ~scan_cache:false with
+  | () -> Alcotest.fail "cold serves must trip the item governor"
+  | exception Budget.Exceeded _ -> ());
+  (match twice ~scan_cache:true with
+  | () -> Alcotest.fail "warm serve must trip the governor identically"
+  | exception Budget.Exceeded _ -> ());
+  (* and a single serve fits the same budget in both modes *)
+  let once ~scan_cache =
+    let app, _ = tiny_app [ 1; 2 ] in
+    let srv = Server.create ~scan_cache app in
+    Budget.with_budget (Budget.limits ~max_items:3 ()) @@ fun () ->
+    check_int "served rows" 2 (List.length (serve_rows srv))
+  in
+  once ~scan_cache:false;
+  once ~scan_cache:true
+
+(* Data changes must invalidate result caches: inserting a row bumps
+   the table version, which moves the application's data revision, so
+   both the scan cache and the baseline engine's table memo re-fetch. *)
+let insert_invalidates () =
+  let app, table = tiny_app [ 1; 2 ] in
+  let sql = "SELECT ID FROM T" in
+  let conn = Connection.connect app in
+  let count () =
+    List.length
+      (Result_set.to_rowset (Connection.execute_query conn sql)).Rowset.rows
+  in
+  check_int "cold read" 2 (count ());
+  check_int "warm read" 2 (count ());
+  let warm = Scan_cache.stats (Connection.scan_cache conn) in
+  check_bool "second read was served warm" true (warm.Scan_cache.hits > 0);
+  Table.insert table [ Value.Int 3 ];
+  check_int "read after insert sees the new row" 3 (count ());
+  let after = Scan_cache.stats (Connection.scan_cache conn) in
+  check_bool "insert invalidated resident scans" true
+    (after.Scan_cache.invalidations > warm.Scan_cache.invalidations);
+  (* the baseline engine's table-resolution memo obeys the same signal *)
+  let env = Engine.env_of_application app in
+  check_int "engine cold read" 3
+    (List.length (Engine.execute_sql env sql).Rowset.rows);
+  Table.insert table [ Value.Int 4 ];
+  check_int "engine read after insert" 4
+    (List.length (Engine.execute_sql env sql).Rowset.rows)
+
+(* The optimized and fallback servers share one cache, but a logical
+   function's materialized result depends on which evaluator produced
+   it (the whole point of the fallback is to distrust the optimizer),
+   so logical entries are keyed per evaluator flavor while physical
+   scans — evaluator-independent base data — stay shared. *)
+let fallback_logical_independence () =
+  let app, _ = tiny_app [ 1; 2 ] in
+  let base =
+    match Artifact.find_service app ~path:"P" ~name:"T" with
+    | Some ds -> ds
+    | None -> Alcotest.fail "physical service missing"
+  in
+  let imports =
+    [
+      {
+        X.prefix = "b";
+        namespace = Artifact.namespace_of_service base;
+        location = Artifact.schema_location_of_service base;
+      };
+    ]
+  in
+  let body =
+    X.Flwor
+      {
+        clauses = [ X.For { var = "r"; source = X.Call ("b:T", []) } ];
+        return = X.Var "r";
+      }
+  in
+  ignore
+    (Artifact.add_logical_service app ~project:"P" ~name:"V"
+       [
+         {
+           Artifact.fn_name = "V";
+           params = [];
+           element_name = "T";
+           columns = [];
+           body = Artifact.Logical { imports; body };
+         };
+       ]);
+  let cache = Scan_cache.create app in
+  let opt = Server.create ~cache app in
+  let unopt = Server.create ~optimize:false ~cache app in
+  let view srv = Server.call_function srv ~path:"P" ~name:"V" ~fn:"V" [] in
+  ignore (view opt);
+  let s1 = Scan_cache.stats cache in
+  ignore (view unopt);
+  let s2 = Scan_cache.stats cache in
+  (* the fallback rerun recomputes the logical view (a fresh miss) but
+     reuses the physical scan it reads from (a hit) *)
+  check_int "logical view recomputed per evaluator"
+    (s1.Scan_cache.misses + 1) s2.Scan_cache.misses;
+  check_int "physical scan reused across evaluators"
+    (s1.Scan_cache.hits + 1) s2.Scan_cache.hits;
+  (* same evaluator twice: the logical entry itself is warm *)
+  ignore (view opt);
+  let s3 = Scan_cache.stats cache in
+  check_int "same-evaluator serve is a hit" (s2.Scan_cache.hits + 1)
+    s3.Scan_cache.hits;
+  check_int "no new miss" s2.Scan_cache.misses s3.Scan_cache.misses
 
 let disabled_is_inert () =
   let app = Artifact.application "App" in
@@ -392,7 +547,9 @@ let suite =
       Helpers.case "revision bump invalidates" revision_invalidation;
       Helpers.case "direct revision flush" direct_revision_flush;
       Helpers.case "entry and byte budgets evict LRU" budget_eviction;
-      Helpers.case "cache hits charge the budget" hit_charges_budget;
+      Helpers.case "budget charges warm and cold alike" serve_budget_symmetry;
+      Helpers.case "insert invalidates result caches" insert_invalidates;
+      Helpers.case "fallback keyed per evaluator" fallback_logical_independence;
       Helpers.case "disabled cache is inert" disabled_is_inert;
       Helpers.case "fallback rerun hits the cache" fallback_hits_cache;
       Helpers.case "differential: fixed queries" differential_fixed;
