@@ -6,12 +6,15 @@
      dune exec bench/validate.exe -- --prom metrics.prom
 
    JSON files are dispatched on their "experiment" field (P6 join
-   strategy, P9 observability overhead, P10 scan materialization).
-   --prom switches to linting Prometheus text expositions
-   ({!Aqua_obs.Expose.lint}); --max-overhead R additionally fails a P9
-   file whose measured probe overhead ratio exceeds R; --min-speedup S
-   fails a P10 file whose warm-phase speedup is below S.  Exit 0 when
-   everything checks out; exit 1 with a list of problems otherwise. *)
+   strategy, P9 observability overhead, P10 scan materialization, P12
+   batched execution).  --prom switches to linting Prometheus text
+   expositions ({!Aqua_obs.Expose.lint}); --max-overhead R additionally
+   fails a P9 file whose measured probe overhead ratio exceeds R;
+   --min-speedup S fails a P10 file whose warm-phase speedup is below S
+   and a P12 file where any scale's speedup_at_1024 is below S.  A P12
+   file always fails if some scale's batched@1024 median is slower than
+   its row-at-a-time median.  Exit 0 when everything checks out; exit 1
+   with a list of problems otherwise. *)
 
 module Json = Aqua_core.Json
 
@@ -34,11 +37,12 @@ let is_int = function
 let telemetry_int_fields =
   [ "translations"; "parse_ns"; "semantic_ns"; "generate_ns"; "rows_emitted";
     "hash_join_builds"; "hash_join_build_rows"; "hash_join_probes";
-    "hash_join_collisions"; "pushdown_rewrites"; "hash_join_rewrites";
+    "hash_join_collisions"; "hash_join_reused"; "pushdown_rewrites";
+    "hash_join_rewrites";
     "engine_rows_scanned"; "engine_rows_joined"; "cache_hits"; "cache_misses";
     "resultset_rows"; "ds_calls"; "ds_call_ns"; "scan_cache_hits";
     "scan_cache_misses"; "scan_cache_evictions"; "scan_cache_bytes";
-    "shared_scan_rewrites" ]
+    "shared_scan_rewrites"; "batch_batches"; "batch_rows"; "batch_filtered" ]
 
 let scale_fields =
   [ ("label", is_string, "a string");
@@ -176,8 +180,105 @@ let validate_p10 ?min_speedup path json =
   | Some _ -> problem "%s: \"cache\" is not an object" path
   | None -> problem "%s: missing field \"cache\"" path
 
+(* P12: batched FLWOR execution — row-at-a-time and batched medians of
+   the same query, so at batch size 1024 the batched engine must never
+   be slower than the row path (a silent vectorization regression);
+   --min-speedup S additionally requires every scale's speedup_at_1024
+   to clear S. *)
+let validate_p12 ?min_speedup path json =
+  check_field path json "experiment" is_string "a string";
+  check_field path json "sql" is_string "a string";
+  check_field path json "units" is_string "a string";
+  check_field path json "seed" is_int "an integer";
+  check_field path json "smoke" is_bool "a boolean";
+  check_field path json "default_batch_size" is_int "an integer";
+  (match Json.member "batch_sizes" json with
+  | Some (Json.Arr sizes) ->
+    if sizes = [] then problem "%s: \"batch_sizes\" is empty" path;
+    List.iteri
+      (fun i v ->
+        if not (is_int v) then
+          problem "%s: batch_sizes[%d] is not an integer" path i)
+      sizes
+  | Some _ -> problem "%s: \"batch_sizes\" is not an array" path
+  | None -> problem "%s: missing field \"batch_sizes\"" path);
+  (match Json.member "scales" json with
+  | Some (Json.Arr scales) ->
+    if scales = [] then problem "%s: \"scales\" is empty" path;
+    List.iteri
+      (fun i scale ->
+        let spath = Printf.sprintf "%s: scales[%d]" path i in
+        match scale with
+        | Json.Obj _ ->
+          List.iter
+            (fun (name, pred, ty) -> check_field spath scale name pred ty)
+            [ ("label", is_string, "a string");
+              ("customers", is_int, "an integer");
+              ("orders", is_int, "an integer");
+              ("rows", is_int, "an integer");
+              ("row_at_a_time_ns", is_number_or_null, "a number or null");
+              ( "row_at_a_time_ns_per_row", is_number_or_null,
+                "a number or null" );
+              ("speedup_at_1024", is_number_or_null, "a number or null") ];
+          (match Json.member "batched" scale with
+          | Some (Json.Arr entries) ->
+            if entries = [] then problem "%s: \"batched\" is empty" spath;
+            let at_1024 = ref None in
+            List.iteri
+              (fun j entry ->
+                let epath = Printf.sprintf "%s: batched[%d]" spath j in
+                match entry with
+                | Json.Obj _ -> (
+                  check_field epath entry "batch_size" is_int "an integer";
+                  check_field epath entry "ns" is_number_or_null
+                    "a number or null";
+                  check_field epath entry "ns_per_row" is_number_or_null
+                    "a number or null";
+                  match (Json.member "batch_size" entry,
+                         Json.member "ns" entry) with
+                  | Some (Json.Num bs), Some (Json.Num ns)
+                    when Float.to_int bs = 1024 ->
+                    at_1024 := Some ns
+                  | _ -> ())
+                | _ -> problem "%s is not an object" epath)
+              entries;
+            (match (!at_1024, Json.member "row_at_a_time_ns" scale) with
+            | Some vec_ns, Some (Json.Num row_ns) when vec_ns > row_ns ->
+              problem
+                "%s: batched@1024 median %.0f ns is slower than \
+                 row-at-a-time %.0f ns"
+                spath vec_ns row_ns
+            | None, _ ->
+              problem "%s: no batched entry with batch_size 1024" spath
+            | _ -> ())
+          | Some _ -> problem "%s: \"batched\" is not an array" spath
+          | None -> problem "%s: missing field \"batched\"" spath);
+          (match (Json.member "speedup_at_1024" scale, min_speedup) with
+          | Some (Json.Num s), Some floor when s < floor ->
+            problem "%s: speedup_at_1024 %.3f below --min-speedup %.3f" spath
+              s floor
+          | Some Json.Null, Some _ ->
+            problem "%s: speedup_at_1024 is null but --min-speedup given"
+              spath
+          | _ -> ())
+        | _ -> problem "%s is not an object" spath)
+      scales
+  | Some _ -> problem "%s: \"scales\" is not an array" path
+  | None -> problem "%s: missing field \"scales\"" path);
+  match Json.member "telemetry" json with
+  | Some (Json.Obj _ as telemetry) ->
+    List.iter
+      (fun name ->
+        check_field (path ^ ": telemetry") telemetry name is_int "an integer")
+      telemetry_int_fields
+  | Some _ -> problem "%s: \"telemetry\" is not an object" path
+  | None -> problem "%s: missing field \"telemetry\"" path
+
 let validate ?max_overhead ?min_speedup path json =
   match Json.member "experiment" json with
+  | Some (Json.Str e)
+    when String.length e >= 3 && String.sub e 0 3 = "P12" ->
+    validate_p12 ?min_speedup path json
   | Some (Json.Str e)
     when String.length e >= 3 && String.sub e 0 3 = "P10" ->
     validate_p10 ?min_speedup path json

@@ -67,6 +67,25 @@ let no_scan_cache_flag =
            and the cross-query materialized scan cache for parameterless \
            data-service calls.")
 
+let no_vectorize_flag =
+  Arg.(
+    value & flag
+    & info [ "no-vectorize" ]
+        ~doc:
+          "Disable the batched FLWOR engine; execute optimized plans \
+           with the row-at-a-time pipeline (the differential oracle).")
+
+let batch_size_opt =
+  Arg.(
+    value & opt (some int) None
+    & info [ "batch-size" ] ~docv:"N"
+        ~doc:
+          "Rows per batch for the vectorized engine (default 1024; also \
+           settable via \\$(b,AQUA_BATCH_SIZE)).")
+
+let apply_batch_size batch_size =
+  Option.iter Aqua_xqeval.Batch.set_size batch_size
+
 let translate_cmd =
   let run sql naive =
     with_env (fun _app env ->
@@ -142,8 +161,9 @@ let tick_items_as_rows items =
     items
 
 (* Execute with graceful degradation, mirroring the driver: a crash
-   inside the optimized evaluator gets one more attempt with the
-   optimizer off, counted as a fallback. *)
+   inside the optimized evaluator gets one more attempt with both
+   suspects off — optimizer and batch engine — counted as a
+   fallback. *)
 let execute_degrading ~no_optimize app server xquery ~span =
   let execute srv =
     Telemetry.with_span span (fun () ->
@@ -156,7 +176,9 @@ let execute_degrading ~no_optimize app server xquery ~span =
     Telemetry.incr Telemetry.c_fallbacks_unoptimized;
     (* the fallback server shares the crashed server's scan cache, so
        scans the optimized run already materialized are not re-fetched *)
-    execute (Server.create ~optimize:false ~cache:(Server.scan_cache server) app)
+    execute
+      (Server.create ~optimize:false ~vectorize:false
+         ~cache:(Server.scan_cache server) app)
 
 let start_trace () =
   Telemetry.set_enabled true;
@@ -170,8 +192,10 @@ let finish_trace () =
     ^ "}")
 
 let run_cmd =
-  let run sql naive no_optimize no_scan_cache trace timeout max_rows failpoints =
+  let run sql naive no_optimize no_scan_cache no_vectorize batch_size trace
+      timeout max_rows failpoints =
     with_env (fun app env ->
+        apply_batch_size batch_size;
         if trace then start_trace ();
         (* the final counter snapshot must reach the sink even when
            translation or execution raises — that failing trace is the
@@ -186,6 +210,7 @@ let run_cmd =
             in
             let server =
               Server.create ~optimize:(not no_optimize)
+                ~vectorize:(not no_vectorize)
                 ~scan_cache:(not no_scan_cache) app
             in
             let items =
@@ -200,12 +225,15 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Translate and execute; print the XML result")
     Term.(
       const run $ sql_arg $ naive_flag $ no_optimize_flag $ no_scan_cache_flag
-      $ trace_flag $ timeout_opt $ max_rows_opt $ failpoints_opt)
+      $ no_vectorize_flag $ batch_size_opt $ trace_flag $ timeout_opt
+      $ max_rows_opt $ failpoints_opt)
 
 let analyze_cmd =
   let ms ns = Int64.to_float ns /. 1e6 in
-  let run sql naive no_optimize no_scan_cache trace timeout max_rows failpoints =
+  let run sql naive no_optimize no_scan_cache no_vectorize batch_size trace
+      timeout max_rows failpoints =
     with_env (fun app env ->
+        apply_batch_size batch_size;
         Telemetry.set_enabled true;
         Telemetry.reset ();
         Obs_stats.reset ();
@@ -224,7 +252,7 @@ let analyze_cmd =
         let t = Translator.translate ~style:(style_of_naive naive) env sql in
         let server =
           Server.create ~optimize:(not no_optimize)
-            ~scan_cache:(not no_scan_cache) app
+            ~vectorize:(not no_vectorize) ~scan_cache:(not no_scan_cache) app
         in
         let items =
           Budget.with_budget limits @@ fun () ->
@@ -246,7 +274,7 @@ let analyze_cmd =
            its notes does not skew the snapshot *)
         let _, report =
           Aqua_xqeval.Optimize.query ~share_scans:(not no_scan_cache)
-            t.Translator.xquery
+            ~vectorize:(not no_vectorize) t.Translator.xquery
         in
         Printf.printf "EXPLAIN ANALYZE  %s\n" sql;
         Printf.printf "translation (three stages):\n";
@@ -282,6 +310,35 @@ let analyze_cmd =
           List.iter
             (fun (label, rows) -> Printf.printf "  %-28s %8d\n" label rows)
             clause_rows
+        end;
+        if no_optimize || no_vectorize then
+          Printf.printf "batch pipeline: disabled (%s)\n"
+            (if no_optimize then "--no-optimize" else "--no-vectorize")
+        else begin
+          let batches = snap.Telemetry.batch_batches in
+          let brows = snap.Telemetry.batch_rows in
+          let bfilt = snap.Telemetry.batch_filtered in
+          Printf.printf
+            "batch pipeline: %d-row batches; %d batch(es) pushed, %.1f \
+             rows/batch avg, %d row(s) where-filtered\n"
+            (Aqua_xqeval.Batch.size ()) batches
+            (if batches = 0 then 0.0 else float_of_int brows /. float_of_int batches)
+            bfilt;
+          (* per-clause selectivity: each vectorized clause's output
+             rows against its input (the previous clause's output) *)
+          if clause_rows <> [] then begin
+            Printf.printf "  clause (vectorized)          rows out  selectivity\n";
+            ignore
+              (List.fold_left
+                 (fun prev (label, rows) ->
+                   (match prev with
+                   | Some p when p > 0 ->
+                     Printf.printf "  %-28s %8d  %9.1f%%\n" label rows
+                       (100.0 *. float_of_int rows /. float_of_int p)
+                   | _ -> Printf.printf "  %-28s %8d          -\n" label rows);
+                   Some rows)
+                 None clause_rows)
+          end
         end;
         Printf.printf "engine counters:\n";
         Printf.printf "  rows emitted (all clauses)   %8d\n" snap.Telemetry.rows_emitted;
@@ -358,11 +415,12 @@ let analyze_cmd =
        ~doc:
          "Translate, execute and print an EXPLAIN ANALYZE-style report: \
           per-stage timings, optimizer decisions, per-clause row counts, \
-          engine counters and resilience counters (retries, breaker \
-          state changes, governor trips).")
+          batch-pipeline shape, engine counters and resilience counters \
+          (retries, breaker state changes, governor trips).")
     Term.(
       const run $ sql_arg $ naive_flag $ no_optimize_flag $ no_scan_cache_flag
-      $ trace_flag $ timeout_opt $ max_rows_opt $ failpoints_opt)
+      $ no_vectorize_flag $ batch_size_opt $ trace_flag $ timeout_opt
+      $ max_rows_opt $ failpoints_opt)
 
 (* sql2xq stats: replay a workload through the driver (the real
    Connection path: translation cache, budgets, fallback, transports)
@@ -477,9 +535,10 @@ let stats_cmd =
         (Recorder.event_to_ndjson ev)
     | None -> ()
   in
-  let run queries count repeat seed top by format no_scan_cache trace timeout
-      max_rows failpoints =
+  let run queries count repeat seed top by format no_scan_cache no_vectorize
+      batch_size trace timeout max_rows failpoints =
     with_env (fun app _env ->
+        apply_batch_size batch_size;
         Telemetry.set_enabled true;
         Telemetry.reset ();
         Obs_stats.reset ();
@@ -509,7 +568,7 @@ let stats_cmd =
         end;
         let conn =
           Aqua_driver.Connection.connect ~limits
-            ~scan_cache:(not no_scan_cache) app
+            ~vectorize:(not no_vectorize) ~scan_cache:(not no_scan_cache) app
         in
         let executed = ref 0 and failures = ref 0 in
         for _ = 1 to max 1 repeat do
@@ -537,8 +596,9 @@ let stats_cmd =
           $(b,--format prom) emits the Prometheus text exposition.")
     Term.(
       const run $ queries_opt $ count_opt $ repeat_opt $ seed_opt $ top_opt
-      $ by_opt $ format_opt $ no_scan_cache_flag $ trace_flag $ timeout_opt
-      $ max_rows_opt $ failpoints_opt)
+      $ by_opt $ format_opt $ no_scan_cache_flag $ no_vectorize_flag
+      $ batch_size_opt $ trace_flag $ timeout_opt $ max_rows_opt
+      $ failpoints_opt)
 
 let text_cmd =
   let run sql naive no_optimize =

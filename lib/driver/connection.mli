@@ -36,6 +36,7 @@ val connect :
   ?metadata_cache:bool ->
   ?translation_cache:bool ->
   ?optimize:bool ->
+  ?vectorize:bool ->
   ?scan_cache:bool ->
   ?limits:Aqua_resilience.Budget.limits ->
   Aqua_dsp.Artifact.application ->
@@ -46,7 +47,11 @@ val connect :
     keyed by SQL text, so re-issued ad-hoc SQL skips the three-stage
     translation.  [optimize] (default [true]) enables the XQuery-side
     optimizer (predicate pushdown, hash equi-joins, streaming
-    pipeline) on the server this connection talks to.  [scan_cache]
+    pipeline) on the server this connection talks to; [vectorize]
+    (default [true]) additionally executes optimized plans through the
+    batched FLWOR engine — the graceful-degradation fallback always
+    reruns with both off, so a crash in either suspect falls back to
+    the plain row-at-a-time interpreter.  [scan_cache]
     (default [true]) enables scan materialization: the optimizer's
     per-plan scan-sharing hoist plus a revision-aware
     {!Aqua_dsp.Scan_cache} shared by the optimized server and its

@@ -13,13 +13,15 @@ let fail = Aqua_xqeval.Error.fail
 type t = {
   app : Artifact.application;
   optimize : bool;
+  vectorize : bool;
   retry : Retry.policy;
   breakers : Breaker.registry;
   scan_cache : Scan_cache.t;
 }
 
-let create ?(optimize = true) ?(retry = Retry.default_policy)
-    ?(breaker = Breaker.default_config) ?(scan_cache = true) ?cache app =
+let create ?(optimize = true) ?(vectorize = true)
+    ?(retry = Retry.default_policy) ?(breaker = Breaker.default_config)
+    ?(scan_cache = true) ?cache app =
   let cache =
     match cache with
     | Some c -> c
@@ -28,6 +30,7 @@ let create ?(optimize = true) ?(retry = Retry.default_policy)
   {
     app;
     optimize;
+    vectorize;
     retry;
     breakers = Breaker.registry ~config:breaker ();
     scan_cache = cache;
@@ -103,7 +106,7 @@ and invoke t (ds : Artifact.data_service) (f : Artifact.ds_function) chain :
           (ctx, 1) args
         |> fst
       in
-      Eval.eval ~optimize:t.optimize
+      Eval.eval ~optimize:t.optimize ~vectorize:t.vectorize
         ~scan_cache:(Scan_cache.enabled t.scan_cache)
         ctx body
   in
@@ -134,7 +137,14 @@ and invoke t (ds : Artifact.data_service) (f : Artifact.ds_function) chain :
       match f.Artifact.body with
       | Artifact.Physical _ -> label
       | Artifact.Logical _ ->
-        label ^ if t.optimize then "|opt" else "|unopt"
+        (* evaluator flavor in full: optimizer on/off AND batch engine
+           on/off — a ~vectorize:false oracle server sharing the cache
+           must not inherit rows the batch engine produced (and vice
+           versa), or a differential run would compare an engine
+           against its own cached output *)
+        label
+        ^ (if t.optimize then "|opt" else "|unopt")
+        ^ if t.optimize && t.vectorize then "|vec" else ""
     in
     let seq =
       match Scan_cache.find t.scan_cache key with
@@ -159,7 +169,7 @@ let execute ?(bindings = []) t (q : X.query) =
   let ctx =
     List.fold_left (fun ctx (name, seq) -> Eval.bind ctx name seq) ctx bindings
   in
-  Eval.eval_query ~optimize:t.optimize
+  Eval.eval_query ~optimize:t.optimize ~vectorize:t.vectorize
     ~scan_cache:(Scan_cache.enabled t.scan_cache)
     ctx q
 
@@ -183,7 +193,7 @@ let execute_to_text ?bindings t q =
 type prepared = Aqua_xqeval.Compile.compiled
 
 let prepare ?(vars = []) t (q : X.query) =
-  Aqua_xqeval.Compile.compile ~optimize:t.optimize
+  Aqua_xqeval.Compile.compile ~optimize:t.optimize ~vectorize:t.vectorize
     ~scan_cache:(Scan_cache.enabled t.scan_cache)
     ~resolve:(resolver t q.X.prolog.X.imports [])
     ~vars q

@@ -10,6 +10,7 @@ type t
 
 val create :
   ?optimize:bool ->
+  ?vectorize:bool ->
   ?retry:Aqua_resilience.Retry.policy ->
   ?breaker:Aqua_resilience.Breaker.config ->
   ?scan_cache:bool ->
@@ -21,6 +22,14 @@ val create :
     query and data-service body this server evaluates or prepares;
     [~optimize:false] keeps the naive nested-loop evaluator as a
     differential-testing oracle.
+
+    [vectorize] (default [true]) executes optimized plans through the
+    batched FLWOR engine ({!Aqua_xqeval.Batch}-sized batches of tuple
+    snapshots between clauses); [~vectorize:false] keeps the
+    tuple-at-a-time pipeline, the row-at-a-time oracle the batch
+    engine is differentially tested against.  Logical scan-cache
+    entries are keyed by evaluator flavor, so oracle and batched
+    servers sharing one cache never serve each other's logical rows.
 
     [scan_cache] (default [true]) enables scan materialization at both
     levels: the optimizer's per-plan scan-sharing hoist and the

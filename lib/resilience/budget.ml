@@ -134,6 +134,21 @@ let step () =
       check_of b
     end
 
+let steps n =
+  if n > 0 then
+    match !current with
+    | None -> ()
+    | Some b ->
+      b.fuel <- b.fuel + n;
+      (match b.max_fuel with
+      | Some m when b.fuel > m -> exceeded Fuel (Int64.of_int m)
+      | _ -> ());
+      b.countdown <- b.countdown - n;
+      if b.countdown <= 0 then begin
+        b.countdown <- deadline_check_period;
+        check_of b
+      end
+
 let tick_rows n =
   match !current with
   | None -> ()

@@ -55,6 +55,11 @@ val step : unit -> unit
 (** One evaluator step: counts fuel and checks the deadline every 64th
     step (the clock is not read on every call). *)
 
+val steps : int -> unit
+(** [steps n] charges [n] evaluator steps at once — the batch
+    evaluator's per-batch probe.  Equivalent to [n] calls to {!step}
+    for fuel accounting, with at most one deadline clock read. *)
+
 val tick_rows : int -> unit
 (** Count [n] output rows against [max_rows] and check the deadline. *)
 

@@ -16,6 +16,7 @@ let catalog =
     "dsp.invoke";  (* a data-service function invocation *)
     "xqeval.clause";  (* applying one FLWOR pipeline clause *)
     "xqeval.hashjoin";  (* the optimizer-introduced hash-join clause *)
+    "xqeval.batch";  (* one batch emitted by the vectorized pipeline *)
     "engine.scan";  (* baseline SQL engine base-table scan *)
     "driver.decode";  (* result-set wire decoding, driver side *)
   ]

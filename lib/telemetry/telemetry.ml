@@ -55,6 +55,7 @@ let c_hash_join_builds = counter "hash_join.builds"
 let c_hash_join_build_rows = counter "hash_join.build_rows"
 let c_hash_join_probes = counter "hash_join.probes"
 let c_hash_join_collisions = counter "hash_join.collisions"
+let c_hash_join_reused = counter "hash_join.build_reused"
 let c_pushdown_rewrites = counter "optimize.pushdown_rewrites"
 let c_hash_join_rewrites = counter "optimize.hash_join_rewrites"
 let c_engine_rows_scanned = counter "sqlengine.rows_scanned"
@@ -79,6 +80,9 @@ let c_scan_cache_evictions = counter "scan_cache.evictions"
    exposition pick it up for free *)
 let c_scan_cache_bytes = counter "scan_cache.bytes"
 let c_shared_scan_rewrites = counter "optimize.shared_scan_rewrites"
+let c_batch_batches = counter "xqeval.batch.batches"
+let c_batch_rows = counter "xqeval.batch.rows"
+let c_batch_filtered = counter "xqeval.batch.filtered"
 
 (* Per-clause row accounting ----------------------------------------- *)
 
@@ -210,6 +214,7 @@ type metrics = {
   hash_join_build_rows : int;
   hash_join_probes : int;
   hash_join_collisions : int;
+  hash_join_reused : int;
   pushdown_rewrites : int;
   hash_join_rewrites : int;
   engine_rows_scanned : int;
@@ -224,6 +229,9 @@ type metrics = {
   scan_cache_evictions : int;
   scan_cache_bytes : int;
   shared_scan_rewrites : int;
+  batch_batches : int;
+  batch_rows : int;
+  batch_filtered : int;
 }
 
 let ds_call_prefix = "dsp.call."
@@ -248,6 +256,7 @@ let snapshot () =
     hash_join_build_rows = value c_hash_join_build_rows;
     hash_join_probes = value c_hash_join_probes;
     hash_join_collisions = value c_hash_join_collisions;
+    hash_join_reused = value c_hash_join_reused;
     pushdown_rewrites = value c_pushdown_rewrites;
     hash_join_rewrites = value c_hash_join_rewrites;
     engine_rows_scanned = value c_engine_rows_scanned;
@@ -262,18 +271,22 @@ let snapshot () =
     scan_cache_evictions = value c_scan_cache_evictions;
     scan_cache_bytes = value c_scan_cache_bytes;
     shared_scan_rewrites = value c_shared_scan_rewrites;
+    batch_batches = value c_batch_batches;
+    batch_rows = value c_batch_rows;
+    batch_filtered = value c_batch_filtered;
   }
 
 let metrics_to_json m =
   Printf.sprintf
-    "{\"translations\":%d,\"parse_ns\":%Ld,\"semantic_ns\":%Ld,\"generate_ns\":%Ld,\"rows_emitted\":%d,\"hash_join_builds\":%d,\"hash_join_build_rows\":%d,\"hash_join_probes\":%d,\"hash_join_collisions\":%d,\"pushdown_rewrites\":%d,\"hash_join_rewrites\":%d,\"engine_rows_scanned\":%d,\"engine_rows_joined\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"resultset_rows\":%d,\"ds_calls\":%d,\"ds_call_ns\":%Ld,\"scan_cache_hits\":%d,\"scan_cache_misses\":%d,\"scan_cache_evictions\":%d,\"scan_cache_bytes\":%d,\"shared_scan_rewrites\":%d}"
+    "{\"translations\":%d,\"parse_ns\":%Ld,\"semantic_ns\":%Ld,\"generate_ns\":%Ld,\"rows_emitted\":%d,\"hash_join_builds\":%d,\"hash_join_build_rows\":%d,\"hash_join_probes\":%d,\"hash_join_collisions\":%d,\"hash_join_reused\":%d,\"pushdown_rewrites\":%d,\"hash_join_rewrites\":%d,\"engine_rows_scanned\":%d,\"engine_rows_joined\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"resultset_rows\":%d,\"ds_calls\":%d,\"ds_call_ns\":%Ld,\"scan_cache_hits\":%d,\"scan_cache_misses\":%d,\"scan_cache_evictions\":%d,\"scan_cache_bytes\":%d,\"shared_scan_rewrites\":%d,\"batch_batches\":%d,\"batch_rows\":%d,\"batch_filtered\":%d}"
     m.translations m.parse_ns m.semantic_ns m.generate_ns m.rows_emitted
     m.hash_join_builds m.hash_join_build_rows m.hash_join_probes
-    m.hash_join_collisions m.pushdown_rewrites m.hash_join_rewrites
+    m.hash_join_collisions m.hash_join_reused m.pushdown_rewrites
+    m.hash_join_rewrites
     m.engine_rows_scanned m.engine_rows_joined m.cache_hits m.cache_misses
     m.resultset_rows m.ds_calls m.ds_call_ns m.scan_cache_hits
     m.scan_cache_misses m.scan_cache_evictions m.scan_cache_bytes
-    m.shared_scan_rewrites
+    m.shared_scan_rewrites m.batch_batches m.batch_rows m.batch_filtered
 
 let reset () =
   (* [c_scan_cache_bytes] is a gauge, not a counter: it tracks bytes

@@ -55,6 +55,7 @@ val c_hash_join_builds : counter   (* hash tables built (both engines) *)
 val c_hash_join_build_rows : counter (* rows inserted into hash tables *)
 val c_hash_join_probes : counter   (* hash-table probes *)
 val c_hash_join_collisions : counter (* insert-side bucket collisions (key already present) *)
+val c_hash_join_reused : counter   (* hash-table builds skipped via reuse (xqeval) *)
 val c_pushdown_rewrites : counter  (* predicates pushed down by the optimizer *)
 val c_hash_join_rewrites : counter (* equi-joins rewritten to hash joins *)
 val c_engine_rows_scanned : counter (* base-table rows scanned (sqlengine) *)
@@ -76,6 +77,9 @@ val c_scan_cache_misses : counter    (* scan-cache misses (scan fetched and stor
 val c_scan_cache_evictions : counter (* entries evicted by the byte/row/entry budgets *)
 val c_scan_cache_bytes : counter     (* resident scan-cache bytes (gauge: +insert/-evict) *)
 val c_shared_scan_rewrites : counter (* repeated scans hoisted into a shared let *)
+val c_batch_batches : counter        (* batches pushed by the vectorized pipeline *)
+val c_batch_rows : counter           (* rows carried by those batches *)
+val c_batch_filtered : counter       (* rows dropped by vectorized where filters *)
 
 (** {1 Per-clause row accounting}
 
@@ -130,6 +134,7 @@ type metrics = {
   hash_join_build_rows : int;
   hash_join_probes : int;
   hash_join_collisions : int;
+  hash_join_reused : int;
   pushdown_rewrites : int;
   hash_join_rewrites : int;
   engine_rows_scanned : int;
@@ -144,6 +149,9 @@ type metrics = {
   scan_cache_evictions : int;
   scan_cache_bytes : int;  (** resident bytes at snapshot time *)
   shared_scan_rewrites : int;
+  batch_batches : int;     (** batches pushed by the vectorized pipeline *)
+  batch_rows : int;        (** rows carried by those batches *)
+  batch_filtered : int;    (** rows dropped by vectorized where filters *)
 }
 
 val snapshot : unit -> metrics

@@ -41,7 +41,9 @@ let timestamp_to_string ts =
    values.  We do not need full E-notation canonicalisation. *)
 let float_to_lexical f =
   if Float.is_integer f && Float.abs f < 1e15 then
-    Printf.sprintf "%.0f" f
+    (* below 1e15 the float is an exact integer within int range, so
+       this equals "%.0f" without the printf machinery *)
+    string_of_int (int_of_float f)
   else
     let s = Printf.sprintf "%.12g" f in
     s
@@ -198,7 +200,12 @@ let rec compare_values a b =
 let equal a b = try compare_values a b = 0 with Cast_error _ -> false
 
 let hash_key = function
-  | Integer i -> "n" ^ float_to_lexical (float_of_int i)
+  | Integer i ->
+    (* same key "%.0f"-formatting would produce for any int that
+       round-trips through float exactly; beyond that fall back so
+       Integer and Double keys stay consistent *)
+    if Int.abs i < 1_000_000_000_000_000 then "n" ^ string_of_int i
+    else "n" ^ float_to_lexical (float_of_int i)
   | Decimal f | Double f -> "n" ^ float_to_lexical f
   | Untyped s | String s -> "s" ^ s
   | Boolean b -> if b then "bT" else "bF"

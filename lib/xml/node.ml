@@ -26,13 +26,20 @@ let children_elements = function
       e.children
 
 let string_value node =
-  let buf = Buffer.create 32 in
-  let rec go = function
-    | Text s -> Buffer.add_string buf s
-    | Element e -> List.iter go e.children
-  in
-  go node;
-  Buffer.contents buf
+  match node with
+  (* flat rows make these three shapes the overwhelming majority;
+     none of them needs a buffer *)
+  | Text s -> s
+  | Element { children = []; _ } -> ""
+  | Element { children = [ Text s ]; _ } -> s
+  | Element _ ->
+    let buf = Buffer.create 32 in
+    let rec go = function
+      | Text s -> Buffer.add_string buf s
+      | Element e -> List.iter go e.children
+    in
+    go node;
+    Buffer.contents buf
 
 let rec equal a b =
   match (a, b) with

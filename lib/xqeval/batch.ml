@@ -1,0 +1,21 @@
+(* Batch-size configuration for the vectorized FLWOR pipeline.
+
+   One global knob: the number of tuples a vectorized operator pushes
+   downstream at a time.  Read from AQUA_BATCH_SIZE at startup and
+   overridable programmatically (the CLI's --batch-size flag and the
+   differential tests both go through [set_size]).  The size is read at
+   *invocation* time by the compiled pipelines, so changing it affects
+   already-compiled plans. *)
+
+let default_size = 1024
+
+let initial =
+  match Option.bind (Sys.getenv_opt "AQUA_BATCH_SIZE") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> default_size
+
+let current = ref initial
+
+let size () = !current
+
+let set_size n = current := max 1 n

@@ -1,0 +1,17 @@
+(** Batch-size configuration for the vectorized FLWOR pipeline.
+
+    The vectorized evaluator ({!Compile} with [~vectorize:true]) pushes
+    fixed-size batches of tuples through each clause operator.  The
+    batch size defaults to 1024, can be seeded from the
+    [AQUA_BATCH_SIZE] environment variable, and is adjustable at run
+    time ([sql2xq --batch-size]).  Compiled pipelines read the size at
+    invocation time, so a change takes effect on the next execution. *)
+
+val default_size : int
+(** 1024. *)
+
+val size : unit -> int
+(** The current batch size (>= 1). *)
+
+val set_size : int -> unit
+(** Override the batch size; values below 1 are clamped to 1. *)

@@ -2,6 +2,7 @@ module Atomic = Aqua_xml.Atomic
 module Item = Aqua_xml.Item
 module Node = Aqua_xml.Node
 module X = Aqua_xquery.Ast
+module Telemetry = Aqua_core.Telemetry
 module Budget = Aqua_resilience.Budget
 module Failpoint = Aqua_resilience.Failpoint
 
@@ -17,11 +18,18 @@ type rt = Item.sequence array
 
 type comp = rt -> Item.sequence
 
+(* The structural type of an external function resolver ([Eval]'s
+   [external_fn] is an alias of the same type; naming it structurally
+   here keeps this module independent of [Eval], which now depends on
+   the compiler for its vectorized path). *)
+type resolver = string -> (Item.sequence list -> Item.sequence) option
+
 (* Compile-time environment: name -> slot. *)
 type cenv = {
   slots : (string * int) list;
   next : int ref;
-  resolve : string -> Eval.external_fn option;
+  resolve : resolver;
+  vectorize : bool;
 }
 
 let bind_slot cenv name =
@@ -117,22 +125,216 @@ let normalize_content (seq : Item.sequence) : Node.t list =
   in
   go [] [] seq
 
-let step_matches step_name el_name =
-  step_name = "*"
-  || el_name = step_name
-  || Node.local_name el_name = Node.local_name step_name
+(* Step-name matching is compiled once per path step: the common case
+   (unprefixed column access over unprefixed row children) costs one
+   string equality per child, and the cross-prefix fallback compares
+   local names in place instead of allocating the substrings
+   [Node.local_name] would build for every candidate child. *)
+let matches_local local el_name =
+  let k = String.length local and n = String.length el_name in
+  let start =
+    match String.index_opt el_name ':' with None -> 0 | Some i -> i + 1
+  in
+  n - start = k
+  &&
+  let rec go j =
+    j = k
+    || String.unsafe_get el_name (start + j) = String.unsafe_get local j
+       && go (j + 1)
+  in
+  go 0
 
-let children_matching name (item : Item.t) : Item.sequence =
+let compile_step_matcher step_name : string -> bool =
+  if step_name = "*" then fun _ -> true
+  else
+    let local = Node.local_name step_name in
+    fun el_name -> el_name = step_name || matches_local local el_name
+
+let children_matching matches (item : Item.t) : Item.sequence =
   match item with
   | Item.Atomic _ -> dfail "path step applied to an atomic value"
   | Item.Node (Node.Text _) -> []
   | Item.Node (Node.Element e) ->
     List.filter_map
       (function
-        | Node.Element c when step_matches name c.name ->
-          Some (Item.Node (Node.Element c))
+        | Node.Element c when matches c.name -> Some (Item.Node (Node.Element c))
         | Node.Element _ | Node.Text _ -> None)
       e.Node.children
+
+(* Lexicographic comparison over pre-atomized order-by keys; [ckeys]
+   pairs each key position with its (compiled key, descending, empty)
+   spec, of which only the modifiers are read here. *)
+let compare_order_keys ckeys ka kb =
+  let rec go ks =
+    match ks with
+    | [] -> 0
+    | ((a, b), (_, desc, empty)) :: more ->
+      let c =
+        match (a, b) with
+        | [], [] -> 0
+        | [], _ -> (
+          match empty with X.Empty_least -> -1 | X.Empty_greatest -> 1)
+        | _, [] -> (
+          match empty with X.Empty_least -> 1 | X.Empty_greatest -> -1)
+        | x :: _, y :: _ -> Atomic.compare_values x y
+      in
+      let c = if desc then -c else c in
+      if c <> 0 then c else go more
+  in
+  go (List.combine (List.combine ka kb) ckeys)
+
+(* ------------------------------------------------------------------ *)
+(* Vectorized pipeline plumbing                                       *)
+
+(* A batch carries up to [cap] tuple snapshots (each a full slot
+   array) plus a selection vector: [vsel.(0 .. vn-1)] lists the live
+   row indices.  Freshly produced batches have an identity selection
+   (producers write [vsel] as they append); a where clause compacts
+   [vsel] in place without moving rows. *)
+type vbatch = {
+  vrows : rt array;
+  vsel : int array;
+  mutable vn : int;
+}
+
+(* Push-based operator chain: one [vsink] per clause, pushing into the
+   next.  [vflush] drains barrier state (sort/group buffers, partial
+   output batches) at end of stream. *)
+type vsink = {
+  vpush : vbatch -> unit;
+  vflush : unit -> unit;
+}
+
+(* Per-invocation context threaded to every operator: the batch
+   capacity, the pooled batch allocator, and whether telemetry was
+   enabled when the pipeline was entered. *)
+type vctx = {
+  vcap : int;
+  valloc : unit -> vbatch;
+  vinstr : bool;
+}
+
+(* Batch emission bookkeeping: a failpoint site per batch boundary plus
+   the xqeval.batch.* counters (bumped only where a batch is created —
+   the initial feed and expander/barrier emissions — so a disabled
+   vectorizer produces zero batch traffic). *)
+let vnote_batch n =
+  Failpoint.hit "xqeval.batch";
+  Telemetry.incr Telemetry.c_batch_batches;
+  Telemetry.add Telemetry.c_batch_rows n
+
+(* Batch buffers are pooled at module level: [Server.execute]
+   recompiles its plan on every call, so a per-closure pool would never
+   see a second invocation — and at large batch sizes the O(capacity)
+   buffer allocation per call is the dominant driver cost.  Acquire
+   removes a buffer from the pool (re-entrant pipelines therefore just
+   take distinct buffers); a normal completion returns them, a failed
+   invocation drops them to the GC.  Only buffers of the current batch
+   capacity are kept, and the pool is bounded — pooled buffers retain
+   the last invocation's row references until overwritten, so the bound
+   also caps that residue. *)
+let vbatch_pools : (int * vbatch list ref) list ref = ref []
+let vbatch_pool_caps = 8  (* distinct batch capacities kept alive *)
+let vbatch_pool_cap = 16  (* buffers kept per capacity *)
+
+let vbatch_pool_for cap =
+  match List.assoc_opt cap !vbatch_pools with
+  | Some p -> p
+  | None ->
+    let p = ref [] in
+    let rec keep n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | e :: rest -> e :: keep (n - 1) rest
+    in
+    vbatch_pools := (cap, p) :: keep (vbatch_pool_caps - 1) !vbatch_pools;
+    p
+
+let vbatch_release pool acquired =
+  let rec keep n bs =
+    if n = 0 then []
+    else match bs with [] -> [] | b :: rest -> b :: keep (n - 1) rest
+  in
+  pool := keep vbatch_pool_cap (List.rev_append acquired !pool)
+
+(* Copy row [src] into the batch-owned row storage at index [j] and
+   return it.  Batches own their row arrays: an expander refilling a
+   batch overwrites the same arrays every time, so a full-capacity
+   batch touches the same cache-resident storage on every refill
+   instead of sweeping fresh minor-heap lines.  The flip side is the
+   usual vectorized-execution ownership contract: a row is valid only
+   until the operator that pushed it refills its batch, so anything
+   retaining a row past its vpush (the sort/group barriers) must copy
+   it out. *)
+let vrow_into b j (src : rt) : rt =
+  let n = Array.length src in
+  let dst = b.vrows.(j) in
+  if Array.length dst = n then begin
+    Array.blit src 0 dst 0 n;
+    dst
+  end
+  else begin
+    let dst = Array.copy src in
+    b.vrows.(j) <- dst;
+    dst
+  end
+
+(* Per-clause row accounting under the same labels the interpreter
+   uses, resolved once per invocation and bulk-added per batch. *)
+let vcounter vctx label =
+  if not vctx.vinstr then fun _ -> ()
+  else begin
+    let c = Telemetry.clause_counter label in
+    fun n ->
+      if n > 0 then begin
+        Telemetry.add c n;
+        Telemetry.add Telemetry.c_rows_emitted n
+      end
+  end
+
+(* Cross-invocation reuse of hash-join build tables.
+
+   [Server.execute] recompiles its plan on every call, so a memo inside
+   the compiled closure would never survive long enough to hit.  When
+   the build side is a closed expression (no free variables) and the
+   build key reads nothing but the join variable, the finished table is
+   a pure function of the source *sequence* and the key expression —
+   and the dsp scan cache hands back the physically same sequence until
+   the underlying data's revision bumps.  Keying on physical identity
+   of the source therefore gets revision tracking for free: a fresh
+   materialization is a fresh list, which simply misses.
+
+   The cache is a short move-to-front list; workloads hash-join against
+   a handful of hot scans and the [==] probe costs nothing.  Stale
+   entries age out by eviction. *)
+type jt_entry = {
+  je_src : Item.sequence;
+  je_key : X.expr;  (* build-key AST, compared structurally *)
+  je_cmp : bool;  (* value_cmp flag — changes probe/poison semantics *)
+  je_table : Join_table.t;
+}
+
+let jt_cache : jt_entry list ref = ref []
+let jt_cache_cap = 8
+
+let jt_find src key value_cmp =
+  let rec go acc = function
+    | [] -> None
+    | e :: rest ->
+      if e.je_src == src && e.je_cmp = value_cmp && e.je_key = key then begin
+        jt_cache := e :: List.rev_append acc rest;
+        Some e.je_table
+      end
+      else go (e :: acc) rest
+  in
+  go [] !jt_cache
+
+let jt_store src key value_cmp table =
+  let e =
+    { je_src = src; je_key = key; je_cmp = value_cmp; je_table = table }
+  in
+  let kept = List.filteri (fun i _ -> i < jt_cache_cap - 1) !jt_cache in
+  jt_cache := e :: kept
 
 (* ------------------------------------------------------------------ *)
 (* Compilation                                                        *)
@@ -155,23 +357,41 @@ let rec compile_expr_c (cenv : cenv) (e : X.expr) : comp =
     let parts = List.map (compile_expr_c cenv) es in
     fun rt -> List.concat_map (fun c -> c rt) parts
   | X.Flwor f -> compile_flwor cenv f
-  | X.Path (base, steps) ->
+  | X.Path (base, steps) -> (
     let cbase = compile_expr_c cenv base in
     let csteps =
       List.map
         (fun (s : X.step) ->
-          (s.X.name, List.map (compile_predicate cenv) s.X.predicates))
+          ( compile_step_matcher s.X.name,
+            List.map (compile_predicate cenv) s.X.predicates ))
         steps
     in
-    fun rt ->
-      List.fold_left
-        (fun seq (name, preds) ->
-          let widened = List.concat_map (children_matching name) seq in
-          List.fold_left (fun items p -> p rt items) widened preds)
-        (cbase rt) csteps
+    match csteps with
+    | [ (m, []) ] ->
+      (* single unpredicated child step — the shape of every translated
+         column access, worth keeping free of fold/closure overhead *)
+      fun rt -> (
+        match cbase rt with
+        | [ item ] -> children_matching m item
+        | seq -> List.concat_map (children_matching m) seq)
+    | _ ->
+      fun rt ->
+        List.fold_left
+          (fun seq (m, preds) ->
+            let widened = List.concat_map (children_matching m) seq in
+            List.fold_left (fun items p -> p rt items) widened preds)
+          (cbase rt) csteps)
   | X.Call (name, args) -> (
     let cargs = List.map (compile_expr_c cenv) args in
-    let apply impl = fun rt -> impl (List.map (fun c -> c rt) cargs) in
+    (* arity-specialized application: no per-call List.map closure for
+       the ubiquitous nullary scans and unary fn:data wrappers *)
+    let apply impl =
+      match cargs with
+      | [] -> fun _ -> impl []
+      | [ c ] -> fun rt -> impl [ c rt ]
+      | [ c1; c2 ] -> fun rt -> impl [ c1 rt; c2 rt ]
+      | _ -> fun rt -> impl (List.map (fun c -> c rt) cargs)
+    in
     match Functions.lookup name with
     | Some impl -> apply impl
     | None -> (
@@ -190,10 +410,22 @@ let rec compile_expr_c (cenv : cenv) (e : X.expr) : comp =
         content
     in
     fun rt ->
-      let body = List.concat_map (fun c -> c rt) parts in
-      [ Item.Node
-          (Node.Element
-             { Node.name; attrs = []; children = normalize_content body }) ]
+      let body =
+        match parts with
+        | [ p ] -> p rt
+        | _ -> List.concat_map (fun c -> c rt) parts
+      in
+      (* fast paths for the dominant constructed shapes (a single
+         atomized column value or a single node) — same results as
+         [normalize_content], without its accumulator passes *)
+      let children =
+        match body with
+        | [] -> []
+        | [ Item.Atomic a ] -> [ Node.Text (Atomic.to_lexical a) ]
+        | [ Item.Node n ] -> [ n ]
+        | body -> normalize_content body
+      in
+      [ Item.Node (Node.Element { Node.name; attrs = []; children }) ]
   | X.Text s ->
     let v = Item.of_string s in
     fun _ -> v
@@ -259,6 +491,37 @@ let rec compile_expr_c (cenv : cenv) (e : X.expr) : comp =
 
 (* Predicates rebind the context item per candidate and handle the
    positional case. *)
+(* Boolean-context compilation: a condition consumed only for its
+   effective boolean value skips the intermediate boolean item, and a
+   general comparison against a literal hoists the constant atom out of
+   the per-row path — the shape of every translated residual filter. *)
+and compile_cond cenv (e : X.expr) : rt -> bool =
+  match e with
+  | X.Binop (X.B_and, a, b) ->
+    let ca = compile_cond cenv a and cb = compile_cond cenv b in
+    fun rt -> ca rt && cb rt
+  | X.Binop (X.B_or, a, b) ->
+    let ca = compile_cond cenv a and cb = compile_cond cenv b in
+    fun rt -> ca rt || cb rt
+  | X.Binop (X.B_general cmp, a, X.Literal atom) ->
+    let ca = compile_expr_c cenv a in
+    fun rt ->
+      List.exists
+        (fun l -> cmp_holds cmp (Atomic.compare_values l atom))
+        (Item.atomize (ca rt))
+  | X.Binop (X.B_general cmp, X.Literal atom, b) ->
+    let cb = compile_expr_c cenv b in
+    fun rt ->
+      List.exists
+        (fun r -> cmp_holds cmp (Atomic.compare_values atom r))
+        (Item.atomize (cb rt))
+  | X.Binop (X.B_general cmp, a, b) ->
+    let ca = compile_expr_c cenv a and cb = compile_expr_c cenv b in
+    fun rt -> general_compare cmp (ca rt) (cb rt)
+  | _ ->
+    let c = compile_expr_c cenv e in
+    fun rt -> Item.effective_boolean_value (c rt)
+
 and compile_predicate cenv (pred : X.expr) : rt -> Item.sequence -> Item.sequence =
   let cenv', slot = bind_slot cenv dot in
   let cpred = compile_expr_c cenv' pred in
@@ -272,16 +535,24 @@ and compile_predicate cenv (pred : X.expr) : rt -> Item.sequence -> Item.sequenc
         | result -> Item.effective_boolean_value result)
       items
 
-(* FLWOR compilation.  Chains of for/let/where ("segments") run as
-   per-tuple nested loops; order-by and group-by are barriers that
-   must see the whole tuple stream.  A compiled pipeline is therefore
-   a transformer over snapshot lists:
+(* FLWOR compilation dispatch: the vectorized push-based pipeline when
+   the compile was asked for it, the tuple-at-a-time snapshot pipeline
+   otherwise (the latter stays intact as the oracle the vectorized
+   engine is differentially tested against). *)
+and compile_flwor cenv (f : X.flwor) : comp =
+  if cenv.vectorize then compile_flwor_vec cenv f
+  else compile_flwor_row cenv f
+
+(* Tuple-at-a-time FLWOR compilation.  Chains of for/let/where
+   ("segments") run as per-tuple nested loops; order-by and group-by
+   are barriers that must see the whole tuple stream.  A compiled
+   pipeline is therefore a transformer over snapshot lists:
 
      lift(segment0) ; barrier1 ; lift(segment1) ; ... ; return
 
    where a snapshot is a copy of the slot array and [lift] maps a
    per-tuple segment over every incoming snapshot. *)
-and compile_flwor cenv (f : X.flwor) : comp =
+and compile_flwor_row cenv (f : X.flwor) : comp =
   (* a segment enumerates the tuples reachable from the current slots *)
   let rec segment cenv clauses : (rt -> rt list) * cenv =
     match clauses with
@@ -363,29 +634,7 @@ and compile_flwor cenv (f : X.flwor) : comp =
                   snap ))
               (lifted rt snaps)
           in
-          let compare_keyed (ka, _) (kb, _) =
-            let rec go ks =
-              match ks with
-              | [] -> 0
-              | ((a, b), (_, desc, empty)) :: more ->
-                let c =
-                  match (a, b) with
-                  | [], [] -> 0
-                  | [], _ -> (
-                    match empty with
-                    | X.Empty_least -> -1
-                    | X.Empty_greatest -> 1)
-                  | _, [] -> (
-                    match empty with
-                    | X.Empty_least -> 1
-                    | X.Empty_greatest -> -1)
-                  | x :: _, y :: _ -> Atomic.compare_values x y
-                in
-                let c = if desc then -c else c in
-                if c <> 0 then c else go more
-            in
-            go (List.combine (List.combine ka kb) ckeys)
-          in
+          let compare_keyed (ka, _) (kb, _) = compare_order_keys ckeys ka kb in
           crest rt
             (List.map snd (List.stable_sort compare_keyed keyed))),
         cenv_out )
@@ -483,6 +732,403 @@ and compile_flwor cenv (f : X.flwor) : comp =
         cret rt)
       finals
 
+(* Vectorized FLWOR compilation.  Each clause becomes a push-based
+   operator over batches of tuple snapshots; per-clause setup (slot
+   resolution, key compilation, group-key buffers, clause counters) is
+   hoisted out of the inner loop, where filters compact the selection
+   vector in place, and expanders (for, hash-join) append into a
+   pooled output batch flushed downstream at capacity.
+
+   Ownership: batches own their row storage ([vrow_into]).  A row is
+   valid only while its producing operator is between refills — the
+   pipeline is synchronous, so that covers the whole downstream chain
+   for the duration of one vpush.  A let clause may therefore write its
+   slot into the row in place, but the sort/group barriers, which keep
+   rows across batch boundaries, copy each retained row out of the
+   batch first.
+
+   Resilience: [Budget.steps] is charged per batch receipt at every
+   operator plus per produced row at expanders, so fuel accounting
+   stays within a constant factor of the tuple-at-a-time pipeline and
+   deadlines cancel between batches; the "xqeval.batch" failpoint
+   fires at every batch emission, and the per-clause "xqeval.clause" /
+   "xqeval.hashjoin" sites fire once per clause per invocation,
+   matching the interpreter's eager pipeline construction. *)
+and compile_flwor_vec cenv (f : X.flwor) : comp =
+  (* [build] compiles each clause to an operator maker, threading the
+     slot environment exactly as the row path does.  [stage_base] is
+     the environment at the start of the current stage (i.e. after the
+     previous barrier): the group-by clause drops the current stage's
+     segment bindings back to it, mirroring [compile_flwor_row]. *)
+  let rec build cenv stage_base i clauses :
+      (string * (vctx -> vsink -> vsink)) list * cenv =
+    match clauses with
+    | [] -> ([], cenv)
+    | clause :: rest ->
+      let labeled_mk, cenv', base' =
+        match clause with
+        | X.For { var; source } ->
+          let csrc = compile_expr_c cenv source in
+          let cenv', slot = bind_slot cenv var in
+          let label = "for $" ^ var in
+          let mk vctx down =
+            let count = vcounter vctx label in
+            let out = vctx.valloc () in
+            let emit () =
+              if out.vn > 0 then begin
+                vnote_batch out.vn;
+                down.vpush out;
+                out.vn <- 0
+              end
+            in
+            { vpush =
+                (fun b ->
+                  Budget.steps b.vn;
+                  for k = 0 to b.vn - 1 do
+                    let r = b.vrows.(b.vsel.(k)) in
+                    match csrc r with
+                    | [] -> ()
+                    | items ->
+                      Budget.steps (List.length items);
+                      count (List.length items);
+                      List.iter
+                        (fun item ->
+                          let o = vrow_into out out.vn r in
+                          o.(slot) <- [ item ];
+                          out.vsel.(out.vn) <- out.vn;
+                          out.vn <- out.vn + 1;
+                          if out.vn = vctx.vcap then emit ())
+                        items
+                  done);
+              vflush =
+                (fun () ->
+                  emit ();
+                  down.vflush ());
+            }
+          in
+          ((label, mk), cenv', stage_base)
+        | X.Let { var; value } ->
+          let cval = compile_expr_c cenv value in
+          let cenv', slot = bind_slot cenv var in
+          let label = "let $" ^ var in
+          let mk vctx down =
+            let count = vcounter vctx label in
+            { vpush =
+                (fun b ->
+                  Budget.steps b.vn;
+                  for k = 0 to b.vn - 1 do
+                    let r = b.vrows.(b.vsel.(k)) in
+                    r.(slot) <- cval r
+                  done;
+                  count b.vn;
+                  if b.vn > 0 then down.vpush b);
+              vflush = (fun () -> down.vflush ());
+            }
+          in
+          ((label, mk), cenv', stage_base)
+        | X.Where cond ->
+          let ccond = compile_cond cenv cond in
+          let label = Printf.sprintf "where@%d" i in
+          let mk vctx down =
+            let count = vcounter vctx label in
+            { vpush =
+                (fun b ->
+                  Budget.steps b.vn;
+                  let n = b.vn in
+                  let j = ref 0 in
+                  for k = 0 to n - 1 do
+                    let idx = b.vsel.(k) in
+                    if ccond b.vrows.(idx)
+                    then begin
+                      b.vsel.(!j) <- idx;
+                      incr j
+                    end
+                  done;
+                  b.vn <- !j;
+                  Telemetry.add Telemetry.c_batch_filtered (n - !j);
+                  count !j;
+                  if b.vn > 0 then down.vpush b);
+              vflush = (fun () -> down.vflush ());
+            }
+          in
+          ((label, mk), cenv, stage_base)
+        | X.Order_by specs ->
+          let ckeys =
+            List.map
+              (fun (s : X.order_spec) ->
+                (compile_expr_c cenv s.X.key, s.X.descending, s.X.empty))
+              specs
+          in
+          let label = Printf.sprintf "order-by@%d" i in
+          let mk vctx down =
+            let count = vcounter vctx label in
+            let acc = ref [] in
+            let out = vctx.valloc () in
+            let emit () =
+              if out.vn > 0 then begin
+                vnote_batch out.vn;
+                down.vpush out;
+                out.vn <- 0
+              end
+            in
+            { vpush =
+                (fun b ->
+                  Budget.steps b.vn;
+                  for k = 0 to b.vn - 1 do
+                    let r = b.vrows.(b.vsel.(k)) in
+                    let keys =
+                      List.map (fun (ck, _, _) -> Item.atomize (ck r)) ckeys
+                    in
+                    (* retained past this vpush: copy out of the batch *)
+                    acc := (keys, Array.copy r) :: !acc
+                  done);
+              vflush =
+                (fun () ->
+                  let keyed = List.rev !acc in
+                  acc := [];
+                  let sorted =
+                    List.stable_sort
+                      (fun (ka, _) (kb, _) -> compare_order_keys ckeys ka kb)
+                      keyed
+                  in
+                  count (List.length sorted);
+                  List.iter
+                    (fun (_, r) ->
+                      out.vrows.(out.vn) <- r;
+                      out.vsel.(out.vn) <- out.vn;
+                      out.vn <- out.vn + 1;
+                      if out.vn = vctx.vcap then emit ())
+                    sorted;
+                  emit ();
+                  down.vflush ());
+            }
+          in
+          ((label, mk), cenv, cenv)
+        | X.Group { grouped; partition; keys } ->
+          let grouped_slot = lookup_slot cenv grouped in
+          let ckeys = List.map (fun (k, _) -> compile_expr_c cenv k) keys in
+          (* post-group scope: stage-entry bindings + key vars +
+             partition — the segment's own bindings are dropped *)
+          let cenv_post = { cenv with slots = stage_base.slots } in
+          let cenv_post, key_slots =
+            List.fold_left
+              (fun (ce, acc) (_, var) ->
+                let ce', slot = bind_slot ce var in
+                (ce', slot :: acc))
+              (cenv_post, []) keys
+          in
+          let key_slots = List.rev key_slots in
+          let cenv_post, partition_slot = bind_slot cenv_post partition in
+          let label = "group by -> $" ^ partition in
+          let mk vctx down =
+            let count = vcounter vctx label in
+            let table = Hashtbl.create 16 in
+            let order = ref [] in
+            let keybuf = Buffer.create 64 in
+            let out = vctx.valloc () in
+            let emit () =
+              if out.vn > 0 then begin
+                vnote_batch out.vn;
+                down.vpush out;
+                out.vn <- 0
+              end
+            in
+            { vpush =
+                (fun b ->
+                  Budget.steps b.vn;
+                  for k = 0 to b.vn - 1 do
+                    let r = b.vrows.(b.vsel.(k)) in
+                    let key_values = List.map (fun ck -> ck r) ckeys in
+                    let key_string =
+                      Group_key.composite_into keybuf key_values
+                    in
+                    match Hashtbl.find_opt table key_string with
+                    | Some (acc, _, _) -> acc := r.(grouped_slot) :: !acc
+                    | None ->
+                      (* retained past this vpush: copy out of the batch *)
+                      Hashtbl.add table key_string
+                        (ref [ r.(grouped_slot) ], key_values, Array.copy r);
+                      order := key_string :: !order
+                  done);
+              vflush =
+                (fun () ->
+                  let groups = List.rev !order in
+                  count (List.length groups);
+                  List.iter
+                    (fun key_string ->
+                      let acc, key_values, first =
+                        Hashtbl.find table key_string
+                      in
+                      let o = Array.copy first in
+                      List.iter2
+                        (fun slot v -> o.(slot) <- v)
+                        key_slots key_values;
+                      o.(partition_slot) <- List.concat (List.rev !acc);
+                      out.vrows.(out.vn) <- o;
+                      out.vsel.(out.vn) <- out.vn;
+                      out.vn <- out.vn + 1;
+                      if out.vn = vctx.vcap then emit ())
+                    groups;
+                  emit ();
+                  down.vflush ());
+            }
+          in
+          ((label, mk), cenv_post, cenv_post)
+        | X.Hash_join { var; source; build_key; probe_key; value_cmp } ->
+          let csrc = compile_expr_c cenv source in
+          let cprobe = compile_expr_c cenv probe_key in
+          let cenv2, var_slot = bind_slot cenv var in
+          let cbuild = compile_expr_c cenv2 build_key in
+          (* reuse eligibility is static: a closed source whose build
+             key touches only the join variable always yields the same
+             table for the same materialized source sequence *)
+          let cacheable =
+            Optimize.Vars.is_empty (Optimize.free_vars source)
+            && Optimize.Vars.subset
+                 (Optimize.free_vars build_key)
+                 (Optimize.Vars.singleton var)
+          in
+          let label = "hash-join $" ^ var in
+          let mk vctx down =
+            let count = vcounter vctx label in
+            (* the build table is created on the first probe-side row
+               (an empty probe stream never builds), per invocation *)
+            let table = ref None in
+            let out = vctx.valloc () in
+            let emit () =
+              if out.vn > 0 then begin
+                vnote_batch out.vn;
+                down.vpush out;
+                out.vn <- 0
+              end
+            in
+            { vpush =
+                (fun b ->
+                  Budget.steps b.vn;
+                  for k = 0 to b.vn - 1 do
+                    let r = b.vrows.(b.vsel.(k)) in
+                    let t =
+                      match !table with
+                      | Some t -> t
+                      | None ->
+                        (* [source] and [build_key] only read outer
+                           slots (plus the join variable), which hold
+                           the same values in every row *)
+                        let src = csrc r in
+                        let build () =
+                          Join_table.build src
+                            ~key_of:(fun item ->
+                              r.(var_slot) <- [ item ];
+                              cbuild r)
+                            ~value_cmp
+                        in
+                        let t =
+                          if not cacheable then build ()
+                          else
+                            match jt_find src build_key value_cmp with
+                            | Some t ->
+                              (* budget parity with a real build: the
+                                 materialized build side still counts
+                                 against the item governor *)
+                              Budget.tick_items
+                                (Array.length t.Join_table.items);
+                              Telemetry.incr Telemetry.c_hash_join_reused;
+                              t
+                            | None ->
+                              let t = build () in
+                              jt_store src build_key value_cmp t;
+                              t
+                        in
+                        table := Some t;
+                        t
+                    in
+                    let probe_atoms = Item.atomize (cprobe r) in
+                    match Join_table.probe t ~value_cmp probe_atoms with
+                    | [] -> ()
+                    | matches ->
+                      Budget.steps (List.length matches);
+                      count (List.length matches);
+                      List.iter
+                        (fun m ->
+                          let o = vrow_into out out.vn r in
+                          o.(var_slot) <- [ t.Join_table.items.(m) ];
+                          out.vsel.(out.vn) <- out.vn;
+                          out.vn <- out.vn + 1;
+                          if out.vn = vctx.vcap then emit ())
+                        matches
+                  done);
+              vflush =
+                (fun () ->
+                  emit ();
+                  down.vflush ());
+            }
+          in
+          ((label, mk), cenv2, cenv2)
+      in
+      let mks, cenv_out = build cenv' base' (i + 1) rest in
+      (labeled_mk :: mks, cenv_out)
+  in
+  let mks, cenv_ret = build cenv cenv 0 f.X.clauses in
+  let cret = compile_expr_c cenv_ret f.X.return in
+  fun rt ->
+    (* clause failpoints fire once per clause per invocation, like the
+       interpreter's eager pipeline fold *)
+    List.iter
+      (fun clause ->
+        Failpoint.hit "xqeval.clause";
+        match clause with
+        | X.Hash_join _ -> Failpoint.hit "xqeval.hashjoin"
+        | _ -> ())
+      f.X.clauses;
+    let cap = Batch.size () in
+    let pool = vbatch_pool_for cap in
+    let acquired = ref [] in
+    let valloc () =
+      let b =
+        match !pool with
+        | b :: rest ->
+          pool := rest;
+          b.vn <- 0;
+          b
+        | [] ->
+          { vrows = Array.make cap [||]; vsel = Array.make cap 0; vn = 0 }
+      in
+      acquired := b :: !acquired;
+      b
+    in
+    let vctx = { vcap = cap; valloc; vinstr = Telemetry.enabled () } in
+    (* The operator chain is built downstream-first, so counters would
+       otherwise register last-clause-first; touch them in pipeline
+       order so clause_rows reads like the plan (as the interpreter's
+       clause fold produces naturally). *)
+    if vctx.vinstr then
+      List.iter
+        (fun (label, _) -> ignore (Telemetry.clause_counter label))
+        mks;
+    let results = ref [] in
+    let sink =
+      { vpush =
+          (fun b ->
+            Budget.steps b.vn;
+            for k = 0 to b.vn - 1 do
+              results := cret b.vrows.(b.vsel.(k)) :: !results
+            done);
+        vflush = (fun () -> ());
+      }
+    in
+    let chain =
+      List.fold_left (fun down (_, mk) -> mk vctx down) sink (List.rev mks)
+    in
+    let feed = valloc () in
+    ignore (vrow_into feed 0 rt);
+    feed.vsel.(0) <- 0;
+    feed.vn <- 1;
+    vnote_batch 1;
+    chain.vpush feed;
+    chain.vflush ();
+    vbatch_release pool !acquired;
+    List.concat (List.rev !results)
+
 (* ------------------------------------------------------------------ *)
 
 type compiled = {
@@ -493,7 +1139,7 @@ type compiled = {
 
 let no_resolve _ = None
 
-let compile_expr ?(optimize = true) ?(scan_cache = true)
+let compile_expr ?(optimize = true) ?(scan_cache = true) ?(vectorize = true)
     ?(resolve = no_resolve) ?(vars = []) (e : X.expr) =
   (* scoping is checked on the un-optimized AST: pushdown deliberately
      leaves hazardous predicates in place, and the error should point
@@ -507,9 +1153,10 @@ let compile_expr ?(optimize = true) ?(scan_cache = true)
    | Some v -> cfail "where clause references $%s before it is bound" v
    | None -> ());
   let e =
-    if optimize then fst (Optimize.expr ~share_scans:scan_cache e) else e
+    if optimize then fst (Optimize.expr ~share_scans:scan_cache ~vectorize e)
+    else e
   in
-  let cenv = { slots = []; next = ref 0; resolve } in
+  let cenv = { slots = []; next = ref 0; resolve; vectorize } in
   let cenv, externals =
     List.fold_left
       (fun (ce, acc) v ->
@@ -520,8 +1167,8 @@ let compile_expr ?(optimize = true) ?(scan_cache = true)
   let code = compile_expr_c cenv e in
   { code; size = !(cenv.next); externals = List.rev externals }
 
-let compile ?optimize ?scan_cache ?resolve ?vars (q : X.query) =
-  compile_expr ?optimize ?scan_cache ?resolve ?vars q.X.body
+let compile ?optimize ?scan_cache ?vectorize ?resolve ?vars (q : X.query) =
+  compile_expr ?optimize ?scan_cache ?vectorize ?resolve ?vars q.X.body
 
 let run ?(bindings = []) t =
   let rt = Array.make (max t.size 1) [] in

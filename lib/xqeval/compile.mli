@@ -4,6 +4,13 @@
     server's query compilation step (the interpreter {!Eval} is the
     reference semantics; the test suite checks both agree).
 
+    With [vectorize] (the default) FLWOR pipelines are lowered to a
+    push-based batch engine: clauses exchange fixed-capacity batches
+    of tuple snapshots ({!Batch.size} rows, selection-vector
+    filtering), hoisting per-clause setup out of the inner loop.
+    [~vectorize:false] selects the tuple-at-a-time lowering, which the
+    differential test suite uses as the oracle.
+
     Variable scoping is resolved at compile time; referencing an
     undefined variable (including bindings dropped by the group-by
     clause) is a {!Compile_error}. *)
@@ -13,10 +20,16 @@ type compiled
 
 exception Compile_error of string
 
+type resolver = string -> (Aqua_xml.Item.sequence list -> Aqua_xml.Item.sequence) option
+(** External function resolver — structurally identical to
+    {!Eval.external_fn} based resolvers (the DSP server passes the
+    same closure to both engines). *)
+
 val compile :
   ?optimize:bool ->
   ?scan_cache:bool ->
-  ?resolve:(string -> Eval.external_fn option) ->
+  ?vectorize:bool ->
+  ?resolve:resolver ->
   ?vars:string list ->
   Aqua_xquery.Ast.query ->
   compiled
@@ -26,7 +39,8 @@ val compile :
     run time.  With [optimize] (the default) the {!Optimize} pass runs
     before lowering, enabling predicate pushdown and hash equi-joins;
     [scan_cache] (default [true]) additionally enables the optimizer's
-    scan-sharing hoist for repeated data-service calls.
+    scan-sharing hoist for repeated data-service calls; [vectorize]
+    (default [true]) lowers FLWOR pipelines to the batch engine.
     @raise Compile_error on unknown functions or variables, and on a
     [where] clause referencing a variable bound only by a later clause
     of the same FLWOR. *)
@@ -34,7 +48,8 @@ val compile :
 val compile_expr :
   ?optimize:bool ->
   ?scan_cache:bool ->
-  ?resolve:(string -> Eval.external_fn option) ->
+  ?vectorize:bool ->
+  ?resolve:resolver ->
   ?vars:string list ->
   Aqua_xquery.Ast.expr ->
   compiled

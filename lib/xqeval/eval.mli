@@ -25,6 +25,7 @@ val bind : context -> string -> Aqua_xml.Item.sequence -> context
 val eval :
   ?optimize:bool ->
   ?scan_cache:bool ->
+  ?vectorize:bool ->
   context ->
   Aqua_xquery.Ast.expr ->
   Aqua_xml.Item.sequence
@@ -35,15 +36,21 @@ val eval :
     oracle.  [scan_cache] (default [true]) additionally enables the
     optimizer's scan-sharing hoist, which materializes repeated
     data-service calls once per plan; [~scan_cache:false] keeps every
-    call in place (the no-materialization oracle).  Either way a
-    [where] clause referencing a variable bound only by a later clause
-    of the same FLWOR raises a clear error naming the variable.
+    call in place (the no-materialization oracle).  [vectorize]
+    (default [true]) executes the optimized plan through the compiled
+    batch engine ({!Compile} with {!Batch.size}-row batches);
+    [~vectorize:false] keeps the tuple-at-a-time interpreter — the
+    row-at-a-time oracle the batch engine is differentially tested
+    against.  Either way a [where] clause referencing a variable bound
+    only by a later clause of the same FLWOR raises a clear error
+    naming the variable.
     @raise Error.Dynamic_error on dynamic errors (unknown variable or
     function, type mismatches, cast failures). *)
 
 val eval_query :
   ?optimize:bool ->
   ?scan_cache:bool ->
+  ?vectorize:bool ->
   context ->
   Aqua_xquery.Ast.query ->
   Aqua_xml.Item.sequence

@@ -18,8 +18,8 @@
 module Atomic = Aqua_xml.Atomic
 module Item = Aqua_xml.Item
 
-let composite (key_values : Item.sequence list) : string =
-  let buf = Buffer.create 64 in
+let composite_into buf (key_values : Item.sequence list) : string =
+  Buffer.clear buf;
   List.iter
     (fun seq ->
       (match Item.atomize seq with
@@ -35,3 +35,5 @@ let composite (key_values : Item.sequence list) : string =
       Buffer.add_char buf ';')
     key_values;
   Buffer.contents buf
+
+let composite key_values = composite_into (Buffer.create 64) key_values

@@ -10,3 +10,8 @@ val composite : Aqua_xml.Item.sequence list -> string
 (** One string per group: the encoded tuple of atomized key values, in
     key order.  Empty key sequences are marked distinctly from every
     non-empty one. *)
+
+val composite_into : Buffer.t -> Aqua_xml.Item.sequence list -> string
+(** Same encoding through a caller-supplied scratch buffer (cleared on
+    entry), so a grouping loop pays one buffer allocation total instead
+    of one per tuple. *)

@@ -29,31 +29,53 @@ type t = {
       (** some build key had >= 2 atoms (value comparison only): every
           probe with a nonempty key must raise the cardinality error *)
   any_nonempty : bool;  (** some build key had >= 1 atoms *)
+  seen_stamp : int array;
+      (** probe-side dedup scratch, one cell per build row; a row is
+          "seen by the current probe" when its cell equals [stamp] *)
+  mutable stamp : int;  (** current probe generation, starts at 0 *)
 }
 
 let secondary_keys (a : Atomic.t) : string list =
   let try_cast f = try Some (f ()) with Atomic.Cast_error _ -> None in
   match a with
   | Atomic.Untyped s ->
-    List.filter_map
-      (fun k -> k)
-      [
-        (match float_of_string_opt (String.trim s) with
-        | Some f -> Some (Atomic.hash_key (Atomic.Double f))
-        | None -> None);
-        (match try_cast (fun () -> Atomic.cast_boolean (Atomic.String s)) with
-        | Some b -> Some (Atomic.hash_key (Atomic.Boolean b))
-        | None -> None);
-        (match try_cast (fun () -> Atomic.date_of_string s) with
-        | Some d -> Some (Atomic.hash_key (Atomic.Date d))
-        | None -> None);
-        (match try_cast (fun () -> Atomic.time_of_string s) with
-        | Some t -> Some (Atomic.hash_key (Atomic.Time t))
-        | None -> None);
-        (match try_cast (fun () -> Atomic.timestamp_of_string s) with
-        | Some ts -> Some (Atomic.hash_key (Atomic.Timestamp ts))
-        | None -> None);
-      ]
+    (* Shape-guarded casts: this runs once per build atom and once per
+       probe, so the date/time casts (which raise on failure) are only
+       attempted when the string's length and separators could match —
+       a numeric key never pays an exception here.  The guards mirror
+       the length/separator preconditions the parsers themselves
+       check before reading any digits. *)
+    let trimmed = String.trim s in
+    let acc =
+      if String.length s = 19 && (s.[10] = 'T' || s.[10] = ' ') then
+        match try_cast (fun () -> Atomic.timestamp_of_string s) with
+        | Some ts -> [ Atomic.hash_key (Atomic.Timestamp ts) ]
+        | None -> []
+      else []
+    in
+    let acc =
+      if String.length s = 8 && s.[2] = ':' && s.[5] = ':' then
+        match try_cast (fun () -> Atomic.time_of_string s) with
+        | Some t -> Atomic.hash_key (Atomic.Time t) :: acc
+        | None -> acc
+      else acc
+    in
+    let acc =
+      if String.length s = 10 && s.[4] = '-' && s.[7] = '-' then
+        match try_cast (fun () -> Atomic.date_of_string s) with
+        | Some d -> Atomic.hash_key (Atomic.Date d) :: acc
+        | None -> acc
+      else acc
+    in
+    let acc =
+      match trimmed with
+      | "true" | "1" -> Atomic.hash_key (Atomic.Boolean true) :: acc
+      | "false" | "0" -> Atomic.hash_key (Atomic.Boolean false) :: acc
+      | _ -> acc
+    in
+    (match float_of_string_opt trimmed with
+    | Some f -> Atomic.hash_key (Atomic.Double f) :: acc
+    | None -> acc)
   | Atomic.Date d ->
     [
       Atomic.hash_key
@@ -98,7 +120,8 @@ let build (source : Item.sequence) ~(key_of : Item.t -> Item.sequence)
               (secondary_keys a))
           atoms)
     items;
-  { items; tbl; poison = !poison; any_nonempty = !any_nonempty }
+  { items; tbl; poison = !poison; any_nonempty = !any_nonempty;
+    seen_stamp = Array.make (Array.length items) 0; stamp = 0 }
 
 let rows_for_atom t a =
   let rows_at key ~primary_only =
@@ -117,20 +140,23 @@ let rows_for_atom t a =
    ascending order, so each per-key run arrives strictly descending —
    the common single-key probe is a linear dedup plus one reverse.
    Only a probe whose atoms matched through several keys can interleave
-   runs, and only then is a (monomorphic int) sort paid.  The previous
-   [List.sort_uniq compare] ran a polymorphic-compare sort on every
-   probe. *)
-let dedup_build_order (matched : int list) : int list =
+   runs, and only then is a (monomorphic int) sort paid.  The seen
+   filter reuses the table-resident [seen_stamp] scratch (one cell per
+   build row, generation-stamped), so a probe allocates no seen table —
+   the batch evaluator issues one probe per selected row, and a
+   per-probe [Hashtbl] showed up as the dominant join allocation. *)
+let dedup_build_order t (matched : int list) : int list =
   match matched with
   | [] | [ _ ] -> matched
   | _ ->
-    let seen = Hashtbl.create 16 in
+    t.stamp <- t.stamp + 1;
+    let gen = t.stamp in
     let uniq =
       List.filter
         (fun (r : int) ->
-          if Hashtbl.mem seen r then false
+          if t.seen_stamp.(r) = gen then false
           else begin
-            Hashtbl.add seen r ();
+            t.seen_stamp.(r) <- gen;
             true
           end)
         matched
@@ -164,4 +190,4 @@ let probe t ~value_cmp (probe_atoms : Atomic.t list) : int list =
         else []
     else List.concat_map (rows_for_atom t) probe_atoms
   in
-  dedup_build_order matched
+  dedup_build_order t matched

@@ -10,6 +10,10 @@ type t = {
   tbl : (string, int * bool) Hashtbl.t;
   poison : bool;
   any_nonempty : bool;
+  seen_stamp : int array;
+      (** probe dedup scratch (one cell per build row), reused across
+          probes instead of allocating a seen table per call *)
+  mutable stamp : int;
 }
 
 val build :

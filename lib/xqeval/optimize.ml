@@ -509,10 +509,17 @@ let share_scans_pass acc (e : X.expr) : X.expr =
       }
   end
 
-let expr ?(share_scans = true) e =
+let expr ?(share_scans = true) ?(vectorize = true) e =
   let acc = { pushed = 0; joins = 0; shared = 0; notes = [] } in
   let e = rewrite acc e in
   let e = if share_scans then share_scans_pass acc e else e in
+  if vectorize then
+    acc.notes <-
+      Printf.sprintf
+        "flwor pipelines execute as %d-row batches (selection-vector \
+         filtering)"
+        (Batch.size ())
+      :: acc.notes;
   let module T = Aqua_core.Telemetry in
   T.add T.c_pushdown_rewrites acc.pushed;
   T.add T.c_hash_join_rewrites acc.joins;
@@ -525,8 +532,8 @@ let expr ?(share_scans = true) e =
       notes = List.rev acc.notes;
     } )
 
-let query ?share_scans (q : X.query) =
-  let body, report = expr ?share_scans q.X.body in
+let query ?share_scans ?vectorize (q : X.query) =
+  let body, report = expr ?share_scans ?vectorize q.X.body in
   ({ q with X.body }, report)
 
 (* ------------------------------------------------------------------ *)

@@ -33,12 +33,22 @@ val scan_var : string -> string
     ('#'-prefixed, so it can never collide with parsed identifiers). *)
 
 val expr :
-  ?share_scans:bool -> Aqua_xquery.Ast.expr -> Aqua_xquery.Ast.expr * report
+  ?share_scans:bool ->
+  ?vectorize:bool ->
+  Aqua_xquery.Ast.expr ->
+  Aqua_xquery.Ast.expr * report
 (** Optimize an expression bottom-up.  [share_scans] (default [true])
-    controls the scan-sharing hoist. *)
+    controls the scan-sharing hoist.  [vectorize] (default [true])
+    does not change the plan — execution strategy is chosen at
+    compile time — but records the batch-pipeline shape (current
+    {!Batch.size}) in the report notes so EXPLAIN-style consumers
+    describe how the plan will run. *)
 
 val query :
-  ?share_scans:bool -> Aqua_xquery.Ast.query -> Aqua_xquery.Ast.query * report
+  ?share_scans:bool ->
+  ?vectorize:bool ->
+  Aqua_xquery.Ast.query ->
+  Aqua_xquery.Ast.query * report
 (** Optimize a query body (prolog is untouched). *)
 
 val free_vars : Aqua_xquery.Ast.expr -> Vars.t

@@ -20,4 +20,5 @@ let () =
       Test_telemetry.suite;
       Test_obs.suite;
       Test_resilience.suite;
-      Test_scan_cache.suite ]
+      Test_scan_cache.suite;
+      Test_vectorize.suite ]
