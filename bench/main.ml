@@ -1112,6 +1112,128 @@ let p12 () =
   flush stdout
 
 (* ------------------------------------------------------------------ *)
+(* P11: concurrent serving throughput — a mixed read workload replayed
+   by 1/2/4/8 domains through a session pool over ONE shared connection
+   (shared translation cache, metadata cache, materialized scan cache).
+   Closed loop: each domain issues its next query as soon as the
+   previous one returns; per-domain latency histograms are merged for
+   the leg's p50/p90/p99, QPS is total completed ops over wall time. *)
+
+module Mcore = Aqua_multicore.Mcore
+module Session_pool = Aqua_driver.Session_pool
+
+let p11_json_path = "BENCH_P11.json"
+
+let p11_domain_counts () =
+  match Sys.getenv_opt "AQUA_DOMAINS" with
+  | None | Some "" -> [ 1; 2; 4; 8 ]
+  | Some s ->
+    let parsed =
+      List.filter_map int_of_string_opt (String.split_on_char ',' s)
+    in
+    let parsed = List.filter (fun d -> d >= 1) parsed in
+    if parsed = [] then [ 1; 2; 4; 8 ] else parsed
+
+(* the mixed read workload: point lookup, filtered scan, equi-join,
+   grouped aggregate — the ad-hoc JDBC-reporting shapes of the paper *)
+let p11_workload =
+  [ "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = 17";
+    "SELECT CUSTOMERNAME, CREDIT FROM CUSTOMERS WHERE TIER > 1";
+    "SELECT C.CUSTOMERNAME, O.ORDERID FROM CUSTOMERS C, ORDERS O WHERE \
+     C.CUSTOMERID = O.CUSTOMERID AND O.PRIORITY > 2";
+    "SELECT CITY, COUNT(*) N FROM CUSTOMERS GROUP BY CITY" ]
+
+let p11 () =
+  print_endline
+    "\n== P11: concurrent serving throughput (domains sharing one \
+     connection) ==";
+  let app = Datagen.application ~seed (sizes 200 300 2 150) in
+  let conn = Connection.connect app in
+  (* warm every cache once so every leg measures the same steady
+     state, not leg-one paying all the cold misses *)
+  List.iter (fun sql -> ignore (Connection.execute_query conn sql)) p11_workload;
+  let stmts = Array.of_list p11_workload in
+  let nstmts = Array.length stmts in
+  let ops_per_domain = if !smoke then 60 else 600 in
+  let leg domains =
+    let pool = Session_pool.create ~capacity:domains conn in
+    let run_domain d () =
+      let h = Histogram.create () in
+      for i = 0 to ops_per_domain - 1 do
+        let sql = stmts.((d + i) mod nstmts) in
+        let t0 = Mclock.now () in
+        ignore (Session_pool.execute ~wait_ms:60_000 pool sql);
+        Histogram.record h (Int64.sub (Mclock.now ()) t0)
+      done;
+      h
+    in
+    let t0 = Mclock.now () in
+    let outcomes =
+      Mcore.Domains.parallel (List.init domains (fun d -> run_domain d))
+    in
+    let wall_ns = Int64.sub (Mclock.now ()) t0 in
+    let merged = Histogram.create () in
+    List.iter
+      (function
+        | Ok h -> Histogram.merge_into ~into:merged h
+        | Error e -> raise e)
+      outcomes;
+    let ops = domains * ops_per_domain in
+    let qps = float_of_int ops /. (Int64.to_float wall_ns /. 1e9) in
+    (domains, ops, wall_ns, qps, merged)
+  in
+  let legs = List.map leg (p11_domain_counts ()) in
+  let cores = Mcore.num_cores () in
+  Printf.printf "cores=%d multicore=%b ops/domain=%d\n\n" cores
+    Mcore.multicore ops_per_domain;
+  Printf.printf "  %-8s %-8s %-12s %-10s %-10s %-10s\n" "domains" "ops"
+    "qps" "p50" "p90" "p99";
+  List.iter
+    (fun (d, ops, _, qps, h) ->
+      Printf.printf "  %-8d %-8d %-12.0f %-10s %-10s %-10s\n" d ops qps
+        (pretty_ns (Int64.to_float (Histogram.p50 h)))
+        (pretty_ns (Int64.to_float (Histogram.p90 h)))
+        (pretty_ns (Int64.to_float (Histogram.p99 h))))
+    legs;
+  let qps_at n =
+    List.find_map
+      (fun (d, _, _, qps, _) -> if d = n then Some qps else None)
+      legs
+  in
+  let speedup_4v1 =
+    match (qps_at 1, qps_at 4) with
+    | Some q1, Some q4 when q1 > 0.0 -> Some (q4 /. q1)
+    | _ -> None
+  in
+  (match speedup_4v1 with
+  | Some s -> Printf.printf "\n4-domain vs 1-domain throughput: %.2fx\n" s
+  | None -> ());
+  let oc = open_out p11_json_path in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"P11 concurrent serving throughput\",\n  \
+     \"units\": \"queries per second; latency quantiles in ns\",\n  \
+     \"seed\": %d,\n  \"smoke\": %b,\n  \"cores\": %d,\n  \
+     \"multicore\": %b,\n  \"ops_per_domain\": %d,\n  \"legs\": [\n"
+    seed !smoke cores Mcore.multicore ops_per_domain;
+  let n = List.length legs in
+  List.iteri
+    (fun i (d, ops, wall_ns, qps, h) ->
+      Printf.fprintf oc
+        "    { \"domains\": %d, \"ops\": %d, \"wall_ns\": %Ld, \"qps\": \
+         %.3f, \"p50_ns\": %Ld, \"p90_ns\": %Ld, \"p99_ns\": %Ld }%s\n"
+        d ops wall_ns qps (Histogram.p50 h) (Histogram.p90 h)
+        (Histogram.p99 h)
+        (if i = n - 1 then "" else ","))
+    legs;
+  Printf.fprintf oc "  ],\n  \"speedup_4v1\": %s\n}\n"
+    (match speedup_4v1 with
+    | Some s -> Printf.sprintf "%.3f" s
+    | None -> "null");
+  close_out oc;
+  Printf.printf "\nwrote %s\n" p11_json_path;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args =
@@ -1129,9 +1251,9 @@ let () =
   let selected =
     match args with
     | _ :: _ -> List.map String.uppercase_ascii args
-    | [] -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8"; "P9"; "P10"; "P12" ]
+    | [] -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8"; "P9"; "P10"; "P11"; "P12" ]
   in
-  let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7); ("P8", p8); ("P9", p9); ("P10", p10); ("P12", p12) ] in
+  let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7); ("P8", p8); ("P9", p9); ("P10", p10); ("P11", p11); ("P12", p12) ] in
   List.iter
     (fun name ->
       match List.assoc_opt name all with

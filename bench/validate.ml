@@ -6,8 +6,8 @@
      dune exec bench/validate.exe -- --prom metrics.prom
 
    JSON files are dispatched on their "experiment" field (P6 join
-   strategy, P9 observability overhead, P10 scan materialization, P12
-   batched execution).  --prom switches to linting Prometheus text
+   strategy, P9 observability overhead, P10 scan materialization, P11
+   concurrent serving throughput, P12 batched execution).  --prom switches to linting Prometheus text
    expositions ({!Aqua_obs.Expose.lint}); --max-overhead R additionally
    fails a P9 file whose measured probe overhead ratio exceeds R;
    --min-speedup S fails a P10 file whose warm-phase speedup is below S
@@ -180,6 +180,70 @@ let validate_p10 ?min_speedup path json =
   | Some _ -> problem "%s: \"cache\" is not an object" path
   | None -> problem "%s: missing field \"cache\"" path
 
+(* P11: concurrent serving throughput — legs of the same closed-loop
+   workload at increasing domain counts.  The hard gate: on a machine
+   with >= 4 cores and a multicore runtime, 4-domain throughput below
+   1-domain throughput means the domain-safe read path serializes (or
+   worse, contends) — the whole point of the refactor is gone, so the
+   file fails outright.  --min-speedup S additionally requires
+   speedup_4v1 >= S under the same conditions.  On fewer cores (or a
+   single-domain build) the legs are still schema-checked but the
+   speedup gates are vacuous — a 1-core runner cannot show parallel
+   speedup and must not fail CI for the laws of physics. *)
+let validate_p11 ?min_speedup path json =
+  check_field path json "experiment" is_string "a string";
+  check_field path json "units" is_string "a string";
+  check_field path json "seed" is_int "an integer";
+  check_field path json "smoke" is_bool "a boolean";
+  check_field path json "cores" is_int "an integer";
+  check_field path json "multicore" is_bool "a boolean";
+  check_field path json "ops_per_domain" is_int "an integer";
+  check_field path json "speedup_4v1" is_number_or_null "a number or null";
+  let cores =
+    match Json.member "cores" json with Some (Json.Num c) -> int_of_float c | _ -> 0
+  in
+  let multicore =
+    match Json.member "multicore" json with Some (Json.Bool b) -> b | _ -> false
+  in
+  let qps = Hashtbl.create 8 in
+  (match Json.member "legs" json with
+  | Some (Json.Arr legs) ->
+    if legs = [] then problem "%s: \"legs\" is empty" path;
+    List.iteri
+      (fun i entry ->
+        let epath = Printf.sprintf "%s: legs[%d]" path i in
+        match entry with
+        | Json.Obj _ ->
+          List.iter
+            (fun name -> check_field epath entry name is_int "an integer")
+            [ "domains"; "ops"; "wall_ns"; "p50_ns"; "p90_ns"; "p99_ns" ];
+          check_field epath entry "qps" is_number_or_null "a number or null";
+          (match (Json.member "domains" entry, Json.member "qps" entry) with
+          | Some (Json.Num d), Some (Json.Num q) ->
+            Hashtbl.replace qps (int_of_float d) q
+          | _ -> ())
+        | _ -> problem "%s is not an object" epath)
+      legs
+  | Some _ -> problem "%s: \"legs\" is not an array" path
+  | None -> problem "%s: missing field \"legs\"" path);
+  let gated = cores >= 4 && multicore in
+  (match (Hashtbl.find_opt qps 1, Hashtbl.find_opt qps 4) with
+  | Some q1, Some q4 when gated ->
+    if q4 < q1 then
+      problem
+        "%s: 4-domain throughput (%.0f qps) below 1-domain (%.0f qps) on a \
+         %d-core multicore runtime"
+        path q4 q1 cores;
+    (match min_speedup with
+    | Some floor when q1 > 0.0 && q4 /. q1 < floor ->
+      problem "%s: speedup_4v1 %.3f below --min-speedup %.3f" path
+        (q4 /. q1) floor
+    | _ -> ())
+  | Some _, Some _ -> ()  (* gates vacuous off a >=4-core multicore box *)
+  | _ ->
+    if gated then
+      problem "%s: missing the 1-domain and/or 4-domain leg" path)
+
 (* P12: batched FLWOR execution — row-at-a-time and batched medians of
    the same query, so at batch size 1024 the batched engine must never
    be slower than the row path (a silent vectorization regression);
@@ -279,6 +343,9 @@ let validate ?max_overhead ?min_speedup path json =
   | Some (Json.Str e)
     when String.length e >= 3 && String.sub e 0 3 = "P12" ->
     validate_p12 ?min_speedup path json
+  | Some (Json.Str e)
+    when String.length e >= 3 && String.sub e 0 3 = "P11" ->
+    validate_p11 ?min_speedup path json
   | Some (Json.Str e)
     when String.length e >= 3 && String.sub e 0 3 = "P10" ->
     validate_p10 ?min_speedup path json

@@ -7,6 +7,7 @@ module Artifact = Aqua_dsp.Artifact
 module Translator = Aqua_translator.Translator
 module Semantic = Aqua_translator.Semantic
 module Budget = Aqua_resilience.Budget
+module Mcore = Aqua_multicore.Mcore
 module Failpoint = Aqua_resilience.Failpoint
 module A = Aqua_sql.Ast
 
@@ -27,12 +28,20 @@ module Lru = struct
     table : (string, 'a entry) Hashtbl.t;
     capacity : int;
     stamp_limit : int;
+    lock : Mcore.Mutex.t;  (* guards table, clock and every stamp *)
     mutable clock : int;
     mutable enabled : bool;
   }
 
   let create ?(stamp_limit = max_int - 1) ~enabled capacity =
-    { table = Hashtbl.create 64; capacity; stamp_limit; clock = 0; enabled }
+    {
+      table = Hashtbl.create 64;
+      capacity;
+      stamp_limit;
+      lock = Mcore.Mutex.create ();
+      clock = 0;
+      enabled;
+    }
 
   (* Reassign stamps 0..n-1 in current LRU order; recency is all the
      eviction scan looks at, so the compaction is invisible. *)
@@ -52,6 +61,7 @@ module Lru = struct
   let find t key =
     if not t.enabled then None
     else
+      Mcore.Mutex.protect t.lock @@ fun () ->
       match Hashtbl.find_opt t.table key with
       | Some e ->
         e.stamp <- tick t;
@@ -71,14 +81,16 @@ module Lru = struct
     | None -> ()
 
   let add t key value =
-    if t.enabled && not (Hashtbl.mem t.table key) then begin
-      if Hashtbl.length t.table >= t.capacity then evict_lru t;
-      Hashtbl.add t.table key { value; stamp = tick t }
-    end
+    if t.enabled then
+      Mcore.Mutex.protect t.lock @@ fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        if Hashtbl.length t.table >= t.capacity then evict_lru t;
+        Hashtbl.add t.table key { value; stamp = tick t }
+      end
 
-  let length t = Hashtbl.length t.table
-  let clock t = t.clock
-  let clear t = Hashtbl.reset t.table
+  let length t = Mcore.Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+  let clock t = Mcore.Mutex.protect t.lock (fun () -> t.clock)
+  let clear t = Mcore.Mutex.protect t.lock (fun () -> Hashtbl.reset t.table)
 end
 
 let translation_cache_capacity = 128
@@ -97,6 +109,9 @@ type t = {
   translations : Translator.t Lru.t;
   env : Semantic.env;
   optimize : bool;
+  rev_lock : Mcore.Mutex.t;
+      (* serializes [revalidate]/[invalidate]: exactly one domain
+         performs the three-cache flush for a given revision bump *)
   mutable limits : Budget.limits;
   mutable transport : transport;
   mutable seen_revision : int;
@@ -119,6 +134,7 @@ let connect ?(transport = Text) ?(metadata_cache = true)
     translations = Lru.create ~enabled:translation_cache translation_cache_capacity;
     env = Semantic.env_of_cache cache;
     optimize;
+    rev_lock = Mcore.Mutex.create ();
     limits;
     transport;
     seen_revision = Artifact.revision app;
@@ -138,6 +154,7 @@ let scan_cache t = t.scans
    invalidates every cached translation and catalog answer; compare
    the application's revision on each use and flush when stale. *)
 let revalidate t =
+  Mcore.Mutex.protect t.rev_lock @@ fun () ->
   let rev = Artifact.revision t.app in
   if rev <> t.seen_revision then begin
     Lru.clear t.translations;
@@ -149,6 +166,7 @@ let revalidate t =
   end
 
 let invalidate t =
+  Mcore.Mutex.protect t.rev_lock @@ fun () ->
   Lru.clear t.translations;
   Metadata.Cache.clear t.cache;
   Aqua_dsp.Scan_cache.flush t.scans;
@@ -287,11 +305,12 @@ let observe_run ~digest ~shape ~stages ~plan run =
 
 let observing () = Stats.enabled () || Recorder.enabled ()
 
-let execute_query t sql =
+let execute_query ?limits t sql =
   let stages = fresh_stages () in
+  let limits = match limits with Some l -> l | None -> t.limits in
   let run () =
     Sql_error.wrap @@ fun () ->
-    Budget.with_budget t.limits @@ fun () ->
+    Budget.with_budget limits @@ fun () ->
     let tr =
       timed
         (fun d -> stages.translate_ns <- Int64.add stages.translate_ns d)
@@ -307,6 +326,41 @@ let execute_query t sql =
     let digest, shape = Fingerprint.fingerprint sql in
     let plan = if t.optimize then "optimized" else "unoptimized" in
     observe_run ~digest ~shape ~stages ~plan run
+
+(* Concurrent entry point: execute a batch of statements across
+   [domains] domains sharing THIS connection (its translation, metadata
+   and scan caches).  Statements are dealt round-robin; results come
+   back in input order, each independently an [Ok result_set] or the
+   [Error exn] that statement raised (one failing statement must not
+   mask its siblings' results).  On a single-core build the shim runs
+   the domains sequentially, so the function is portable — merely not
+   parallel — on 4.14. *)
+let execute_concurrent ?domains t sqls =
+  let stmts = Array.of_list sqls in
+  let n = Array.length stmts in
+  let d =
+    match domains with
+    | Some d -> max 1 (min d (max 1 n))
+    | None -> max 1 (min (Mcore.num_cores ()) n)
+  in
+  let out = Array.make n (Error Not_found) in
+  let worker w () =
+    let rec go i =
+      if i < n then begin
+        (out.(i) <-
+           (match execute_query t stmts.(i) with
+           | rs -> Ok rs
+           | exception e -> Error e));
+        go (i + d)
+      end
+    in
+    go w
+  in
+  (* each worker writes a disjoint stride of [out], so the only shared
+     state is the connection itself *)
+  let outcomes = Mcore.Domains.parallel (List.init d (fun w -> worker w)) in
+  List.iter (function Ok () -> () | Error e -> raise e) outcomes;
+  Array.to_list out
 
 (* ------------------------------------------------------------------ *)
 

@@ -100,15 +100,28 @@ val translation_cache_clock : t -> int
 
 val clear_translation_cache : t -> unit
 
-val execute_query : t -> string -> Result_set.t
+val execute_query :
+  ?limits:Aqua_resilience.Budget.limits -> t -> string -> Result_set.t
 (** Translate, execute on the server, decode through the connection's
     transport — the full pipeline, run under the connection's budget
-    with every failure mapped through {!Sql_error}.  If the optimized
-    evaluator crashes mid-query, the driver retries once on the
-    unoptimized server (graceful degradation, counted as
+    (or [limits], when given — the session pool passes each session's
+    own budget here) with every failure mapped through {!Sql_error}.
+    If the optimized evaluator crashes mid-query, the driver retries
+    once on the unoptimized server (graceful degradation, counted as
     [driver.fallbacks_unoptimized] in telemetry).
     @raise Aqua_resilience.Sqlstate.Error with a stable SQLSTATE code
     (see {!Sql_error}) on any classified failure *)
+
+val execute_concurrent :
+  ?domains:int -> t -> string list -> (Result_set.t, exn) result list
+(** Execute a batch of statements across [domains] OCaml domains (default
+    [min (Mcore.num_cores ()) (length sqls)], at least 1) all sharing
+    this connection — one translation cache, one metadata cache, one
+    materialized scan cache.  Statements are dealt round-robin over the
+    domains; the results list is in input order, each statement's
+    outcome captured independently so one failure does not mask the
+    rest.  On a pre-5.0 build the domains shim runs the workers
+    sequentially: same results, no parallelism. *)
 
 (** Prepared statements with ['?'] parameters. *)
 module Prepared : sig

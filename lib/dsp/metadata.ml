@@ -163,19 +163,29 @@ let fetch app ?catalog ?schema name =
 (* Cache                                                              *)
 
 module Cache = struct
+  module Mcore = Aqua_multicore.Mcore
+
   type t = {
     app : Artifact.application;
     entries : (string, table) Hashtbl.t;
+    lock : Mcore.Mutex.t;  (* guards entries and the hit/miss stats *)
     mutable enabled : bool;
     mutable hits : int;
     mutable misses : int;
   }
 
   let create ?(enabled = true) app =
-    { app; entries = Hashtbl.create 16; enabled; hits = 0; misses = 0 }
+    {
+      app;
+      entries = Hashtbl.create 16;
+      lock = Mcore.Mutex.create ();
+      enabled;
+      hits = 0;
+      misses = 0;
+    }
 
   let set_enabled t b = t.enabled <- b
-  let clear t = Hashtbl.reset t.entries
+  let clear t = Mcore.Mutex.protect t.lock (fun () -> Hashtbl.reset t.entries)
 
   let key ?catalog ?schema name =
     String.uppercase_ascii
@@ -186,18 +196,28 @@ module Cache = struct
 
   let lookup t ?catalog ?schema name =
     let k = key ?catalog ?schema name in
-    match if t.enabled then Hashtbl.find_opt t.entries k else None with
-    | Some tbl ->
-      t.hits <- t.hits + 1;
-      Ok tbl
+    let cached =
+      Mcore.Mutex.protect t.lock (fun () ->
+          match if t.enabled then Hashtbl.find_opt t.entries k else None with
+          | Some tbl ->
+            t.hits <- t.hits + 1;
+            Some tbl
+          | None ->
+            t.misses <- t.misses + 1;
+            None)
+    in
+    match cached with
+    | Some tbl -> Ok tbl
     | None -> (
-      t.misses <- t.misses + 1;
+      (* the fetch itself runs outside the lock; a racing domain may
+         fetch the same table twice, but [replace] keeps one copy *)
       match fetch t.app ?catalog ?schema name with
       | Ok tbl ->
-        if t.enabled then Hashtbl.replace t.entries k tbl;
+        Mcore.Mutex.protect t.lock (fun () ->
+            if t.enabled then Hashtbl.replace t.entries k tbl);
         Ok tbl
       | Error _ as e -> e)
 
-  let hits t = t.hits
-  let misses t = t.misses
+  let hits t = Mcore.Mutex.protect t.lock (fun () -> t.hits)
+  let misses t = Mcore.Mutex.protect t.lock (fun () -> t.misses)
 end

@@ -33,6 +33,7 @@ module Item = Aqua_xml.Item
 module Node = Aqua_xml.Node
 module Atomic = Aqua_xml.Atomic
 module T = Aqua_core.Telemetry
+module Mcore = Aqua_multicore.Mcore
 
 type entry = {
   seq : Item.sequence;
@@ -57,6 +58,10 @@ type stats = {
 type t = {
   app : Artifact.application;
   enabled : bool;
+  lock : Mcore.Mutex.t;
+      (** guards [tbl], the byte/stat accounting and every entry's
+          [stamp]/[arr]; per-instance, so two servers' caches never
+          contend.  Not re-entrant: internal helpers assume it held. *)
   max_entries : int;
   max_bytes : int;
   max_rows : int;
@@ -75,6 +80,7 @@ let create ?(enabled = true) ?(max_entries = 64)
   {
     app;
     enabled;
+    lock = Mcore.Mutex.create ();
     max_entries = max 1 max_entries;
     max_bytes = max 1 max_bytes;
     max_rows = max 1 max_rows;
@@ -91,6 +97,7 @@ let create ?(enabled = true) ?(max_entries = 64)
 let enabled t = t.enabled
 
 let stats t =
+  Mcore.Mutex.protect t.lock @@ fun () ->
   {
     hits = t.hits;
     misses = t.misses;
@@ -139,18 +146,20 @@ let drop t key (e : entry) ~invalidated =
     T.incr T.c_scan_cache_evictions
   end
 
-let flush t =
+let flush_unlocked t =
   let all = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.tbl [] in
   List.iter (fun (k, e) -> drop t k e ~invalidated:true) all
+
+let flush t = Mcore.Mutex.protect t.lock (fun () -> flush_unlocked t)
 
 (* Flush everything the moment the application's data revision moves
    (metadata change or a row inserted into any physical table) —
    called on every cache touch, so a served entry is always from the
    current revision. *)
-let revalidate t =
+let revalidate_unlocked t =
   let rev = Artifact.data_revision t.app in
   if rev <> t.seen_revision then begin
-    flush t;
+    flush_unlocked t;
     t.seen_revision <- rev
   end
 
@@ -173,7 +182,8 @@ let evict_lru t =
 let find t key =
   if not t.enabled then None
   else begin
-    revalidate t;
+    Mcore.Mutex.protect t.lock @@ fun () ->
+    revalidate_unlocked t;
     match Hashtbl.find_opt t.tbl key with
     | Some e ->
       t.clock <- t.clock + 1;
@@ -194,7 +204,8 @@ let find t key =
 let find_batches t key ~size =
   if not t.enabled then None
   else begin
-    revalidate t;
+    Mcore.Mutex.protect t.lock @@ fun () ->
+    revalidate_unlocked t;
     match Hashtbl.find_opt t.tbl key with
     | Some e ->
       t.clock <- t.clock + 1;
@@ -223,7 +234,8 @@ let find_batches t key ~size =
 
 let store t key (seq : Item.sequence) =
   if t.enabled then begin
-    revalidate t;
+    Mcore.Mutex.protect t.lock @@ fun () ->
+    revalidate_unlocked t;
     if not (Hashtbl.mem t.tbl key) then begin
       let rows = List.length seq in
       let bytes = sequence_bytes seq in

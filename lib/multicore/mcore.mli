@@ -1,0 +1,75 @@
+(** Multicore portability shim.
+
+    Every piece of shared mutable state in the system synchronizes
+    through this one module, which has two build variants selected by
+    the compiler version (see the dune rules next to it):
+
+    - on OCaml >= 5.0 it is backed by the real [Domain], stdlib
+      [Mutex] and [Domain.DLS], so N sessions evaluate queries truly
+      in parallel;
+    - on 4.14 it degrades to a single-domain shim: [Domains.spawn]
+      runs the thunk inline, locks are no-ops (there is nothing to
+      exclude), and a DLS key is a plain lazily-initialized cell.
+
+    Dependent code therefore never mentions [Domain] directly and the
+    whole tree keeps building on the 4.14 CI leg. *)
+
+val multicore : bool
+(** [true] when real domains are available (OCaml >= 5.0 build). *)
+
+val num_cores : unit -> int
+(** [Domain.recommended_domain_count ()], or [1] on the shim. *)
+
+val cpu_relax : unit -> unit
+(** Spin-wait hint ([Domain.cpu_relax]); a no-op on the shim. *)
+
+(** Mutual exclusion.  On the single-domain variant every operation is
+    a no-op: with no concurrent domains there is nothing to lock, and
+    keeping it free means 4.14 builds carry zero synchronization
+    cost.  Locks are NOT re-entrant on the multicore variant — never
+    call a locking entry point from inside a protected section of the
+    same lock. *)
+module Mutex : sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+
+  val protect : t -> (unit -> 'a) -> 'a
+  (** Runs the thunk with the lock held; always unlocks, re-raising
+      the thunk's exception. *)
+end
+
+(** Domain spawn/join.  The single-domain variant runs the thunk
+    inline at [spawn] time and [join] just returns (or re-raises) its
+    outcome, so orchestration code written against this interface is
+    correct — merely sequential — on 4.14. *)
+module Domains : sig
+  type 'a handle
+
+  val spawn : (unit -> 'a) -> 'a handle
+
+  val join : 'a handle -> 'a
+  (** Waits for the domain and returns its result, re-raising the
+      domain's exception if it died with one. *)
+
+  val join_result : 'a handle -> ('a, exn) result
+  (** Like {!join} but captures the exception, so a caller can join
+      every spawned domain before deciding what to re-raise. *)
+
+  val parallel : (unit -> 'a) list -> ('a, exn) result list
+  (** Spawns one domain per thunk, joins them all (never abandoning a
+      running domain), and returns the outcomes in input order. *)
+end
+
+(** Domain-local storage.  On the shim a key is one lazily-initialized
+    cell, which is exactly the old "module-level mutable" behavior the
+    multicore refactor replaced. *)
+module Dls : sig
+  type 'a key
+
+  val new_key : (unit -> 'a) -> 'a key
+  val get : 'a key -> 'a
+  val set : 'a key -> 'a -> unit
+end

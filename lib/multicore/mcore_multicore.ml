@@ -1,0 +1,49 @@
+(* OCaml >= 5.0 variant of the Mcore interface: real domains, stdlib
+   mutexes, Domain.DLS.  Selected by a dune rule on the compiler
+   version; see mcore.mli for the contract. *)
+
+let multicore = true
+let num_cores () = Domain.recommended_domain_count ()
+let cpu_relax () = Domain.cpu_relax ()
+
+module Mutex = struct
+  type t = Stdlib.Mutex.t
+
+  let create = Stdlib.Mutex.create
+  let lock = Stdlib.Mutex.lock
+  let unlock = Stdlib.Mutex.unlock
+
+  (* hand-rolled rather than Stdlib.Mutex.protect: that helper only
+     exists from 5.1, and this variant must build on 5.0 too *)
+  let protect m f =
+    lock m;
+    match f () with
+    | v ->
+      unlock m;
+      v
+    | exception e ->
+      unlock m;
+      raise e
+end
+
+module Domains = struct
+  type 'a handle = 'a Domain.t
+
+  let spawn f = Domain.spawn f
+  let join h = Domain.join h
+
+  let join_result h = match Domain.join h with v -> Ok v | exception e -> Error e
+
+  let parallel thunks =
+    (* spawn everything first, then join everything: a failed domain
+       must never leave its siblings running unobserved *)
+    List.map join_result (List.map spawn thunks)
+end
+
+module Dls = struct
+  type 'a key = 'a Domain.DLS.key
+
+  let new_key init = Domain.DLS.new_key init
+  let get k = Domain.DLS.get k
+  let set k v = Domain.DLS.set k v
+end

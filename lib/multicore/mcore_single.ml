@@ -1,0 +1,43 @@
+(* Pre-5.0 (single-domain) variant of the Mcore interface: spawn runs
+   inline, locks are no-ops, DLS keys are plain cells.  Selected by a
+   dune rule on the compiler version; see mcore.mli for the
+   contract. *)
+
+let multicore = false
+let num_cores () = 1
+let cpu_relax () = ()
+
+module Mutex = struct
+  type t = unit
+
+  let create () = ()
+  let lock () = ()
+  let unlock () = ()
+  let protect () f = f ()
+end
+
+module Domains = struct
+  (* the thunk already ran at [spawn] time; the handle is its outcome *)
+  type 'a handle = ('a, exn) result
+
+  let spawn f = match f () with v -> Ok v | exception e -> Error e
+  let join = function Ok v -> v | Error e -> raise e
+  let join_result h = h
+  let parallel thunks = List.map spawn thunks
+end
+
+module Dls = struct
+  type 'a key = { init : unit -> 'a; mutable cell : 'a option }
+
+  let new_key init = { init; cell = None }
+
+  let get k =
+    match k.cell with
+    | Some v -> v
+    | None ->
+      let v = k.init () in
+      k.cell <- Some v;
+      v
+
+  let set k v = k.cell <- Some v
+end

@@ -5,6 +5,8 @@
 
 let json_escape = Aqua_core.Telemetry.json_escape
 
+module Mcore = Aqua_multicore.Mcore
+
 type resilience = {
   retries : int;
   fallbacks : int;
@@ -39,14 +41,20 @@ let ring : event option array ref = ref (Array.make default_capacity None)
 let cursor = ref 0  (* next slot to write *)
 let seq = ref 0
 
-let capacity () = Array.length !ring
+(* guards ring, cursor and seq: concurrent appends from N domains each
+   get a distinct seq and slot *)
+let lock = Mcore.Mutex.create ()
+
+let capacity () = Mcore.Mutex.protect lock (fun () -> Array.length !ring)
 
 let set_capacity n =
   if n < 1 then invalid_arg "Recorder.set_capacity: capacity must be >= 1";
+  Mcore.Mutex.protect lock @@ fun () ->
   ring := Array.make n None;
   cursor := 0
 
 let clear () =
+  Mcore.Mutex.protect lock @@ fun () ->
   Array.fill !ring 0 (Array.length !ring) None;
   cursor := 0
 
@@ -54,6 +62,7 @@ let record ~fingerprint ~shape ~start_ns ~dur_ns ?(rows = 0)
     ?(cache_hit = false) ?(plan = "optimized") ?(resilience = no_resilience)
     outcome =
   if !enabled_flag then begin
+    Mcore.Mutex.protect lock @@ fun () ->
     incr seq;
     let ev =
       {
@@ -75,6 +84,7 @@ let record ~fingerprint ~shape ~start_ns ~dur_ns ?(rows = 0)
   end
 
 let events () =
+  Mcore.Mutex.protect lock @@ fun () ->
   let r = !ring in
   let n = Array.length r in
   let acc = ref [] in

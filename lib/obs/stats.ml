@@ -4,6 +4,13 @@
    order, mutable records for O(1) accumulation. *)
 
 module Telemetry = Aqua_core.Telemetry
+module Mcore = Aqua_multicore.Mcore
+
+(* One module lock guards both registries, every entry's mutable
+   fields and every histogram's buckets (Histogram.t is not itself
+   thread-safe).  Functions suffixed [_unlocked] assume the lock is
+   held — the locks are not re-entrant. *)
+let lock = Mcore.Mutex.create ()
 
 let enabled_flag = ref false
 let set_enabled b = enabled_flag := b
@@ -26,7 +33,7 @@ type entry = {
 let table : (string, entry) Hashtbl.t = Hashtbl.create 64
 let order : entry list ref = ref []
 
-let entry ~digest ~shape =
+let entry_unlocked ~digest ~shape =
   match Hashtbl.find_opt table digest with
   | Some e -> e
   | None ->
@@ -55,7 +62,8 @@ let sqlstate_class code =
 let observe ~digest ~shape ?translate_ns ?execute_ns ?decode_ns ?(rows = 0)
     ?(cache_hit = false) ?error ~total_ns () =
   if !enabled_flag then begin
-    let e = entry ~digest ~shape in
+    Mcore.Mutex.protect lock @@ fun () ->
+    let e = entry_unlocked ~digest ~shape in
     e.calls <- e.calls + 1;
     e.rows <- e.rows + rows;
     if cache_hit then e.cache_hits <- e.cache_hits + 1;
@@ -73,8 +81,8 @@ let observe ~digest ~shape ?translate_ns ?execute_ns ?decode_ns ?(rows = 0)
     Histogram.record e.total total_ns
   end
 
-let entries () = List.rev !order
-let find digest = Hashtbl.find_opt table digest
+let entries () = Mcore.Mutex.protect lock (fun () -> List.rev !order)
+let find digest = Mcore.Mutex.protect lock (fun () -> Hashtbl.find_opt table digest)
 
 type order = By_total_time | By_p99 | By_calls
 
@@ -86,19 +94,22 @@ let top ?(by = By_total_time) n =
     | By_calls -> float_of_int e.calls
   in
   let sorted =
-    List.sort (fun a b -> compare (weight b) (weight a)) (entries ())
+    Mcore.Mutex.protect lock (fun () ->
+        List.sort (fun a b -> compare (weight b) (weight a)) (List.rev !order))
   in
   List.filteri (fun i _ -> i < n) sorted
 
 let error_classes e =
-  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) e.error_classes [])
+  Mcore.Mutex.protect lock (fun () ->
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) e.error_classes []))
 
 (* Named histograms ---------------------------------------------------- *)
 
 let h_table : (string, Histogram.t) Hashtbl.t = Hashtbl.create 32
 let h_order : (string * Histogram.t) list ref = ref []
 
-let histogram name =
+let histogram_unlocked name =
   match Hashtbl.find_opt h_table name with
   | Some h -> h
   | None ->
@@ -107,15 +118,21 @@ let histogram name =
     h_order := (name, h) :: !h_order;
     h
 
-let histograms () = List.rev !h_order
+let histogram name = Mcore.Mutex.protect lock (fun () -> histogram_unlocked name)
+
+let histograms () = Mcore.Mutex.protect lock (fun () -> List.rev !h_order)
 
 let install_span_histograms () =
   Telemetry.set_span_observer
-    (Some (fun name dur -> Histogram.record (histogram name) dur))
+    (Some
+       (fun name dur ->
+         Mcore.Mutex.protect lock (fun () ->
+             Histogram.record (histogram_unlocked name) dur)))
 
 let uninstall_span_histograms () = Telemetry.set_span_observer None
 
 let reset () =
+  Mcore.Mutex.protect lock @@ fun () ->
   Hashtbl.reset table;
   order := [];
   Hashtbl.reset h_table;

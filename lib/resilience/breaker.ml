@@ -8,6 +8,7 @@
    fake clock. *)
 
 module Telemetry = Aqua_core.Telemetry
+module Mcore = Aqua_multicore.Mcore
 
 type state = Closed | Open | Half_open
 
@@ -18,6 +19,7 @@ let default_config = { failure_threshold = 5; cooldown_ns = 100_000_000L }
 type t = {
   name : string;
   config : config;
+  lock : Mcore.Mutex.t;  (* guards every mutable field below *)
   mutable state : state;
   mutable consecutive_failures : int;
   mutable opened_at : int64;
@@ -32,6 +34,7 @@ let create ?(config = default_config) name =
   {
     name;
     config;
+    lock = Mcore.Mutex.create ();
     state = Closed;
     consecutive_failures = 0;
     opened_at = 0L;
@@ -41,10 +44,10 @@ let create ?(config = default_config) name =
   }
 
 let name b = b.name
-let state b = b.state
-let trips b = b.trips
-let recoveries b = b.recoveries
-let rejections b = b.rejections
+let state b = Mcore.Mutex.protect b.lock (fun () -> b.state)
+let trips b = Mcore.Mutex.protect b.lock (fun () -> b.trips)
+let recoveries b = Mcore.Mutex.protect b.lock (fun () -> b.recoveries)
+let rejections b = Mcore.Mutex.protect b.lock (fun () -> b.rejections)
 
 let state_to_string = function
   | Closed -> "closed"
@@ -75,34 +78,44 @@ let on_failure b =
   then trip b
 
 let call ?(count_failure = fun _ -> true) b f =
-  (match b.state with
-  | Open ->
-    if
-      Int64.sub (Telemetry.now_ns ()) b.opened_at >= b.config.cooldown_ns
-    then b.state <- Half_open
-    else begin
-      b.rejections <- b.rejections + 1;
-      Telemetry.incr Telemetry.c_breaker_rejections;
-      raise (Open_circuit { name = b.name })
-    end
-  | Closed | Half_open -> ());
+  (* admission decision under the lock; the protected call itself runs
+     outside it, so one slow backend call never serializes the other
+     domains' admissions on this breaker *)
+  Mcore.Mutex.protect b.lock (fun () ->
+      match b.state with
+      | Open ->
+        if
+          Int64.sub (Telemetry.now_ns ()) b.opened_at >= b.config.cooldown_ns
+        then b.state <- Half_open
+        else begin
+          b.rejections <- b.rejections + 1;
+          Telemetry.incr Telemetry.c_breaker_rejections;
+          raise (Open_circuit { name = b.name })
+        end
+      | Closed | Half_open -> ());
   match f () with
   | v ->
-    on_success b;
+    Mcore.Mutex.protect b.lock (fun () -> on_success b);
     v
   | exception e ->
-    if count_failure e then on_failure b;
+    if count_failure e then
+      Mcore.Mutex.protect b.lock (fun () -> on_failure b);
     raise e
 
 (* Registry: one breaker per data-service function, shared by every
    query a server runs. *)
 
-type registry = { config : config; table : (string, t) Hashtbl.t }
+type registry = {
+  config : config;
+  rlock : Mcore.Mutex.t;
+  table : (string, t) Hashtbl.t;
+}
 
 let registry ?(config = default_config) () =
-  { config; table = Hashtbl.create 8 }
+  { config; rlock = Mcore.Mutex.create (); table = Hashtbl.create 8 }
 
 let get reg name =
+  Mcore.Mutex.protect reg.rlock @@ fun () ->
   match Hashtbl.find_opt reg.table name with
   | Some b -> b
   | None ->
@@ -111,7 +124,8 @@ let get reg name =
     b
 
 let all reg =
-  Hashtbl.fold (fun _ b acc -> b :: acc) reg.table []
+  Mcore.Mutex.protect reg.rlock (fun () ->
+      Hashtbl.fold (fun _ b acc -> b :: acc) reg.table [])
   |> List.sort (fun a b -> String.compare a.name b.name)
 
 let () =

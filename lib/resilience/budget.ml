@@ -6,6 +6,7 @@
    budget is installed every probe is a single ref read. *)
 
 module Telemetry = Aqua_core.Telemetry
+module Mcore = Aqua_multicore.Mcore
 
 type limits = {
   timeout_ns : int64 option;
@@ -51,9 +52,12 @@ type t = {
    many fuel steps. *)
 let deadline_check_period = 64
 
-let current : t option ref = ref None
+(* The installed budget is per-domain: each concurrent session runs its
+   query under its own budget, and a governor trip in one domain must
+   never cancel another domain's query. *)
+let current : t option Mcore.Dls.key = Mcore.Dls.new_key (fun () -> None)
 
-let active () = !current <> None
+let active () = Mcore.Dls.get current <> None
 
 let resource_to_string = function
   | Deadline -> "deadline"
@@ -107,9 +111,9 @@ let make (l : limits) =
 let with_budget (l : limits) f =
   if l = no_limits then f ()
   else begin
-    let prev = !current in
-    current := Some (make l);
-    Fun.protect ~finally:(fun () -> current := prev) f
+    let prev = Mcore.Dls.get current in
+    Mcore.Dls.set current (Some (make l));
+    Fun.protect ~finally:(fun () -> Mcore.Dls.set current prev) f
   end
 
 let check_of b =
@@ -118,10 +122,10 @@ let check_of b =
   | _ -> ()
 
 let check_now () =
-  match !current with None -> () | Some b -> check_of b
+  match Mcore.Dls.get current with None -> () | Some b -> check_of b
 
 let step () =
-  match !current with
+  match Mcore.Dls.get current with
   | None -> ()
   | Some b ->
     b.fuel <- b.fuel + 1;
@@ -136,7 +140,7 @@ let step () =
 
 let steps n =
   if n > 0 then
-    match !current with
+    match Mcore.Dls.get current with
     | None -> ()
     | Some b ->
       b.fuel <- b.fuel + n;
@@ -150,7 +154,7 @@ let steps n =
       end
 
 let tick_rows n =
-  match !current with
+  match Mcore.Dls.get current with
   | None -> ()
   | Some b ->
     b.rows <- b.rows + n;
@@ -160,7 +164,7 @@ let tick_rows n =
     check_of b
 
 let tick_items n =
-  match !current with
+  match Mcore.Dls.get current with
   | None -> ()
   | Some b ->
     b.items <- b.items + n;

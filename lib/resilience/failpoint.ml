@@ -6,6 +6,7 @@
    single ref read — the sites stay in the hot paths permanently. *)
 
 module Telemetry = Aqua_core.Telemetry
+module Mcore = Aqua_multicore.Mcore
 
 (* The documented site catalog.  [hit] accepts any name (so libraries
    can add sites without touching this list), but the differential
@@ -37,11 +38,18 @@ let armed = ref false
 let global_seed = ref 0
 let sites : (string, site) Hashtbl.t = Hashtbl.create 8
 
+(* Guards [sites] and each site's hit count.  The armed flag itself
+   stays a plain ref: arming/disarming happens while the system is
+   quiescent (test setup), and the fast path must remain one read. *)
+let lock = Mcore.Mutex.create ()
+
 let disarm () =
+  Mcore.Mutex.protect lock @@ fun () ->
   armed := false;
   Hashtbl.reset sites
 
 let hit_count name =
+  Mcore.Mutex.protect lock @@ fun () ->
   match Hashtbl.find_opt sites name with Some s -> s.hits | None -> 0
 
 (* Deterministic per-hit randomness for [Flaky]: splitmix64-style
@@ -72,18 +80,30 @@ let fire name n =
     [ ("site", name); ("hit", string_of_int n) ];
   raise (Injected { site = name; hit = n })
 
+(* What one hit should do, decided under the lock; the side effect
+   (raise / sleep) happens outside it so an injected delay never holds
+   the lock against other domains' sites. *)
+type decision = Pass | Fire of int | Sleep of int64
+
 let slow_hit name =
-  match Hashtbl.find_opt sites name with
-  | None -> ()
-  | Some s -> (
-    s.hits <- s.hits + 1;
-    let n = s.hits in
-    match s.action with
-    | Fail None -> fire name n
-    | Fail (Some k) -> if n <= k then fire name n
-    | Fail_at k -> if n = k then fire name n
-    | Delay ns -> busy_wait ns
-    | Flaky p -> if hit_unit name n < p then fire name n)
+  let d =
+    Mcore.Mutex.protect lock @@ fun () ->
+    match Hashtbl.find_opt sites name with
+    | None -> Pass
+    | Some s -> (
+      s.hits <- s.hits + 1;
+      let n = s.hits in
+      match s.action with
+      | Fail None -> Fire n
+      | Fail (Some k) -> if n <= k then Fire n else Pass
+      | Fail_at k -> if n = k then Fire n else Pass
+      | Delay ns -> Sleep ns
+      | Flaky p -> if hit_unit name n < p then Fire n else Pass)
+  in
+  match d with
+  | Pass -> ()
+  | Fire n -> fire name n
+  | Sleep ns -> busy_wait ns
 
 let hit name = if !armed then slow_hit name
 
@@ -151,6 +171,7 @@ let parse_action s =
 
 let arm ?(seed = 0) spec =
   disarm ();
+  Mcore.Mutex.protect lock @@ fun () ->
   global_seed := seed;
   String.split_on_char ';' spec
   |> List.iter (fun entry ->

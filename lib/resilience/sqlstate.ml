@@ -36,6 +36,7 @@ let feature_not_supported = "0A000"
 
 (* Class 53/54/57 — resource governors and cancellation. *)
 let insufficient_resources = "53000"
+let too_many_connections = "53300"
 let configured_limit_exceeded = "53400"
 let statement_too_complex = "54001"
 let query_canceled = "57014"

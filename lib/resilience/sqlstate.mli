@@ -46,6 +46,9 @@ val feature_not_supported : string  (** 0A000 *)
 val insufficient_resources : string
 (** 53000 — materialization/fuel governor tripped *)
 
+val too_many_connections : string
+(** 53300 — session pool exhausted; no session available *)
+
 val configured_limit_exceeded : string
 (** 53400 — the configured max-rows limit tripped *)
 

@@ -65,28 +65,37 @@ let env_of_application ?(optimize = true) ?(scan_cache = true)
     if not scan_cache then lookup_table_data
     else begin
       let module T = Aqua_core.Telemetry in
+      let module Mcore = Aqua_multicore.Mcore in
       let memo :
           (string option * string option * string,
            Metadata.table * Value.t array list)
           Hashtbl.t =
         Hashtbl.create 16
       in
+      let lock = Mcore.Mutex.create () in
       let seen_revision = ref (Artifact.data_revision app) in
       fun (n : A.table_name) pos ->
-        let rev = Artifact.data_revision app in
-        if rev <> !seen_revision then begin
-          Hashtbl.reset memo;
-          seen_revision := rev
-        end;
         let key = (n.A.catalog, n.A.schema, n.A.table) in
-        match Hashtbl.find_opt memo key with
+        let hit =
+          Mcore.Mutex.protect lock (fun () ->
+              let rev = Artifact.data_revision app in
+              if rev <> !seen_revision then begin
+                Hashtbl.reset memo;
+                seen_revision := rev
+              end;
+              Hashtbl.find_opt memo key)
+        in
+        match hit with
         | Some r ->
           T.incr T.c_scan_cache_hits;
           r
         | None ->
           T.incr T.c_scan_cache_misses;
+          (* resolve outside the lock — the lookup chain can raise with
+             the reference position, and a racing domain at worst
+             resolves the same table twice before [replace] dedupes *)
           let r = lookup_table_data n pos in
-          Hashtbl.replace memo key r;
+          Mcore.Mutex.protect lock (fun () -> Hashtbl.replace memo key r);
           r
     end
   in

@@ -1,7 +1,18 @@
 (* Spans, counters and NDJSON trace events.  Everything here must be
    cheap when disabled: every probe is a single [if !enabled_flag]
-   branch over mutable ints, so the layer can stay threaded through the
-   hot paths of both engines permanently. *)
+   branch, so the layer can stay threaded through the hot paths of both
+   engines permanently.
+
+   Domain safety (DESIGN.md §13): counters are [Atomic.t] ints, so
+   concurrent recorders from N domains lose no increments and [reset]
+   cannot race a recorder into a torn read; the name->counter
+   registries and the span aggregates are guarded by one module mutex
+   (registration and span close are cold paths); the span nesting
+   depth is domain-local.  The [enabled]/clock/sink switches remain
+   plain refs — they are configuration, flipped while the system is
+   quiescent, and a stale read of a monotone flag is benign. *)
+
+module Mcore = Aqua_multicore.Mcore
 
 let enabled_flag = ref false
 let set_enabled b = enabled_flag := b
@@ -12,21 +23,32 @@ let enabled () = !enabled_flag
    slew, VM suspend).  The default is therefore monotonicized: a read
    below the previous one returns the previous one, so intervals taken
    through it are never negative.  Benchmarks install a true monotonic
-   source via [set_clock]. *)
+   source via [set_clock].  The floor is an Atomic so concurrent reads
+   from N domains keep it monotone instead of racing it backwards. *)
 let default_clock =
-  let last = ref Int64.min_int in
+  let last = Atomic.make Int64.min_int in
   fun () ->
     let t = Int64.of_float (Unix.gettimeofday () *. 1e9) in
-    if t > !last then last := t;
-    !last
+    let rec advance () =
+      let prev = Atomic.get last in
+      if Int64.compare t prev > 0 then
+        if Atomic.compare_and_set last prev t then t else advance ()
+      else prev
+    in
+    advance ()
 
 let clock = ref default_clock
 let set_clock f = clock := f
 let now_ns () = !clock ()
 
+(* One lock for every registry in this module: counter and clause
+   tables, span aggregates.  Hot-path increments never take it — only
+   registration (first use of a name) and span close do. *)
+let registry_lock = Mcore.Mutex.create ()
+
 (* Counters ---------------------------------------------------------- *)
 
-type counter = { name : string; mutable count : int }
+type counter = { name : string; count : int Atomic.t }
 
 (* Registration order matters for reporting, so keep a reverse-ordered
    list alongside the by-name table. *)
@@ -34,20 +56,24 @@ let counter_table : (string, counter) Hashtbl.t = Hashtbl.create 64
 let counter_order : counter list ref = ref []
 
 let counter name =
+  Mcore.Mutex.protect registry_lock @@ fun () ->
   match Hashtbl.find_opt counter_table name with
   | Some c -> c
   | None ->
-      let c = { name; count = 0 } in
+      let c = { name; count = Atomic.make 0 } in
       Hashtbl.add counter_table name c;
       counter_order := c :: !counter_order;
       c
 
-let incr c = if !enabled_flag then c.count <- c.count + 1
-let add c n = if !enabled_flag then c.count <- c.count + n
-let value c = c.count
+let incr c = if !enabled_flag then ignore (Atomic.fetch_and_add c.count 1)
+let add c n = if !enabled_flag then ignore (Atomic.fetch_and_add c.count n)
+let value c = Atomic.get c.count
 
 let counters () =
-  List.rev_map (fun c -> (c.name, c.count)) !counter_order
+  let order =
+    Mcore.Mutex.protect registry_lock (fun () -> !counter_order)
+  in
+  List.rev_map (fun c -> (c.name, Atomic.get c.count)) order
 
 let c_translations = counter "translator.translations"
 let c_rows_emitted = counter "xqeval.rows_emitted"
@@ -83,6 +109,9 @@ let c_shared_scan_rewrites = counter "optimize.shared_scan_rewrites"
 let c_batch_batches = counter "xqeval.batch.batches"
 let c_batch_rows = counter "xqeval.batch.rows"
 let c_batch_filtered = counter "xqeval.batch.filtered"
+let c_pool_borrows = counter "session_pool.borrows"
+let c_pool_rejections = counter "session_pool.rejections"
+let c_pool_waits = counter "session_pool.waits"
 
 (* Per-clause row accounting ----------------------------------------- *)
 
@@ -93,16 +122,18 @@ let clause_table : (string, counter) Hashtbl.t = Hashtbl.create 16
 let clause_order : counter list ref = ref []
 
 let clause_counter label =
+  Mcore.Mutex.protect registry_lock @@ fun () ->
   match Hashtbl.find_opt clause_table label with
   | Some c -> c
   | None ->
-      let c = { name = label; count = 0 } in
+      let c = { name = label; count = Atomic.make 0 } in
       Hashtbl.add clause_table label c;
       clause_order := c :: !clause_order;
       c
 
 let clause_rows () =
-  List.rev_map (fun c -> (c.name, c.count)) !clause_order
+  let order = Mcore.Mutex.protect registry_lock (fun () -> !clause_order) in
+  List.rev_map (fun c -> (c.name, Atomic.get c.count)) order
 
 (* JSON escaping ------------------------------------------------------ *)
 
@@ -127,8 +158,14 @@ let json_escape s =
 let trace_sink : (string -> unit) option ref = ref None
 let set_trace_sink s = trace_sink := s
 
+(* Concurrent spans emit whole lines under a lock so the NDJSON stream
+   never interleaves two domains' events inside one line. *)
+let trace_lock = Mcore.Mutex.create ()
+
 let emit_line line =
-  match !trace_sink with Some sink -> sink line | None -> ()
+  match !trace_sink with
+  | Some sink -> Mcore.Mutex.protect trace_lock (fun () -> sink line)
+  | None -> ()
 
 let trace_event ev fields =
   if !enabled_flag && !trace_sink <> None then begin
@@ -156,7 +193,10 @@ type span_agg = { span_name : string; mutable n : int; mutable total_ns : int64 
 
 let span_table : (string, span_agg) Hashtbl.t = Hashtbl.create 32
 let span_order : span_agg list ref = ref []
-let span_depth = ref 0
+
+(* Span nesting depth is per-domain: two sessions' spans are unrelated
+   and must not see each other's nesting. *)
+let span_depth_key = Mcore.Dls.new_key (fun () -> 0)
 
 let span_agg name =
   match Hashtbl.find_opt span_table name with
@@ -171,17 +211,18 @@ let with_span name f =
   if not !enabled_flag then f ()
   else begin
     let start = now_ns () in
-    let depth = !span_depth in
-    Stdlib.incr span_depth;
+    let depth = Mcore.Dls.get span_depth_key in
+    Mcore.Dls.set span_depth_key (depth + 1);
     let finish () =
-      Stdlib.decr span_depth;
+      Mcore.Dls.set span_depth_key depth;
       (* an installed clock may still step backwards (the default one
          cannot); a span must never record a negative duration *)
       let dur = Int64.sub (now_ns ()) start in
       let dur = if Int64.compare dur 0L < 0 then 0L else dur in
-      let a = span_agg name in
-      a.n <- a.n + 1;
-      a.total_ns <- Int64.add a.total_ns dur;
+      Mcore.Mutex.protect registry_lock (fun () ->
+          let a = span_agg name in
+          a.n <- a.n + 1;
+          a.total_ns <- Int64.add a.total_ns dur);
       (match !span_observer with Some f -> f name dur | None -> ());
       if !trace_sink <> None then
         emit_line
@@ -195,9 +236,11 @@ let with_span name f =
   end
 
 let span_stats () =
+  Mcore.Mutex.protect registry_lock @@ fun () ->
   List.rev_map (fun a -> (a.span_name, a.n, a.total_ns)) !span_order
 
 let span_total_ns name =
+  Mcore.Mutex.protect registry_lock @@ fun () ->
   match Hashtbl.find_opt span_table name with
   | Some a -> a.total_ns
   | None -> 0L
@@ -238,6 +281,7 @@ let ds_call_prefix = "dsp.call."
 
 let snapshot () =
   let ds_calls, ds_call_ns =
+    Mcore.Mutex.protect registry_lock @@ fun () ->
     Hashtbl.fold
       (fun name a (calls, ns) ->
         if String.length name > String.length ds_call_prefix
@@ -289,15 +333,16 @@ let metrics_to_json m =
     m.shared_scan_rewrites m.batch_batches m.batch_rows m.batch_filtered
 
 let reset () =
+  Mcore.Mutex.protect registry_lock @@ fun () ->
   (* [c_scan_cache_bytes] is a gauge, not a counter: it tracks bytes
      resident in live scan caches via +insert/-drop deltas.  Zeroing it
      while entries remain resident would make subsequent drops push it
      negative, so reset leaves it alone. *)
   Hashtbl.iter
-    (fun _ c -> if c != c_scan_cache_bytes then c.count <- 0)
+    (fun _ c -> if c != c_scan_cache_bytes then Atomic.set c.count 0)
     counter_table;
   Hashtbl.reset clause_table;
   clause_order := [];
   Hashtbl.reset span_table;
   span_order := [];
-  span_depth := 0
+  Mcore.Dls.set span_depth_key 0

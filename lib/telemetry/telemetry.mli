@@ -80,6 +80,9 @@ val c_shared_scan_rewrites : counter (* repeated scans hoisted into a shared let
 val c_batch_batches : counter        (* batches pushed by the vectorized pipeline *)
 val c_batch_rows : counter           (* rows carried by those batches *)
 val c_batch_filtered : counter       (* rows dropped by vectorized where filters *)
+val c_pool_borrows : counter         (* sessions handed out by the session pool *)
+val c_pool_rejections : counter      (* borrows rejected: pool exhausted (53300) *)
+val c_pool_waits : counter           (* borrows that had to wait for a release *)
 
 (** {1 Per-clause row accounting}
 

@@ -3,6 +3,7 @@ module Item = Aqua_xml.Item
 module Node = Aqua_xml.Node
 module X = Aqua_xquery.Ast
 module Telemetry = Aqua_core.Telemetry
+module Mcore = Aqua_multicore.Mcore
 module Budget = Aqua_resilience.Budget
 module Failpoint = Aqua_resilience.Failpoint
 
@@ -233,11 +234,18 @@ let vnote_batch n =
    capacity are kept, and the pool is bounded — pooled buffers retain
    the last invocation's row references until overwritten, so the bound
    also caps that residue. *)
-let vbatch_pools : (int * vbatch list ref) list ref = ref []
+(* Domain-local: pooled buffers are written in place by whichever
+   pipeline holds them, so two domains must never draw from one pool.
+   Per-domain pools need no locking and no cross-core cache traffic;
+   the cost is one pool's worth of buffers per serving domain. *)
+let vbatch_pools : (int * vbatch list ref) list ref Mcore.Dls.key =
+  Mcore.Dls.new_key (fun () -> ref [])
+
 let vbatch_pool_caps = 8  (* distinct batch capacities kept alive *)
 let vbatch_pool_cap = 16  (* buffers kept per capacity *)
 
 let vbatch_pool_for cap =
+  let vbatch_pools = Mcore.Dls.get vbatch_pools in
   match List.assoc_opt cap !vbatch_pools with
   | Some p -> p
   | None ->
@@ -314,10 +322,18 @@ type jt_entry = {
   je_table : Join_table.t;
 }
 
-let jt_cache : jt_entry list ref = ref []
+(* Domain-local for the same reason as the batch pools: the cache is a
+   mutable MRU list probed on every hash-join build, and sharding it
+   per domain keeps the probe lock-free.  The build tables themselves
+   are immutable once built, and the scan cache already shares the
+   expensive part (the materialized source) across domains. *)
+let jt_cache : jt_entry list ref Mcore.Dls.key =
+  Mcore.Dls.new_key (fun () -> ref [])
+
 let jt_cache_cap = 8
 
 let jt_find src key value_cmp =
+  let jt_cache = Mcore.Dls.get jt_cache in
   let rec go acc = function
     | [] -> None
     | e :: rest ->
@@ -330,6 +346,7 @@ let jt_find src key value_cmp =
   go [] !jt_cache
 
 let jt_store src key value_cmp table =
+  let jt_cache = Mcore.Dls.get jt_cache in
   let e =
     { je_src = src; je_key = key; je_cmp = value_cmp; je_table = table }
   in

@@ -1,0 +1,309 @@
+(* Concurrent serving: N domains replaying the differential battery
+   through one shared connection/session pool must produce exactly the
+   rows the sequential oracle produces, with coherent caches and exact
+   counters.  On a pre-5.0 build the Mcore shim runs every "domain"
+   inline, so the suite still executes (sequentially) and still checks
+   the same invariants — only the true-parallelism aspect is vacuous.
+
+   AQUA_STRESS=<n> multiplies the replay rounds (CI runs the suite with
+   AQUA_STRESS=20 to shake out schedule-dependent races). *)
+
+module T = Aqua_core.Telemetry
+module Mcore = Aqua_multicore.Mcore
+module Budget = Aqua_resilience.Budget
+module Sqlstate = Aqua_resilience.Sqlstate
+module Table = Aqua_relational.Table
+module Value = Aqua_relational.Value
+module Rowset = Aqua_relational.Rowset
+module Artifact = Aqua_dsp.Artifact
+module Scan_cache = Aqua_dsp.Scan_cache
+module Engine = Aqua_sqlengine.Engine
+module Connection = Aqua_driver.Connection
+module Session_pool = Aqua_driver.Session_pool
+module Result_set = Aqua_driver.Result_set
+
+let stress =
+  match Option.bind (Sys.getenv_opt "AQUA_STRESS") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 1
+
+let domains = 4
+
+(* a small, join-heavy slice of the differential battery — enough to
+   exercise translation, both cache layers and the vectorized path on
+   every round without making the stress loop minutes long *)
+let workload =
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  take 24 Test_differential.battery
+
+let with_telemetry f =
+  let was = T.enabled () in
+  T.set_enabled true;
+  T.reset ();
+  Fun.protect ~finally:(fun () -> T.set_enabled was) f
+
+(* ------------------------------------------------------------------ *)
+
+(* Satellite (c): the counter-race regression.  Four domains hammer one
+   counter; with plain [mutable count] increments this loses updates on
+   a multicore runtime, with [Atomic.t] the total is exact. *)
+let counter_hammer () =
+  with_telemetry @@ fun () ->
+  let c = T.counter "test.concurrency.hammer" in
+  let per_domain = 10_000 in
+  let outcomes =
+    Mcore.Domains.parallel
+      (List.init domains (fun _ () ->
+           for _ = 1 to per_domain do
+             T.incr c
+           done))
+  in
+  List.iter (function Ok () -> () | Error e -> raise e) outcomes;
+  Alcotest.(check int)
+    "no increment lost across domains" (domains * per_domain) (T.value c)
+
+(* ------------------------------------------------------------------ *)
+
+let rowset_of rs = Result_set.to_rowset rs
+
+let check_same sql expected actual =
+  match Rowset.diff_summary expected actual with
+  | None -> ()
+  | Some msg ->
+    Alcotest.failf "concurrent result diverged on %s: %s" sql msg
+
+(* The heart of the suite: the battery slice replayed by [domains]
+   domains through one shared session pool must row-for-row match the
+   baseline engine oracle, on every stress round. *)
+let pool_replay () =
+  let app = Helpers.demo_app () in
+  let oracle_env = Engine.env_of_application app in
+  let oracle = List.map (Engine.execute_sql oracle_env) workload in
+  let conn = Connection.connect app in
+  let pool = Session_pool.create ~capacity:domains conn in
+  for _round = 1 to stress do
+    let results =
+      Session_pool.execute_concurrent ~domains ~wait_ms:10_000 pool workload
+    in
+    List.iter2
+      (fun (sql, expected) result ->
+        match result with
+        | Ok rs -> check_same sql expected (rowset_of rs)
+        | Error e ->
+          Alcotest.failf "statement failed concurrently: %s: %s" sql
+            (Printexc.to_string e))
+      (List.combine workload oracle)
+      results
+  done;
+  let s = Session_pool.stats pool in
+  Alcotest.(check int) "all sessions returned" 0 s.Session_pool.in_use;
+  Alcotest.(check bool)
+    "borrows accounted"
+    true
+    (s.Session_pool.borrows >= stress * List.length workload)
+
+(* Same replay through the raw connection entry point (no pool). *)
+let connection_replay () =
+  let app = Helpers.demo_app () in
+  let oracle_env = Engine.env_of_application app in
+  let oracle = List.map (Engine.execute_sql oracle_env) workload in
+  let conn = Connection.connect app in
+  for _round = 1 to stress do
+    let results = Connection.execute_concurrent ~domains conn workload in
+    List.iter2
+      (fun (sql, expected) result ->
+        match result with
+        | Ok rs -> check_same sql expected (rowset_of rs)
+        | Error e ->
+          Alcotest.failf "statement failed concurrently: %s: %s" sql
+            (Printexc.to_string e))
+      (List.combine workload oracle)
+      results
+  done
+
+(* ------------------------------------------------------------------ *)
+
+(* Scan-cache coherence: a revision bump (row insert) landing between
+   two concurrent waves must flush the materialized scans — the next
+   wave serves the new row, never a stale scan. *)
+let scan_cache_coherence () =
+  let app = Helpers.demo_app () in
+  let conn = Connection.connect app in
+  let pool = Session_pool.create ~capacity:domains conn in
+  let sql = "SELECT CUSTOMERID FROM CUSTOMERS" in
+  let count_rows () =
+    List.map
+      (function
+        | Ok rs -> Result_set.row_count rs
+        | Error e -> raise e)
+      (Session_pool.execute_concurrent ~domains ~wait_ms:10_000 pool
+         (List.init domains (fun _ -> sql)))
+  in
+  let before = count_rows () in
+  List.iter (Alcotest.(check int) "pre-insert row count" 6) before;
+  (* the mid-stress mutation: bumps the table's data version, which
+     moves Artifact.data_revision and must invalidate resident scans *)
+  let customers =
+    match
+      Artifact.find_service app ~path:"TestDataServices" ~name:"CUSTOMERS"
+    with
+    | Some ds -> (
+      match Artifact.find_function ds "CUSTOMERS" with
+      | Some { Artifact.body = Artifact.Physical t; _ } -> t
+      | _ -> Alcotest.fail "CUSTOMERS is not physical")
+    | None -> Alcotest.fail "no CUSTOMERS service"
+  in
+  Table.insert customers
+    [ Value.Int 7; Value.Str "Grace"; Value.Str "Geneva"; Value.Int 1 ];
+  let after = count_rows () in
+  List.iter (Alcotest.(check int) "post-insert row count" 7) after;
+  let s = Scan_cache.stats (Connection.scan_cache conn) in
+  Alcotest.(check bool)
+    "revision bump invalidated resident scans" true
+    (s.Scan_cache.invalidations > 0)
+
+(* ------------------------------------------------------------------ *)
+
+(* Pool exhaustion is a typed, bounded error: SQLSTATE 53300. *)
+let pool_exhaustion () =
+  let app = Helpers.demo_app () in
+  let conn = Connection.connect app in
+  let pool = Session_pool.create ~capacity:1 conn in
+  let held = Session_pool.borrow pool in
+  (match Session_pool.execute pool "SELECT * FROM CUSTOMERS" with
+  | _ -> Alcotest.fail "expected 53300 on an exhausted pool"
+  | exception Sqlstate.Error e ->
+    Alcotest.(check string)
+      "sqlstate" Sqlstate.too_many_connections e.Sqlstate.sqlstate);
+  Session_pool.release pool held;
+  (* a session is free again: the same call now succeeds *)
+  let rs = Session_pool.execute pool "SELECT * FROM CUSTOMERS" in
+  Alcotest.(check int) "serves after release" 6 (Result_set.row_count rs);
+  let s = Session_pool.stats pool in
+  Alcotest.(check int) "one rejection recorded" 1 s.Session_pool.rejections
+
+(* A bounded-wait borrow succeeds once a concurrent holder releases.
+   Needs a real second domain (the inline shim would spin forever). *)
+let blocking_borrow () =
+  if not Mcore.multicore then ()
+  else begin
+    let app = Helpers.demo_app () in
+    let conn = Connection.connect app in
+    let pool = Session_pool.create ~capacity:1 conn in
+    let held = Session_pool.borrow pool in
+    let waiter =
+      Mcore.Domains.spawn (fun () ->
+          Session_pool.with_session ~wait_ms:10_000 pool (fun s ->
+              Session_pool.session_id s))
+    in
+    (* give the waiter time to start spinning, then release *)
+    Unix.sleepf 0.05;
+    Session_pool.release pool held;
+    let id = Mcore.Domains.join waiter in
+    Alcotest.(check int) "waiter got the released session" 0 id;
+    let s = Session_pool.stats pool in
+    Alcotest.(check bool) "wait recorded" true (s.Session_pool.waits >= 1)
+  end
+
+(* ------------------------------------------------------------------ *)
+
+(* Counter parity: with every cache prewarmed, the telemetry counters
+   for one workload are a pure function of the workload — the same
+   whether it runs on 1 domain or N.  (Domain-local state like the
+   hash-join build cache is deliberately excluded: its build counts
+   legitimately scale with the domain count.) *)
+let counter_parity () =
+  let app = Helpers.demo_app () in
+  let conn = Connection.connect app in
+  let run_measured run =
+    with_telemetry @@ fun () ->
+    run ();
+    let m = T.snapshot () in
+    ( m.T.translations,
+      m.T.cache_hits,
+      m.T.cache_misses,
+      m.T.rows_emitted,
+      m.T.resultset_rows,
+      m.T.scan_cache_hits,
+      m.T.scan_cache_misses )
+  in
+  (* prewarm translation, metadata and scan caches *)
+  List.iter (fun sql -> ignore (Connection.execute_query conn sql)) workload;
+  let sequential =
+    run_measured (fun () ->
+        List.iter
+          (fun sql -> ignore (Connection.execute_query conn sql))
+          workload)
+  in
+  let concurrent =
+    run_measured (fun () ->
+        List.iter
+          (function Ok _ -> () | Error e -> raise e)
+          (Connection.execute_concurrent ~domains conn workload))
+  in
+  let pp (a, b, c, d, e, f, g) =
+    Printf.sprintf
+      "translations=%d cache_hits=%d cache_misses=%d rows_emitted=%d \
+       resultset_rows=%d scan_hits=%d scan_misses=%d"
+      a b c d e f g
+  in
+  Alcotest.(check string)
+    "1-domain and 4-domain runs count identically" (pp sequential)
+    (pp concurrent)
+
+(* ------------------------------------------------------------------ *)
+
+(* Budgets are domain-local: a tiny per-session budget tripping in one
+   domain must not cancel (or be seen by) the query in another. *)
+let budget_isolation () =
+  let app = Helpers.demo_app () in
+  let conn = Connection.connect app in
+  let tiny = Budget.limits ~max_rows:1 () in
+  let outcomes =
+    Mcore.Domains.parallel
+      [
+        (fun () ->
+          match
+            Connection.execute_query ~limits:tiny conn
+              "SELECT * FROM CUSTOMERS"
+          with
+          | _ -> `Unexpected_success
+          | exception Sqlstate.Error e -> `Tripped e.Sqlstate.sqlstate);
+        (fun () ->
+          let rs =
+            Connection.execute_query ~limits:Budget.no_limits conn
+              "SELECT * FROM CUSTOMERS"
+          in
+          `Rows (Result_set.row_count rs));
+      ]
+  in
+  match outcomes with
+  | [ Ok limited; Ok unlimited ] ->
+    (match limited with
+    | `Tripped code ->
+      Alcotest.(check string)
+        "bounded session tripped its own governor"
+        Sqlstate.configured_limit_exceeded code
+    | _ -> Alcotest.fail "bounded session did not trip");
+    (match unlimited with
+    | `Rows n -> Alcotest.(check int) "unbounded session unaffected" 6 n
+    | _ -> Alcotest.fail "unbounded session failed")
+  | _ -> Alcotest.fail "a domain died unexpectedly"
+
+let suite =
+  ( "concurrency",
+    [ Helpers.case "atomic counters survive a 4-domain hammer" counter_hammer;
+      Helpers.case "pooled replay matches the sequential oracle" pool_replay;
+      Helpers.case "shared-connection replay matches the oracle"
+        connection_replay;
+      Helpers.case "scan cache stays coherent across a revision bump"
+        scan_cache_coherence;
+      Helpers.case "exhausted pool raises SQLSTATE 53300" pool_exhaustion;
+      Helpers.case "bounded-wait borrow succeeds after a release"
+        blocking_borrow;
+      Helpers.case "telemetry counters agree between 1 and 4 domains"
+        counter_parity;
+      Helpers.case "budgets are isolated per domain" budget_isolation ] )

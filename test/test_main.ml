@@ -21,4 +21,5 @@ let () =
       Test_obs.suite;
       Test_resilience.suite;
       Test_scan_cache.suite;
-      Test_vectorize.suite ]
+      Test_vectorize.suite;
+      Test_concurrency.suite ]
