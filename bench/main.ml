@@ -1234,6 +1234,268 @@ let p11 () =
   flush stdout
 
 (* ------------------------------------------------------------------ *)
+(* P13: the wire-protocol front end under an open-loop arrival process.
+   Phase 1 measures closed-loop saturation throughput (persistent
+   connections, each client fires its next query on completion).
+   Phase 2 replays a deterministic open-loop schedule — arrival i is
+   due at i/rate seconds, regardless of how the server is coping — at
+   0.5x and 2.0x the measured saturation, connection-per-query, plus a
+   2.0x leg with net-layer failpoints armed.  The claim under test is
+   the robustness contract: overload degrades into fast typed sheds
+   (53300/08006), never into losing admitted queries, and every
+   offered arrival is accounted for as completed or shed. *)
+
+module Failpoint = Aqua_resilience.Failpoint
+module Netserver = Aqua_net.Netserver
+module Net_client = Aqua_net.Client
+
+let p13_json_path = "BENCH_P13.json"
+let p13_fault_spec = "net.session=flaky(0.1);net.read=flaky(0.05)"
+
+(* only CUSTOMERS(CUSTOMERID, CUSTOMERNAME, CITY, TIER) — columns both
+   the synthetic Datagen catalog (in-process server) and the demo
+   catalog (an external `sql2xq serve` via AQUA_NET_ADDR) provide, so
+   every arrival is a valid query against either backend *)
+let p13_workload =
+  [ "SELECT CUSTOMERID, CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = 17";
+    "SELECT CUSTOMERNAME FROM CUSTOMERS WHERE TIER > 1";
+    "SELECT CITY, COUNT(*) N FROM CUSTOMERS GROUP BY CITY";
+    "SELECT CUSTOMERNAME FROM CUSTOMERS ORDER BY CUSTOMERNAME" ]
+
+(* AQUA_NET_ADDR=host:port points the bench at an externally started
+   `sql2xq serve` instead of the in-process server (failpoints then
+   only make sense if the external server armed its own). *)
+let p13_external_addr () =
+  match Sys.getenv_opt "AQUA_NET_ADDR" with
+  | None | Some "" -> None
+  | Some s -> (
+    match String.rindex_opt s ':' with
+    | Some i -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some port -> Some (String.sub s 0 i, port)
+      | None -> None)
+    | None -> None)
+
+let p13 () =
+  print_endline
+    "\n== P13: wire front end — open-loop arrivals, admission shedding ==";
+  let external_addr = p13_external_addr () in
+  if (not Mcore.multicore) && external_addr = None then begin
+    (* the single-domain shim cannot host a background server; emit a
+       schema-valid file that says so instead of fake numbers *)
+    print_endline "single-domain build: skipping (no background server)";
+    let oc = open_out p13_json_path in
+    Printf.fprintf oc
+      "{\n  \"experiment\": \"P13 wire-protocol serving\",\n  \"units\": \
+       \"queries per second; latency quantiles in ns\",\n  \"seed\": %d,\n  \
+       \"smoke\": %b,\n  \"multicore\": false,\n  \"saturation\": null,\n  \
+       \"legs\": []\n}\n"
+      seed !smoke;
+    close_out oc;
+    Printf.printf "wrote %s\n" p13_json_path;
+    flush stdout
+  end
+  else begin
+    let app = Datagen.application ~seed (sizes 200 300 2 150) in
+    let stmts = Array.of_list p13_workload in
+    let nstmts = Array.length stmts in
+    let srv, host, port =
+      match external_addr with
+      | Some (host, port) ->
+        Printf.printf "driving external server at %s:%d\n" host port;
+        (None, host, port)
+      | None ->
+        let conn = Connection.connect app in
+        let config =
+          { Netserver.default_config with
+            port = 0;
+            pool_size = 4;
+            workers = 4;
+            queue_depth = (if !smoke then 4 else 8);
+            borrow_wait_ms = 200;
+          }
+        in
+        let srv = Netserver.start ~config conn in
+        (Some srv, "127.0.0.1", Netserver.port srv)
+    in
+    Fun.protect ~finally:(fun () -> Option.iter Netserver.drain srv)
+    @@ fun () ->
+    (* -------- phase 1: closed-loop saturation (persistent conns) --- *)
+    let sat_clients = if !smoke then 2 else 4 in
+    let sat_ops = if !smoke then 40 else 300 in
+    let sat_client c () =
+      match Net_client.connect ~host ~port () with
+      | Error (code, msg) -> failwith (Printf.sprintf "[%s] %s" code msg)
+      | Ok t ->
+        Fun.protect ~finally:(fun () -> Net_client.close t) @@ fun () ->
+        let h = Histogram.create () in
+        let done_ = ref 0 in
+        for i = 0 to sat_ops - 1 do
+          let sql = stmts.((c + i) mod nstmts) in
+          let t0 = Mclock.now () in
+          match Net_client.query t sql with
+          | Ok _ ->
+            incr done_;
+            Histogram.record h (Int64.sub (Mclock.now ()) t0)
+          | Error _ -> ()
+        done;
+        (!done_, h)
+    in
+    let t0 = Mclock.now () in
+    let outcomes =
+      Mcore.Domains.parallel (List.init sat_clients (fun c -> sat_client c))
+    in
+    let sat_wall = Int64.sub (Mclock.now ()) t0 in
+    let sat_hist = Histogram.create () in
+    let sat_done =
+      List.fold_left
+        (fun acc -> function
+          | Ok (n, h) ->
+            Histogram.merge_into ~into:sat_hist h;
+            acc + n
+          | Error e -> raise e)
+        0 outcomes
+    in
+    let sat_qps =
+      float_of_int sat_done /. (Int64.to_float sat_wall /. 1e9)
+    in
+    Printf.printf
+      "saturation (closed loop, %d clients): %.0f qps, p50 %s, p99 %s\n"
+      sat_clients sat_qps
+      (pretty_ns (Int64.to_float (Histogram.p50 sat_hist)))
+      (pretty_ns (Int64.to_float (Histogram.p99 sat_hist)));
+    (* -------- phase 2: open-loop legs, connection per query --------- *)
+    let offered = if !smoke then 80 else 400 in
+    let fleet = if !smoke then 8 else 12 in
+    let leg (label, rate_factor, failpoints) =
+      (match failpoints with Some spec -> Failpoint.arm spec | None -> ());
+      Fun.protect
+        ~finally:(fun () ->
+          if failpoints <> None then Failpoint.disarm ())
+      @@ fun () ->
+      let rate = Float.max 1.0 (sat_qps *. rate_factor) in
+      let interval_ns = 1e9 /. rate in
+      let next = Atomic.make 0 in
+      let shed_lock = Mutex.create () in
+      let shed : (string, int) Hashtbl.t = Hashtbl.create 8 in
+      let shed_one code =
+        Mutex.protect shed_lock (fun () ->
+            Hashtbl.replace shed code
+              (1 + Option.value ~default:0 (Hashtbl.find_opt shed code)))
+      in
+      let t0 = Mclock.now () in
+      let worker _w () =
+        let h = Histogram.create () in
+        let completed = ref 0 in
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= offered then (!completed, h)
+          else begin
+            (* the arrival process is the schedule, not the server: op i
+               is due at t0 + i/rate whether or not the fleet is late *)
+            let due =
+              Int64.add t0 (Int64.of_float (float_of_int i *. interval_ns))
+            in
+            let now = Mclock.now () in
+            if Int64.compare now due < 0 then
+              Unix.sleepf (Int64.to_float (Int64.sub due now) /. 1e9);
+            (match Net_client.connect ~timeout_ms:5_000 ~host ~port () with
+            | Error (code, _) -> shed_one code
+            | Ok t ->
+              (match Net_client.query t stmts.(i mod nstmts) with
+              | Ok _ ->
+                incr completed;
+                (* response time from scheduled arrival: queueing delay
+                   under overload is the signal, so it must count *)
+                Histogram.record h (Int64.sub (Mclock.now ()) due)
+              | Error (code, _) -> shed_one code);
+              Net_client.close t);
+            go ()
+          end
+        in
+        go ()
+      in
+      let outcomes =
+        Mcore.Domains.parallel (List.init fleet (fun w -> worker w))
+      in
+      let merged = Histogram.create () in
+      let completed =
+        List.fold_left
+          (fun acc -> function
+            | Ok (n, h) ->
+              Histogram.merge_into ~into:merged h;
+              acc + n
+            | Error e -> raise e)
+          0 outcomes
+      in
+      let shed_total = Hashtbl.fold (fun _ n acc -> n + acc) shed 0 in
+      let shed_codes =
+        List.sort compare
+          (Hashtbl.fold (fun c n acc -> (c, n) :: acc) shed [])
+      in
+      Printf.printf
+        "  %-14s rate %-7.0f offered %-5d completed %-5d shed %-4d %s p99 %s\n"
+        label rate offered completed shed_total
+        (String.concat " "
+           (List.map (fun (c, n) -> Printf.sprintf "%s=%d" c n) shed_codes))
+        (pretty_ns (Int64.to_float (Histogram.p99 merged)));
+      (label, rate, failpoints, completed, shed_total, shed_codes, merged)
+    in
+    print_endline "open-loop legs (connection per query):";
+    let legs =
+      List.map leg
+        [ ("0.5x", 0.5, None);
+          ("2.0x", 2.0, None);
+          ("2.0x+faults", 2.0, Some p13_fault_spec) ]
+    in
+    let oc = open_out p13_json_path in
+    Printf.fprintf oc
+      "{\n  \"experiment\": \"P13 wire-protocol serving\",\n  \"units\": \
+       \"queries per second; latency quantiles in ns\",\n  \"seed\": %d,\n  \
+       \"smoke\": %b,\n  \"multicore\": true,\n  \"external\": %b,\n  \
+       \"server\": { \"pool_size\": 4, \"workers\": 4, \"queue_depth\": %d \
+       },\n  \"saturation\": { \"clients\": %d, \"completed\": %d, \"qps\": \
+       %.3f, \"p50_ns\": %Ld, \"p99_ns\": %Ld },\n  \"legs\": [\n"
+      seed !smoke
+      (external_addr <> None)
+      (if !smoke then 4 else 8)
+      sat_clients sat_done sat_qps (Histogram.p50 sat_hist)
+      (Histogram.p99 sat_hist);
+    let n = List.length legs in
+    List.iteri
+      (fun i (label, rate, failpoints, completed, shed_total, shed_codes, h) ->
+        Printf.fprintf oc
+          "    { \"label\": %S, \"rate_qps\": %.3f, \"offered\": %d, \
+           \"completed\": %d, \"shed\": %d, \"shed_by_code\": { %s }, \
+           \"failpoints\": %s, \"p50_ns\": %Ld, \"p90_ns\": %Ld, \
+           \"p99_ns\": %Ld }%s\n"
+          label rate offered completed shed_total
+          (String.concat ", "
+             (List.map
+                (fun (c, cnt) -> Printf.sprintf "\"%s\": %d" c cnt)
+                shed_codes))
+          (match failpoints with
+          | Some spec -> Printf.sprintf "%S" spec
+          | None -> "null")
+          (Histogram.p50 h) (Histogram.p90 h) (Histogram.p99 h)
+          (if i = n - 1 then "" else ","))
+      legs;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s\n" p13_json_path;
+    (match srv with
+    | Some s ->
+      let sm = Netserver.summary s in
+      Printf.printf
+        "server summary: connections=%d queries=%d shed_queue=%d \
+         shed_breaker=%d protocol_errors=%d\n"
+        sm.Netserver.connections sm.queries sm.shed_queue sm.shed_breaker
+        sm.protocol_errors
+    | None -> ());
+    flush stdout
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args =
@@ -1251,9 +1513,9 @@ let () =
   let selected =
     match args with
     | _ :: _ -> List.map String.uppercase_ascii args
-    | [] -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8"; "P9"; "P10"; "P11"; "P12" ]
+    | [] -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8"; "P9"; "P10"; "P11"; "P12"; "P13" ]
   in
-  let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7); ("P8", p8); ("P9", p9); ("P10", p10); ("P11", p11); ("P12", p12) ] in
+  let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7); ("P8", p8); ("P9", p9); ("P10", p10); ("P11", p11); ("P12", p12); ("P13", p13) ] in
   List.iter
     (fun name ->
       match List.assoc_opt name all with

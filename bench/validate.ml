@@ -7,7 +7,8 @@
 
    JSON files are dispatched on their "experiment" field (P6 join
    strategy, P9 observability overhead, P10 scan materialization, P11
-   concurrent serving throughput, P12 batched execution).  --prom switches to linting Prometheus text
+   concurrent serving throughput, P12 batched execution, P13
+   wire-protocol serving).  --prom switches to linting Prometheus text
    expositions ({!Aqua_obs.Expose.lint}); --max-overhead R additionally
    fails a P9 file whose measured probe overhead ratio exceeds R;
    --min-speedup S fails a P10 file whose warm-phase speedup is below S
@@ -244,6 +245,102 @@ let validate_p11 ?min_speedup path json =
     if gated then
       problem "%s: missing the 1-domain and/or 4-domain leg" path)
 
+(* P13: wire-protocol serving — an open-loop arrival process against
+   the socket front end.  The hard gates are the robustness ledger:
+   every leg must account for every offered arrival as completed or
+   shed (a mismatch means the server lost admitted work — exactly the
+   failure the drain/admission machinery exists to prevent), every leg
+   must complete some queries (an all-shed leg means collapse, even
+   the faulted one must degrade rather than die), and the shed
+   breakdown must sum to the shed total.  On a single-domain build the
+   file carries multicore=false and empty legs — schema-checked,
+   gates vacuous. *)
+let validate_p13 path json =
+  check_field path json "experiment" is_string "a string";
+  check_field path json "units" is_string "a string";
+  check_field path json "seed" is_int "an integer";
+  check_field path json "smoke" is_bool "a boolean";
+  check_field path json "multicore" is_bool "a boolean";
+  let multicore =
+    match Json.member "multicore" json with Some (Json.Bool b) -> b | _ -> false
+  in
+  if multicore then begin
+    (match Json.member "saturation" json with
+    | Some (Json.Obj _ as sat) ->
+      let spath = path ^ ": saturation" in
+      List.iter
+        (fun name -> check_field spath sat name is_int "an integer")
+        [ "clients"; "completed"; "p50_ns"; "p99_ns" ];
+      check_field spath sat "qps" is_number_or_null "a number or null";
+      (match Json.member "qps" sat with
+      | Some (Json.Num q) when q <= 0.0 ->
+        problem "%s: saturation qps %.3f is not positive" path q
+      | _ -> ())
+    | Some _ -> problem "%s: \"saturation\" is not an object" path
+    | None -> problem "%s: missing field \"saturation\"" path);
+    match Json.member "legs" json with
+    | Some (Json.Arr legs) ->
+      if legs = [] then problem "%s: \"legs\" is empty" path;
+      List.iteri
+        (fun i entry ->
+          let epath = Printf.sprintf "%s: legs[%d]" path i in
+          match entry with
+          | Json.Obj _ ->
+            check_field epath entry "label" is_string "a string";
+            check_field epath entry "rate_qps" is_number_or_null
+              "a number or null";
+            List.iter
+              (fun name -> check_field epath entry name is_int "an integer")
+              [ "offered"; "completed"; "shed"; "p50_ns"; "p90_ns"; "p99_ns" ];
+            let int_of name =
+              match Json.member name entry with
+              | Some (Json.Num f) when Float.is_integer f ->
+                Some (int_of_float f)
+              | _ -> None
+            in
+            (match (int_of "offered", int_of "completed", int_of "shed") with
+            | Some o, Some c, Some s ->
+              if o <> c + s then
+                problem
+                  "%s: offered %d <> completed %d + shed %d — the server \
+                   lost admitted work"
+                  epath o c s;
+              if c = 0 then
+                problem "%s: no query completed (collapse, not shedding)"
+                  epath
+            | _ -> ());
+            (match Json.member "shed_by_code" entry with
+            | Some (Json.Obj fields) ->
+              let sum =
+                List.fold_left
+                  (fun acc (code, v) ->
+                    match v with
+                    | Json.Num f when Float.is_integer f ->
+                      acc + int_of_float f
+                    | _ ->
+                      problem "%s: shed_by_code[%S] is not an integer" epath
+                        code;
+                      acc)
+                  0 fields
+              in
+              (match int_of "shed" with
+              | Some s when s <> sum ->
+                problem "%s: shed_by_code sums to %d but shed is %d" epath
+                  sum s
+              | _ -> ())
+            | Some _ -> problem "%s: \"shed_by_code\" is not an object" epath
+            | None -> problem "%s: missing field \"shed_by_code\"" epath);
+            (match Json.member "failpoints" entry with
+            | Some (Json.Str _ | Json.Null) -> ()
+            | Some _ ->
+              problem "%s: \"failpoints\" is not a string or null" epath
+            | None -> problem "%s: missing field \"failpoints\"" epath)
+          | _ -> problem "%s is not an object" epath)
+        legs
+    | Some _ -> problem "%s: \"legs\" is not an array" path
+    | None -> problem "%s: missing field \"legs\"" path
+  end
+
 (* P12: batched FLWOR execution — row-at-a-time and batched medians of
    the same query, so at batch size 1024 the batched engine must never
    be slower than the row path (a silent vectorization regression);
@@ -340,6 +437,9 @@ let validate_p12 ?min_speedup path json =
 
 let validate ?max_overhead ?min_speedup path json =
   match Json.member "experiment" json with
+  | Some (Json.Str e)
+    when String.length e >= 3 && String.sub e 0 3 = "P13" ->
+    validate_p13 path json
   | Some (Json.Str e)
     when String.length e >= 3 && String.sub e 0 3 = "P12" ->
     validate_p12 ?min_speedup path json

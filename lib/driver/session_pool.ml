@@ -4,11 +4,17 @@
    one DSP application; this module reproduces the admission layer: a
    fixed number of sessions, each carrying its own per-query budget, is
    handed out to callers (domains).  A borrow when every session is out
-   either waits (bounded spin — the pool is designed for short
-   CPU-bound queries) or fails fast with SQLSTATE 53300
+   either blocks on a condition variable until a release broadcasts (a
+   waiter burns no CPU while parked) or fails fast with SQLSTATE 53300
    ("too many connections"), the same taxonomy the resource governors
    use, so legacy tools see a typed, bounded error instead of an
-   unbounded queue.
+   unbounded queue.  The stdlib condition has no timed wait, so a
+   waiter's deadline is checked at every wakeup: expiry is observed at
+   the next release, which is always forthcoming because sessions are
+   held only for the duration of one budget-bounded query.  On the
+   pre-5.0 shim [Condition.wait] returns immediately, degrading the
+   same loop to the previous bounded spin (which honors the deadline
+   exactly).
 
    The pool serializes nothing but the borrow/release bookkeeping:
    query execution runs outside the lock, on the shared (domain-safe)
@@ -29,6 +35,7 @@ type t = {
   conn : Connection.t;
   capacity : int;
   lock : Mcore.Mutex.t;  (* guards free/in_use and the stats below *)
+  cond : Mcore.Condition.t;  (* broadcast on every release *)
   mutable free : session list;
   mutable in_use : int;
   mutable borrows : int;
@@ -55,6 +62,7 @@ let create ?(capacity = 8) ?limits conn =
     conn;
     capacity;
     lock = Mcore.Mutex.create ();
+    cond = Mcore.Condition.create ();
     free = List.init capacity (fun id -> { id; limits; queries = 0 });
     in_use = 0;
     borrows = 0;
@@ -71,16 +79,8 @@ let session_limits s = s.limits
 let set_session_limits s l = s.limits <- l
 let session_queries s = s.queries
 
-let exhausted t =
-  Mcore.Mutex.protect t.lock (fun () -> t.rejections <- t.rejections + 1);
-  T.incr T.c_pool_rejections;
-  Sqlstate.error ~sqlstate:Sqlstate.too_many_connections
-    ~condition:"too many connections"
-    "session pool exhausted (%d sessions all in use)" t.capacity
-
-(* one borrow attempt under the lock: Some session or None *)
-let try_take t =
-  Mcore.Mutex.protect t.lock @@ fun () ->
+(* one borrow attempt; the caller holds [t.lock] *)
+let take_unlocked t =
   match t.free with
   | s :: rest ->
     t.free <- rest;
@@ -90,44 +90,62 @@ let try_take t =
     Some s
   | [] -> None
 
+(* records the rejection, drops [t.lock], raises 53300 *)
+let exhausted_unlocked (t : t) =
+  t.rejections <- t.rejections + 1;
+  Mcore.Mutex.unlock t.lock;
+  T.incr T.c_pool_rejections;
+  Sqlstate.error ~sqlstate:Sqlstate.too_many_connections
+    ~condition:"too many connections"
+    "session pool exhausted (%d sessions all in use)" t.capacity
+
 let borrow ?(wait_ms = 0) t =
-  match try_take t with
+  Mcore.Mutex.lock t.lock;
+  match take_unlocked t with
   | Some s ->
+    Mcore.Mutex.unlock t.lock;
     T.incr T.c_pool_borrows;
     s
   | None ->
-    if wait_ms <= 0 then exhausted t
+    if wait_ms <= 0 then exhausted_unlocked t
     else begin
-      (* bounded spin: sessions are held only for the duration of one
-         CPU-bound query, so a released session is at most one query
-         away; [cpu_relax] keeps the spin polite on the multicore
-         build and the single-domain shim can never reach here with a
-         positive wait (nothing else runs to release a session, so it
-         exhausts immediately on timeout) *)
-      Mcore.Mutex.protect t.lock (fun () -> t.waits <- t.waits + 1);
+      t.waits <- t.waits + 1;
       T.incr T.c_pool_waits;
       let deadline =
         Int64.add (T.now_ns ()) (Int64.of_int (wait_ms * 1_000_000))
       in
-      let rec spin () =
-        match try_take t with
+      let rec wait_loop () =
+        match take_unlocked t with
         | Some s ->
+          Mcore.Mutex.unlock t.lock;
           T.incr T.c_pool_borrows;
           s
         | None ->
-          if Int64.compare (T.now_ns ()) deadline >= 0 then exhausted t
+          if Int64.compare (T.now_ns ()) deadline >= 0 then
+            exhausted_unlocked t
           else begin
+            (* park until a release broadcasts; the deadline is
+               re-checked on every wakeup (the stdlib condition has no
+               timed wait, so expiry is observed at the next release —
+               always forthcoming, sessions being held for one
+               budget-bounded query at a time).  The shim's [wait]
+               returns immediately, so [cpu_relax] keeps the degraded
+               loop the old polite bounded spin. *)
+            Mcore.Condition.wait t.cond t.lock;
             Mcore.cpu_relax ();
-            spin ()
+            wait_loop ()
           end
       in
-      spin ()
+      wait_loop ()
     end
 
 let release t s =
   Mcore.Mutex.protect t.lock @@ fun () ->
   t.free <- s :: t.free;
-  t.in_use <- t.in_use - 1
+  t.in_use <- t.in_use - 1;
+  (* broadcast, not signal: waiters carry distinct deadlines, and a
+     single signal could land on one that is about to time out *)
+  Mcore.Condition.broadcast t.cond
 
 let with_session ?wait_ms t f =
   let s = borrow ?wait_ms t in

@@ -4,9 +4,11 @@
     sessions — each with its own per-query {!Aqua_resilience.Budget}
     limits — multiplexed onto one connection (one translation cache,
     one metadata cache, one materialized scan cache).  When every
-    session is out, a borrow either spin-waits for a bounded time or
-    fails fast with SQLSTATE 53300 (too_many_connections), so overload
-    surfaces as a typed, bounded error instead of an unbounded queue.
+    session is out, a borrow either parks on a condition variable
+    until a release broadcasts (re-checking its deadline at every
+    wakeup) or fails fast with SQLSTATE 53300 (too_many_connections),
+    so overload surfaces as a typed, bounded error instead of an
+    unbounded queue.
 
     The pool lock covers only borrow/release bookkeeping; queries run
     outside it on the domain-safe connection. *)
@@ -32,8 +34,10 @@ val session_queries : session -> int
 
 val borrow : ?wait_ms:int -> t -> session
 (** Take a session.  With [wait_ms <= 0] (default) an empty pool fails
-    immediately; otherwise the borrow spin-waits up to [wait_ms]
-    milliseconds for a release.
+    immediately; otherwise the borrow blocks up to [wait_ms]
+    milliseconds for a release (deadline expiry is observed at the
+    next release broadcast; on the pre-5.0 shim the wait degrades to
+    a bounded spin).
     @raise Aqua_resilience.Sqlstate.Error with SQLSTATE 53300 when no
     session becomes available *)
 

@@ -41,6 +41,26 @@ module Mutex : sig
       the thunk's exception. *)
 end
 
+(** Condition variables paired with {!Mutex}.  On the multicore
+    variant these are stdlib conditions: [wait] atomically releases
+    the mutex and blocks until a [signal]/[broadcast], so blocked
+    waiters cost zero CPU.  On the single-domain shim [wait] returns
+    immediately (there is no other domain to signal), which turns a
+    wait loop written against this interface into the pre-existing
+    bounded spin — exactly the degradation the 4.14 leg wants. *)
+module Condition : sig
+  type t
+
+  val create : unit -> t
+
+  val wait : t -> Mutex.t -> unit
+  (** Block until signalled (multicore); return immediately (shim).
+      Call only with the mutex held; re-acquired before returning. *)
+
+  val signal : t -> unit
+  val broadcast : t -> unit
+end
+
 (** Domain spawn/join.  The single-domain variant runs the thunk
     inline at [spawn] time and [join] just returns (or re-raises) its
     outcome, so orchestration code written against this interface is

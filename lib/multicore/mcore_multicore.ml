@@ -26,6 +26,15 @@ module Mutex = struct
       raise e
 end
 
+module Condition = struct
+  type t = Stdlib.Condition.t
+
+  let create = Stdlib.Condition.create
+  let wait = Stdlib.Condition.wait
+  let signal = Stdlib.Condition.signal
+  let broadcast = Stdlib.Condition.broadcast
+end
+
 module Domains = struct
   type 'a handle = 'a Domain.t
 

@@ -16,6 +16,18 @@ module Mutex = struct
   let protect () f = f ()
 end
 
+module Condition = struct
+  (* with a single domain there is never anyone to signal: [wait]
+     returns immediately, so condition-wait loops degrade to the
+     bounded spin the pre-Condition code used *)
+  type t = unit
+
+  let create () = ()
+  let wait () () = ()
+  let signal () = ()
+  let broadcast () = ()
+end
+
 module Domains = struct
   (* the thunk already ran at [spawn] time; the handle is its outcome *)
   type 'a handle = ('a, exn) result

@@ -1,0 +1,136 @@
+(* Minimal simple-query client: the counterpart the bench and the CI
+   smoke job use to drive Netserver without an external dependency. *)
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Wire.Reader.t;
+  mutable alive : bool;
+}
+
+type reply = {
+  columns : string list;
+  rows : string option list list;
+  tag : string;
+}
+
+let transport_error msg = Error ("08006", msg)
+
+let close t =
+  if t.alive then begin
+    t.alive <- false;
+    let buf = Buffer.create 8 in
+    Wire.terminate_message buf;
+    (try
+       ignore
+         (Unix.write_substring t.fd (Buffer.contents buf) 0
+            (Buffer.length buf))
+     with Unix.Unix_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let write_all t s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring t.fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  match go 0 with
+  | () -> Ok ()
+  | exception Unix.Unix_error _ ->
+    close t;
+    transport_error "write failed"
+
+let error_fields fields =
+  let get c = Option.value ~default:"" (List.assoc_opt c fields) in
+  (get 'C', get 'M')
+
+(* Consume backend frames until ReadyForQuery, folding what we saw.
+   An ErrorResponse is remembered and reported after the Ready (the
+   protocol always sends Ready after a non-fatal error); EOF with a
+   pending error reports that error (the FATAL case: the server
+   closes instead of returning to idle). *)
+let drain_until_ready t =
+  let columns = ref [] in
+  let rows = ref [] in
+  let tag = ref "" in
+  let err = ref None in
+  let rec go () =
+    match Wire.read_backend t.reader with
+    | Ok (Wire.B_ready _) -> (
+      match !err with
+      | Some e -> Error e
+      | None ->
+        Ok { columns = !columns; rows = List.rev !rows; tag = !tag })
+    | Ok (Wire.B_row_description cols) ->
+      columns := cols;
+      go ()
+    | Ok (Wire.B_data_row vs) ->
+      rows := vs :: !rows;
+      go ()
+    | Ok (Wire.B_command_complete t') ->
+      tag := t';
+      go ()
+    | Ok Wire.B_empty_query ->
+      tag := "";
+      go ()
+    | Ok (Wire.B_error fields) ->
+      err := Some (error_fields fields);
+      go ()
+    | Ok (Wire.B_auth_ok | Wire.B_parameter_status _ | Wire.B_key_data _)
+      ->
+      go ()
+    | Ok (Wire.B_other _) -> go ()
+    | Error e -> (
+      close t;
+      match !err with
+      | Some e -> Error e
+      | None -> transport_error (Wire.error_to_string e))
+  in
+  go ()
+
+let connect ?(timeout_ms = 5_000) ?(user = "sql2xq") ?(database = "demo")
+    ~host ~port () =
+  match Unix.socket PF_INET SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    transport_error (Unix.error_message e)
+  | fd -> (
+    let s = float_of_int (max 1 timeout_ms) /. 1000.0 in
+    (try
+       Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+       Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+     with Unix.Unix_error _ -> ());
+    let addr =
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> Unix.inet_addr_loopback
+      in
+      Unix.ADDR_INET (ip, port)
+    in
+    match Unix.connect fd addr with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      transport_error (Unix.error_message e)
+    | () -> (
+      let t = { fd; reader = Wire.Reader.of_fd fd; alive = true } in
+      let buf = Buffer.create 64 in
+      Wire.startup_message buf
+        [ ("user", user); ("database", database) ];
+      match write_all t (Buffer.contents buf) with
+      | Error e -> Error e
+      | Ok () -> (
+        match drain_until_ready t with
+        | Ok _greeting -> Ok t
+        | Error e ->
+          close t;
+          Error e)))
+
+let query t sql =
+  if not t.alive then transport_error "connection already closed"
+  else
+    let buf = Buffer.create (String.length sql + 16) in
+    Wire.query_message buf sql;
+    match write_all t (Buffer.contents buf) with
+    | Error e -> Error e
+    | Ok () -> drain_until_ready t

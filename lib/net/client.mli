@@ -1,0 +1,40 @@
+(** Minimal in-repo PostgreSQL simple-query client.
+
+    Just enough protocol to drive {!Netserver} from the bench
+    (experiment P13), the test suite and the CI smoke job without any
+    external client library: blocking connect, startup handshake, one
+    [Query] at a time, typed errors surfaced as [(sqlstate, message)].
+    Not a general client — no TLS, no authentication exchanges beyond
+    [AuthenticationOk], no extended protocol. *)
+
+type t
+
+type reply = {
+  columns : string list;
+  rows : string option list list;  (** [None] = SQL NULL *)
+  tag : string;  (** CommandComplete tag, e.g. ["SELECT 6"] *)
+}
+
+val connect :
+  ?timeout_ms:int ->
+  ?user:string ->
+  ?database:string ->
+  host:string ->
+  port:int ->
+  unit ->
+  (t, string * string) result
+(** Dial, send the startup message, consume the greeting through
+    [ReadyForQuery].  [timeout_ms] (default 5000) bounds connect and
+    every read/write.  An [ErrorResponse] during the handshake — the
+    server shedding with 53300 or 57P03 — is [Error (sqlstate, msg)];
+    transport failures use sqlstate ["08006"]. *)
+
+val query : t -> string -> (reply, string * string) result
+(** One simple-query round trip.  A query-level [ErrorResponse]
+    followed by [ReadyForQuery] leaves the connection usable; a FATAL
+    error or transport failure closes it (subsequent calls fail
+    fast). *)
+
+val close : t -> unit
+(** Send [Terminate] (best effort) and close the socket.  Safe to call
+    twice. *)

@@ -1,0 +1,101 @@
+(** The wire-protocol front end: a PostgreSQL-speaking socket server
+    over the in-process translator stack.
+
+    The paper's DSP sits behind a JDBC driver; this module reproduces
+    the missing network layer so stock PostgreSQL client libraries can
+    connect, hand over SQL and stream back translated results.  One
+    blocking accept loop feeds a bounded connection queue drained by a
+    pool of worker domains; each admitted connection becomes a wire
+    session multiplexed onto the shared {!Aqua_driver.Session_pool}.
+
+    Robustness is the point, not a feature flag:
+    - admission control: a full queue is refused {e before any work}
+      with SQLSTATE 53300, so overload degrades into fast typed
+      rejections instead of collapse;
+    - an open circuit breaker on the backend fast-fails new queries
+      with 08006 while the session survives to retry;
+    - every session read/write carries a socket deadline, and each
+      query runs under the session's {!Aqua_resilience.Budget};
+    - a malformed, truncated or oversized frame costs exactly one
+      session (08P01), never the server;
+    - SIGTERM starts a graceful drain: the listener closes, queued
+      connections get 57P03, live sessions get 57P01 on their next
+      query, in-flight queries finish under the drain deadline, and
+      the flight recorder ring is dumped with reason ["drain"].
+
+    Fault injection sites: [net.accept], [net.read], [net.write] and
+    [net.session] (see {!Aqua_resilience.Failpoint.catalog}). *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port (tests/bench) *)
+  pool_size : int;  (** sessions in the shared session pool *)
+  workers : int;  (** worker domains; [0] means [pool_size] *)
+  queue_depth : int;  (** accepted-but-unserved connection bound *)
+  borrow_wait_ms : int;  (** per-query wait for a pool session *)
+  io_timeout_ms : int;  (** socket read/write deadline *)
+  drain_timeout_ms : int;  (** bound on waiting out in-flight queries *)
+  max_frame : int;  (** per-frame byte cap (decoder hardening) *)
+  limits : Aqua_resilience.Budget.limits;  (** per-session query budget *)
+}
+
+val default_config : config
+(** 127.0.0.1:5433, 8 sessions/workers, queue 16, 1 s borrow wait,
+    5 s socket deadline, 2 s drain bound, 1 MiB frames, no budget. *)
+
+(** Counter snapshot maintained by the server itself (independent of
+    the telemetry enable switch, which the same events also feed). *)
+type summary = {
+  connections : int;  (** accepted, including later-shed ones *)
+  queries : int;  (** Query messages admitted to execution *)
+  shed_queue : int;  (** refused 53300: queue full *)
+  shed_drain : int;  (** refused 57P03/57P01: draining *)
+  shed_breaker : int;  (** refused 08006: breaker open *)
+  protocol_errors : int;  (** 08P01 sessions: bad frames *)
+  io_timeouts : int;  (** sessions dropped on a socket deadline *)
+}
+
+type t
+(** A started server. *)
+
+val port : t -> int
+(** The bound port (the ephemeral one when configured with 0). *)
+
+val summary : t -> summary
+
+val draining : t -> bool
+
+val request_drain : t -> unit
+(** Flip the drain flag (what the SIGTERM handler does): the accept
+    loop stops admitting and live sessions begin refusing.  Returns
+    immediately; {!drain} completes the shutdown. *)
+
+val start :
+  ?config:config ->
+  ?snapshot_sink:(string -> unit) ->
+  Aqua_driver.Connection.t ->
+  t
+(** Bind, listen, and serve in background domains (an accept domain
+    plus [workers] session domains).  Requires the multicore build —
+    the single-domain shim cannot run a background server.
+    [snapshot_sink], when given, receives the final
+    {!Aqua_obs.Expose.prometheus} exposition at the end of {!drain}.
+    @raise Failure on the pre-5.0 shim *)
+
+val drain : t -> unit
+(** Graceful shutdown: stop accepting, broadcast the queue (so workers
+    refuse what is left with 57P03), wait — bounded by
+    [drain_timeout_ms] — for in-flight queries to finish, unblock idle
+    sessions, join every domain, dump the flight recorder with reason
+    ["drain"] and emit the exposition snapshot.  Idempotent. *)
+
+val run : ?config:config -> ?snapshot_sink:(string -> unit) ->
+  ?on_listening:(int -> unit) ->
+  Aqua_driver.Connection.t -> summary
+(** The CLI entry point: serve until SIGTERM/SIGINT, then {!drain},
+    returning the final summary.  [on_listening] is called with the
+    bound port once the socket is listening (before the first accept)
+    — the CI smoke job keys on its output.  On the multicore build
+    this is [start] + signal-driven drain; on the shim it degrades to
+    a sequential accept loop (one connection served at a time, same
+    protocol, same drain semantics). *)

@@ -1,0 +1,407 @@
+(* PostgreSQL v3 simple-query wire codec.
+
+   Decoding is hardened by construction: the reader owns every length
+   check, a frame's declared size is validated against a hard cap
+   before any allocation, and every failure mode — truncation, a
+   garbage length, an unknown type byte — is an [error] value the
+   server maps to a session-scoped 08P01.  Nothing in this module
+   raises on malformed input; the only exceptions that can escape are
+   [Unix.Unix_error] from the byte source, and [of_fd] folds those
+   into [Eof]/[Timeout] too. *)
+
+module Sql_type = Aqua_relational.Sql_type
+module Value = Aqua_relational.Value
+module Outcol = Aqua_translator.Outcol
+
+type frontend =
+  | Startup of (string * string) list
+  | Ssl_request
+  | Gss_request
+  | Cancel_request
+  | Query of string
+  | Terminate
+  | Other of char * string
+
+type error =
+  | Eof
+  | Timeout
+  | Oversized of { kind : string; length : int; max : int }
+  | Malformed of string
+
+let error_to_string = function
+  | Eof -> "connection closed"
+  | Timeout -> "socket deadline expired"
+  | Oversized { kind; length; max } ->
+    Printf.sprintf "%s frame of %d bytes exceeds the %d-byte cap" kind
+      length max
+  | Malformed m -> "malformed frame: " ^ m
+
+(* protocol constants *)
+let protocol_v3 = 196608 (* 3 << 16 *)
+let ssl_request_code = 80877103
+let gss_request_code = 80877104
+let cancel_request_code = 80877102
+
+module Reader = struct
+  type t = {
+    read : bytes -> int -> int -> int;
+        (* Unix.read contract: 0 = EOF; may raise Unix_error *)
+    max_frame : int;
+  }
+
+  let default_max_frame = 1 lsl 20
+
+  let of_fd ?(max_frame = default_max_frame) fd =
+    { read = (fun b off len -> Unix.read fd b off len); max_frame }
+
+  let of_string ?(max_frame = default_max_frame) s =
+    let pos = ref 0 in
+    let read b off len =
+      let n = min len (String.length s - !pos) in
+      if n <= 0 then 0
+      else begin
+        Bytes.blit_string s !pos b off n;
+        pos := !pos + n;
+        n
+      end
+    in
+    { read; max_frame }
+
+  (* Exactly [len] bytes, or the error that stopped us.  A partial
+     frame followed by EOF is [Eof] — truncation and a closed peer are
+     indistinguishable on a stream socket, and both end the session. *)
+  let read_exact t len =
+    let buf = Bytes.create len in
+    let rec go off =
+      if off = len then Ok (Bytes.unsafe_to_string buf)
+      else
+        match t.read buf off (len - off) with
+        | 0 -> Error Eof
+        | n -> go (off + n)
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _)
+          ->
+          Error Timeout
+        | exception Unix.Unix_error _ -> Error Eof
+    in
+    go 0
+
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+  let be32 s off =
+    (Char.code s.[off] lsl 24)
+    lor (Char.code s.[off + 1] lsl 16)
+    lor (Char.code s.[off + 2] lsl 8)
+    lor Char.code s.[off + 3]
+
+  (* NUL-separated fields of a startup payload: key/value pairs until
+     the empty-string terminator; trailing garbage is ignored (be
+     liberal in what we accept — the pairs we did parse are real). *)
+  let startup_params payload =
+    let fields = String.split_on_char '\000' payload in
+    let rec pairs acc = function
+      | "" :: _ | [] -> List.rev acc
+      | [ _lone ] -> List.rev acc
+      | k :: v :: rest -> pairs ((k, v) :: acc) rest
+    in
+    pairs [] fields
+
+  let read_startup t =
+    let* header = read_exact t 8 in
+    let length = be32 header 0 in
+    let code = be32 header 4 in
+    if length < 8 then
+      Error (Malformed (Printf.sprintf "startup length %d < 8" length))
+    else if length - 8 > t.max_frame then
+      Error (Oversized { kind = "startup"; length; max = t.max_frame })
+    else
+      let* payload = read_exact t (length - 8) in
+      if code = ssl_request_code then Ok Ssl_request
+      else if code = gss_request_code then Ok Gss_request
+      else if code = cancel_request_code then Ok Cancel_request
+      else if code = protocol_v3 then Ok (Startup (startup_params payload))
+      else
+        Error
+          (Malformed
+             (Printf.sprintf "unknown startup protocol %d (want 3.0)" code))
+
+  (* Query text: up to the first NUL (the client appends one); a
+     missing terminator is tolerated, the payload is the query. *)
+  let cstring payload =
+    match String.index_opt payload '\000' with
+    | Some i -> String.sub payload 0 i
+    | None -> payload
+
+  let read_message t =
+    let* tag = read_exact t 1 in
+    let tag = tag.[0] in
+    let* header = read_exact t 4 in
+    let length = be32 header 0 in
+    if length < 4 then
+      Error
+        (Malformed (Printf.sprintf "message %C length %d < 4" tag length))
+    else if length - 4 > t.max_frame then
+      Error
+        (Oversized
+           { kind = Printf.sprintf "%C" tag; length; max = t.max_frame })
+    else
+      let* payload = read_exact t (length - 4) in
+      match tag with
+      | 'Q' -> Ok (Query (cstring payload))
+      | 'X' -> Ok Terminate
+      | c when (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ->
+        Ok (Other (c, payload))
+      | c ->
+        Error (Malformed (Printf.sprintf "unknown message type byte %C" c))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Encoders: every frame is appended whole to a Buffer.t, so the
+   sender flushes one write per batch. *)
+
+let add_be32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let add_be16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let add_cstring buf s =
+  Buffer.add_string buf s;
+  Buffer.add_char buf '\000'
+
+(* [frame buf 'T' fill]: type byte, then a length prefix covering the
+   payload [fill] writes (plus the prefix itself, per the protocol). *)
+let frame buf tag fill =
+  Buffer.add_char buf tag;
+  let body = Buffer.create 64 in
+  fill body;
+  add_be32 buf (Buffer.length body + 4);
+  Buffer.add_buffer buf body
+
+(* frontend: the untyped startup frame, then the typed ones *)
+
+let startup_message buf params =
+  let body = Buffer.create 64 in
+  add_be32 body protocol_v3;
+  List.iter
+    (fun (k, v) ->
+      add_cstring body k;
+      add_cstring body v)
+    params;
+  Buffer.add_char body '\000';
+  add_be32 buf (Buffer.length body + 4);
+  Buffer.add_buffer buf body
+
+let query_message buf sql = frame buf 'Q' (fun b -> add_cstring b sql)
+let terminate_message buf = frame buf 'X' (fun _ -> ())
+
+let authentication_ok buf = frame buf 'R' (fun b -> add_be32 b 0)
+
+let parameter_status buf key value =
+  frame buf 'S' (fun b ->
+      add_cstring b key;
+      add_cstring b value)
+
+let backend_key_data buf ~pid ~secret =
+  frame buf 'K' (fun b ->
+      add_be32 b pid;
+      add_be32 b secret)
+
+let ready_for_query buf = frame buf 'Z' (fun b -> Buffer.add_char b 'I')
+
+(* PostgreSQL catalog OIDs for the SQL-92 types the translator can
+   infer, so a real client library recognizes the columns. *)
+let type_oid = function
+  | Sql_type.Smallint -> 21
+  | Sql_type.Integer -> 23
+  | Sql_type.Bigint -> 20
+  | Sql_type.Decimal _ -> 1700
+  | Sql_type.Real -> 700
+  | Sql_type.Double -> 701
+  | Sql_type.Char _ -> 1042
+  | Sql_type.Varchar _ -> 1043
+  | Sql_type.Boolean -> 16
+  | Sql_type.Date -> 1082
+  | Sql_type.Time -> 1083
+  | Sql_type.Timestamp -> 1114
+
+let row_description buf (cols : Outcol.t list) =
+  frame buf 'T' (fun b ->
+      add_be16 b (List.length cols);
+      List.iter
+        (fun (c : Outcol.t) ->
+          add_cstring b c.Outcol.label;
+          add_be32 b 0 (* table OID: not a catalog table *);
+          add_be16 b 0 (* attribute number *);
+          add_be32 b (type_oid c.Outcol.ty);
+          add_be16 b 0xffff (* typlen -1: variable *);
+          add_be32 b 0xffffffff (* typmod -1 *);
+          add_be16 b 0 (* format: text *))
+        cols)
+
+let data_row buf values =
+  frame buf 'D' (fun b ->
+      add_be16 b (Array.length values);
+      Array.iter
+        (fun v ->
+          match v with
+          | Value.Null -> add_be32 b 0xffffffff (* -1: SQL NULL *)
+          | v ->
+            let s = Value.to_string v in
+            add_be32 b (String.length s);
+            Buffer.add_string b s)
+        values)
+
+let command_complete buf tag = frame buf 'C' (fun b -> add_cstring b tag)
+let empty_query_response buf = frame buf 'I' (fun _ -> ())
+
+let error_response buf ?(severity = "ERROR") ~sqlstate message =
+  frame buf 'E' (fun b ->
+      Buffer.add_char b 'S';
+      add_cstring b severity;
+      Buffer.add_char b 'V';
+      add_cstring b severity;
+      Buffer.add_char b 'C';
+      add_cstring b sqlstate;
+      Buffer.add_char b 'M';
+      add_cstring b message;
+      Buffer.add_char b '\000' (* field-list terminator *))
+
+let ssl_refused buf = Buffer.add_char buf 'N'
+
+(* ------------------------------------------------------------------ *)
+(* Backend decoder, for the in-repo client side. *)
+
+type backend =
+  | B_auth_ok
+  | B_parameter_status of string * string
+  | B_key_data of { pid : int; secret : int }
+  | B_ready of char
+  | B_row_description of string list
+  | B_data_row of string option list
+  | B_command_complete of string
+  | B_empty_query
+  | B_error of (char * string) list
+  | B_other of char * string
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+(* signed big-endian 32-bit read out of a decoded payload *)
+let sbe32 s off =
+  let v = Reader.be32 s off in
+  if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+
+let split_cstrings s =
+  match String.split_on_char '\000' s with
+  | [] -> []
+  | parts -> (
+    (* a well-formed field list ends with NUL, leaving one "" *)
+    match List.rev parts with
+    | "" :: rest -> List.rev rest
+    | _ -> parts)
+
+let decode_error_fields payload =
+  let rec go acc off =
+    if off >= String.length payload || payload.[off] = '\000' then
+      List.rev acc
+    else
+      let code = payload.[off] in
+      let value_end =
+        match String.index_from_opt payload (off + 1) '\000' with
+        | Some i -> i
+        | None -> String.length payload
+      in
+      let value = String.sub payload (off + 1) (value_end - off - 1) in
+      go ((code, value) :: acc) (value_end + 1)
+  in
+  go [] 0
+
+let decode_row_description payload =
+  if String.length payload < 2 then Error (Malformed "T frame too short")
+  else
+    let n = (Char.code payload.[0] lsl 8) lor Char.code payload.[1] in
+    let rec field acc off = function
+      | 0 -> Ok (List.rev acc)
+      | k ->
+        if off >= String.length payload then
+          Error (Malformed "T frame truncated")
+        else (
+          match String.index_from_opt payload off '\000' with
+          | None -> Error (Malformed "T column name unterminated")
+          | Some nul ->
+            let name = String.sub payload off (nul - off) in
+            (* skip the 18 fixed descriptor bytes after the name *)
+            field (name :: acc) (nul + 1 + 18) (k - 1))
+    in
+    field [] 2 n
+
+let decode_data_row payload =
+  if String.length payload < 2 then Error (Malformed "D frame too short")
+  else
+    let n = (Char.code payload.[0] lsl 8) lor Char.code payload.[1] in
+    let rec value acc off = function
+      | 0 -> Ok (List.rev acc)
+      | k ->
+        if off + 4 > String.length payload then
+          Error (Malformed "D frame truncated")
+        else
+          let len = sbe32 payload off in
+          if len = -1 then value (None :: acc) (off + 4) (k - 1)
+          else if len < 0 || off + 4 + len > String.length payload then
+            Error (Malformed "D value length out of range")
+          else
+            value
+              (Some (String.sub payload (off + 4) len) :: acc)
+              (off + 4 + len) (k - 1)
+    in
+    value [] 2 n
+
+let read_backend (r : Reader.t) =
+  let* tag = Reader.read_exact r 1 in
+  let tag = tag.[0] in
+  if tag = 'N' then Ok (B_other ('N', "")) (* SSL refusal byte *)
+  else
+    let* header = Reader.read_exact r 4 in
+    let length = Reader.be32 header 0 in
+    if length < 4 then Error (Malformed "backend length < 4")
+    else if length - 4 > r.Reader.max_frame then
+      Error
+        (Oversized
+           { kind = Printf.sprintf "%C" tag; length; max = r.Reader.max_frame })
+    else
+      let* payload = Reader.read_exact r (length - 4) in
+      match tag with
+      | 'R' -> Ok B_auth_ok
+      | 'S' -> (
+        match split_cstrings payload with
+        | [ k; v ] -> Ok (B_parameter_status (k, v))
+        | _ -> Error (Malformed "S frame fields"))
+      | 'K' ->
+        if String.length payload <> 8 then
+          Error (Malformed "K frame size")
+        else
+          Ok
+            (B_key_data
+               { pid = Reader.be32 payload 0; secret = Reader.be32 payload 4 })
+      | 'Z' ->
+        if String.length payload <> 1 then
+          Error (Malformed "Z frame size")
+        else Ok (B_ready payload.[0])
+      | 'T' ->
+        let* cols = decode_row_description payload in
+        Ok (B_row_description cols)
+      | 'D' ->
+        let* values = decode_data_row payload in
+        Ok (B_data_row values)
+      | 'C' -> Ok (B_command_complete (Reader.cstring payload))
+      | 'I' -> Ok B_empty_query
+      | 'E' -> Ok (B_error (decode_error_fields payload))
+      | c -> Ok (B_other (c, payload))
+
+let error_field b code =
+  match b with
+  | B_error fields -> List.assoc_opt code fields
+  | _ -> None

@@ -49,6 +49,16 @@ let trips b = Mcore.Mutex.protect b.lock (fun () -> b.trips)
 let recoveries b = Mcore.Mutex.protect b.lock (fun () -> b.recoveries)
 let rejections b = Mcore.Mutex.protect b.lock (fun () -> b.rejections)
 
+(* Would an immediate [call] be rejected?  True only while the breaker
+   is open AND the cooldown has not elapsed — once it has, the next
+   call is the half-open trial and must be admitted, so backpressure
+   layers (the network front end) must not fast-fail it.  Reading this
+   does not count a rejection. *)
+let rejecting b =
+  Mcore.Mutex.protect b.lock @@ fun () ->
+  b.state = Open
+  && Int64.sub (Telemetry.now_ns ()) b.opened_at < b.config.cooldown_ns
+
 let state_to_string = function
   | Closed -> "closed"
   | Open -> "open"

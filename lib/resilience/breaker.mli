@@ -25,6 +25,12 @@ val name : t -> string
 val state : t -> state
 val state_to_string : state -> string
 
+val rejecting : t -> bool
+(** Whether an immediate {!call} would be rejected: open AND still
+    inside the cooldown.  Once the cooldown elapses this is [false] —
+    the next call is the half-open trial and admission layers must let
+    it through.  Does not count as a rejection. *)
+
 val trips : t -> int
 val recoveries : t -> int
 val rejections : t -> int

@@ -20,6 +20,10 @@ let catalog =
     "xqeval.batch";  (* one batch emitted by the vectorized pipeline *)
     "engine.scan";  (* baseline SQL engine base-table scan *)
     "driver.decode";  (* result-set wire decoding, driver side *)
+    "net.accept";  (* a freshly accepted network connection *)
+    "net.read";  (* reading one wire frame from a session socket *)
+    "net.write";  (* flushing a wire response to a session socket *)
+    "net.session";  (* admitting one Query message on a session *)
   ]
 
 type action =

@@ -40,6 +40,8 @@ let too_many_connections = "53300"
 let configured_limit_exceeded = "53400"
 let statement_too_complex = "54001"
 let query_canceled = "57014"
+let admin_shutdown = "57P01"
+let cannot_connect_now = "57P03"
 
 (* Class XX — invariant violations inside the translator/evaluator. *)
 let internal_error = "XX000"

@@ -57,6 +57,14 @@ val statement_too_complex : string
 
 val query_canceled : string  (** 57014 — deadline exceeded *)
 
+val admin_shutdown : string
+(** 57P01 — server draining: an already-connected session issued a
+    query after SIGTERM started the graceful drain *)
+
+val cannot_connect_now : string
+(** 57P03 — server draining: a connection arrived (or was still
+    queued) after the drain began and is rejected before any work *)
+
 val internal_error : string  (** XX000 *)
 
 (** {1 Constructors} *)

@@ -112,6 +112,14 @@ let c_batch_filtered = counter "xqeval.batch.filtered"
 let c_pool_borrows = counter "session_pool.borrows"
 let c_pool_rejections = counter "session_pool.rejections"
 let c_pool_waits = counter "session_pool.waits"
+let c_net_connections = counter "net.connections"
+let c_net_queries = counter "net.queries"
+let c_net_shed_queue = counter "net.shed_queue"
+let c_net_shed_drain = counter "net.shed_drain"
+let c_net_shed_breaker = counter "net.shed_breaker"
+let c_net_protocol_errors = counter "net.protocol_errors"
+let c_net_io_timeouts = counter "net.io_timeouts"
+let c_net_drains = counter "net.drains"
 
 (* Per-clause row accounting ----------------------------------------- *)
 

@@ -83,6 +83,14 @@ val c_batch_filtered : counter       (* rows dropped by vectorized where filters
 val c_pool_borrows : counter         (* sessions handed out by the session pool *)
 val c_pool_rejections : counter      (* borrows rejected: pool exhausted (53300) *)
 val c_pool_waits : counter           (* borrows that had to wait for a release *)
+val c_net_connections : counter      (* network connections accepted *)
+val c_net_queries : counter          (* wire Query messages executed *)
+val c_net_shed_queue : counter       (* connections shed: accept queue full (53300) *)
+val c_net_shed_drain : counter       (* connections/queries shed while draining (57P01/57P03) *)
+val c_net_shed_breaker : counter     (* queries fast-rejected on an open breaker (08006) *)
+val c_net_protocol_errors : counter  (* malformed/oversized/unknown wire frames (08P01) *)
+val c_net_io_timeouts : counter      (* sessions torn down by a read/write deadline *)
+val c_net_drains : counter           (* graceful drain sequences completed *)
 
 (** {1 Per-clause row accounting}
 

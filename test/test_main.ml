@@ -22,4 +22,5 @@ let () =
       Test_resilience.suite;
       Test_scan_cache.suite;
       Test_vectorize.suite;
-      Test_concurrency.suite ]
+      Test_concurrency.suite;
+      Test_net.suite ]

@@ -1,0 +1,344 @@
+(* The wire-protocol front end: codec hardening (every byte stream —
+   valid, truncated, or garbage — decodes to a value, never an
+   exception), and live-server behavior on the multicore build:
+   admission shedding, typed per-statement errors that keep the
+   session, protocol errors that cost exactly one session, breaker
+   fast-rejection, and the SIGTERM-style graceful drain. *)
+
+module Mcore = Aqua_multicore.Mcore
+module Failpoint = Aqua_resilience.Failpoint
+module Budget = Aqua_resilience.Budget
+module Wire = Aqua_net.Wire
+module Client = Aqua_net.Client
+module Netserver = Aqua_net.Netserver
+module Connection = Aqua_driver.Connection
+
+(* ------------------------------------------------------------------ *)
+(* Codec *)
+
+let frontend_roundtrip () =
+  let buf = Buffer.create 64 in
+  Wire.startup_message buf [ ("user", "u"); ("database", "d") ];
+  Wire.query_message buf "SELECT 1 FROM T";
+  Wire.terminate_message buf;
+  let r = Wire.Reader.of_string (Buffer.contents buf) in
+  (match Wire.Reader.read_startup r with
+  | Ok (Wire.Startup params) ->
+    Alcotest.(check (list (pair string string)))
+      "startup params"
+      [ ("user", "u"); ("database", "d") ]
+      params
+  | other ->
+    Alcotest.failf "startup decoded to %s"
+      (match other with Ok _ -> "other frame" | Error e -> Wire.error_to_string e));
+  (match Wire.Reader.read_message r with
+  | Ok (Wire.Query sql) -> Alcotest.(check string) "query" "SELECT 1 FROM T" sql
+  | _ -> Alcotest.fail "expected Query");
+  (match Wire.Reader.read_message r with
+  | Ok Wire.Terminate -> ()
+  | _ -> Alcotest.fail "expected Terminate");
+  match Wire.Reader.read_message r with
+  | Error Wire.Eof -> ()
+  | _ -> Alcotest.fail "expected Eof at stream end"
+
+let backend_roundtrip () =
+  let buf = Buffer.create 64 in
+  Wire.authentication_ok buf;
+  Wire.ready_for_query buf;
+  Wire.error_response buf ~severity:"FATAL" ~sqlstate:"53300" "queue full";
+  let r = Wire.Reader.of_string (Buffer.contents buf) in
+  (match Wire.read_backend r with
+  | Ok Wire.B_auth_ok -> ()
+  | _ -> Alcotest.fail "expected AuthenticationOk");
+  (match Wire.read_backend r with
+  | Ok (Wire.B_ready 'I') -> ()
+  | _ -> Alcotest.fail "expected ReadyForQuery(idle)");
+  match Wire.read_backend r with
+  | Ok (Wire.B_error fields) ->
+    Alcotest.(check (option string))
+      "sqlstate field" (Some "53300")
+      (List.assoc_opt 'C' fields);
+    Alcotest.(check (option string))
+      "message field" (Some "queue full")
+      (List.assoc_opt 'M' fields)
+  | _ -> Alcotest.fail "expected ErrorResponse"
+
+(* Every strict prefix of a valid frame is a typed error — truncation
+   can never crash the decoder or be mistaken for a parse. *)
+let truncation_is_typed () =
+  let buf = Buffer.create 64 in
+  Wire.query_message buf "SELECT CUSTOMERID FROM CUSTOMERS";
+  let full = Buffer.contents buf in
+  for len = 0 to String.length full - 1 do
+    let r = Wire.Reader.of_string (String.sub full 0 len) in
+    match Wire.Reader.read_message r with
+    | Ok _ -> Alcotest.failf "prefix of %d bytes parsed as a frame" len
+    | Error (Wire.Eof | Wire.Malformed _ | Wire.Oversized _ | Wire.Timeout)
+      ->
+      ()
+  done;
+  let r = Wire.Reader.of_string full in
+  match Wire.Reader.read_message r with
+  | Ok (Wire.Query _) -> ()
+  | _ -> Alcotest.fail "full frame no longer parses"
+
+let oversized_frame_rejected () =
+  (* 'Q' + length 0x7fffffff: a garbage length prefix must be refused
+     before any allocation, as Oversized *)
+  let r =
+    Wire.Reader.of_string ~max_frame:1024 "Q\x7f\xff\xff\xff the rest"
+  in
+  match Wire.Reader.read_message r with
+  | Error (Wire.Oversized { max = 1024; _ }) -> ()
+  | Ok _ -> Alcotest.fail "oversized frame parsed"
+  | Error e -> Alcotest.failf "expected Oversized, got %s" (Wire.error_to_string e)
+
+(* Random byte streams: the decoder's only possible outcomes are a
+   parsed message or a typed error, for as many frames as the bytes
+   contain.  QCheck reports any escaping exception as a failure. *)
+let garbage_never_crashes =
+  QCheck.Test.make ~name:"decoder survives arbitrary byte streams"
+    ~count:500 QCheck.string (fun bytes ->
+      let startup_reader = Wire.Reader.of_string ~max_frame:4096 bytes in
+      (match Wire.Reader.read_startup startup_reader with
+      | Ok _ | Error _ -> ());
+      let r = Wire.Reader.of_string ~max_frame:4096 bytes in
+      let rec walk n =
+        if n = 0 then true
+        else
+          match Wire.Reader.read_message r with
+          | Ok _ -> walk (n - 1)
+          | Error _ -> true
+      in
+      walk 64)
+
+(* ------------------------------------------------------------------ *)
+(* Live server (multicore only: Netserver.start needs domains) *)
+
+let with_server ?(config = Netserver.default_config) ?(scan_cache = true) f =
+  let app = Helpers.demo_app () in
+  let conn = Connection.connect ~scan_cache app in
+  let t = Netserver.start ~config:{ config with port = 0 } conn in
+  Fun.protect ~finally:(fun () -> Netserver.drain t) (fun () -> f t)
+
+let connect_ok t =
+  match Client.connect ~host:"127.0.0.1" ~port:(Netserver.port t) () with
+  | Ok c -> c
+  | Error (code, msg) -> Alcotest.failf "connect refused: %s %s" code msg
+
+let expect_rows c sql n =
+  match Client.query c sql with
+  | Ok reply ->
+    Alcotest.(check int) ("rows of " ^ sql) n (List.length reply.Client.rows);
+    Alcotest.(check string)
+      ("tag of " ^ sql)
+      (Printf.sprintf "SELECT %d" n)
+      reply.Client.tag
+  | Error (code, msg) -> Alcotest.failf "%s failed: %s %s" sql code msg
+
+let serve_basic () =
+  if not Mcore.multicore then ()
+  else
+    with_server @@ fun t ->
+    let c = connect_ok t in
+    expect_rows c "SELECT CUSTOMERID FROM CUSTOMERS" 6;
+    (* a typed statement error costs the statement, not the session *)
+    (match Client.query c "SELECT X FROM NO_SUCH_TABLE" with
+    | Error ("42P01", _) -> ()
+    | Error (code, msg) -> Alcotest.failf "expected 42P01, got %s %s" code msg
+    | Ok _ -> Alcotest.fail "expected undefined-table error");
+    expect_rows c "SELECT CUSTOMERID FROM CUSTOMERS" 6;
+    (* empty query: the protocol's dedicated response, session intact *)
+    (match Client.query c "   " with
+    | Ok reply -> Alcotest.(check string) "empty tag" "" reply.Client.tag
+    | Error (code, msg) -> Alcotest.failf "empty query failed: %s %s" code msg);
+    expect_rows c "SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = 2" 1;
+    Client.close c;
+    let s = Netserver.summary t in
+    Alcotest.(check bool) "queries served" true (s.Netserver.queries >= 3)
+
+(* A garbage frame is session-scoped: FATAL 08P01 on that socket, any
+   other session keeps working. *)
+let protocol_error_scoped () =
+  if not Mcore.multicore then ()
+  else
+    with_server @@ fun t ->
+    let healthy = connect_ok t in
+    expect_rows healthy "SELECT CUSTOMERID FROM CUSTOMERS" 6;
+    (* hand-rolled socket so we can write raw garbage post-handshake *)
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+    Unix.connect fd
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, Netserver.port t));
+    let buf = Buffer.create 64 in
+    Wire.startup_message buf [ ("user", "garbage") ];
+    ignore
+      (Unix.write_substring fd (Buffer.contents buf) 0 (Buffer.length buf));
+    let reader = Wire.Reader.of_fd fd in
+    let rec to_ready () =
+      match Wire.read_backend reader with
+      | Ok (Wire.B_ready _) -> ()
+      | Ok _ -> to_ready ()
+      | Error e -> Alcotest.failf "greeting failed: %s" (Wire.error_to_string e)
+    in
+    to_ready ();
+    (* type byte 0x01 is not a letter: Malformed, FATAL 08P01, close *)
+    ignore (Unix.write_substring fd "\x01\x00\x00\x00\x04" 0 5);
+    let rec find_error () =
+      match Wire.read_backend reader with
+      | Ok (Wire.B_error fields) ->
+        Alcotest.(check (option string))
+          "protocol violation" (Some "08P01")
+          (List.assoc_opt 'C' fields)
+      | Ok _ -> find_error ()
+      | Error e ->
+        Alcotest.failf "expected 08P01, got %s" (Wire.error_to_string e)
+    in
+    find_error ();
+    (match Wire.read_backend reader with
+    | Error Wire.Eof -> ()
+    | Ok _ | Error _ -> Alcotest.fail "expected close after FATAL 08P01");
+    Unix.close fd;
+    (* the healthy session never noticed *)
+    expect_rows healthy "SELECT CUSTOMERID FROM CUSTOMERS" 6;
+    Client.close healthy;
+    let s = Netserver.summary t in
+    Alcotest.(check bool) "protocol error counted" true
+      (s.Netserver.protocol_errors >= 1)
+
+(* Queue-depth admission: one worker pinned by a live session, one
+   queue slot taken — the next connection is refused 53300 before any
+   work, and the queued one is served once the worker frees up. *)
+let queue_admission_shed () =
+  if not Mcore.multicore then ()
+  else
+    let config =
+      { Netserver.default_config with
+        pool_size = 1;
+        workers = 1;
+        queue_depth = 1;
+      }
+    in
+    with_server ~config @@ fun t ->
+    let a = connect_ok t in
+    expect_rows a "SELECT CUSTOMERID FROM CUSTOMERS" 6;
+    (* b waits in the queue: its connect blocks until a worker greets *)
+    let b =
+      Mcore.Domains.spawn (fun () ->
+          Client.connect ~host:"127.0.0.1" ~port:(Netserver.port t) ())
+    in
+    Unix.sleepf 0.1;
+    (* the queue is now full: c must be shed with 53300 in one round trip *)
+    (match Client.connect ~host:"127.0.0.1" ~port:(Netserver.port t) () with
+    | Error ("53300", _) -> ()
+    | Error (code, msg) -> Alcotest.failf "expected 53300, got %s %s" code msg
+    | Ok c ->
+      Client.close c;
+      Alcotest.fail "expected queue-full shed");
+    (* a finishes; the worker picks b out of the queue and serves it *)
+    Client.close a;
+    (match Mcore.Domains.join b with
+    | Ok c ->
+      expect_rows c "SELECT CUSTOMERID FROM CUSTOMERS" 6;
+      Client.close c
+    | Error (code, msg) -> Alcotest.failf "queued connect failed: %s %s" code msg);
+    let s = Netserver.summary t in
+    Alcotest.(check bool) "shed counted" true (s.Netserver.shed_queue >= 1)
+
+(* Graceful drain: a live session's next query is refused 57P01, a
+   queued connection is refused 57P03, and everything that was
+   admitted before the drain already has its full response. *)
+let drain_semantics () =
+  if not Mcore.multicore then ()
+  else begin
+    let config =
+      { Netserver.default_config with
+        pool_size = 1;
+        workers = 1;
+        queue_depth = 4;
+      }
+    in
+    let app = Helpers.demo_app () in
+    let conn = Connection.connect app in
+    let t = Netserver.start ~config:{ config with port = 0 } conn in
+    let a = connect_ok t in
+    expect_rows a "SELECT CUSTOMERID FROM CUSTOMERS" 6;
+    (* b sits in the queue behind a's session *)
+    let b =
+      Mcore.Domains.spawn (fun () ->
+          Client.connect ~host:"127.0.0.1" ~port:(Netserver.port t) ())
+    in
+    Unix.sleepf 0.1;
+    Netserver.request_drain t;
+    Alcotest.(check bool) "draining" true (Netserver.draining t);
+    (* the live session is told to go away, with the admin code *)
+    (match Client.query a "SELECT CUSTOMERID FROM CUSTOMERS" with
+    | Error ("57P01", _) -> ()
+    | Error (code, msg) -> Alcotest.failf "expected 57P01, got %s %s" code msg
+    | Ok _ -> Alcotest.fail "expected drain refusal on live session");
+    Client.close a;
+    (* the queued connection never gets a session: 57P03 *)
+    (match Mcore.Domains.join b with
+    | Error ("57P03", _) -> ()
+    | Error (code, msg) -> Alcotest.failf "expected 57P03, got %s %s" code msg
+    | Ok c ->
+      Client.close c;
+      Alcotest.fail "expected drain refusal on queued connection");
+    Netserver.drain t;
+    let s = Netserver.summary t in
+    Alcotest.(check bool) "drain sheds counted" true
+      (s.Netserver.shed_drain >= 2);
+    Alcotest.(check int) "every admitted query answered" 1
+      s.Netserver.queries
+  end
+
+(* An open breaker fast-rejects at admission (08006 in microseconds,
+   no pool session burned) but must NOT starve the half-open trial:
+   after the cooldown a query flows through and closes the breaker. *)
+let breaker_fast_reject () =
+  if not Mcore.multicore then ()
+  else
+    (* scan cache off: a cached scan would serve rows without invoking
+       the data service, so the armed failpoint would never fire *)
+    with_server ~scan_cache:false @@ fun t ->
+    let c = connect_ok t in
+    expect_rows c "SELECT CUSTOMERID FROM CUSTOMERS" 6;
+    Failpoint.arm "dsp.invoke=fail";
+    Fun.protect ~finally:Failpoint.disarm (fun () ->
+        (* hammer until the breaker opens and the admission gate sheds *)
+        let shed = ref false in
+        let attempts = ref 0 in
+        while (not !shed) && !attempts < 50 do
+          incr attempts;
+          match Client.query c "SELECT CUSTOMERID FROM CUSTOMERS" with
+          | Ok _ -> Alcotest.fail "armed failpoint produced rows"
+          | Error ("08006", msg) ->
+            if Helpers.contains ~needle:"circuit open" msg then shed := true
+          | Error ("08004", _) -> ()
+          | Error (code, msg) ->
+            Alcotest.failf "unexpected code under faults: %s %s" code msg
+        done;
+        Alcotest.(check bool) "admission gate shed on open breaker" true
+          !shed);
+    (* past the cooldown the half-open trial must be admitted *)
+    Unix.sleepf 0.15;
+    expect_rows c "SELECT CUSTOMERID FROM CUSTOMERS" 6;
+    Client.close c;
+    let s = Netserver.summary t in
+    Alcotest.(check bool) "breaker sheds counted" true
+      (s.Netserver.shed_breaker >= 1)
+
+let suite =
+  ( "net",
+    [ Helpers.case "frontend frames round-trip" frontend_roundtrip;
+      Helpers.case "backend frames round-trip" backend_roundtrip;
+      Helpers.case "truncated frames are typed errors" truncation_is_typed;
+      Helpers.case "oversized frames are refused" oversized_frame_rejected;
+      Helpers.qcheck garbage_never_crashes;
+      Helpers.case "serves queries over the wire" serve_basic;
+      Helpers.case "protocol errors are session-scoped" protocol_error_scoped;
+      Helpers.case "full queue sheds with 53300" queue_admission_shed;
+      Helpers.case "graceful drain: 57P01/57P03, no lost queries"
+        drain_semantics;
+      Helpers.case "open breaker fast-rejects, half-open admitted"
+        breaker_fast_reject ] )

@@ -445,6 +445,69 @@ let cache_invalidation_on_metadata_change () =
     (Connection.translation_cache_size conn)
 
 (* ------------------------------------------------------------------ *)
+(* SQLSTATE taxonomy: the full code table, pinned.  Every boundary in
+   the repo (driver, wire server, governors) reports through these
+   constants, so a silent renumber would skew clients keying on the
+   class prefix — this test makes any drift a loud diff. *)
+
+let sqlstate_taxonomy () =
+  let table =
+    [ (Sqlstate.connection_failure, "08006");
+      (Sqlstate.connection_rejected, "08004");
+      (Sqlstate.protocol_violation, "08P01");
+      (Sqlstate.cardinality_violation, "21000");
+      (Sqlstate.data_exception, "22000");
+      (Sqlstate.external_routine_exception, "38000");
+      (Sqlstate.syntax_error, "42601");
+      (Sqlstate.undefined_table, "42P01");
+      (Sqlstate.undefined_column, "42703");
+      (Sqlstate.ambiguous_column, "42702");
+      (Sqlstate.grouping_error, "42803");
+      (Sqlstate.datatype_mismatch, "42804");
+      (Sqlstate.feature_not_supported, "0A000");
+      (Sqlstate.insufficient_resources, "53000");
+      (Sqlstate.too_many_connections, "53300");
+      (Sqlstate.configured_limit_exceeded, "53400");
+      (Sqlstate.statement_too_complex, "54001");
+      (Sqlstate.query_canceled, "57014");
+      (Sqlstate.admin_shutdown, "57P01");
+      (Sqlstate.cannot_connect_now, "57P03");
+      (Sqlstate.internal_error, "XX000") ]
+  in
+  List.iter
+    (fun (actual, expected) ->
+      Alcotest.(check string) ("code " ^ expected) expected actual)
+    table;
+  (* all codes are distinct: two conditions must never alias *)
+  let codes = List.map fst table in
+  Alcotest.(check int) "codes are unique" (List.length codes)
+    (List.length (List.sort_uniq compare codes));
+  (* every code is a well-formed 5-char SQLSTATE over [0-9A-Z] *)
+  List.iter
+    (fun c ->
+      Alcotest.(check int) ("length of " ^ c) 5 (String.length c);
+      String.iter
+        (fun ch ->
+          Alcotest.(check bool)
+            (Printf.sprintf "char %c of %s" ch c)
+            true
+            ((ch >= '0' && ch <= '9') || (ch >= 'A' && ch <= 'Z')))
+        c)
+    codes;
+  (* the operator-intervention class used by graceful drain: 57P01 for
+     live sessions, 57P03 for queued-but-unserved connections *)
+  Alcotest.(check string) "drain classes agree" "57"
+    (String.sub Sqlstate.admin_shutdown 0 2);
+  Alcotest.(check string) "drain classes agree" "57"
+    (String.sub Sqlstate.cannot_connect_now 0 2);
+  let e =
+    Sqlstate.make ~sqlstate:Sqlstate.admin_shutdown
+      ~condition:"admin shutdown" "server is draining"
+  in
+  Alcotest.(check string) "to_string format"
+    "[57P01] admin shutdown: server is draining" (Sqlstate.to_string e)
+
+(* ------------------------------------------------------------------ *)
 (* CI fault-smoke entry: when AQUA_FAILPOINTS is set in the
    environment, run the differential workload under that schedule. *)
 
@@ -485,6 +548,7 @@ let suite =
       Helpers.case "fallback to unoptimized plan" fallback_to_unoptimized;
       Helpers.case "two-service cycle chain" two_service_cycle;
       Helpers.case "lru stamp wraparound" lru_stamp_wraparound;
+      Helpers.case "sqlstate taxonomy is pinned" sqlstate_taxonomy;
       Helpers.case "cache invalidation on metadata change"
         cache_invalidation_on_metadata_change;
       Helpers.case "env-armed fault smoke" env_armed_smoke ] )
