@@ -1497,6 +1497,167 @@ let p13 () =
 
 (* ------------------------------------------------------------------ *)
 
+(* P14: what observability costs on the serve path.  Four closed-loop
+   legs over the wire, identical except for trace wiring: no sink at
+   all (baseline), a sink with 0% head sampling (the production
+   default — every query mints and threads a trace context, none emit),
+   1%, and 100%.  The claim under test is that the always-on plumbing
+   is free: the gated comparison is baseline vs sink@0%, and
+   validate.exe rejects the run if 0%-sampling throughput falls more
+   than the bound below baseline.  The 1%/100% legs are informational
+   (they buy NDJSON span trees, counted per leg). *)
+
+let p14_json_path = "BENCH_P14.json"
+
+let p14 () =
+  print_endline "\n== P14: trace-sampling overhead on the serve path ==";
+  if not Mcore.multicore then begin
+    print_endline "single-domain build: skipping (no background server)";
+    let oc = open_out p14_json_path in
+    Printf.fprintf oc
+      "{\n  \"experiment\": \"P14 trace-sampling overhead\",\n  \"units\": \
+       \"queries per second; latency quantiles in ns\",\n  \"seed\": %d,\n  \
+       \"smoke\": %b,\n  \"multicore\": false,\n  \"baseline_qps\": null,\n  \
+       \"sampled0_qps\": null,\n  \"overhead\": null,\n  \"legs\": []\n}\n"
+      seed !smoke;
+    close_out oc;
+    Printf.printf "wrote %s\n" p14_json_path;
+    flush stdout
+  end
+  else begin
+    let app = Datagen.application ~seed (sizes 200 300 2 150) in
+    let stmts = Array.of_list p13_workload in
+    let nstmts = Array.length stmts in
+    let clients = if !smoke then 2 else 4 in
+    let ops = if !smoke then 50 else 400 in
+    (* the serve path's production posture: telemetry, per-fingerprint
+       stats and span histograms all on, identical in every leg *)
+    Telemetry.set_enabled true;
+    Obs_stats.set_enabled true;
+    Obs_stats.install_span_histograms ();
+    Fun.protect
+      ~finally:(fun () ->
+        Obs_stats.uninstall_span_histograms ();
+        Obs_stats.set_enabled false;
+        Telemetry.set_enabled false;
+        Telemetry.set_trace_sink None)
+    @@ fun () ->
+    let leg (label, sample, with_sink) =
+      Telemetry.reset ();
+      Obs_stats.reset ();
+      let trace_lines = Atomic.make 0 in
+      Telemetry.set_trace_sink
+        (if with_sink then
+           Some (fun _line -> Atomic.incr trace_lines)
+         else None);
+      let conn = Connection.connect app in
+      let config =
+        { Netserver.default_config with
+          port = 0;
+          pool_size = 4;
+          workers = 4;
+          queue_depth = 16;
+          trace_sample = sample;
+        }
+      in
+      let srv = Netserver.start ~config conn in
+      Fun.protect
+        ~finally:(fun () ->
+          Netserver.drain srv;
+          Telemetry.set_trace_sink None)
+      @@ fun () ->
+      let host = "127.0.0.1" and port = Netserver.port srv in
+      let client c () =
+        match Net_client.connect ~host ~port () with
+        | Error (code, msg) -> failwith (Printf.sprintf "[%s] %s" code msg)
+        | Ok t ->
+          Fun.protect ~finally:(fun () -> Net_client.close t) @@ fun () ->
+          let h = Histogram.create () in
+          let done_ = ref 0 in
+          for i = 0 to ops - 1 do
+            let sql = stmts.((c + i) mod nstmts) in
+            let t0 = Mclock.now () in
+            match Net_client.query t sql with
+            | Ok _ ->
+              incr done_;
+              Histogram.record h (Int64.sub (Mclock.now ()) t0)
+            | Error (code, msg) ->
+              failwith (Printf.sprintf "leg %s: [%s] %s" label code msg)
+          done;
+          (!done_, h)
+      in
+      let t0 = Mclock.now () in
+      let outcomes =
+        Mcore.Domains.parallel (List.init clients (fun c -> client c))
+      in
+      let wall = Int64.sub (Mclock.now ()) t0 in
+      let merged = Histogram.create () in
+      let completed =
+        List.fold_left
+          (fun acc -> function
+            | Ok (n, h) ->
+              Histogram.merge_into ~into:merged h;
+              acc + n
+            | Error e -> raise e)
+          0 outcomes
+      in
+      let qps = float_of_int completed /. (Int64.to_float wall /. 1e9) in
+      let lines = Atomic.get trace_lines in
+      Printf.printf
+        "  %-12s sample %-4.2f sink %-5b completed %-5d %.0f qps, p50 %s, \
+         p99 %s, trace lines %d\n"
+        label sample with_sink completed qps
+        (pretty_ns (Int64.to_float (Histogram.p50 merged)))
+        (pretty_ns (Int64.to_float (Histogram.p99 merged)))
+        lines;
+      flush stdout;
+      (label, sample, with_sink, completed, qps, merged, lines)
+    in
+    let legs =
+      List.map leg
+        [ ("baseline", 0.0, false);
+          ("sink-0pct", 0.0, true);
+          ("sink-1pct", 0.01, true);
+          ("sink-100pct", 1.0, true) ]
+    in
+    let find label =
+      List.find (fun (l, _, _, _, _, _, _) -> l = label) legs
+    in
+    let qps_of (_, _, _, _, qps, _, _) = qps in
+    let baseline_qps = qps_of (find "baseline") in
+    let sampled0_qps = qps_of (find "sink-0pct") in
+    let overhead = (baseline_qps -. sampled0_qps) /. baseline_qps in
+    Printf.printf
+      "0%%-sampling serve-path overhead vs baseline: %.1f%%\n"
+      (100.0 *. overhead);
+    let oc = open_out p14_json_path in
+    Printf.fprintf oc
+      "{\n  \"experiment\": \"P14 trace-sampling overhead\",\n  \"units\": \
+       \"queries per second; latency quantiles in ns\",\n  \"seed\": %d,\n  \
+       \"smoke\": %b,\n  \"multicore\": true,\n  \"server\": { \
+       \"pool_size\": 4, \"workers\": 4, \"clients\": %d, \"ops_per_client\": \
+       %d },\n  \"baseline_qps\": %.3f,\n  \"sampled0_qps\": %.3f,\n  \
+       \"overhead\": %.4f,\n  \"legs\": [\n"
+      seed !smoke clients ops baseline_qps sampled0_qps overhead;
+    let n = List.length legs in
+    List.iteri
+      (fun i (label, sample, with_sink, completed, qps, h, lines) ->
+        Printf.fprintf oc
+          "    { \"label\": %S, \"trace_sample\": %.2f, \"sink\": %b, \
+           \"completed\": %d, \"qps\": %.3f, \"p50_ns\": %Ld, \"p90_ns\": \
+           %Ld, \"p99_ns\": %Ld, \"trace_lines\": %d }%s\n"
+          label sample with_sink completed qps (Histogram.p50 h)
+          (Histogram.p90 h) (Histogram.p99 h) lines
+          (if i = n - 1 then "" else ","))
+      legs;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s\n" p14_json_path;
+    flush stdout
+  end
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   let args =
     List.filter
@@ -1513,9 +1674,9 @@ let () =
   let selected =
     match args with
     | _ :: _ -> List.map String.uppercase_ascii args
-    | [] -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8"; "P9"; "P10"; "P11"; "P12"; "P13" ]
+    | [] -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8"; "P9"; "P10"; "P11"; "P12"; "P13"; "P14" ]
   in
-  let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7); ("P8", p8); ("P9", p9); ("P10", p10); ("P11", p11); ("P12", p12); ("P13", p13) ] in
+  let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7); ("P8", p8); ("P9", p9); ("P10", p10); ("P11", p11); ("P12", p12); ("P13", p13); ("P14", p14) ] in
   List.iter
     (fun name ->
       match List.assoc_opt name all with

@@ -435,8 +435,86 @@ let validate_p12 ?min_speedup path json =
   | Some _ -> problem "%s: \"telemetry\" is not an object" path
   | None -> problem "%s: missing field \"telemetry\"" path
 
+(* P14: trace-sampling overhead on the serve path — closed-loop legs
+   identical but for trace wiring.  The hard gates: the baseline and
+   0%-sampling legs must emit zero trace lines (0% means silent), the
+   100% leg must emit some (the plumbing actually works), and the
+   0%-sampling throughput loss against baseline must stay within the
+   bound — 15% by default (two separately started servers carry that
+   much closed-loop noise), or --max-overhead interpreted as the
+   fractional bound when given.  A regression here means every served
+   query pays for tracing nobody asked for. *)
+let validate_p14 ?max_overhead path json =
+  check_field path json "experiment" is_string "a string";
+  check_field path json "units" is_string "a string";
+  check_field path json "seed" is_int "an integer";
+  check_field path json "smoke" is_bool "a boolean";
+  check_field path json "multicore" is_bool "a boolean";
+  check_field path json "baseline_qps" is_number_or_null "a number or null";
+  check_field path json "sampled0_qps" is_number_or_null "a number or null";
+  check_field path json "overhead" is_number_or_null "a number or null";
+  let multicore =
+    match Json.member "multicore" json with Some (Json.Bool b) -> b | _ -> false
+  in
+  if multicore then begin
+    (match Json.member "legs" json with
+    | Some (Json.Arr legs) ->
+      if legs = [] then problem "%s: \"legs\" is empty" path;
+      List.iteri
+        (fun i entry ->
+          let epath = Printf.sprintf "%s: legs[%d]" path i in
+          match entry with
+          | Json.Obj _ ->
+            check_field epath entry "label" is_string "a string";
+            check_field epath entry "trace_sample" is_number_or_null
+              "a number or null";
+            check_field epath entry "sink" is_bool "a boolean";
+            check_field epath entry "qps" is_number_or_null
+              "a number or null";
+            List.iter
+              (fun name -> check_field epath entry name is_int "an integer")
+              [ "completed"; "p50_ns"; "p90_ns"; "p99_ns"; "trace_lines" ];
+            let int_of name =
+              match Json.member name entry with
+              | Some (Json.Num f) when Float.is_integer f ->
+                Some (int_of_float f)
+              | _ -> None
+            in
+            (match int_of "completed" with
+            | Some 0 -> problem "%s: leg completed no queries" epath
+            | _ -> ());
+            (match (Json.member "label" entry, int_of "trace_lines") with
+            | Some (Json.Str ("baseline" | "sink-0pct")), Some n when n > 0
+              ->
+              problem
+                "%s: %d trace lines emitted at 0%% sampling — sampling \
+                 does not gate emission"
+                epath n
+            | Some (Json.Str "sink-100pct"), Some 0 ->
+              problem
+                "%s: no trace lines at 100%% sampling — tracing is dead"
+                epath
+            | _ -> ())
+          | _ -> problem "%s is not an object" epath)
+        legs
+    | Some _ -> problem "%s: \"legs\" is not an array" path
+    | None -> problem "%s: missing field \"legs\"" path);
+    let bound = Option.value ~default:0.15 max_overhead in
+    match Json.member "overhead" json with
+    | Some (Json.Num o) when o > bound ->
+      problem
+        "%s: 0%%-sampling serve-path overhead %.1f%% exceeds the %.1f%% \
+         bound"
+        path (100.0 *. o) (100.0 *. bound)
+    | Some (Json.Num _) -> ()
+    | _ -> problem "%s: \"overhead\" is not a number on a multicore run" path
+  end
+
 let validate ?max_overhead ?min_speedup path json =
   match Json.member "experiment" json with
+  | Some (Json.Str e)
+    when String.length e >= 3 && String.sub e 0 3 = "P14" ->
+    validate_p14 ?max_overhead path json
   | Some (Json.Str e)
     when String.length e >= 3 && String.sub e 0 3 = "P13" ->
     validate_p13 path json

@@ -816,13 +816,39 @@ let serve_cmd =
             "On SIGTERM/SIGINT, bound on waiting for in-flight queries \
              before sessions are cut.")
   in
+  let trace_sample_opt =
+    Arg.(
+      value & opt float 0.0
+      & info [ "trace-sample" ] ~docv:"RATE"
+          ~doc:
+            "Head-based trace-sampling probability in [0,1].  Every wire \
+             query gets a trace id (accepted from a leading \
+             /*traceparent:ID*/ comment or minted); sampled queries emit \
+             their span tree as NDJSON on stderr tagged with that id.  \
+             Aggregates and the flight recorder always see every query.")
+  in
+  let admin_port_opt =
+    Arg.(
+      value & opt (some int) None
+      & info [ "admin-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve the HTTP admin plane (/metrics, /healthz, /statusz) on \
+             this side port; 0 picks an ephemeral port.")
+  in
   let run host port pool_size workers queue_depth borrow_wait io_timeout
-      drain_timeout no_scan_cache timeout max_rows failpoints =
+      drain_timeout trace_sample admin_port no_scan_cache timeout max_rows
+      failpoints =
     with_env (fun app _env ->
         let limits = governors ?timeout ?max_rows failpoints in
         Telemetry.set_enabled true;
-        (* the drain dump and the final exposition go to stderr: the CI
-           smoke job asserts the recorder fired on graceful shutdown *)
+        (* per-fingerprint stats feed aqua_stat_statements and the
+           per-span histograms behind /metrics *)
+        Obs_stats.set_enabled true;
+        Obs_stats.install_span_histograms ();
+        (* sampled span trees become NDJSON on stderr; the drain dump
+           and the final exposition go there too: the CI smoke job
+           asserts both the trace line and the recorder fired *)
+        Telemetry.set_trace_sink (Some prerr_endline);
         Recorder.set_dump_sink (Some prerr_endline);
         let conn =
           Aqua_driver.Connection.connect ~scan_cache:(not no_scan_cache) app
@@ -837,6 +863,8 @@ let serve_cmd =
             borrow_wait_ms = borrow_wait;
             io_timeout_ms = io_timeout;
             drain_timeout_ms = drain_timeout;
+            trace_sample;
+            admin_port;
             limits;
           }
         in
@@ -844,6 +872,8 @@ let serve_cmd =
           Netserver.run ~config ~snapshot_sink:prerr_string
             ~on_listening:(fun p ->
               Printf.eprintf "listening on %s:%d\n%!" host p)
+            ~on_admin_listening:(fun p ->
+              Printf.eprintf "admin listening on %s:%d\n%!" host p)
             conn
         in
         Printf.eprintf
@@ -861,8 +891,56 @@ let serve_cmd =
     Term.(
       const run $ host_opt $ port_opt $ pool_size_opt $ workers_opt
       $ queue_depth_opt $ borrow_wait_opt $ io_timeout_opt
-      $ drain_timeout_opt $ no_scan_cache_flag $ timeout_opt $ max_rows_opt
-      $ failpoints_opt)
+      $ drain_timeout_opt $ trace_sample_opt $ admin_port_opt
+      $ no_scan_cache_flag $ timeout_opt $ max_rows_opt $ failpoints_opt)
+
+let client_cmd =
+  let module Client = Aqua_net.Client in
+  let host_opt =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let port_opt =
+    Arg.(
+      value & opt int 5433
+      & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let timeout_opt =
+    Arg.(
+      value & opt int 5_000
+      & info [ "timeout" ] ~docv:"MS"
+          ~doc:"Connect and per-read/write deadline.")
+  in
+  let fail (code, msg) =
+    Printf.eprintf "[%s] %s\n" code msg;
+    exit 1
+  in
+  let run host port timeout_ms sql =
+    match Client.connect ~timeout_ms ~host ~port () with
+    | Error e -> fail e
+    | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      (match Client.query c sql with
+      | Error e -> fail e
+      | Ok r ->
+        print_endline (String.concat "\t" r.Client.columns);
+        List.iter
+          (fun row ->
+            print_endline
+              (String.concat "\t"
+                 (List.map (Option.value ~default:"NULL") row)))
+          r.Client.rows;
+        Printf.eprintf "%s\n" r.Client.tag)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "One-shot wire client: connect to a running $(b,sql2xq serve), \
+          send one query, print columns then tab-separated rows (NULL \
+          for SQL NULL).  Also answers the aqua_stat_* virtual tables, \
+          making it the in-repo way to inspect a live server.")
+    Term.(const run $ host_opt $ port_opt $ timeout_opt $ sql_arg)
 
 let () =
   let doc = "SQL-92 to XQuery translation against a demo data-services catalog" in
@@ -871,4 +949,4 @@ let () =
        (Cmd.group (Cmd.info "sql2xq" ~doc)
           [ translate_cmd; run_cmd; analyze_cmd; stats_cmd; text_cmd;
             diff_cmd; wdiff_cmd; explain_cmd; xq_cmd; tables_cmd;
-            serve_cmd ]))
+            serve_cmd; client_cmd ]))

@@ -1,0 +1,177 @@
+(* A deliberately tiny HTTP/1.0 listener for the admin plane: one
+   request per connection, GET only, Connection: close.  It serves
+   scrapes and health probes on a side port so the operator's tooling
+   (curl, Prometheus) never has to speak the pg wire protocol, and so
+   a wedged data plane cannot take the diagnostics down with it — the
+   admin loop runs on its own domain and touches only the handler the
+   server registered.
+
+   Hardening mirrors the wire server in miniature: socket deadlines on
+   every read/write, a bounded request buffer (8 KiB), and any
+   per-connection failure costs exactly that connection. *)
+
+module Mcore = Aqua_multicore.Mcore
+
+type response = { status : int; content_type : string; body : string }
+
+let text status body = { status; content_type = "text/plain; charset=utf-8"; body }
+let json status body = { status; content_type = "application/json"; body }
+
+type t = {
+  listener : Unix.file_descr;
+  bound_port : int;
+  stop_flag : bool Atomic.t;
+  mutable handle : unit Mcore.Domains.handle option;
+}
+
+let reason_of = function
+  | 200 -> "OK"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 400 -> "Bad Request"
+  | 503 -> "Service Unavailable"
+  | _ -> "Internal Server Error"
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let max_request = 8192
+
+(* Read until the blank line ending the header block (we ignore the
+   headers themselves; GET carries no body), bounded in bytes and by
+   the socket deadline. *)
+let read_request fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > max_request then None
+    else
+      let s = Buffer.contents buf in
+      let have_terminator =
+        let rec find i =
+          i + 1 < String.length s
+          && ((s.[i] = '\n' && s.[i + 1] = '\n')
+             || (i + 3 < String.length s
+                && s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+                && s.[i + 3] = '\n')
+             || find (i + 1))
+        in
+        find 0
+      in
+      if have_terminator then Some s
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        | exception Unix.Unix_error (EINTR, _, _) -> go ()
+  in
+  try go () with Unix.Unix_error _ -> None
+
+let parse_request_line req =
+  match String.index_opt req '\n' with
+  | None -> None
+  | Some i ->
+    let line = String.trim (String.sub req 0 i) in
+    (match String.split_on_char ' ' line with
+    | meth :: target :: _ ->
+      (* strip any query string: routing is path-only *)
+      let path =
+        match String.index_opt target '?' with
+        | Some q -> String.sub target 0 q
+        | None -> target
+      in
+      Some (meth, path)
+    | _ -> None)
+
+let write_response fd resp =
+  let payload =
+    Printf.sprintf
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+      resp.status (reason_of resp.status) resp.content_type
+      (String.length resp.body) resp.body
+  in
+  let n = String.length payload in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd payload off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  try go 0 with Unix.Unix_error _ -> ()
+
+let serve_one handler fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0
+   with Unix.Unix_error _ -> ());
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.0
+   with Unix.Unix_error _ -> ());
+  (match read_request fd with
+  | None -> ()
+  | Some req -> (
+    match parse_request_line req with
+    | None -> write_response fd (text 400 "bad request\n")
+    | Some (meth, path) ->
+      if meth <> "GET" && meth <> "HEAD" then
+        write_response fd (text 405 "only GET is served here\n")
+      else
+        let resp =
+          try handler path
+          with e -> text 500 (Printexc.to_string e ^ "\n")
+        in
+        write_response fd (if meth = "HEAD" then { resp with body = "" } else resp)));
+  close_quiet fd
+
+let accept_loop t handler =
+  let rec go () =
+    if not (Atomic.get t.stop_flag) then begin
+      (match Unix.select [ t.listener ] [] [] 0.1 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept t.listener with
+        | fd, _ -> serve_one handler fd
+        | exception
+            Unix.Unix_error
+              ((EINTR | EAGAIN | EWOULDBLOCK | ECONNABORTED | EBADF), _, _) ->
+          ())
+      | exception Unix.Unix_error ((EINTR | EBADF), _, _) -> ());
+      go ()
+    end
+  in
+  go ()
+
+let start ?(host = "127.0.0.1") ~port handler =
+  if not Mcore.multicore then
+    failwith "Admin.start needs the multicore build (OCaml >= 5.0)";
+  let listener = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt listener SO_REUSEADDR true;
+  let addr =
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> Unix.inet_addr_loopback
+    in
+    Unix.ADDR_INET (ip, port)
+  in
+  (try
+     Unix.bind listener addr;
+     Unix.listen listener 16
+   with e ->
+     close_quiet listener;
+     raise e);
+  let bound_port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t = { listener; bound_port; stop_flag = Atomic.make false; handle = None } in
+  t.handle <- Some (Mcore.Domains.spawn (fun () -> accept_loop t handler));
+  t
+
+let port t = t.bound_port
+
+let stop t =
+  if not (Atomic.get t.stop_flag) then begin
+    Atomic.set t.stop_flag true;
+    (match t.handle with Some h -> ignore (Mcore.Domains.join h) | None -> ());
+    t.handle <- None;
+    close_quiet t.listener
+  end

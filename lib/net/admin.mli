@@ -1,0 +1,35 @@
+(** The admin plane: a minimal HTTP/1.0 listener on a side port.
+
+    One GET per connection, served on a dedicated domain, so operator
+    tooling (curl, a Prometheus scraper, a load-balancer health check)
+    reaches the server's diagnostics without speaking the pg wire
+    protocol — and keeps reaching them while the data plane drains.
+    {!Netserver} registers the actual routes ([/metrics], [/healthz],
+    [/statusz]); this module only owns sockets and framing.
+
+    Hardening: 2 s socket deadlines, an 8 KiB request bound, GET/HEAD
+    only, and every per-connection failure costs that connection. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val text : int -> string -> response
+(** [text/plain; charset=utf-8] *)
+
+val json : int -> string -> response
+(** [application/json] *)
+
+type t
+
+val start : ?host:string -> port:int -> (string -> response) -> t
+(** Bind (default host 127.0.0.1; port 0 picks an ephemeral one),
+    listen, and serve [handler path] on a background domain.  The
+    handler sees the request path with any query string stripped; an
+    exception inside it becomes a 500 for that request only.
+    @raise Failure on the pre-5.0 single-domain shim (no background
+    domain to serve from) *)
+
+val port : t -> int
+(** The bound port. *)
+
+val stop : t -> unit
+(** Stop accepting, join the domain, close the socket.  Idempotent. *)

@@ -24,6 +24,7 @@ module Stats = Aqua_obs.Stats
 module Recorder = Aqua_obs.Recorder
 module Expose = Aqua_obs.Expose
 module Histogram = Aqua_obs.Histogram
+module Fingerprint = Aqua_obs.Fingerprint
 
 type config = {
   host : string;
@@ -36,6 +37,8 @@ type config = {
   drain_timeout_ms : int;
   max_frame : int;
   limits : Budget.limits;
+  trace_sample : float;
+  admin_port : int option;
 }
 
 let default_config =
@@ -50,6 +53,8 @@ let default_config =
     drain_timeout_ms = 2_000;
     max_frame = 1 lsl 20;
     limits = Budget.no_limits;
+    trace_sample = 0.0;
+    admin_port = None;
   }
 
 type summary = {
@@ -79,6 +84,15 @@ type server = {
   llock : Mcore.Mutex.t;
   hist_lock : Mcore.Mutex.t;  (* per-session histogram merges *)
   conn_seq : int Atomic.t;
+  (* in-flight query registry for aqua_stat_activity / statusz: one
+     entry per session pid while its query runs *)
+  active : (int, string * string * int64 * string) Hashtbl.t;
+      (* pid -> (fp digest, shape, start_ns, trace id) *)
+  alock : Mcore.Mutex.t;
+  trace_seq : int Atomic.t;
+  trace_seed : int64;  (* start-time salt so restarts mint fresh ids *)
+  dump_request : bool Atomic.t;  (* SIGUSR1 -> recorder dump, out of band *)
+  admin : Admin.t option ref;
   s_connections : int Atomic.t;
   s_queries : int Atomic.t;
   s_shed_queue : int Atomic.t;
@@ -177,30 +191,156 @@ let refuse srv fd ~sqlstate msg =
   close_quiet fd
 
 (* ------------------------------------------------------------------ *)
+(* Trace context *)
+
+(* splitmix64 finalizer: a cheap, well-mixed 64-bit id from a counter
+   xor a start-time seed — no dependency on Random's global state. *)
+let splitmix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let mint_trace srv =
+  Printf.sprintf "%016Lx"
+    (splitmix64
+       (Int64.logxor srv.trace_seed
+          (Int64.of_int (1 + Atomic.fetch_and_add srv.trace_seq 1))))
+
+let trace_id_char_ok c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_'
+
+(* A leading [/*traceparent:<id>*/] comment carries the client's trace
+   id.  It is stripped from the SQL either way — the translator's
+   parser has no comment syntax, and the translation LRU must key on
+   the bare statement so a thousand distinct trace ids share one cache
+   entry.  (The fingerprint normalizer already drops comments
+   lexically, so shapes were never at risk.)  An id that is empty,
+   over 64 chars, or outside [A-Za-z0-9_-] is ignored and the server
+   mints its own. *)
+let extract_traceparent sql =
+  let n = String.length sql in
+  let i = ref 0 in
+  while
+    !i < n
+    && (sql.[!i] = ' ' || sql.[!i] = '\t' || sql.[!i] = '\n'
+       || sql.[!i] = '\r')
+  do
+    incr i
+  done;
+  let prefix = "/*traceparent:" in
+  let plen = String.length prefix in
+  if !i + plen <= n && String.sub sql !i plen = prefix then begin
+    let rec find_close j =
+      if j + 1 >= n then None
+      else if sql.[j] = '*' && sql.[j + 1] = '/' then Some j
+      else find_close (j + 1)
+    in
+    match find_close (!i + plen) with
+    | None -> (None, sql)
+    | Some j ->
+      let id = String.trim (String.sub sql (!i + plen) (j - !i - plen)) in
+      let rest = String.sub sql (j + 2) (n - j - 2) in
+      let ok =
+        id <> "" && String.length id <= 64
+        && String.for_all trace_id_char_ok id
+      in
+      ((if ok then Some id else None), rest)
+  end
+  else (None, sql)
+
+(* Head-based probabilistic sampling, deterministic in the trace id
+   (FNV-1a 64 of the id against the rate): retries of the same trace
+   land on the same side of the coin, and a client-supplied id decides
+   its fate identically on every server. *)
+let sample_decision rate id =
+  if rate >= 1.0 then true
+  else if rate <= 0.0 then false
+  else begin
+    let h = ref 0xcbf29ce484222325L in
+    String.iter
+      (fun c ->
+        h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+               0x100000001b3L)
+      id;
+    let bits = Int64.to_int (Int64.logand !h 0x3fffffffL) in
+    float_of_int bits /. 1073741824.0 < rate
+  end
+
+(* ------------------------------------------------------------------ *)
 (* The wire session *)
 
 let breaker_rejecting srv =
   List.exists Breaker.rejecting (Server.breakers (Connection.server srv.conn))
 
-let greet srv fd buf =
+let greet srv fd buf ~sid =
   Wire.authentication_ok buf;
   Wire.parameter_status buf "server_version" "15.0";
   Wire.parameter_status buf "server_encoding" "UTF8";
   Wire.parameter_status buf "client_encoding" "UTF8";
-  let id = 1 + Atomic.fetch_and_add srv.conn_seq 1 in
-  Wire.backend_key_data buf ~pid:(id land 0x3fffffff)
-    ~secret:(id * 0x9e3779b1 land 0x3fffffff);
+  Wire.backend_key_data buf ~pid:(sid land 0x3fffffff)
+    ~secret:(sid * 0x9e3779b1 land 0x3fffffff);
   Wire.ready_for_query buf;
   flush srv fd buf
 
-let handle_query srv fd buf hist sql =
+(* Answer an aqua_stat_* virtual table from the live registries: no
+   translation, no pool session, no budget — a saturated or broken
+   data plane is exactly when the operator needs these to answer. *)
+let answer_stat srv fd buf table =
+  bump srv.s_queries T.c_net_queries;
+  T.incr T.c_net_stat_queries;
+  let cols, rows =
+    match (table : Stat_tables.table) with
+    | Stat_tables.Statements -> Stat_tables.statements ()
+    | Stat_tables.Activity ->
+      let now = T.now_ns () in
+      let entries =
+        Mcore.Mutex.protect srv.alock (fun () ->
+            Hashtbl.fold
+              (fun pid (fp, shape, start_ns, trace) acc ->
+                {
+                  Stat_tables.pid;
+                  query = shape;
+                  fingerprint = fp;
+                  elapsed_ms =
+                    Int64.to_float (Int64.sub now start_ns) /. 1e6;
+                  trace_id = trace;
+                }
+                :: acc)
+              srv.active [])
+      in
+      Stat_tables.activity entries
+    | Stat_tables.Breakers ->
+      Stat_tables.breakers (Server.breakers (Connection.server srv.conn))
+  in
+  Wire.row_description buf cols;
+  List.iter (fun r -> Wire.data_row buf r) rows;
+  Wire.command_complete buf (Printf.sprintf "SELECT %d" (List.length rows));
+  Wire.ready_for_query buf;
+  flush srv fd buf
+
+let handle_query srv fd buf hist ~sid sql =
   Failpoint.hit "net.session";
   if String.trim sql = "" then begin
     Wire.empty_query_response buf;
     Wire.ready_for_query buf;
     flush srv fd buf
   end
-  else if breaker_rejecting srv then begin
+  else
+    match Stat_tables.recognize sql with
+    | Some table -> answer_stat srv fd buf table
+    | None ->
+  if breaker_rejecting srv then begin
     (* fast backpressure: the backend is known-bad and inside its
        cooldown, so fail in microseconds instead of burning a pool
        session; once the cooldown elapses [Breaker.rejecting] goes
@@ -218,7 +358,29 @@ let handle_query srv fd buf hist sql =
     Atomic.incr srv.in_flight;
     Fun.protect ~finally:(fun () -> Atomic.decr srv.in_flight)
     @@ fun () ->
+    (* trace context: a client-supplied /*traceparent:…*/ id (stripped
+       from the SQL) or a freshly minted one, with the head-based
+       sampling decision; the DLS context travels through the session
+       pool, the driver and every span below without threading *)
+    let client_id, sql = extract_traceparent sql in
+    let trace_id =
+      match client_id with Some id -> id | None -> mint_trace srv
+    in
+    let sampled = sample_decision srv.cfg.trace_sample trace_id in
+    if sampled then T.incr T.c_net_traces_sampled;
+    T.with_trace ~id:trace_id ~sampled
+    @@ fun () ->
+    let fp_digest, fp_shape = Fingerprint.fingerprint sql in
     let t0 = T.now_ns () in
+    Mcore.Mutex.protect srv.alock (fun () ->
+        Hashtbl.replace srv.active sid (fp_digest, fp_shape, t0, trace_id));
+    Fun.protect
+      ~finally:(fun () ->
+        Mcore.Mutex.protect srv.alock (fun () ->
+            Hashtbl.remove srv.active sid))
+    @@ fun () ->
+    T.with_span "net.query"
+    @@ fun () ->
     match
       Session_pool.execute ~wait_ms:srv.cfg.borrow_wait_ms srv.pool sql
     with
@@ -301,7 +463,8 @@ let serve_session srv fd =
   if Atomic.get srv.drain_flag then
     drain_error srv fd buf ~sqlstate:Sqlstate.cannot_connect_now
       "the database system is shutting down";
-  greet srv fd buf;
+  let sid = 1 + Atomic.fetch_and_add srv.conn_seq 1 in
+  greet srv fd buf ~sid;
   let rec loop () =
     if Atomic.get srv.drain_flag then
       drain_error srv fd buf ~sqlstate:Sqlstate.admin_shutdown
@@ -315,7 +478,7 @@ let serve_session srv fd =
         drain_error srv fd buf ~sqlstate:Sqlstate.admin_shutdown
           "terminating connection: server is draining"
       else begin
-        handle_query srv fd buf hist sql;
+        handle_query srv fd buf hist ~sid sql;
         loop ()
       end
     | Ok Wire.Terminate -> ()
@@ -405,6 +568,12 @@ let admit srv fd =
 let accept_loop srv =
   let rec go () =
     if not (Atomic.get srv.drain_flag) then begin
+      (* SIGUSR1 handlers only set a flag: the dump itself runs here,
+         on the accept domain, where no recorder or registry lock can
+         already be held (a handler interrupting its own domain
+         mid-dump would deadlock on the non-reentrant ring mutex) *)
+      if Atomic.exchange srv.dump_request false then
+        ignore (Recorder.dump_to_sink ~reason:"signal" ());
       (match Unix.select [ srv.listener ] [] [] 0.1 with
       | [], _, _ -> ()
       | _ :: _, _, _ -> (
@@ -459,6 +628,105 @@ let worker srv =
   go ()
 
 (* ------------------------------------------------------------------ *)
+(* The admin plane: /metrics, /healthz, /statusz *)
+
+let queue_length srv =
+  Mcore.Mutex.protect srv.qlock (fun () -> Queue.length srv.queue)
+
+let json_str = T.json_escape
+
+(* Health is about admission: draining or a full connection queue
+   means new work will be refused, so a load balancer should stop
+   sending it (503); anything else is 200 with the load numbers. *)
+let healthz srv =
+  let pool = Session_pool.stats srv.pool in
+  let q = queue_length srv in
+  let body status =
+    Printf.sprintf
+      "{\"status\":\"%s\",\"draining\":%b,\"queue\":%d,\"queue_depth\":%d,\"pool_in_use\":%d,\"pool_capacity\":%d,\"in_flight\":%d}"
+      status
+      (Atomic.get srv.drain_flag)
+      q srv.cfg.queue_depth pool.Session_pool.in_use
+      pool.Session_pool.capacity (Atomic.get srv.in_flight)
+  in
+  if Atomic.get srv.drain_flag then Admin.json 503 (body "draining")
+  else if q >= srv.cfg.queue_depth then Admin.json 503 (body "saturated")
+  else Admin.json 200 (body "ok")
+
+let statusz srv =
+  let now = T.now_ns () in
+  let sessions = Mcore.Mutex.protect srv.llock (fun () -> Hashtbl.length srv.live) in
+  let inflight =
+    Mcore.Mutex.protect srv.alock (fun () ->
+        Hashtbl.fold
+          (fun pid (fp, shape, start_ns, trace) acc ->
+            (pid, fp, shape, Int64.sub now start_ns, trace) :: acc)
+          srv.active [])
+  in
+  let inflight = List.sort compare inflight in
+  let pool = Session_pool.stats srv.pool in
+  let breakers = Server.breakers (Connection.server srv.conn) in
+  let s = read_summary srv in
+  Printf.sprintf
+    "{\"draining\":%b,\"active_sessions\":%d,\"queue\":%d,\"in_flight\":[%s],\"pool\":{\"capacity\":%d,\"in_use\":%d,\"borrows\":%d,\"rejections\":%d,\"waits\":%d,\"peak_in_use\":%d},\"breakers\":[%s],\"summary\":{\"connections\":%d,\"queries\":%d,\"shed_queue\":%d,\"shed_drain\":%d,\"shed_breaker\":%d,\"protocol_errors\":%d,\"io_timeouts\":%d}}"
+    (Atomic.get srv.drain_flag) sessions (queue_length srv)
+    (String.concat ","
+       (List.map
+          (fun (pid, fp, shape, elapsed_ns, trace) ->
+            Printf.sprintf
+              "{\"pid\":%d,\"fingerprint\":\"%s\",\"query\":\"%s\",\"elapsed_ms\":%.3f,\"trace\":\"%s\"}"
+              pid (json_str fp) (json_str shape)
+              (Int64.to_float elapsed_ns /. 1e6)
+              (json_str trace))
+          inflight))
+    pool.Session_pool.capacity pool.Session_pool.in_use
+    pool.Session_pool.borrows pool.Session_pool.rejections
+    pool.Session_pool.waits pool.Session_pool.peak_in_use
+    (String.concat ","
+       (List.map
+          (fun b ->
+            Printf.sprintf
+              "{\"function\":\"%s\",\"state\":\"%s\",\"rejecting\":%b}"
+              (json_str (Breaker.name b))
+              (Breaker.state_to_string (Breaker.state b))
+              (Breaker.rejecting b))
+          breakers))
+    s.connections s.queries s.shed_queue s.shed_drain s.shed_breaker
+    s.protocol_errors s.io_timeouts
+
+let admin_handler srv path =
+  match path with
+  | "/metrics" ->
+    {
+      Admin.status = 200;
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+      body = Expose.prometheus ();
+    }
+  | "/healthz" -> healthz srv
+  | "/statusz" -> Admin.json 200 (statusz srv)
+  | "/" -> Admin.text 200 "aqua admin: /metrics /healthz /statusz\n"
+  | _ -> Admin.text 404 "not found\n"
+
+(* gauge names registered by this server (Expose keys by name; a
+   restarted server re-registers over its predecessor) *)
+let gauge_names =
+  [ "net.queue_depth"; "net.in_flight"; "session_pool.in_use" ]
+
+let register_gauges srv =
+  Expose.register_gauge
+    ~help:"accepted connections waiting for a worker"
+    "net.queue_depth"
+    (fun () -> queue_length srv);
+  Expose.register_gauge
+    ~help:"queries between admission and response"
+    "net.in_flight"
+    (fun () -> Atomic.get srv.in_flight);
+  Expose.register_gauge
+    ~help:"sessions currently borrowed from the session pool"
+    "session_pool.in_use"
+    (fun () -> (Session_pool.stats srv.pool).Session_pool.in_use)
+
+(* ------------------------------------------------------------------ *)
 (* Lifecycle *)
 
 let make ~inline ?(config = default_config) ?snapshot_sink conn =
@@ -485,7 +753,7 @@ let make ~inline ?(config = default_config) ?snapshot_sink conn =
   (* a client closing mid-write must be an EPIPE, not a process kill *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  {
+  let srv = {
     conn;
     cfg = config;
     nworkers =
@@ -505,6 +773,12 @@ let make ~inline ?(config = default_config) ?snapshot_sink conn =
     llock = Mcore.Mutex.create ();
     hist_lock = Mcore.Mutex.create ();
     conn_seq = Atomic.make 0;
+    active = Hashtbl.create 16;
+    alock = Mcore.Mutex.create ();
+    trace_seq = Atomic.make 0;
+    trace_seed = T.now_ns ();
+    dump_request = Atomic.make false;
+    admin = ref None;
     s_connections = Atomic.make 0;
     s_queries = Atomic.make 0;
     s_shed_queue = Atomic.make 0;
@@ -514,6 +788,27 @@ let make ~inline ?(config = default_config) ?snapshot_sink conn =
     s_io_timeouts = Atomic.make 0;
     snapshot_sink;
   }
+  in
+  register_gauges srv;
+  srv
+
+(* The admin listener is a background domain, so it exists only on the
+   multicore build; it outlives the drain (health flips to 503 the
+   moment the flag is set) and stops in the epilogue. *)
+let start_admin ?on_admin_listening srv =
+  match srv.cfg.admin_port with
+  | Some p when Mcore.multicore ->
+    let a = Admin.start ~host:srv.cfg.host ~port:p (admin_handler srv) in
+    srv.admin := Some a;
+    (match on_admin_listening with Some f -> f (Admin.port a) | None -> ())
+  | _ -> ()
+
+let stop_admin srv =
+  match !(srv.admin) with
+  | Some a ->
+    Admin.stop a;
+    srv.admin := None
+  | None -> ()
 
 (* The drain tail, once the accept loop has stopped enqueueing:
    broadcast the queue so parked workers wake and refuse the leftovers,
@@ -562,16 +857,22 @@ let drain_epilogue srv =
      last, every time it stops *)
   ignore (Recorder.dump_to_sink ~reason:"drain" ());
   T.incr T.c_net_drains;
-  match srv.snapshot_sink with
+  (match srv.snapshot_sink with
   | Some sink -> sink (Expose.prometheus ())
-  | None -> ()
+  | None -> ());
+  (* the final exposition above still carries this server's gauges;
+     after it they would read a dead server, so they go *)
+  List.iter Expose.unregister_gauge gauge_names;
+  stop_admin srv
 
 let port t = t.srv.bound_port
+let admin_port t = Option.map Admin.port !(t.srv.admin)
 let summary t = read_summary t.srv
 let draining t = Atomic.get t.srv.drain_flag
 let request_drain t = Atomic.set t.srv.drain_flag true
+let request_dump t = Atomic.set t.srv.dump_request true
 
-let start ?config ?snapshot_sink conn =
+let start ?config ?snapshot_sink ?on_admin_listening conn =
   if not Mcore.multicore then
     failwith "Netserver.start needs the multicore build (OCaml >= 5.0)";
   let srv = make ~inline:false ?config ?snapshot_sink conn in
@@ -579,6 +880,7 @@ let start ?config ?snapshot_sink conn =
     List.init srv.nworkers (fun _ -> Mcore.Domains.spawn (fun () -> worker srv))
   in
   let acceptor = Mcore.Domains.spawn (fun () -> accept_loop srv) in
+  start_admin ?on_admin_listening srv;
   { srv; domains = acceptor :: workers; drained = false; dlock = Mcore.Mutex.create () }
 
 let drain t =
@@ -605,22 +907,33 @@ let drain t =
     drain_epilogue t.srv
   end
 
-let run ?config ?snapshot_sink ?on_listening conn =
+let run ?config ?snapshot_sink ?on_listening ?on_admin_listening conn =
   let srv = make ~inline:(not Mcore.multicore) ?config ?snapshot_sink conn in
   (match on_listening with Some f -> f srv.bound_port | None -> ());
   let on_signal _ = Atomic.set srv.drain_flag true in
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+  (* SIGUSR1: flag only — the accept loop performs the dump at its
+     next turn, outside any lock the interrupted code might hold *)
+  let on_usr1 _ = Atomic.set srv.dump_request true in
+  let old_usr1 =
+    try Some (Sys.signal Sys.sigusr1 (Sys.Signal_handle on_usr1))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
   let workers =
     if srv.inline then []
     else
       List.init srv.nworkers (fun _ ->
           Mcore.Domains.spawn (fun () -> worker srv))
   in
+  start_admin ?on_admin_listening srv;
   accept_loop srv;
   drain_tail srv;
   List.iter Mcore.Domains.join workers;
   drain_epilogue srv;
   Sys.set_signal Sys.sigterm old_term;
   Sys.set_signal Sys.sigint old_int;
+  (match old_usr1 with
+  | Some b -> ( try Sys.set_signal Sys.sigusr1 b with Invalid_argument _ | Sys_error _ -> ())
+  | None -> ());
   read_summary srv

@@ -37,11 +37,23 @@ type config = {
   drain_timeout_ms : int;  (** bound on waiting out in-flight queries *)
   max_frame : int;  (** per-frame byte cap (decoder hardening) *)
   limits : Aqua_resilience.Budget.limits;  (** per-session query budget *)
+  trace_sample : float;
+      (** head-based trace-sampling probability in [0,1]: every wire
+          query gets a trace id (client-supplied via a leading
+          [/*traceparent:<id>*/] comment — stripped before
+          fingerprinting and translation — or minted), and this is
+          the probability its span tree emits as NDJSON.  Aggregates
+          and the flight recorder see every query regardless. *)
+  admin_port : int option;
+      (** when set, serve the HTTP admin plane ([/metrics],
+          [/healthz], [/statusz]) on this side port (0 = ephemeral);
+          multicore builds only — the shim has no spare domain. *)
 }
 
 val default_config : config
 (** 127.0.0.1:5433, 8 sessions/workers, queue 16, 1 s borrow wait,
-    5 s socket deadline, 2 s drain bound, 1 MiB frames, no budget. *)
+    5 s socket deadline, 2 s drain bound, 1 MiB frames, no budget,
+    sampling 0.0, no admin port. *)
 
 (** Counter snapshot maintained by the server itself (independent of
     the telemetry enable switch, which the same events also feed). *)
@@ -70,9 +82,19 @@ val request_drain : t -> unit
     loop stops admitting and live sessions begin refusing.  Returns
     immediately; {!drain} completes the shutdown. *)
 
+val admin_port : t -> int option
+(** The bound admin-plane port, when [admin_port] was configured (and
+    the build is multicore). *)
+
+val request_dump : t -> unit
+(** Ask the accept loop to dump the flight-recorder ring to its sink
+    with reason ["signal"] on its next turn.  Async-signal-safe: this
+    is what the SIGUSR1 handler installed by {!run} calls. *)
+
 val start :
   ?config:config ->
   ?snapshot_sink:(string -> unit) ->
+  ?on_admin_listening:(int -> unit) ->
   Aqua_driver.Connection.t ->
   t
 (** Bind, listen, and serve in background domains (an accept domain
@@ -80,6 +102,15 @@ val start :
     the single-domain shim cannot run a background server.
     [snapshot_sink], when given, receives the final
     {!Aqua_obs.Expose.prometheus} exposition at the end of {!drain}.
+    [on_admin_listening] is called with the admin plane's bound port
+    once it is listening (only when [admin_port] is configured).
+
+    Besides translated SQL, every session answers the [aqua_stat_*]
+    virtual tables ([SELECT * FROM aqua_stat_statements | _activity |
+    _breakers]) directly from the live in-process registries — no
+    session-pool borrow, no budget, no translation — so diagnostics
+    stay reachable even when the data plane is saturated or the
+    breaker is open.
     @raise Failure on the pre-5.0 shim *)
 
 val drain : t -> unit
@@ -91,11 +122,14 @@ val drain : t -> unit
 
 val run : ?config:config -> ?snapshot_sink:(string -> unit) ->
   ?on_listening:(int -> unit) ->
+  ?on_admin_listening:(int -> unit) ->
   Aqua_driver.Connection.t -> summary
 (** The CLI entry point: serve until SIGTERM/SIGINT, then {!drain},
     returning the final summary.  [on_listening] is called with the
     bound port once the socket is listening (before the first accept)
-    — the CI smoke job keys on its output.  On the multicore build
-    this is [start] + signal-driven drain; on the shim it degrades to
-    a sequential accept loop (one connection served at a time, same
-    protocol, same drain semantics). *)
+    — the CI smoke job keys on its output; [on_admin_listening]
+    likewise for the admin plane.  SIGUSR1 triggers an on-demand
+    flight-recorder dump (reason ["signal"]) via {!request_dump}.  On
+    the multicore build this is [start] + signal-driven drain; on the
+    shim it degrades to a sequential accept loop (one connection
+    served at a time, same protocol, same drain semantics). *)

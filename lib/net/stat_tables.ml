@@ -1,0 +1,145 @@
+(* The aqua_stat_* virtual tables: pg_stat_statements-style live
+   introspection answered by the wire server itself, before any
+   translation.  Each table renders a registry snapshot into the same
+   Outcol/Value shapes every real result uses, so the existing
+   RowDescription/DataRow encoders serve them unchanged and any stock
+   client sees ordinary rows. *)
+
+module Outcol = Aqua_translator.Outcol
+module Value = Aqua_relational.Value
+module Sql_type = Aqua_relational.Sql_type
+module Stats = Aqua_obs.Stats
+module Histogram = Aqua_obs.Histogram
+module Breaker = Aqua_resilience.Breaker
+
+type table = Statements | Activity | Breakers
+
+let table_names =
+  [ "aqua_stat_statements"; "aqua_stat_activity"; "aqua_stat_breakers" ]
+
+(* Recognize exactly [SELECT * FROM <name>] (any case, any whitespace,
+   optional trailing semicolon).  Anything fancier — projections,
+   predicates — falls through to the translator and fails there with
+   its normal unknown-table error, which is the honest answer: these
+   are not catalog tables. *)
+let recognize sql =
+  let s = String.trim sql in
+  let s =
+    let n = String.length s in
+    if n > 0 && s.[n - 1] = ';' then String.trim (String.sub s 0 (n - 1))
+    else s
+  in
+  let toks =
+    String.split_on_char ' '
+      (String.map (fun c -> if c = '\t' || c = '\n' || c = '\r' then ' ' else c) s)
+    |> List.filter (fun t -> t <> "")
+    |> List.map String.lowercase_ascii
+  in
+  match toks with
+  | [ "select"; "*"; "from"; name ] -> (
+    match name with
+    | "aqua_stat_statements" -> Some Statements
+    | "aqua_stat_activity" -> Some Activity
+    | "aqua_stat_breakers" -> Some Breakers
+    | _ -> None)
+  | _ -> None
+
+let col label ty =
+  (* the element name never reaches XML on this path; the label is a
+     valid XML name already *)
+  Outcol.make ~label ~element:label ~ty ~nullable:false
+
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+(* -- aqua_stat_statements: the per-fingerprint registry ------------- *)
+
+let statements_cols =
+  [ col "fingerprint" (Sql_type.Varchar None);
+    col "query" (Sql_type.Varchar None);
+    col "calls" Sql_type.Bigint;
+    col "rows" Sql_type.Bigint;
+    col "cache_hits" Sql_type.Bigint;
+    col "errors" Sql_type.Bigint;
+    col "mean_ms" Sql_type.Double;
+    col "p50_ms" Sql_type.Double;
+    col "p99_ms" Sql_type.Double;
+    col "total_ms" Sql_type.Double ]
+
+let statements () =
+  let rows =
+    List.map
+      (fun (e : Stats.entry) ->
+        let total_ns = Histogram.total e.Stats.total in
+        let calls = e.Stats.calls in
+        let mean_ms =
+          if calls = 0 then 0.0 else ms_of_ns total_ns /. float_of_int calls
+        in
+        [| Value.Str e.Stats.fingerprint;
+           Value.Str e.Stats.shape;
+           Value.Int calls;
+           Value.Int e.Stats.rows;
+           Value.Int e.Stats.cache_hits;
+           Value.Int e.Stats.errors;
+           Value.Num mean_ms;
+           Value.Num (ms_of_ns (Histogram.p50 e.Stats.total));
+           Value.Num (ms_of_ns (Histogram.p99 e.Stats.total));
+           Value.Num (ms_of_ns total_ns) |])
+      (Stats.entries ())
+  in
+  (statements_cols, rows)
+
+(* -- aqua_stat_activity: queries in flight right now ---------------- *)
+
+type activity_row = {
+  pid : int;  (* the backend id sent in BackendKeyData *)
+  query : string;  (* normalized shape, not raw text *)
+  fingerprint : string;
+  elapsed_ms : float;
+  trace_id : string;
+}
+
+let activity_cols =
+  [ col "pid" Sql_type.Integer;
+    col "state" (Sql_type.Varchar None);
+    col "query" (Sql_type.Varchar None);
+    col "fingerprint" (Sql_type.Varchar None);
+    col "elapsed_ms" Sql_type.Double;
+    col "trace_id" (Sql_type.Varchar None) ]
+
+let activity rows =
+  let rows =
+    List.map
+      (fun a ->
+        [| Value.Int a.pid;
+           Value.Str "active";
+           Value.Str a.query;
+           Value.Str a.fingerprint;
+           Value.Num a.elapsed_ms;
+           Value.Str a.trace_id |])
+      (List.sort (fun a b -> compare a.pid b.pid) rows)
+  in
+  (activity_cols, rows)
+
+(* -- aqua_stat_breakers: per-function circuit state ----------------- *)
+
+let breakers_cols =
+  [ col "function" (Sql_type.Varchar None);
+    col "state" (Sql_type.Varchar None);
+    col "rejecting" Sql_type.Boolean;
+    col "trips" Sql_type.Bigint;
+    col "recoveries" Sql_type.Bigint;
+    col "rejections" Sql_type.Bigint ]
+
+let breakers bs =
+  let rows =
+    List.map
+      (fun b ->
+        [| Value.Str (Breaker.name b);
+           Value.Str (Breaker.state_to_string (Breaker.state b));
+           Value.Bool (Breaker.rejecting b);
+           Value.Int (Breaker.trips b);
+           Value.Int (Breaker.recoveries b);
+           Value.Int (Breaker.rejections b) |])
+      bs
+  in
+  (breakers_cols, rows)

@@ -1,0 +1,47 @@
+(** The [aqua_stat_*] virtual tables.
+
+    pg_stat_statements-style introspection served by {!Netserver}
+    itself: a [SELECT * FROM aqua_stat_statements | aqua_stat_activity
+    | aqua_stat_breakers] is intercepted before translation and
+    answered from the live registries over ordinary
+    RowDescription/DataRow frames, so any stock client can watch the
+    server it is talking to.
+
+    - [aqua_stat_statements] — the {!Aqua_obs.Stats} per-fingerprint
+      registry: fingerprint, normalized query, calls, rows, cache
+      hits, errors, mean/p50/p99/total latency in milliseconds;
+    - [aqua_stat_activity] — queries in flight at snapshot time: pid
+      (the BackendKeyData id), normalized query, fingerprint, elapsed
+      ms, trace id;
+    - [aqua_stat_breakers] — per-function circuit breakers: state,
+      whether currently rejecting, trips/recoveries/rejections. *)
+
+type table = Statements | Activity | Breakers
+
+val table_names : string list
+
+val recognize : string -> table option
+(** [Some _] iff the SQL is exactly [SELECT * FROM <table>] (any case
+    or whitespace, optional trailing [;]) naming a virtual table.
+    Anything else — projections, predicates, joins — falls through to
+    the translator. *)
+
+val statements :
+  unit -> Aqua_translator.Outcol.t list * Aqua_relational.Value.t array list
+
+type activity_row = {
+  pid : int;
+  query : string;
+  fingerprint : string;
+  elapsed_ms : float;
+  trace_id : string;
+}
+
+val activity :
+  activity_row list ->
+  Aqua_translator.Outcol.t list * Aqua_relational.Value.t array list
+(** Rows are returned sorted by pid. *)
+
+val breakers :
+  Aqua_resilience.Breaker.t list ->
+  Aqua_translator.Outcol.t list * Aqua_relational.Value.t array list

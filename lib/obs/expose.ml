@@ -4,6 +4,54 @@
    drift apart silently. *)
 
 module Telemetry = Aqua_core.Telemetry
+module Mcore = Aqua_multicore.Mcore
+
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                             *)
+
+(* Live values owned by someone else — connection-queue depth, pool
+   in-use, in-flight queries — exposed through registered read
+   callbacks rather than stored samples, so a scrape always sees the
+   instant truth and the owner carries no exposition dependency beyond
+   registration.  Keyed by name; re-registering replaces (a restarted
+   server takes over its names). *)
+type gauge = { g_help : string; g_read : unit -> int }
+
+let gauge_lock = Mcore.Mutex.create ()
+let gauge_table : (string, gauge) Hashtbl.t = Hashtbl.create 8
+let gauge_order : string list ref = ref []  (* reverse registration order *)
+
+let register_gauge ~help name read =
+  Mcore.Mutex.protect gauge_lock @@ fun () ->
+  if not (Hashtbl.mem gauge_table name) then
+    gauge_order := name :: !gauge_order;
+  Hashtbl.replace gauge_table name { g_help = help; g_read = read }
+
+let unregister_gauge name =
+  Mcore.Mutex.protect gauge_lock @@ fun () ->
+  Hashtbl.remove gauge_table name;
+  gauge_order := List.filter (fun n -> n <> name) !gauge_order
+
+(* Snapshot the registry under the lock, then run the callbacks
+   outside it: a reader is free to take its owner's locks (queue lock,
+   pool lock) without ordering against ours.  A raising reader is
+   skipped — one broken gauge must not poison the whole scrape. *)
+let gauge_samples () =
+  let snap =
+    Mcore.Mutex.protect gauge_lock (fun () ->
+        List.rev_map
+          (fun name -> (name, Hashtbl.find gauge_table name))
+          !gauge_order)
+  in
+  List.filter_map
+    (fun (name, g) ->
+      match g.g_read () with
+      | v -> Some (name, g.g_help, v)
+      | exception _ -> None)
+    snap
+
+let gauge_values () =
+  List.map (fun (name, _, v) -> (name, v)) (gauge_samples ())
 
 (* ------------------------------------------------------------------ *)
 (* Rendering helpers                                                  *)
@@ -63,6 +111,13 @@ let prometheus () =
       family m "counter" ("telemetry counter " ^ name);
       int_sample m value)
     (Telemetry.counters ());
+  (* gauges: live read-callback values (no _total suffix) *)
+  List.iter
+    (fun (name, help, v) ->
+      let m = "aqua_" ^ sanitize name in
+      family m "gauge" help;
+      int_sample m v)
+    (gauge_samples ());
   (* span aggregates *)
   let spans = Telemetry.span_stats () in
   if spans <> [] then begin
@@ -183,6 +238,12 @@ let json () =
        (List.map
           (fun (name, v) -> Printf.sprintf "\"%s\":%d" (json_escape name) v)
           (Telemetry.counters ())));
+  Buffer.add_string buf "},\"gauges\":{";
+  Buffer.add_string buf
+    (String.concat ","
+       (List.map
+          (fun (name, v) -> Printf.sprintf "\"%s\":%d" (json_escape name) v)
+          (gauge_values ())));
   Buffer.add_string buf "},\"spans\":[";
   Buffer.add_string buf
     (String.concat ","

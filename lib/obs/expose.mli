@@ -8,9 +8,29 @@
     job (via [bench/validate.exe --prom]) and the test suite, so the
     renderer can never silently drift from the format. *)
 
+(** {1 Gauges}
+
+    Live values — queue depths, pool occupancy, in-flight counts — are
+    exposed through registered read callbacks: the owner registers a
+    closure over its own state, and every scrape calls it for the
+    instant value.  Re-registering a name replaces the callback (a
+    restarted server takes over); a callback that raises is skipped
+    for that scrape. *)
+
+val register_gauge : help:string -> string -> (unit -> int) -> unit
+(** [register_gauge ~help name read] — [name] is sanitized into the
+    [aqua_<name>] metric family (rendered with [# TYPE … gauge]). *)
+
+val unregister_gauge : string -> unit
+
+val gauge_values : unit -> (string * int) list
+(** Current [(name, value)] per registered gauge, registration order,
+    raising readers skipped. *)
+
 val prometheus : unit -> string
 (** Prometheus exposition (text format 0.0.4):
     - every telemetry counter as [aqua_<name>_total];
+    - every registered gauge as [aqua_<name>] with [# TYPE … gauge];
     - span aggregates as [aqua_span_count_total{span=…}] /
       [aqua_span_duration_ns_total{span=…}];
     - each named histogram as the [aqua_latency_ns{op=…}] histogram
@@ -22,7 +42,7 @@ val prometheus : unit -> string
 
 val json : unit -> string
 (** The same data as one JSON object:
-    [{"counters":…,"spans":…,"histograms":…,"fingerprints":…}]. *)
+    [{"counters":…,"gauges":…,"spans":…,"histograms":…,"fingerprints":…}]. *)
 
 val lint : string -> string list
 (** Problems found in a Prometheus text exposition (empty = valid):

@@ -28,6 +28,7 @@ type event = {
   rows : int;
   cache_hit : bool;
   plan : string;
+  trace_id : string;  (* "" when the statement ran outside a trace *)
   outcome : outcome;
   resilience : resilience;
 }
@@ -59,9 +60,20 @@ let clear () =
   cursor := 0
 
 let record ~fingerprint ~shape ~start_ns ~dur_ns ?(rows = 0)
-    ?(cache_hit = false) ?(plan = "optimized") ?(resilience = no_resilience)
-    outcome =
+    ?(cache_hit = false) ?(plan = "optimized") ?trace_id
+    ?(resilience = no_resilience) outcome =
   if !enabled_flag then begin
+    (* the ambient trace context (installed by the wire frontend) is
+       the default stamp, so tail capture of errored queries works
+       even when head sampling said no: the ring always has the id a
+       client can quote back *)
+    let trace_id =
+      match trace_id with
+      | Some t -> t
+      | None ->
+        Option.value ~default:""
+          (Aqua_core.Telemetry.current_trace_id ())
+    in
     Mcore.Mutex.protect lock @@ fun () ->
     incr seq;
     let ev =
@@ -74,6 +86,7 @@ let record ~fingerprint ~shape ~start_ns ~dur_ns ?(rows = 0)
         rows;
         cache_hit;
         plan;
+        trace_id;
         outcome;
         resilience;
       }
@@ -104,9 +117,11 @@ let last_error () =
 
 let event_to_ndjson ev =
   Printf.sprintf
-    "{\"ev\":\"query\",\"seq\":%d,\"fp\":\"%s\",\"shape\":\"%s\",\"start_ns\":%Ld,\"dur_ns\":%Ld,\"rows\":%d,\"cache_hit\":%b,\"plan\":\"%s\",\"outcome\":\"%s\",\"retries\":%d,\"fallbacks\":%d,\"faults\":%d,\"breaker_rejections\":%d}"
+    "{\"ev\":\"query\",\"seq\":%d,\"fp\":\"%s\",\"shape\":\"%s\",\"start_ns\":%Ld,\"dur_ns\":%Ld,\"rows\":%d,\"cache_hit\":%b,\"plan\":\"%s\"%s,\"outcome\":\"%s\",\"retries\":%d,\"fallbacks\":%d,\"faults\":%d,\"breaker_rejections\":%d}"
     ev.seq (json_escape ev.fingerprint) (json_escape ev.shape) ev.start_ns
     ev.dur_ns ev.rows ev.cache_hit (json_escape ev.plan)
+    (if ev.trace_id = "" then ""
+     else Printf.sprintf ",\"trace\":\"%s\"" (json_escape ev.trace_id))
     (match ev.outcome with Done -> "ok" | Failed s -> json_escape s)
     ev.resilience.retries ev.resilience.fallbacks ev.resilience.faults
     ev.resilience.breaker_rejections

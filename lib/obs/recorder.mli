@@ -30,6 +30,7 @@ type event = {
   rows : int;
   cache_hit : bool;
   plan : string;  (** plan shape note, e.g. ["optimized"] *)
+  trace_id : string;  (** [""] when recorded outside a trace context *)
   outcome : outcome;
   resilience : resilience;
 }
@@ -52,9 +53,15 @@ val record :
   ?rows:int ->
   ?cache_hit:bool ->
   ?plan:string ->
+  ?trace_id:string ->
   ?resilience:resilience ->
   outcome ->
   unit
+(** [trace_id] defaults to the ambient
+    {!Aqua_core.Telemetry.current_trace_id} (or [""]), so events
+    recorded under a wire query carry its trace id without the caller
+    threading it — the always-on tail-capture path for errored
+    queries, sampled or not. *)
 
 val events : unit -> event list
 (** Oldest first; at most {!capacity} entries. *)

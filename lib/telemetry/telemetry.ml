@@ -120,6 +120,8 @@ let c_net_shed_breaker = counter "net.shed_breaker"
 let c_net_protocol_errors = counter "net.protocol_errors"
 let c_net_io_timeouts = counter "net.io_timeouts"
 let c_net_drains = counter "net.drains"
+let c_net_stat_queries = counter "net.stat_queries"
+let c_net_traces_sampled = counter "net.traces_sampled"
 
 (* Per-clause row accounting ----------------------------------------- *)
 
@@ -161,6 +163,51 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Trace context ------------------------------------------------------ *)
+
+(* A per-query trace context, installed by the wire frontend for the
+   duration of one statement and read anywhere down the stack — the
+   driver, the translator stages, xqeval, the DSP server — without
+   threading a parameter through every layer.  Domain-local: two
+   sessions on different worker domains each see only their own
+   context.  [sampled] is the head-based sampling decision; span and
+   trace-event NDJSON emission honors it (an unsampled query's spans
+   still feed the aggregate registries — only the per-event lines are
+   suppressed). *)
+type trace_ctx = { trace_id : string; sampled : bool }
+
+let trace_ctx_key : trace_ctx option Mcore.Dls.key =
+  Mcore.Dls.new_key (fun () -> None)
+
+let with_trace ~id ~sampled f =
+  let prev = Mcore.Dls.get trace_ctx_key in
+  Mcore.Dls.set trace_ctx_key (Some { trace_id = id; sampled });
+  Fun.protect ~finally:(fun () -> Mcore.Dls.set trace_ctx_key prev) f
+
+let current_trace () =
+  match Mcore.Dls.get trace_ctx_key with
+  | Some c -> Some (c.trace_id, c.sampled)
+  | None -> None
+
+let current_trace_id () =
+  match Mcore.Dls.get trace_ctx_key with
+  | Some c -> Some c.trace_id
+  | None -> None
+
+(* Emission policy: no context (CLI runs, startup work) keeps the
+   legacy behavior — everything emits; a context emits only when
+   sampled. *)
+let trace_emitting () =
+  match Mcore.Dls.get trace_ctx_key with
+  | Some c -> c.sampled
+  | None -> true
+
+(* [,"trace":"<id>"] when a context is installed, [""] otherwise. *)
+let trace_field () =
+  match Mcore.Dls.get trace_ctx_key with
+  | Some c -> Printf.sprintf ",\"trace\":\"%s\"" (json_escape c.trace_id)
+  | None -> ""
+
 (* Tracing ------------------------------------------------------------ *)
 
 let trace_sink : (string -> unit) option ref = ref None
@@ -176,9 +223,10 @@ let emit_line line =
   | None -> ()
 
 let trace_event ev fields =
-  if !enabled_flag && !trace_sink <> None then begin
+  if !enabled_flag && !trace_sink <> None && trace_emitting () then begin
     let buf = Buffer.create 64 in
     Buffer.add_string buf (Printf.sprintf "{\"ev\":\"%s\"" (json_escape ev));
+    Buffer.add_string buf (trace_field ());
     List.iter
       (fun (k, v) ->
         Buffer.add_string buf
@@ -232,11 +280,11 @@ let with_span name f =
           a.n <- a.n + 1;
           a.total_ns <- Int64.add a.total_ns dur);
       (match !span_observer with Some f -> f name dur | None -> ());
-      if !trace_sink <> None then
+      if !trace_sink <> None && trace_emitting () then
         emit_line
           (Printf.sprintf
-             "{\"ev\":\"span\",\"name\":\"%s\",\"depth\":%d,\"start_ns\":%Ld,\"dur_ns\":%Ld}"
-             (json_escape name) depth start dur)
+             "{\"ev\":\"span\",\"name\":\"%s\"%s,\"depth\":%d,\"start_ns\":%Ld,\"dur_ns\":%Ld}"
+             (json_escape name) (trace_field ()) depth start dur)
     in
     match f () with
     | v -> finish (); v

@@ -91,6 +91,8 @@ val c_net_shed_breaker : counter     (* queries fast-rejected on an open breaker
 val c_net_protocol_errors : counter  (* malformed/oversized/unknown wire frames (08P01) *)
 val c_net_io_timeouts : counter      (* sessions torn down by a read/write deadline *)
 val c_net_drains : counter           (* graceful drain sequences completed *)
+val c_net_stat_queries : counter     (* aqua_stat_* virtual-table queries answered *)
+val c_net_traces_sampled : counter   (* wire queries whose trace was head-sampled *)
 
 (** {1 Per-clause row accounting}
 
@@ -121,12 +123,39 @@ val set_span_observer : (string -> int64 -> unit) option -> unit
     observer with the span name and its clamped duration.  The obs
     layer installs its histogram recorder here. *)
 
+(** {1 Trace context}
+
+    A per-query trace id installed by the wire frontend (or any other
+    entry point) for the duration of one statement.  The context is
+    domain-local, so concurrent sessions on different worker domains
+    never see each other's ids, and it travels implicitly through the
+    whole stack — session pool, driver, translator, both engines, DSP
+    calls — without parameter threading.  While a context is
+    installed, every span and trace-event NDJSON line carries a
+    ["trace"] field, and emission honors the context's head-based
+    sampling decision: an unsampled query still feeds every aggregate
+    (counters, span totals, histograms, stats, recorder) but emits no
+    per-event lines. *)
+
+val with_trace : id:string -> sampled:bool -> (unit -> 'a) -> 'a
+(** Install a trace context around [f] (restored on exit, also on
+    exception).  Nested installs shadow and restore. *)
+
+val current_trace : unit -> (string * bool) option
+(** The installed [(trace id, sampled)] context, if any. *)
+
+val current_trace_id : unit -> string option
+(** Just the id — what the flight recorder stamps on events. *)
+
 (** {1 Tracing} *)
 
 val set_trace_sink : (string -> unit) option -> unit
 (** When set (and telemetry is enabled), every span close emits one
     NDJSON line to the sink:
-    [{"ev":"span","name":...,"depth":N,"start_ns":...,"dur_ns":...}]. *)
+    [{"ev":"span","name":...,"depth":N,"start_ns":...,"dur_ns":...}]
+    — with a [,"trace":id] field after [name] when a trace context is
+    installed, and suppressed entirely when the context says
+    unsampled. *)
 
 val trace_event : string -> (string * string) list -> unit
 (** [trace_event ev fields] emits a custom NDJSON line

@@ -21,6 +21,8 @@ module Engine = Aqua_sqlengine.Engine
 module Connection = Aqua_driver.Connection
 module Session_pool = Aqua_driver.Session_pool
 module Result_set = Aqua_driver.Result_set
+module Stats = Aqua_obs.Stats
+module Histogram = Aqua_obs.Histogram
 
 let stress =
   match Option.bind (Sys.getenv_opt "AQUA_STRESS") int_of_string_opt with
@@ -256,6 +258,73 @@ let counter_parity () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Observability parity: the per-fingerprint stats registry and its
+   latency histograms, fed by 4 domains hammering the same workload,
+   must account for exactly the observations a sequential replay of
+   the same total workload produces — per-domain merges lose nothing
+   and double-count nothing.  Durations differ run to run, so the
+   oracle compares counts (calls, rows, histogram cardinality), which
+   are a pure function of the workload. *)
+let observability_parity () =
+  let app = Helpers.demo_app () in
+  let conn = Connection.connect app in
+  (* prewarm every cache so both runs see identical hit/miss traffic *)
+  List.iter (fun sql -> ignore (Connection.execute_query conn sql)) workload;
+  let replay () =
+    List.iter (fun sql -> ignore (Connection.execute_query conn sql)) workload
+  in
+  let measure run =
+    with_telemetry @@ fun () ->
+    Stats.reset ();
+    Stats.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Stats.set_enabled false;
+        Stats.reset ())
+      (fun () ->
+        run ();
+        let entries = Stats.entries () in
+        (* every recorded observation must be visible in the merged
+           total histogram: count = calls, exactly *)
+        List.iter
+          (fun (e : Stats.entry) ->
+            Alcotest.(check int)
+              ("histogram count = calls for " ^ e.Stats.fingerprint)
+              e.Stats.calls
+              (Histogram.count e.Stats.total))
+          entries;
+        List.sort compare
+          (List.map
+             (fun (e : Stats.entry) ->
+               (e.Stats.fingerprint, e.Stats.calls, e.Stats.rows))
+             entries))
+  in
+  (* same total workload: [domains] sequential replays vs [domains]
+     domains each replaying once, concurrently *)
+  let sequential =
+    measure (fun () ->
+        for _ = 1 to domains do
+          replay ()
+        done)
+  in
+  let concurrent =
+    measure (fun () ->
+        List.iter
+          (function Ok () -> () | Error e -> raise e)
+          (Mcore.Domains.parallel (List.init domains (fun _ -> replay))))
+  in
+  Alcotest.(check int)
+    "both runs saw every fingerprint"
+    (List.length sequential) (List.length concurrent);
+  List.iter2
+    (fun (fp_s, calls_s, rows_s) (fp_c, calls_c, rows_c) ->
+      Alcotest.(check string) "fingerprint" fp_s fp_c;
+      Alcotest.(check int) ("calls for " ^ fp_s) calls_s calls_c;
+      Alcotest.(check int) ("rows for " ^ fp_s) rows_s rows_c)
+    sequential concurrent
+
+(* ------------------------------------------------------------------ *)
+
 (* Budgets are domain-local: a tiny per-session budget tripping in one
    domain must not cancel (or be seen by) the query in another. *)
 let budget_isolation () =
@@ -306,4 +375,6 @@ let suite =
         blocking_borrow;
       Helpers.case "telemetry counters agree between 1 and 4 domains"
         counter_parity;
+      Helpers.case "stats registry survives a 4-domain hammer"
+        observability_parity;
       Helpers.case "budgets are isolated per domain" budget_isolation ] )

@@ -12,6 +12,10 @@ module Wire = Aqua_net.Wire
 module Client = Aqua_net.Client
 module Netserver = Aqua_net.Netserver
 module Connection = Aqua_driver.Connection
+module Telemetry = Aqua_core.Telemetry
+module Json = Aqua_core.Json
+module Stats = Aqua_obs.Stats
+module Expose = Aqua_obs.Expose
 
 (* ------------------------------------------------------------------ *)
 (* Codec *)
@@ -328,6 +332,274 @@ let breaker_fast_reject () =
     Alcotest.(check bool) "breaker sheds counted" true
       (s.Netserver.shed_breaker >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Trace context over the wire *)
+
+(* Collect NDJSON trace lines emitted by worker domains; the sink runs
+   under the telemetry lock, so only our own list needs one. *)
+let with_trace_capture f =
+  let lines = ref [] in
+  let lk = Mcore.Mutex.create () in
+  Telemetry.set_enabled true;
+  Telemetry.set_trace_sink
+    (Some (fun l -> Mcore.Mutex.protect lk (fun () -> lines := l :: !lines)));
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.set_trace_sink None;
+      Telemetry.set_enabled false)
+    (fun () ->
+      f (fun () -> Mcore.Mutex.protect lk (fun () -> lines := [])) (fun () ->
+          Mcore.Mutex.protect lk (fun () -> List.rev !lines)))
+
+let span_traces lines =
+  List.filter_map
+    (fun line ->
+      let j = Json.parse line in
+      match (Json.member "ev" j, Json.member "trace" j) with
+      | Some (Json.Str "span"), Some (Json.Str id) ->
+        Some
+          ( (match Json.member "name" j with
+            | Some (Json.Str n) -> n
+            | _ -> ""),
+            id )
+      | _ -> None)
+    lines
+
+(* The response flushes from inside the net.query span, so the client
+   can see its reply a beat before the span line lands in the sink:
+   poll until the predicate holds (or a bound expires, and the caller's
+   assertion reports what was actually captured). *)
+let rec spans_until collect pred tries =
+  let spans = span_traces (collect ()) in
+  if pred spans || tries = 0 then spans
+  else begin
+    Unix.sleepf 0.02;
+    spans_until collect pred (tries - 1)
+  end
+
+let trace_over_wire () =
+  if not Mcore.multicore then ()
+  else
+    with_trace_capture @@ fun clear collect ->
+    let config = { Netserver.default_config with trace_sample = 1.0 } in
+    with_server ~config @@ fun t ->
+    let c = connect_ok t in
+    (* a client-supplied traceparent comment tags every span of the
+       query with that id, comment stripped before translation *)
+    expect_rows c
+      "/*traceparent:wire-trace-1*/ SELECT CUSTOMERID FROM CUSTOMERS" 6;
+    let spans =
+      spans_until collect
+        (List.mem ("net.query", "wire-trace-1"))
+        50
+    in
+    Alcotest.(check bool) "net.query span carries the client id" true
+      (List.mem ("net.query", "wire-trace-1") spans);
+    Alcotest.(check bool) "translator spans inherit the id" true
+      (List.mem ("translate.parse", "wire-trace-1") spans);
+    List.iter
+      (fun (name, id) ->
+        Alcotest.(check string) ("one trace id on " ^ name) "wire-trace-1" id)
+      spans;
+    (* without the comment a 16-hex id is minted, one per query *)
+    clear ();
+    expect_rows c "SELECT CUSTOMERNAME FROM CUSTOMERS WHERE CUSTOMERID = 2" 1;
+    let spans =
+      spans_until collect
+        (List.exists (fun (name, _) -> name = "net.query"))
+        50
+    in
+    let ids = List.sort_uniq compare (List.map snd spans) in
+    (match ids with
+    | [ id ] ->
+      Alcotest.(check int) "minted id is 16 hex chars" 16 (String.length id);
+      String.iter
+        (fun ch ->
+          if not ((ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f')) then
+            Alcotest.failf "non-hex minted id %s" id)
+        id
+    | ids -> Alcotest.failf "expected one trace id, got %d" (List.length ids));
+    Client.close c
+
+let trace_sampling_zero_is_silent () =
+  if not Mcore.multicore then ()
+  else
+    with_trace_capture @@ fun clear collect ->
+    (* default config: trace_sample = 0.0 *)
+    with_server @@ fun t ->
+    let c = connect_ok t in
+    clear ();
+    expect_rows c "SELECT CUSTOMERID FROM CUSTOMERS" 6;
+    (* give a straggling span line the chance to prove us wrong *)
+    Unix.sleepf 0.1;
+    Alcotest.(check (list (pair string string)))
+      "0%% sampling emits no span lines" [] (span_traces (collect ()));
+    Client.close c
+
+(* ------------------------------------------------------------------ *)
+(* aqua_stat_* virtual tables *)
+
+let stat_tables_over_wire () =
+  if not Mcore.multicore then ()
+  else begin
+    Stats.reset ();
+    Stats.set_enabled true;
+    Telemetry.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.set_enabled false;
+        Stats.set_enabled false;
+        Stats.reset ())
+    @@ fun () ->
+    with_server @@ fun t ->
+    let c = connect_ok t in
+    expect_rows c "SELECT CUSTOMERID FROM CUSTOMERS" 6;
+    expect_rows c "SELECT CUSTOMERID FROM CUSTOMERS" 6;
+    (match Client.query c "SELECT * FROM aqua_stat_statements" with
+    | Ok r ->
+      Alcotest.(check (list string))
+        "statements columns"
+        [ "fingerprint"; "query"; "calls"; "rows"; "cache_hits"; "errors";
+          "mean_ms"; "p50_ms"; "p99_ms"; "total_ms" ]
+        r.Client.columns;
+      let row =
+        List.find_opt
+          (fun row ->
+            List.nth row 1 = Some "SELECT CUSTOMERID FROM CUSTOMERS")
+          r.Client.rows
+      in
+      (match row with
+      | Some row ->
+        Alcotest.(check (option string)) "calls counted" (Some "2")
+          (List.nth row 2);
+        Alcotest.(check (option string)) "rows counted" (Some "12")
+          (List.nth row 3)
+      | None -> Alcotest.fail "replayed fingerprint missing from statements")
+    | Error (code, msg) ->
+      Alcotest.failf "aqua_stat_statements failed: %s %s" code msg);
+    (* case-insensitive, trailing semicolon, nothing else in flight *)
+    (match Client.query c "  select * from AQUA_STAT_ACTIVITY ; " with
+    | Ok r ->
+      Alcotest.(check (list string))
+        "activity columns"
+        [ "pid"; "state"; "query"; "fingerprint"; "elapsed_ms"; "trace_id" ]
+        r.Client.columns;
+      Alcotest.(check int) "no queries in flight" 0 (List.length r.Client.rows)
+    | Error (code, msg) ->
+      Alcotest.failf "aqua_stat_activity failed: %s %s" code msg);
+    (match Client.query c "SELECT * FROM aqua_stat_breakers" with
+    | Ok r ->
+      Alcotest.(check (list string))
+        "breakers columns"
+        [ "function"; "state"; "rejecting"; "trips"; "recoveries";
+          "rejections" ]
+        r.Client.columns;
+      (match r.Client.rows with
+      | row :: _ ->
+        Alcotest.(check (option string)) "breaker closed" (Some "closed")
+          (List.nth row 1);
+        Alcotest.(check (option string)) "not rejecting" (Some "false")
+          (List.nth row 2)
+      | [] -> Alcotest.fail "no breakers listed after a served query")
+    | Error (code, msg) ->
+      Alcotest.failf "aqua_stat_breakers failed: %s %s" code msg);
+    (* a near-miss stays SQL: unknown table, not a silent empty set *)
+    (match Client.query c "SELECT pid FROM aqua_stat_activity" with
+    | Error ("42P01", _) -> ()
+    | Error (code, msg) -> Alcotest.failf "expected 42P01, got %s %s" code msg
+    | Ok _ -> Alcotest.fail "projected stat query must not match the table");
+    Client.close c
+  end
+
+(* ------------------------------------------------------------------ *)
+(* HTTP admin plane *)
+
+let http_get port path =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  let b = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes b chunk 0 n;
+      drain ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+  in
+  drain ();
+  let raw = Buffer.contents b in
+  let status =
+    try Scanf.sscanf raw "HTTP/1.0 %d" (fun d -> d)
+    with Scanf.Scan_failure _ | End_of_file -> -1
+  in
+  let body =
+    let rec find i =
+      if i + 4 > String.length raw then ""
+      else if String.sub raw i 4 = "\r\n\r\n" then
+        String.sub raw (i + 4) (String.length raw - i - 4)
+      else find (i + 1)
+    in
+    find 0
+  in
+  (status, body)
+
+let admin_plane () =
+  if not Mcore.multicore then ()
+  else
+    let config = { Netserver.default_config with admin_port = Some 0 } in
+    with_server ~config @@ fun t ->
+    let ap =
+      match Netserver.admin_port t with
+      | Some p -> p
+      | None -> Alcotest.fail "admin plane not started"
+    in
+    let c = connect_ok t in
+    expect_rows c "SELECT CUSTOMERID FROM CUSTOMERS" 6;
+    let status, metrics = http_get ap "/metrics" in
+    Alcotest.(check int) "metrics 200" 200 status;
+    Alcotest.(check (list string)) "scrape lints clean" []
+      (Expose.lint metrics);
+    Alcotest.(check bool) "queue-depth gauge scraped" true
+      (Helpers.contains ~needle:"# TYPE aqua_net_queue_depth gauge" metrics);
+    Alcotest.(check bool) "pool gauge scraped" true
+      (Helpers.contains ~needle:"aqua_session_pool_in_use" metrics);
+    let status, health = http_get ap "/healthz" in
+    Alcotest.(check int) "healthz 200" 200 status;
+    (match Json.member "status" (Json.parse health) with
+    | Some (Json.Str "ok") -> ()
+    | _ -> Alcotest.failf "unexpected healthz body: %s" health);
+    let status, statusz = http_get ap "/statusz" in
+    Alcotest.(check int) "statusz 200" 200 status;
+    let j = Json.parse statusz in
+    (match Json.member "draining" j with
+    | Some (Json.Bool false) -> ()
+    | _ -> Alcotest.fail "statusz lacks draining:false");
+    (match Json.member "pool" j with
+    | Some (Json.Obj fields) ->
+      Alcotest.(check bool) "pool capacity reported" true
+        (List.mem_assoc "capacity" fields)
+    | _ -> Alcotest.fail "statusz lacks the pool object");
+    (match Json.member "breakers" j with
+    | Some (Json.Arr (_ :: _)) -> ()
+    | _ -> Alcotest.fail "statusz lacks breakers");
+    let status, _ = http_get ap "/nope" in
+    Alcotest.(check int) "unknown path is 404" 404 status;
+    Client.close c;
+    (* the admin plane reports the drain, and keeps answering *)
+    Netserver.request_drain t;
+    let status, health = http_get ap "/healthz" in
+    Alcotest.(check int) "draining healthz 503" 503 status;
+    match Json.member "status" (Json.parse health) with
+    | Some (Json.Str "draining") -> ()
+    | _ -> Alcotest.failf "unexpected draining body: %s" health
+
 let suite =
   ( "net",
     [ Helpers.case "frontend frames round-trip" frontend_roundtrip;
@@ -341,4 +613,10 @@ let suite =
       Helpers.case "graceful drain: 57P01/57P03, no lost queries"
         drain_semantics;
       Helpers.case "open breaker fast-rejects, half-open admitted"
-        breaker_fast_reject ] )
+        breaker_fast_reject;
+      Helpers.case "trace ids propagate over the wire" trace_over_wire;
+      Helpers.case "zero sampling emits no trace lines"
+        trace_sampling_zero_is_silent;
+      Helpers.case "aqua_stat_* virtual tables answer over the wire"
+        stat_tables_over_wire;
+      Helpers.case "admin plane: /metrics, /healthz, /statusz" admin_plane ] )

@@ -16,6 +16,7 @@ module Sqlstate = Aqua_resilience.Sqlstate
 module Failpoint = Aqua_resilience.Failpoint
 
 let case = Helpers.case
+let has haystack needle = Helpers.contains ~needle haystack
 
 (* Obs state is global; every test that touches it starts clean and
    restores the always-on defaults (stats off, recorder on). *)
@@ -352,6 +353,72 @@ let test_prometheus_lints_clean () =
           | Some (Json.Obj _) -> ()
           | _ -> Alcotest.fail "json exposition lacks histograms"))
 
+(* Gauges: registered read-callbacks must render as a gauge family,
+   pass the linter, track the underlying value live, and disappear on
+   unregister. *)
+let test_gauges_render_and_lint () =
+  let depth = ref 3 in
+  Expose.register_gauge ~help:"a test gauge" "test.gauge_depth" (fun () ->
+      !depth);
+  Fun.protect
+    ~finally:(fun () -> Expose.unregister_gauge "test.gauge_depth")
+    (fun () ->
+      let text = Expose.prometheus () in
+      Alcotest.(check (list string)) "exposition with gauges lints clean" []
+        (Expose.lint text);
+      Alcotest.(check bool) "TYPE line says gauge" true
+        (has text "# TYPE aqua_test_gauge_depth gauge");
+      Alcotest.(check bool) "value rendered" true
+        (has text "aqua_test_gauge_depth 3");
+      depth := 7;
+      Alcotest.(check bool) "gauge reads live" true
+        (has (Expose.prometheus ()) "aqua_test_gauge_depth 7");
+      Alcotest.(check bool) "json exposition carries gauges" true
+        (match Json.member "gauges" (Json.parse (Expose.json ())) with
+        | Some (Json.Obj fields) ->
+          List.exists (fun (k, _) -> k = "test.gauge_depth") fields
+        | _ -> false);
+      (* a raising reader is skipped, not fatal to the scrape *)
+      Expose.register_gauge ~help:"broken" "test.gauge_broken" (fun () ->
+          failwith "reader died");
+      Fun.protect
+        ~finally:(fun () -> Expose.unregister_gauge "test.gauge_broken")
+        (fun () ->
+          let text = Expose.prometheus () in
+          Alcotest.(check (list string)) "scrape survives a dead reader" []
+            (Expose.lint text);
+          Alcotest.(check bool) "dead reader omitted" false
+            (has text "test_gauge_broken")));
+  Alcotest.(check bool) "unregistered gauge gone" false
+    (has (Expose.prometheus ()) "aqua_test_gauge_depth")
+
+(* The recorder stamps events with the ambient trace context, and the
+   NDJSON rendering carries the id. *)
+let test_recorder_trace_ids () =
+  with_obs (fun () ->
+      Telemetry.with_trace ~id:"trace-77" ~sampled:false (fun () ->
+          Recorder.record ~fingerprint:"fp-ambient" ~shape:"SELECT ?"
+            ~start_ns:0L ~dur_ns:10L Recorder.Done);
+      Recorder.record ~fingerprint:"fp-explicit" ~shape:"SELECT ?"
+        ~trace_id:"trace-88" ~start_ns:0L ~dur_ns:10L Recorder.Done;
+      Recorder.record ~fingerprint:"fp-none" ~shape:"SELECT ?" ~start_ns:0L
+        ~dur_ns:10L Recorder.Done;
+      match Recorder.events () with
+      | [ ambient; explicit; bare ] ->
+        Alcotest.(check string) "ambient context stamped" "trace-77"
+          ambient.Recorder.trace_id;
+        Alcotest.(check bool) "ambient id in ndjson" true
+          (has
+             (Recorder.event_to_ndjson ambient)
+             "\"trace\":\"trace-77\"");
+        Alcotest.(check string) "explicit id wins" "trace-88"
+          explicit.Recorder.trace_id;
+        Alcotest.(check string) "no context, no id" ""
+          bare.Recorder.trace_id;
+        Alcotest.(check bool) "no trace field without an id" false
+          (has (Recorder.event_to_ndjson bare) "\"trace\"")
+      | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs))
+
 (* The linter itself must reject broken expositions, or the CI check
    proves nothing. *)
 let test_linter_catches_breakage () =
@@ -389,4 +456,6 @@ let suite =
       case "recorder ring is bounded" test_recorder_ring_bounds;
       case "recorder dumps on failpoint fault" test_recorder_dump_on_failpoint;
       case "prometheus exposition lints clean" test_prometheus_lints_clean;
+      case "gauges render, lint and unregister" test_gauges_render_and_lint;
+      case "recorder stamps trace ids" test_recorder_trace_ids;
       case "linter catches breakage" test_linter_catches_breakage ] )

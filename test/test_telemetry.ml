@@ -310,6 +310,63 @@ let test_json_parser () =
   expect_error "[1,]";
   expect_error "\"unterminated"
 
+(* --- trace context -------------------------------------------------- *)
+
+let test_trace_context_nests () =
+  Alcotest.(check bool) "no ambient context" true
+    (Telemetry.current_trace () = None);
+  Telemetry.with_trace ~id:"outer" ~sampled:true (fun () ->
+      Alcotest.(check (option string)) "outer id" (Some "outer")
+        (Telemetry.current_trace_id ());
+      Telemetry.with_trace ~id:"inner" ~sampled:false (fun () ->
+          Alcotest.(check bool) "inner shadows" true
+            (Telemetry.current_trace () = Some ("inner", false)));
+      Alcotest.(check (option string)) "outer restored" (Some "outer")
+        (Telemetry.current_trace_id ()));
+  Alcotest.(check bool) "context cleared" true
+    (Telemetry.current_trace () = None);
+  (* restored on exception too *)
+  (try
+     Telemetry.with_trace ~id:"boom" ~sampled:true (fun () ->
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "cleared after raise" true
+    (Telemetry.current_trace () = None)
+
+let test_trace_sampling_gates_emission () =
+  let (), lines =
+    with_telemetry (fun () ->
+        (* sampled: span lines emit, tagged with the id *)
+        Telemetry.with_trace ~id:"tid-on" ~sampled:true (fun () ->
+            Telemetry.with_span "t.sampled" (fun () -> ()));
+        (* unsampled: no lines, but aggregates still fed *)
+        Telemetry.with_trace ~id:"tid-off" ~sampled:false (fun () ->
+            Telemetry.with_span "t.unsampled" (fun () -> ());
+            Telemetry.trace_event "custom" [ ("k", "v") ]);
+        (* no context: legacy emit-everything behavior *)
+        Telemetry.with_span "t.plain" (fun () -> ()))
+  in
+  let spans = span_events lines in
+  let names =
+    List.map (fun j -> field_str "name" j) spans |> List.sort compare
+  in
+  Alcotest.(check (list string)) "only sampled and plain spans emitted"
+    [ "t.plain"; "t.sampled" ] names;
+  List.iter
+    (fun j ->
+      match (field_str "name" j, Json.member "trace" j) with
+      | "t.sampled", Some (Json.Str id) ->
+        Alcotest.(check string) "sampled span tagged" "tid-on" id
+      | "t.sampled", _ -> Alcotest.fail "sampled span lacks trace field"
+      | _, trace ->
+        Alcotest.(check bool) "plain span untagged" true (trace = None))
+    spans;
+  Alcotest.(check bool) "unsampled span still aggregated" true
+    (Telemetry.span_total_ns "t.unsampled" >= 0L
+    && List.exists
+         (fun (n, _, _) -> n = "t.unsampled")
+         (Telemetry.span_stats ()))
+
 let suite =
   ( "telemetry",
     [ case "three stages nest under translate" test_stage_spans_nest;
@@ -321,4 +378,7 @@ let suite =
       case "trace output is NDJSON over all stages" test_trace_is_ndjson;
       case "reset zeroes everything" test_reset_zeroes;
       case "backwards clock clamps to zero" test_backwards_clock_clamps;
-      case "json parser" test_json_parser ] )
+      case "json parser" test_json_parser;
+      case "trace context nests and restores" test_trace_context_nests;
+      case "trace sampling gates NDJSON, not aggregates"
+        test_trace_sampling_gates_emission ] )
