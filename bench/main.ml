@@ -1657,6 +1657,221 @@ let p14 () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* P15: columnar batch layout vs the row-snapshot batch engine.        *)
+
+let p15_json_path = "BENCH_P15.json"
+
+(* Interleaved A/B medians (same discipline as P12): the effects under
+   measurement — kernelized GROUP BY, required-column pruning — are
+   tens of percent, but two bechamel estimates taken far apart still
+   drift by more.  Each iteration times one batched and one columnar
+   execution back to back; each configuration reports its median.
+
+   Workload kinds: "aggregation" is the kernelized GROUP BY story —
+   validate.exe hard-rejects a columnar slowdown and --min-speedup
+   gates every scale's speedup_at_1024; "join-aggregation" (hash join
+   feeding kernels, where probe/emit cost dilutes the kernel win) is
+   hard-gated against slowdown only; "wide" is the pruning story —
+   many bound variables, few live columns — and is informational. *)
+let p15 () =
+  print_endline
+    "\n== P15: columnar batch layout vs row-snapshot batches ==";
+  let scales =
+    [ ("small", sizes 100 1600 2 1600); ("medium", sizes 200 3200 2 3200);
+      ("large", sizes 300 5000 2 5000) ]
+  in
+  let workloads =
+    [ ( "agg-group", "aggregation",
+        "SELECT O.CUSTOMERID, COUNT(*) N, SUM(O.PRIORITY) S, \
+         AVG(O.PRIORITY) A, MIN(O.PRIORITY) MN, MAX(O.PRIORITY) MX \
+         FROM ORDERS O GROUP BY O.CUSTOMERID" );
+      ( "agg-join", "join-aggregation",
+        "SELECT C.CUSTOMERID, COUNT(*) N, SUM(O.PRIORITY) S FROM \
+         CUSTOMERS C, ORDERS O WHERE C.CUSTOMERID = O.CUSTOMERID \
+         GROUP BY C.CUSTOMERID" );
+      ( "wide-row", "wide",
+        "SELECT C.CUSTOMERNAME, O.ORDERID FROM CUSTOMERS C, ORDERS O, \
+         PAYMENTS P WHERE C.CUSTOMERID = O.CUSTOMERID AND \
+         P.CUSTID = C.CUSTOMERID AND O.PRIORITY > 1 \
+         ORDER BY C.CUSTOMERNAME" ) ]
+  in
+  let default_size = Aqua_xqeval.Batch.size () in
+  let restore () = Aqua_xqeval.Batch.set_size default_size in
+  Fun.protect ~finally:restore @@ fun () ->
+  Aqua_xqeval.Batch.set_size 1024;
+  let result_rows items =
+    List.fold_left
+      (fun acc item ->
+        match item with
+        | Aqua_xml.Item.Node (Aqua_xml.Node.Element e)
+          when Aqua_xml.Node.local_name e.Aqua_xml.Node.name = "RECORDSET" ->
+          acc
+          + List.length
+              (Aqua_xml.Node.children_elements (Aqua_xml.Node.Element e))
+        | _ -> acc + 1)
+      0 items
+  in
+  let cases =
+    List.map
+      (fun (wname, kind, sql) ->
+        let per_scale =
+          List.map
+            (fun (label, s) ->
+              let app = Datagen.application ~seed s in
+              let env = Semantic.env_of_application app in
+              let t = Translator.translate env sql in
+              (* shipping configuration: both engines share one
+                 materialized scan cache, so the A/B times FLWOR
+                 execution, not scan materialization *)
+              let scans = Aqua_dsp.Scan_cache.create app in
+              let srv_batched =
+                Server.create ~columnar:false ~cache:scans app
+              in
+              let srv_col = Server.create ~cache:scans app in
+              let rows =
+                result_rows (Server.execute srv_batched t.Translator.xquery)
+              in
+              (label, s, t, srv_batched, srv_col, rows))
+            scales
+        in
+        (wname, kind, sql, per_scale))
+      workloads
+  in
+  (* sanity before timing: the columnar engine must serialize
+     byte-identically to the row-snapshot batch engine *)
+  List.iter
+    (fun (wname, _, _, per_scale) ->
+      List.iter
+        (fun (label, _, t, srv_batched, srv_col, _) ->
+          let ser items = Aqua_xml.Serialize.sequence_to_string items in
+          let oracle = ser (Server.execute srv_batched t.Translator.xquery) in
+          let got = ser (Server.execute srv_col t.Translator.xquery) in
+          if got <> oracle then
+            failwith
+              (Printf.sprintf
+                 "P15 %s/%s: columnar disagrees with batched (BENCH_SEED=%d)"
+                 wname label seed))
+        per_scale)
+    cases;
+  let iters = if !smoke then 15 else 301 in
+  let measured =
+    List.map
+      (fun (wname, kind, sql, per_scale) ->
+        let per_scale =
+          List.map
+            (fun (label, s, t, srv_batched, srv_col, rows) ->
+              (* the interleaved A/B loop itself: each iteration times
+                 one batched and one columnar execution back to back *)
+              let time srv =
+                let t0 = Mclock.now () in
+                ignore (Server.execute srv t.Translator.xquery);
+                Int64.to_float (Int64.sub (Mclock.now ()) t0)
+              in
+              for _ = 1 to 5 do
+                ignore (time srv_batched);
+                ignore (time srv_col)
+              done;
+              let batched_samples = ref [] and col_samples = ref [] in
+              for _ = 1 to iters do
+                batched_samples := time srv_batched :: !batched_samples;
+                col_samples := time srv_col :: !col_samples
+              done;
+              let median l =
+                List.nth (List.sort compare l) (List.length l / 2)
+              in
+              let batched_ns = median !batched_samples in
+              let col_ns = median !col_samples in
+              (label, s, rows, batched_ns, col_ns, ratio batched_ns col_ns))
+            per_scale
+        in
+        (wname, kind, sql, per_scale))
+      cases
+  in
+  List.iter
+    (fun (wname, kind, _, per_scale) ->
+      print_table
+        (Printf.sprintf "P15 %s (%s) at batch size 1024" wname kind)
+        (List.concat_map
+           (fun (label, (s : Datagen.sizes), _, batched_ns, col_ns, _) ->
+             let tag =
+               Printf.sprintf "%-6s (%dx%d)" label s.Datagen.customers
+                 s.Datagen.orders
+             in
+             [ (Printf.sprintf "batched  %s" tag, batched_ns);
+               (Printf.sprintf "columnar %s" tag, col_ns) ])
+           per_scale);
+      List.iter
+        (fun (label, _, rows, batched_ns, col_ns, speedup) ->
+          Printf.printf
+            "  %-10s %-6s: %d rows, batched %.1f ns/row, columnar %.1f \
+             ns/row, speedup %.2fx\n"
+            wname label rows
+            (batched_ns /. float_of_int (max 1 rows))
+            (col_ns /. float_of_int (max 1 rows))
+            speedup)
+        per_scale)
+    measured;
+  (* one instrumented columnar execution at the largest aggregation
+     scale: the columnar counter family goes into the JSON record *)
+  let telemetry_json, telemetry_label =
+    match cases with
+    | (_, _, _, per_scale) :: _ -> (
+      match List.rev per_scale with
+      | (label, _, t, _, srv_col, _) :: _ ->
+        Telemetry.reset ();
+        Telemetry.set_enabled true;
+        ignore (Server.execute srv_col t.Translator.xquery);
+        Telemetry.set_enabled false;
+        (Telemetry.metrics_to_json (Telemetry.snapshot ()), label)
+      | [] -> ("null", "none"))
+    | [] -> ("null", "none")
+  in
+  let jf f = if Float.is_nan f then "null" else Printf.sprintf "%.1f" f in
+  let jr f = if Float.is_nan f then "null" else Printf.sprintf "%.2f" f in
+  let oc = open_out p15_json_path in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"P15 columnar batch layout\",\n  \"units\": \"ns \
+     per query execution at batch size 1024; ns_per_row divides by output \
+     rows\",\n  \"seed\": %d,\n  \"smoke\": %b,\n  \"batch_size\": 1024,\n  \
+     \"workloads\": [\n"
+    seed !smoke;
+  let n_workloads = List.length measured in
+  List.iteri
+    (fun wi (wname, kind, sql, per_scale) ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"kind\": %S,\n      \"sql\": \"%s\",\n      \
+         \"scales\": [\n"
+        wname kind
+        (String.concat " " (String.split_on_char '\n' (String.escaped sql)));
+      let n_scales = List.length per_scale in
+      List.iteri
+        (fun i
+             (label, (s : Datagen.sizes), rows, batched_ns, col_ns, speedup) ->
+          let per_row ns = ns /. float_of_int (max 1 rows) in
+          Printf.fprintf oc
+            "        { \"label\": %S, \"customers\": %d, \"orders\": %d, \
+             \"rows\": %d,\n          \"batched_ns\": %s, \
+             \"batched_ns_per_row\": %s,\n          \"columnar_ns\": %s, \
+             \"columnar_ns_per_row\": %s,\n          \"speedup_at_1024\": \
+             %s }%s\n"
+            label s.Datagen.customers s.Datagen.orders rows (jf batched_ns)
+            (jr (per_row batched_ns))
+            (jf col_ns)
+            (jr (per_row col_ns))
+            (jr speedup)
+            (if i = n_scales - 1 then "" else ","))
+        per_scale;
+      Printf.fprintf oc "      ] }%s\n"
+        (if wi = n_workloads - 1 then "" else ","))
+    measured;
+  Printf.fprintf oc
+    "  ],\n  \"telemetry_scale\": \"%s\",\n  \"telemetry\": %s\n}\n"
+    telemetry_label telemetry_json;
+  close_out oc;
+  Printf.printf "wrote %s\n" p15_json_path;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args =
@@ -1674,9 +1889,9 @@ let () =
   let selected =
     match args with
     | _ :: _ -> List.map String.uppercase_ascii args
-    | [] -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8"; "P9"; "P10"; "P11"; "P12"; "P13"; "P14" ]
+    | [] -> [ "P1"; "P1B"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8"; "P9"; "P10"; "P11"; "P12"; "P13"; "P14"; "P15" ]
   in
-  let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7); ("P8", p8); ("P9", p9); ("P10", p10); ("P11", p11); ("P12", p12); ("P13", p13); ("P14", p14) ] in
+  let all = [ ("P1", p1); ("P1B", p1b); ("P2", p2); ("P3", p3); ("P4", p4); ("P5", p5); ("P6", p6); ("P7", p7); ("P8", p8); ("P9", p9); ("P10", p10); ("P11", p11); ("P12", p12); ("P13", p13); ("P14", p14); ("P15", p15) ] in
   List.iter
     (fun name ->
       match List.assoc_opt name all with

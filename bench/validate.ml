@@ -43,7 +43,9 @@ let telemetry_int_fields =
     "engine_rows_scanned"; "engine_rows_joined"; "cache_hits"; "cache_misses";
     "resultset_rows"; "ds_calls"; "ds_call_ns"; "scan_cache_hits";
     "scan_cache_misses"; "scan_cache_evictions"; "scan_cache_bytes";
-    "shared_scan_rewrites"; "batch_batches"; "batch_rows"; "batch_filtered" ]
+    "shared_scan_rewrites"; "batch_batches"; "batch_rows"; "batch_filtered";
+    "columnar_batches"; "columnar_rows"; "columnar_pruned_columns";
+    "columnar_kernel_updates" ]
 
 let scale_fields =
   [ ("label", is_string, "a string");
@@ -435,6 +437,100 @@ let validate_p12 ?min_speedup path json =
   | Some _ -> problem "%s: \"telemetry\" is not an object" path
   | None -> problem "%s: missing field \"telemetry\"" path
 
+(* P15: columnar batch layout vs the row-snapshot batch engine —
+   interleaved A/B medians of the same query at batch size 1024.  The
+   hard gate: on every aggregation-shaped workload ("aggregation" and
+   "join-aggregation" kinds) the columnar engine must never be slower
+   than the batched engine — speedup_at_1024 below parity is a silent
+   regression of the kernelized GROUP BY path; --min-speedup S
+   additionally requires every scale of the pure "aggregation" kind
+   (where the kernels, not join probe cost, dominate) to clear S.
+   "wide"-kind workloads are informational — pruning is a
+   memory-traffic story — and only the structure is checked. *)
+let validate_p15 ?min_speedup path json =
+  check_field path json "experiment" is_string "a string";
+  check_field path json "units" is_string "a string";
+  check_field path json "seed" is_int "an integer";
+  check_field path json "smoke" is_bool "a boolean";
+  check_field path json "batch_size" is_int "an integer";
+  (match Json.member "workloads" json with
+  | Some (Json.Arr workloads) ->
+    if workloads = [] then problem "%s: \"workloads\" is empty" path;
+    let saw_aggregation = ref false in
+    List.iteri
+      (fun wi workload ->
+        let wpath = Printf.sprintf "%s: workloads[%d]" path wi in
+        match workload with
+        | Json.Obj _ ->
+          check_field wpath workload "name" is_string "a string";
+          check_field wpath workload "kind" is_string "a string";
+          check_field wpath workload "sql" is_string "a string";
+          let kind =
+            match Json.member "kind" workload with
+            | Some (Json.Str k) -> k
+            | _ -> ""
+          in
+          if kind = "aggregation" then saw_aggregation := true;
+          (match Json.member "scales" workload with
+          | Some (Json.Arr scales) ->
+            if scales = [] then problem "%s: \"scales\" is empty" wpath;
+            List.iteri
+              (fun i scale ->
+                let spath = Printf.sprintf "%s: scales[%d]" wpath i in
+                match scale with
+                | Json.Obj _ -> (
+                  List.iter
+                    (fun (name, pred, ty) ->
+                      check_field spath scale name pred ty)
+                    [ ("label", is_string, "a string");
+                      ("customers", is_int, "an integer");
+                      ("orders", is_int, "an integer");
+                      ("rows", is_int, "an integer");
+                      ("batched_ns", is_number_or_null, "a number or null");
+                      ( "batched_ns_per_row", is_number_or_null,
+                        "a number or null" );
+                      ("columnar_ns", is_number_or_null, "a number or null");
+                      ( "columnar_ns_per_row", is_number_or_null,
+                        "a number or null" );
+                      ( "speedup_at_1024", is_number_or_null,
+                        "a number or null" ) ];
+                  if kind = "aggregation" || kind = "join-aggregation" then
+                    match Json.member "speedup_at_1024" scale with
+                    | Some (Json.Num s) -> (
+                      if s < 1.0 then
+                        problem
+                          "%s: columnar is slower than batched on an \
+                           aggregation shape (speedup_at_1024 %.3f)"
+                          spath s;
+                      match min_speedup with
+                      | Some floor when kind = "aggregation" && s < floor ->
+                        problem
+                          "%s: speedup_at_1024 %.3f below --min-speedup %.3f"
+                          spath s floor
+                      | _ -> ())
+                    | Some Json.Null ->
+                      problem "%s: speedup_at_1024 is null on an \
+                               aggregation shape" spath
+                    | _ -> ())
+                | _ -> problem "%s is not an object" spath)
+              scales
+          | Some _ -> problem "%s: \"scales\" is not an array" wpath
+          | None -> problem "%s: missing field \"scales\"" wpath)
+        | _ -> problem "%s is not an object" wpath)
+      workloads;
+    if not !saw_aggregation then
+      problem "%s: no workload of kind \"aggregation\"" path
+  | Some _ -> problem "%s: \"workloads\" is not an array" path
+  | None -> problem "%s: missing field \"workloads\"" path);
+  match Json.member "telemetry" json with
+  | Some (Json.Obj _ as telemetry) ->
+    List.iter
+      (fun name ->
+        check_field (path ^ ": telemetry") telemetry name is_int "an integer")
+      telemetry_int_fields
+  | Some _ -> problem "%s: \"telemetry\" is not an object" path
+  | None -> problem "%s: missing field \"telemetry\"" path
+
 (* P14: trace-sampling overhead on the serve path — closed-loop legs
    identical but for trace wiring.  The hard gates: the baseline and
    0%-sampling legs must emit zero trace lines (0% means silent), the
@@ -512,6 +608,9 @@ let validate_p14 ?max_overhead path json =
 
 let validate ?max_overhead ?min_speedup path json =
   match Json.member "experiment" json with
+  | Some (Json.Str e)
+    when String.length e >= 3 && String.sub e 0 3 = "P15" ->
+    validate_p15 ?min_speedup path json
   | Some (Json.Str e)
     when String.length e >= 3 && String.sub e 0 3 = "P14" ->
     validate_p14 ?max_overhead path json

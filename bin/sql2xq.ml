@@ -75,6 +75,15 @@ let no_vectorize_flag =
           "Disable the batched FLWOR engine; execute optimized plans \
            with the row-at-a-time pipeline (the differential oracle).")
 
+let no_columnar_flag =
+  Arg.(
+    value & flag
+    & info [ "no-columnar" ]
+        ~doc:
+          "Disable the columnar (struct-of-arrays) batch layout; execute \
+           batched plans over row-snapshot batches (the columnar engine's \
+           differential oracle).")
+
 let batch_size_opt =
   Arg.(
     value & opt (some int) None
@@ -177,7 +186,7 @@ let execute_degrading ~no_optimize app server xquery ~span =
     (* the fallback server shares the crashed server's scan cache, so
        scans the optimized run already materialized are not re-fetched *)
     execute
-      (Server.create ~optimize:false ~vectorize:false
+      (Server.create ~optimize:false ~vectorize:false ~columnar:false
          ~cache:(Server.scan_cache server) app)
 
 let start_trace () =
@@ -192,8 +201,8 @@ let finish_trace () =
     ^ "}")
 
 let run_cmd =
-  let run sql naive no_optimize no_scan_cache no_vectorize batch_size trace
-      timeout max_rows failpoints =
+  let run sql naive no_optimize no_scan_cache no_vectorize no_columnar
+      batch_size trace timeout max_rows failpoints =
     with_env (fun app env ->
         apply_batch_size batch_size;
         if trace then start_trace ();
@@ -210,7 +219,7 @@ let run_cmd =
             in
             let server =
               Server.create ~optimize:(not no_optimize)
-                ~vectorize:(not no_vectorize)
+                ~vectorize:(not no_vectorize) ~columnar:(not no_columnar)
                 ~scan_cache:(not no_scan_cache) app
             in
             let items =
@@ -225,13 +234,13 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Translate and execute; print the XML result")
     Term.(
       const run $ sql_arg $ naive_flag $ no_optimize_flag $ no_scan_cache_flag
-      $ no_vectorize_flag $ batch_size_opt $ trace_flag $ timeout_opt
-      $ max_rows_opt $ failpoints_opt)
+      $ no_vectorize_flag $ no_columnar_flag $ batch_size_opt $ trace_flag
+      $ timeout_opt $ max_rows_opt $ failpoints_opt)
 
 let analyze_cmd =
   let ms ns = Int64.to_float ns /. 1e6 in
-  let run sql naive no_optimize no_scan_cache no_vectorize batch_size trace
-      timeout max_rows failpoints =
+  let run sql naive no_optimize no_scan_cache no_vectorize no_columnar
+      batch_size trace timeout max_rows failpoints =
     with_env (fun app env ->
         apply_batch_size batch_size;
         Telemetry.set_enabled true;
@@ -252,7 +261,8 @@ let analyze_cmd =
         let t = Translator.translate ~style:(style_of_naive naive) env sql in
         let server =
           Server.create ~optimize:(not no_optimize)
-            ~vectorize:(not no_vectorize) ~scan_cache:(not no_scan_cache) app
+            ~vectorize:(not no_vectorize) ~columnar:(not no_columnar)
+            ~scan_cache:(not no_scan_cache) app
         in
         let items =
           Budget.with_budget limits @@ fun () ->
@@ -274,7 +284,8 @@ let analyze_cmd =
            its notes does not skew the snapshot *)
         let _, report =
           Aqua_xqeval.Optimize.query ~share_scans:(not no_scan_cache)
-            ~vectorize:(not no_vectorize) t.Translator.xquery
+            ~vectorize:(not no_vectorize) ~columnar:(not no_columnar)
+            t.Translator.xquery
         in
         Printf.printf "EXPLAIN ANALYZE  %s\n" sql;
         Printf.printf "translation (three stages):\n";
@@ -338,6 +349,19 @@ let analyze_cmd =
                    | _ -> Printf.printf "  %-28s %8d          -\n" label rows);
                    Some rows)
                  None clause_rows)
+          end
+        end;
+        if not (no_optimize || no_vectorize) then begin
+          if no_columnar then
+            Printf.printf "columnar layout: disabled (--no-columnar)\n"
+          else begin
+            let cb = snap.Telemetry.columnar_batches in
+            let cr = snap.Telemetry.columnar_rows in
+            Printf.printf
+              "columnar layout: %d batch(es), %d row(s); %d column \
+               copies pruned, %d kernel update(s)\n"
+              cb cr snap.Telemetry.columnar_pruned_columns
+              snap.Telemetry.columnar_kernel_updates
           end
         end;
         Printf.printf "engine counters:\n";
@@ -419,8 +443,8 @@ let analyze_cmd =
           (retries, breaker state changes, governor trips).")
     Term.(
       const run $ sql_arg $ naive_flag $ no_optimize_flag $ no_scan_cache_flag
-      $ no_vectorize_flag $ batch_size_opt $ trace_flag $ timeout_opt
-      $ max_rows_opt $ failpoints_opt)
+      $ no_vectorize_flag $ no_columnar_flag $ batch_size_opt $ trace_flag
+      $ timeout_opt $ max_rows_opt $ failpoints_opt)
 
 (* sql2xq stats: replay a workload through the driver (the real
    Connection path: translation cache, budgets, fallback, transports)
@@ -536,7 +560,7 @@ let stats_cmd =
     | None -> ()
   in
   let run queries count repeat seed top by format no_scan_cache no_vectorize
-      batch_size trace timeout max_rows failpoints =
+      no_columnar batch_size trace timeout max_rows failpoints =
     with_env (fun app _env ->
         apply_batch_size batch_size;
         Telemetry.set_enabled true;
@@ -568,7 +592,8 @@ let stats_cmd =
         end;
         let conn =
           Aqua_driver.Connection.connect ~limits
-            ~vectorize:(not no_vectorize) ~scan_cache:(not no_scan_cache) app
+            ~vectorize:(not no_vectorize) ~columnar:(not no_columnar)
+            ~scan_cache:(not no_scan_cache) app
         in
         let executed = ref 0 and failures = ref 0 in
         for _ = 1 to max 1 repeat do
@@ -597,8 +622,8 @@ let stats_cmd =
     Term.(
       const run $ queries_opt $ count_opt $ repeat_opt $ seed_opt $ top_opt
       $ by_opt $ format_opt $ no_scan_cache_flag $ no_vectorize_flag
-      $ batch_size_opt $ trace_flag $ timeout_opt $ max_rows_opt
-      $ failpoints_opt)
+      $ no_columnar_flag $ batch_size_opt $ trace_flag $ timeout_opt
+      $ max_rows_opt $ failpoints_opt)
 
 let text_cmd =
   let run sql naive no_optimize =

@@ -232,6 +232,37 @@ let find_batches t key ~size =
       None
   end
 
+(* Columnar lookup: the whole memoized array view in one piece,
+   zero-copy — the columnar engine treats a cached scan as a single
+   value vector and indexes it directly, instead of paying one
+   [Array.sub] per batch.  The array is the entry's own storage:
+   callers must treat it as read-only. *)
+let find_column t key =
+  if not t.enabled then None
+  else begin
+    Mcore.Mutex.protect t.lock @@ fun () ->
+    revalidate_unlocked t;
+    match Hashtbl.find_opt t.tbl key with
+    | Some e ->
+      t.clock <- t.clock + 1;
+      e.stamp <- t.clock;
+      t.hits <- t.hits + 1;
+      T.incr T.c_scan_cache_hits;
+      let arr =
+        match e.arr with
+        | Some a -> a
+        | None ->
+          let a = Array.of_list e.seq in
+          e.arr <- Some a;
+          a
+      in
+      Some arr
+    | None ->
+      t.misses <- t.misses + 1;
+      T.incr T.c_scan_cache_misses;
+      None
+  end
+
 let store t key (seq : Item.sequence) =
   if t.enabled then begin
     Mcore.Mutex.protect t.lock @@ fun () ->

@@ -48,6 +48,13 @@ val find_batches :
     re-walking the item list.  Counters and LRU behave exactly as
     {!find}. *)
 
+val find_column : t -> string -> Aqua_xml.Item.t array option
+(** {!find}, served as the entry's whole memoized array view in one
+    piece — a zero-copy value vector the columnar engine indexes
+    directly (no per-batch [Array.sub]).  The array is shared entry
+    storage; callers must not mutate it.  Counters and LRU behave
+    exactly as {!find}. *)
+
 val store : t -> string -> Aqua_xml.Item.sequence -> unit
 (** Admit a materialized scan (no-op when disabled, when the key is
     already resident, or when the result exceeds the per-entry row or

@@ -14,12 +14,14 @@ type t = {
   app : Artifact.application;
   optimize : bool;
   vectorize : bool;
+  columnar : bool;
   retry : Retry.policy;
   breakers : Breaker.registry;
   scan_cache : Scan_cache.t;
 }
 
 let create ?(optimize = true) ?(vectorize = true)
+    ?(columnar = Aqua_xqeval.Batch.columnar ())
     ?(retry = Retry.default_policy) ?(breaker = Breaker.default_config)
     ?(scan_cache = true) ?cache app =
   let cache =
@@ -31,6 +33,7 @@ let create ?(optimize = true) ?(vectorize = true)
     app;
     optimize;
     vectorize;
+    columnar;
     retry;
     breakers = Breaker.registry ~config:breaker ();
     scan_cache = cache;
@@ -107,6 +110,7 @@ and invoke t (ds : Artifact.data_service) (f : Artifact.ds_function) chain :
         |> fst
       in
       Eval.eval ~optimize:t.optimize ~vectorize:t.vectorize
+        ~columnar:t.columnar
         ~scan_cache:(Scan_cache.enabled t.scan_cache)
         ctx body
   in
@@ -137,14 +141,15 @@ and invoke t (ds : Artifact.data_service) (f : Artifact.ds_function) chain :
       match f.Artifact.body with
       | Artifact.Physical _ -> label
       | Artifact.Logical _ ->
-        (* evaluator flavor in full: optimizer on/off AND batch engine
-           on/off — a ~vectorize:false oracle server sharing the cache
-           must not inherit rows the batch engine produced (and vice
-           versa), or a differential run would compare an engine
-           against its own cached output *)
+        (* evaluator flavor in full: optimizer on/off, batch engine
+           on/off AND batch layout — a ~vectorize:false (or
+           ~columnar:false) oracle server sharing the cache must not
+           inherit rows another engine produced, or a differential run
+           would compare an engine against its own cached output *)
         label
         ^ (if t.optimize then "|opt" else "|unopt")
-        ^ if t.optimize && t.vectorize then "|vec" else ""
+        ^ (if t.optimize && t.vectorize then "|vec" else "")
+        ^ if t.optimize && t.vectorize && t.columnar then "|col" else ""
     in
     let seq =
       match Scan_cache.find t.scan_cache key with
@@ -170,6 +175,7 @@ let execute ?(bindings = []) t (q : X.query) =
     List.fold_left (fun ctx (name, seq) -> Eval.bind ctx name seq) ctx bindings
   in
   Eval.eval_query ~optimize:t.optimize ~vectorize:t.vectorize
+    ~columnar:t.columnar
     ~scan_cache:(Scan_cache.enabled t.scan_cache)
     ctx q
 
@@ -194,6 +200,7 @@ type prepared = Aqua_xqeval.Compile.compiled
 
 let prepare ?(vars = []) t (q : X.query) =
   Aqua_xqeval.Compile.compile ~optimize:t.optimize ~vectorize:t.vectorize
+    ~columnar:t.columnar
     ~scan_cache:(Scan_cache.enabled t.scan_cache)
     ~resolve:(resolver t q.X.prolog.X.imports [])
     ~vars q

@@ -11,6 +11,7 @@ type t
 val create :
   ?optimize:bool ->
   ?vectorize:bool ->
+  ?columnar:bool ->
   ?retry:Aqua_resilience.Retry.policy ->
   ?breaker:Aqua_resilience.Breaker.config ->
   ?scan_cache:bool ->
@@ -27,9 +28,16 @@ val create :
     batched FLWOR engine ({!Aqua_xqeval.Batch}-sized batches of tuple
     snapshots between clauses); [~vectorize:false] keeps the
     tuple-at-a-time pipeline, the row-at-a-time oracle the batch
-    engine is differentially tested against.  Logical scan-cache
-    entries are keyed by evaluator flavor, so oracle and batched
-    servers sharing one cache never serve each other's logical rows.
+    engine is differentially tested against.
+
+    [columnar] (default {!Aqua_xqeval.Batch.columnar}, meaningful only
+    with [vectorize]) selects the struct-of-arrays batch layout with
+    required-column pruning and vectorized aggregation kernels;
+    [~columnar:false] keeps the row-snapshot batch layout, the
+    columnar engine's differential oracle.  Logical scan-cache entries
+    are keyed by evaluator flavor (optimizer, batch engine and batch
+    layout), so oracle, batched and columnar servers sharing one cache
+    never serve each other's logical rows.
 
     [scan_cache] (default [true]) enables scan materialization at both
     levels: the optimizer's per-plan scan-sharing hoist and the

@@ -32,6 +32,22 @@ let batches ~size rs =
   iter_batches ~size rs (fun b -> acc := b :: !acc);
   List.rev !acc
 
+(* Columnar batch view: the same size-capped slices transposed to
+   struct-of-arrays — one value vector per schema column, values
+   shared with the row storage (Value.t is immutable).  Consumers that
+   scan a few columns of a wide result (the columnar engine, value
+   vector exports) touch only the vectors they need. *)
+let iter_column_batches ~size rs f =
+  let ncols = List.length rs.schema in
+  iter_batches ~size rs (fun batch ->
+      let rows = Array.length batch in
+      f (Array.init ncols (fun c -> Array.init rows (fun r -> batch.(r).(c)))))
+
+let column_batches ~size rs =
+  let acc = ref [] in
+  iter_column_batches ~size rs (fun b -> acc := b :: !acc);
+  List.rev !acc
+
 let row_key row =
   String.concat "\x01" (Array.to_list (Array.map Value.group_key row))
 

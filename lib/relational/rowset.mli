@@ -19,6 +19,17 @@ val iter_batches :
 val batches : size:int -> t -> Value.t array array list
 (** The batch view as a list (see {!iter_batches}). *)
 
+val iter_column_batches :
+  size:int -> t -> (Value.t array array -> unit) -> unit
+(** The {!iter_batches} slices transposed to struct-of-arrays: [f]
+    receives one [Value.t array] per schema column (all of equal
+    length, the batch's row count).  Values are shared with the row
+    storage, so a consumer reading a few columns of a wide result
+    touches only the vectors it needs. *)
+
+val column_batches : size:int -> t -> Value.t array array list
+(** The columnar batch view as a list (see {!iter_column_batches}). *)
+
 val equal_as_lists : t -> t -> bool
 (** Same rows in the same order (use when ORDER BY fixes the order). *)
 

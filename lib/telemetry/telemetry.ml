@@ -109,6 +109,10 @@ let c_shared_scan_rewrites = counter "optimize.shared_scan_rewrites"
 let c_batch_batches = counter "xqeval.batch.batches"
 let c_batch_rows = counter "xqeval.batch.rows"
 let c_batch_filtered = counter "xqeval.batch.filtered"
+let c_col_batches = counter "xqeval.columnar.batches"
+let c_col_rows = counter "xqeval.columnar.rows"
+let c_col_pruned_columns = counter "xqeval.columnar.pruned_columns"
+let c_col_kernel_updates = counter "xqeval.columnar.kernel_updates"
 let c_pool_borrows = counter "session_pool.borrows"
 let c_pool_rejections = counter "session_pool.rejections"
 let c_pool_waits = counter "session_pool.waits"
@@ -331,6 +335,10 @@ type metrics = {
   batch_batches : int;
   batch_rows : int;
   batch_filtered : int;
+  columnar_batches : int;
+  columnar_rows : int;
+  columnar_pruned_columns : int;
+  columnar_kernel_updates : int;
 }
 
 let ds_call_prefix = "dsp.call."
@@ -374,11 +382,15 @@ let snapshot () =
     batch_batches = value c_batch_batches;
     batch_rows = value c_batch_rows;
     batch_filtered = value c_batch_filtered;
+    columnar_batches = value c_col_batches;
+    columnar_rows = value c_col_rows;
+    columnar_pruned_columns = value c_col_pruned_columns;
+    columnar_kernel_updates = value c_col_kernel_updates;
   }
 
 let metrics_to_json m =
   Printf.sprintf
-    "{\"translations\":%d,\"parse_ns\":%Ld,\"semantic_ns\":%Ld,\"generate_ns\":%Ld,\"rows_emitted\":%d,\"hash_join_builds\":%d,\"hash_join_build_rows\":%d,\"hash_join_probes\":%d,\"hash_join_collisions\":%d,\"hash_join_reused\":%d,\"pushdown_rewrites\":%d,\"hash_join_rewrites\":%d,\"engine_rows_scanned\":%d,\"engine_rows_joined\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"resultset_rows\":%d,\"ds_calls\":%d,\"ds_call_ns\":%Ld,\"scan_cache_hits\":%d,\"scan_cache_misses\":%d,\"scan_cache_evictions\":%d,\"scan_cache_bytes\":%d,\"shared_scan_rewrites\":%d,\"batch_batches\":%d,\"batch_rows\":%d,\"batch_filtered\":%d}"
+    "{\"translations\":%d,\"parse_ns\":%Ld,\"semantic_ns\":%Ld,\"generate_ns\":%Ld,\"rows_emitted\":%d,\"hash_join_builds\":%d,\"hash_join_build_rows\":%d,\"hash_join_probes\":%d,\"hash_join_collisions\":%d,\"hash_join_reused\":%d,\"pushdown_rewrites\":%d,\"hash_join_rewrites\":%d,\"engine_rows_scanned\":%d,\"engine_rows_joined\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"resultset_rows\":%d,\"ds_calls\":%d,\"ds_call_ns\":%Ld,\"scan_cache_hits\":%d,\"scan_cache_misses\":%d,\"scan_cache_evictions\":%d,\"scan_cache_bytes\":%d,\"shared_scan_rewrites\":%d,\"batch_batches\":%d,\"batch_rows\":%d,\"batch_filtered\":%d,\"columnar_batches\":%d,\"columnar_rows\":%d,\"columnar_pruned_columns\":%d,\"columnar_kernel_updates\":%d}"
     m.translations m.parse_ns m.semantic_ns m.generate_ns m.rows_emitted
     m.hash_join_builds m.hash_join_build_rows m.hash_join_probes
     m.hash_join_collisions m.hash_join_reused m.pushdown_rewrites
@@ -387,6 +399,8 @@ let metrics_to_json m =
     m.resultset_rows m.ds_calls m.ds_call_ns m.scan_cache_hits
     m.scan_cache_misses m.scan_cache_evictions m.scan_cache_bytes
     m.shared_scan_rewrites m.batch_batches m.batch_rows m.batch_filtered
+    m.columnar_batches m.columnar_rows m.columnar_pruned_columns
+    m.columnar_kernel_updates
 
 let reset () =
   Mcore.Mutex.protect registry_lock @@ fun () ->

@@ -80,6 +80,10 @@ val c_shared_scan_rewrites : counter (* repeated scans hoisted into a shared let
 val c_batch_batches : counter        (* batches pushed by the vectorized pipeline *)
 val c_batch_rows : counter           (* rows carried by those batches *)
 val c_batch_filtered : counter       (* rows dropped by vectorized where filters *)
+val c_col_batches : counter          (* columnar (struct-of-arrays) batches pushed *)
+val c_col_rows : counter             (* rows carried by columnar batches *)
+val c_col_pruned_columns : counter   (* column copies avoided by required-columns pruning *)
+val c_col_kernel_updates : counter   (* per-tuple aggregation-kernel state updates *)
 val c_pool_borrows : counter         (* sessions handed out by the session pool *)
 val c_pool_rejections : counter      (* borrows rejected: pool exhausted (53300) *)
 val c_pool_waits : counter           (* borrows that had to wait for a release *)
@@ -192,6 +196,12 @@ type metrics = {
   batch_batches : int;     (** batches pushed by the vectorized pipeline *)
   batch_rows : int;        (** rows carried by those batches *)
   batch_filtered : int;    (** rows dropped by vectorized where filters *)
+  columnar_batches : int;  (** columnar (struct-of-arrays) batches pushed *)
+  columnar_rows : int;     (** rows carried by columnar batches *)
+  columnar_pruned_columns : int;
+      (** column copies avoided by required-columns pruning *)
+  columnar_kernel_updates : int;
+      (** per-tuple aggregation-kernel state updates *)
 }
 
 val snapshot : unit -> metrics

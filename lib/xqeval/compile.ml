@@ -31,6 +31,7 @@ type cenv = {
   next : int ref;
   resolve : resolver;
   vectorize : bool;
+  columnar : bool;
 }
 
 let bind_slot cenv name =
@@ -354,6 +355,100 @@ let jt_store src key value_cmp table =
   jt_cache := e :: kept
 
 (* ------------------------------------------------------------------ *)
+(* Columnar (struct-of-arrays) pipeline plumbing
+
+   The columnar engine replaces the row-snapshot batches above with one
+   value vector per bound variable ([Batch.columns]): operators read
+   and write whole columns under a selection vector, and expanders and
+   barriers copy only the columns the remainder of the pipeline can
+   still read (required-column pruning, computed from
+   [Optimize.free_vars] at compile time).  Per-row expression
+   evaluation reuses the row compiler's closures: each operator gathers
+   just its own free-variable columns into a per-invocation scratch
+   slot array and runs the ordinary [comp] on it. *)
+
+(* Push-based columnar operator chain, mirroring [vsink]. *)
+type csink = {
+  cpush : Batch.columns -> unit;
+  cflush : unit -> unit;
+}
+
+(* Per-invocation context: capacity, pooled allocator, telemetry flag,
+   total slot count and the shared scratch row.  The scratch is safe to
+   share across the chain because every operator (re)gathers its
+   columns per selected row before evaluating, and nothing reads it
+   across a downstream emission. *)
+type cctx = {
+  ccap : int;
+  calloc : unit -> Batch.columns;
+  cinstr : bool;
+  cnslots : int;
+  cscratch : rt;
+}
+
+(* Columnar batch emission: the same failpoint site and batch counters
+   as the row-batch engine (so batch-boundary failpoint and toggle
+   tests hold on both layouts), plus the columnar-specific traffic
+   counters layered on top. *)
+let cnote_batch n =
+  vnote_batch n;
+  Telemetry.incr Telemetry.c_col_batches;
+  Telemetry.add Telemetry.c_col_rows n
+
+(* Columnar buffers are pooled per domain exactly like [vbatch_pools];
+   a pooled buffer is re-shaped to the current plan's slot count and
+   capacity by [Batch.ensure_columns] on acquire. *)
+let cbatch_pools : (int * Batch.columns list ref) list ref Mcore.Dls.key =
+  Mcore.Dls.new_key (fun () -> ref [])
+
+let cbatch_pool_for cap =
+  let cbatch_pools = Mcore.Dls.get cbatch_pools in
+  match List.assoc_opt cap !cbatch_pools with
+  | Some p -> p
+  | None ->
+    let p = ref [] in
+    let rec keep n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | e :: rest -> e :: keep (n - 1) rest
+    in
+    cbatch_pools := (cap, p) :: keep (vbatch_pool_caps - 1) !cbatch_pools;
+    p
+
+let cbatch_release (pool : Batch.columns list ref) acquired =
+  let rec keep n bs =
+    if n = 0 then []
+    else match bs with [] -> [] | b :: rest -> b :: keep (n - 1) rest
+  in
+  pool := keep vbatch_pool_cap (List.rev_append acquired !pool)
+
+let ccounter cctx label =
+  if not cctx.cinstr then fun _ -> ()
+  else begin
+    let c = Telemetry.clause_counter label in
+    fun n ->
+      if n > 0 then begin
+        Telemetry.add c n;
+        Telemetry.add Telemetry.c_rows_emitted n
+      end
+  end
+
+(* Columnar clause plan: plain clauses, plus group-by clauses whose
+   post-group aggregate reads were fused into vectorized kernels (the
+   partition is then never materialized). *)
+type cclause =
+  | C_plain of X.clause
+  | C_kernel of {
+      ck_grouped : string;
+      ck_partition : string;
+      ck_keys : (X.expr * string) list;
+      ck_specs : Optimize.kernel_spec list;
+      ck_orig : X.clause;  (* the original [Group], for liveness views *)
+    }
+
+let cclause_view = function C_plain c -> c | C_kernel k -> k.ck_orig
+
+(* ------------------------------------------------------------------ *)
 (* Compilation                                                        *)
 
 (* the context-item pseudo-variable used by predicates *)
@@ -552,12 +647,15 @@ and compile_predicate cenv (pred : X.expr) : rt -> Item.sequence -> Item.sequenc
         | result -> Item.effective_boolean_value result)
       items
 
-(* FLWOR compilation dispatch: the vectorized push-based pipeline when
-   the compile was asked for it, the tuple-at-a-time snapshot pipeline
-   otherwise (the latter stays intact as the oracle the vectorized
-   engine is differentially tested against). *)
+(* FLWOR compilation dispatch: the columnar struct-of-arrays pipeline
+   by default, the row-snapshot batch pipeline with [~columnar:false]
+   (the differential oracle for the columnar layout), and the
+   tuple-at-a-time snapshot pipeline with [~vectorize:false] (the
+   oracle both batch engines are differentially tested against). *)
 and compile_flwor cenv (f : X.flwor) : comp =
-  if cenv.vectorize then compile_flwor_vec cenv f
+  if cenv.vectorize then
+    if cenv.columnar then compile_flwor_col cenv f
+    else compile_flwor_vec cenv f
   else compile_flwor_row cenv f
 
 (* Tuple-at-a-time FLWOR compilation.  Chains of for/let/where
@@ -674,10 +772,15 @@ and compile_flwor_row cenv (f : X.flwor) : comp =
       ( (fun rt snaps ->
           let table = Hashtbl.create 16 in
           let order = ref [] in
+          (* per-invocation key scratch: [composite_into] reuses one
+             buffer across every tuple of this group operator instead
+             of allocating a fresh one per key (invocation-local, so
+             shared plans stay safe across domains) *)
+          let keybuf = Buffer.create 64 in
           List.iter
             (fun snap ->
               let key_values = List.map (fun ck -> ck snap) ckeys in
-              let key_string = Group_key.composite key_values in
+              let key_string = Group_key.composite_into keybuf key_values in
               match Hashtbl.find_opt table key_string with
               | Some (acc, _, _) -> acc := snap.(grouped_slot) :: !acc
               | None ->
@@ -1146,6 +1249,687 @@ and compile_flwor_vec cenv (f : X.flwor) : comp =
     vbatch_release pool !acquired;
     List.concat (List.rev !results)
 
+(* Columnar FLWOR compilation.  Same push-based operator chain as the
+   row-batch engine, over [Batch.columns] (one value vector per bound
+   slot plus a selection vector) instead of row-snapshot arrays.  Two
+   things change materially:
+
+   - Required-column pruning.  Each expander/barrier computes at
+     compile time which slots the *remainder* of the pipeline (later
+     clauses plus the return) can still read — [Optimize.free_vars] of
+     that remainder intersected with the slots bound so far — and
+     copies only those columns into its output.  A batch arriving at an
+     operator therefore has valid data exactly in the columns live at
+     that point; everything else is stale storage no reader touches.
+
+   - Kernel-fused aggregation.  When every post-group read of the
+     partition variable is one of the translator's aggregate shapes,
+     [Optimize.group_kernels] rewrites them into reads of synthetic
+     kernel variables and the group operator keeps one [Kernels.state]
+     per (group, kernel) instead of materializing the partition: a
+     tight per-tuple update loop during cpush, finished into output
+     columns at flush.
+
+   Per-row expression evaluation reuses the scalar [comp] closures:
+   each operator gathers its own free-variable columns into the shared
+   per-invocation scratch row before evaluating.  The scratch is
+   private to the invocation (never the caller's [rt]), so outer slots
+   are never clobbered, and nested FLWORs / quantifiers write their own
+   fresh slots before reading them.
+
+   Resilience parity with the row-batch engine: [Budget.steps] per
+   batch receipt per operator plus per produced row at expanders,
+   "xqeval.batch" (via [cnote_batch]) at every batch creation,
+   "xqeval.clause"/"xqeval.hashjoin" once per clause per invocation. *)
+and compile_flwor_col cenv (f : X.flwor) : comp =
+  (* Fuse kernelizable group clauses with their post-group aggregate
+     reads before compiling.  The rewrite happens here — in the
+     columnar lowering only — so the row and row-batch oracles keep
+     evaluating the original AST. *)
+  let rec transform clauses return_ =
+    match clauses with
+    | [] -> ([], return_)
+    | (X.Group { grouped; partition; keys } as orig) :: rest -> (
+      match Optimize.group_kernels ~partition rest return_ with
+      | Some (specs, rest', return') ->
+        let rest'', return'' = transform rest' return' in
+        ( C_kernel
+            { ck_grouped = grouped; ck_partition = partition;
+              ck_keys = keys; ck_specs = specs; ck_orig = orig }
+          :: rest'',
+          return'' )
+      | None ->
+        let rest', return' = transform rest return_ in
+        (C_plain orig :: rest', return'))
+    | c :: rest ->
+      let rest', return' = transform rest return_ in
+      (C_plain c :: rest', return')
+  in
+  let tclauses, treturn = transform f.X.clauses f.X.return in
+  (* Liveness: the variables the rest of the pipeline can still read.
+     A fused group is viewed as its original [Group] clause — its
+     synthetic kernel variables read nothing upstream, and the slot-set
+     intersection drops them from any copy set computed before the
+     group binds them. *)
+  let live_after rest =
+    Optimize.free_vars
+      (X.Flwor { clauses = List.map cclause_view rest; return = treturn })
+  in
+  (* Slots of [vars] bound in [cenv] (innermost binding per name),
+     deduplicated ascending. *)
+  let bound_slots cenv vars =
+    let slots =
+      Optimize.Vars.fold
+        (fun v acc ->
+          match List.assoc_opt v cenv.slots with
+          | Some s -> s :: acc
+          | None -> acc)
+        vars []
+    in
+    Array.of_list (List.sort_uniq compare slots)
+  in
+  let gather_of_vars cenv fv = bound_slots cenv fv in
+  let gather_slots cenv exprs =
+    gather_of_vars cenv
+      (List.fold_left
+         (fun s e -> Optimize.Vars.union s (Optimize.free_vars e))
+         Optimize.Vars.empty exprs)
+  in
+  (* Load one selected row's gathered columns into the scratch row. *)
+  let gather gslots (scratch : rt) (b : Batch.columns) idx =
+    for t = 0 to Array.length gslots - 1 do
+      let s = Array.unsafe_get gslots t in
+      scratch.(s) <- b.Batch.cols.(s).(idx)
+    done
+  in
+  let rec build cenv stage_base i clauses :
+      (string * (cctx -> csink -> csink)) list * cenv =
+    match clauses with
+    | [] -> ([], cenv)
+    | clause :: rest ->
+      let live = live_after rest in
+      let labeled_mk, cenv', base' =
+        match clause with
+        | C_plain (X.For { var; source }) ->
+          let gslots = gather_slots cenv [ source ] in
+          let csrc = compile_expr_c cenv source in
+          let copy = bound_slots cenv live in
+          let copy_n = Array.length copy in
+          let cenv', slot = bind_slot cenv var in
+          let label = "for $" ^ var in
+          let mk cctx down =
+            let count = ccounter cctx label in
+            let pruned = max 0 (cctx.cnslots - copy_n) in
+            let scratch = cctx.cscratch in
+            let out = cctx.calloc () in
+            let out_cols = Array.map (Batch.column out) copy in
+            let var_col = Batch.column out slot in
+            let emit () =
+              if out.Batch.n > 0 then begin
+                cnote_batch out.Batch.n;
+                Telemetry.add Telemetry.c_col_pruned_columns
+                  (pruned * out.Batch.n);
+                down.cpush out;
+                out.Batch.n <- 0
+              end
+            in
+            { cpush =
+                (fun b ->
+                  Budget.steps b.Batch.n;
+                  let in_cols =
+                    Array.map (fun s -> b.Batch.cols.(s)) copy
+                  in
+                  for k = 0 to b.Batch.n - 1 do
+                    let idx = b.Batch.sel.(k) in
+                    gather gslots scratch b idx;
+                    match csrc scratch with
+                    | [] -> ()
+                    | items ->
+                      let nitems = List.length items in
+                      Budget.steps nitems;
+                      count nitems;
+                      List.iter
+                        (fun item ->
+                          let j = out.Batch.n in
+                          for t = 0 to copy_n - 1 do
+                            out_cols.(t).(j) <- in_cols.(t).(idx)
+                          done;
+                          var_col.(j) <- [ item ];
+                          out.Batch.sel.(j) <- j;
+                          out.Batch.n <- j + 1;
+                          if out.Batch.n = cctx.ccap then emit ())
+                        items
+                  done);
+              cflush = (fun () -> emit (); down.cflush ());
+            }
+          in
+          ((label, mk), cenv', stage_base)
+        | C_plain (X.Let { var; value }) ->
+          let gslots = gather_slots cenv [ value ] in
+          let cval = compile_expr_c cenv value in
+          let cenv', slot = bind_slot cenv var in
+          let label = "let $" ^ var in
+          let mk cctx down =
+            let count = ccounter cctx label in
+            let scratch = cctx.cscratch in
+            { cpush =
+                (fun b ->
+                  Budget.steps b.Batch.n;
+                  (* in place: write the new column into the incoming
+                     batch at the selected indices *)
+                  let col = Batch.column b slot in
+                  for k = 0 to b.Batch.n - 1 do
+                    let idx = b.Batch.sel.(k) in
+                    gather gslots scratch b idx;
+                    col.(idx) <- cval scratch
+                  done;
+                  count b.Batch.n;
+                  if b.Batch.n > 0 then down.cpush b);
+              cflush = (fun () -> down.cflush ());
+            }
+          in
+          ((label, mk), cenv', stage_base)
+        | C_plain (X.Where cond) ->
+          let gslots = gather_slots cenv [ cond ] in
+          let ccond = compile_cond cenv cond in
+          let label = Printf.sprintf "where@%d" i in
+          let mk cctx down =
+            let count = ccounter cctx label in
+            let scratch = cctx.cscratch in
+            { cpush =
+                (fun b ->
+                  Budget.steps b.Batch.n;
+                  let n = b.Batch.n in
+                  let j = ref 0 in
+                  for k = 0 to n - 1 do
+                    let idx = b.Batch.sel.(k) in
+                    gather gslots scratch b idx;
+                    if ccond scratch then begin
+                      b.Batch.sel.(!j) <- idx;
+                      incr j
+                    end
+                  done;
+                  b.Batch.n <- !j;
+                  Telemetry.add Telemetry.c_batch_filtered (n - !j);
+                  count !j;
+                  if b.Batch.n > 0 then down.cpush b);
+              cflush = (fun () -> down.cflush ());
+            }
+          in
+          ((label, mk), cenv, stage_base)
+        | C_plain (X.Order_by specs) ->
+          let gslots =
+            gather_slots cenv (List.map (fun (s : X.order_spec) -> s.X.key) specs)
+          in
+          let ckeys =
+            List.map
+              (fun (s : X.order_spec) ->
+                (compile_expr_c cenv s.X.key, s.X.descending, s.X.empty))
+              specs
+          in
+          let retain = bound_slots cenv live in
+          let retain_n = Array.length retain in
+          let label = Printf.sprintf "order-by@%d" i in
+          let mk cctx down =
+            let count = ccounter cctx label in
+            let pruned = max 0 (cctx.cnslots - retain_n) in
+            let scratch = cctx.cscratch in
+            let acc = ref [] in
+            let out = cctx.calloc () in
+            let out_cols = Array.map (Batch.column out) retain in
+            let emit () =
+              if out.Batch.n > 0 then begin
+                cnote_batch out.Batch.n;
+                down.cpush out;
+                out.Batch.n <- 0
+              end
+            in
+            { cpush =
+                (fun b ->
+                  Budget.steps b.Batch.n;
+                  Telemetry.add Telemetry.c_col_pruned_columns
+                    (pruned * b.Batch.n);
+                  let in_cols =
+                    Array.map (fun s -> b.Batch.cols.(s)) retain
+                  in
+                  for k = 0 to b.Batch.n - 1 do
+                    let idx = b.Batch.sel.(k) in
+                    gather gslots scratch b idx;
+                    let keys =
+                      List.map
+                        (fun (ck, _, _) -> Item.atomize (ck scratch))
+                        ckeys
+                    in
+                    (* retained past this cpush: copy the live column
+                       cells out of the batch *)
+                    let saved = Array.map (fun c -> c.(idx)) in_cols in
+                    acc := (keys, saved) :: !acc
+                  done);
+              cflush =
+                (fun () ->
+                  let keyed = List.rev !acc in
+                  acc := [];
+                  let sorted =
+                    List.stable_sort
+                      (fun (ka, _) (kb, _) -> compare_order_keys ckeys ka kb)
+                      keyed
+                  in
+                  count (List.length sorted);
+                  List.iter
+                    (fun (_, saved) ->
+                      let j = out.Batch.n in
+                      for t = 0 to retain_n - 1 do
+                        out_cols.(t).(j) <- saved.(t)
+                      done;
+                      out.Batch.sel.(j) <- j;
+                      out.Batch.n <- j + 1;
+                      if out.Batch.n = cctx.ccap then emit ())
+                    sorted;
+                  emit ();
+                  down.cflush ());
+            }
+          in
+          ((label, mk), cenv, cenv)
+        | C_plain (X.Group { grouped; partition; keys }) ->
+          (* materializing group: the partition column is built as the
+             concatenation of each group's grouped cells *)
+          let grouped_slot = lookup_slot cenv grouped in
+          let gslots = gather_slots cenv (List.map fst keys) in
+          let ckeys = List.map (fun (k, _) -> compile_expr_c cenv k) keys in
+          (* BEA scoping: only the stage-base (pre-segment) bindings
+             survive the group *)
+          let entry_env = { cenv with slots = stage_base.slots } in
+          let entry_copy = bound_slots entry_env live in
+          let entry_n = Array.length entry_copy in
+          let cenv_post, key_slots =
+            List.fold_left
+              (fun (ce, acc) (_, var) ->
+                let ce', slot = bind_slot ce var in
+                (ce', slot :: acc))
+              (entry_env, []) keys
+          in
+          let key_slots = List.rev key_slots in
+          let cenv_post, partition_slot = bind_slot cenv_post partition in
+          let label = "group by -> $" ^ partition in
+          let mk cctx down =
+            let count = ccounter cctx label in
+            let pruned = max 0 (cctx.cnslots - entry_n) in
+            let scratch = cctx.cscratch in
+            let table = Hashtbl.create 16 in
+            let order = ref [] in
+            let keybuf = Buffer.create 64 in
+            let out = cctx.calloc () in
+            let out_entry = Array.map (Batch.column out) entry_copy in
+            let out_keys = List.map (Batch.column out) key_slots in
+            let part_col = Batch.column out partition_slot in
+            let emit () =
+              if out.Batch.n > 0 then begin
+                cnote_batch out.Batch.n;
+                down.cpush out;
+                out.Batch.n <- 0
+              end
+            in
+            { cpush =
+                (fun b ->
+                  Budget.steps b.Batch.n;
+                  let grouped_col = b.Batch.cols.(grouped_slot) in
+                  let in_entry =
+                    Array.map (fun s -> b.Batch.cols.(s)) entry_copy
+                  in
+                  for k = 0 to b.Batch.n - 1 do
+                    let idx = b.Batch.sel.(k) in
+                    gather gslots scratch b idx;
+                    let key_values = List.map (fun ck -> ck scratch) ckeys in
+                    let key_string =
+                      Group_key.composite_into keybuf key_values
+                    in
+                    match Hashtbl.find_opt table key_string with
+                    | Some (acc, _, _) -> acc := grouped_col.(idx) :: !acc
+                    | None ->
+                      let saved = Array.map (fun c -> c.(idx)) in_entry in
+                      Hashtbl.add table key_string
+                        (ref [ grouped_col.(idx) ], key_values, saved);
+                      order := key_string :: !order
+                  done);
+              cflush =
+                (fun () ->
+                  let groups = List.rev !order in
+                  count (List.length groups);
+                  Telemetry.add Telemetry.c_col_pruned_columns
+                    (pruned * List.length groups);
+                  List.iter
+                    (fun key_string ->
+                      let acc, key_values, saved =
+                        Hashtbl.find table key_string
+                      in
+                      let j = out.Batch.n in
+                      for t = 0 to entry_n - 1 do
+                        out_entry.(t).(j) <- saved.(t)
+                      done;
+                      List.iter2 (fun c v -> c.(j) <- v) out_keys key_values;
+                      part_col.(j) <- List.concat (List.rev !acc);
+                      out.Batch.sel.(j) <- j;
+                      out.Batch.n <- j + 1;
+                      if out.Batch.n = cctx.ccap then emit ())
+                    groups;
+                  emit ();
+                  down.cflush ());
+            }
+          in
+          ((label, mk), cenv_post, cenv_post)
+        | C_kernel { ck_grouped; ck_partition; ck_keys; ck_specs; ck_orig = _ }
+          ->
+          (* kernel group: the partition is never materialized — one
+             aggregation-kernel state per (group, spec), updated in a
+             tight loop per batch, finished into output columns at
+             flush *)
+          let grouped_slot = lookup_slot cenv ck_grouped in
+          let gslots = gather_slots cenv (List.map fst ck_keys) in
+          let ckeys =
+            List.map (fun (k, _) -> compile_expr_c cenv k) ck_keys
+          in
+          let entry_env = { cenv with slots = stage_base.slots } in
+          let entry_copy = bound_slots entry_env live in
+          let entry_n = Array.length entry_copy in
+          let cenv_post, key_slots =
+            List.fold_left
+              (fun (ce, acc) (_, var) ->
+                let ce', slot = bind_slot ce var in
+                (ce', slot :: acc))
+              (entry_env, []) ck_keys
+          in
+          let key_slots = List.rev key_slots in
+          let cenv_post, spec_slots =
+            List.fold_left
+              (fun (ce, acc) (s : Optimize.kernel_spec) ->
+                let ce', slot = bind_slot ce s.Optimize.k_var in
+                (ce', slot :: acc))
+              (cenv_post, []) ck_specs
+          in
+          let spec_slots = Array.of_list (List.rev spec_slots) in
+          let spec_info =
+            Array.of_list
+              (List.map
+                 (fun (s : Optimize.kernel_spec) ->
+                   ( s.Optimize.k_kind,
+                     Option.map compile_step_matcher s.Optimize.k_step ))
+                 ck_specs)
+          in
+          let nspecs = Array.length spec_info in
+          let label = "group by -> $" ^ ck_partition in
+          let mk cctx down =
+            let count = ccounter cctx label in
+            let pruned = max 0 (cctx.cnslots - entry_n) in
+            let scratch = cctx.cscratch in
+            let table = Hashtbl.create 16 in
+            let order = ref [] in
+            let keybuf = Buffer.create 64 in
+            let out = cctx.calloc () in
+            let out_entry = Array.map (Batch.column out) entry_copy in
+            let out_keys = List.map (Batch.column out) key_slots in
+            let out_specs = Array.map (Batch.column out) spec_slots in
+            let emit () =
+              if out.Batch.n > 0 then begin
+                cnote_batch out.Batch.n;
+                down.cpush out;
+                out.Batch.n <- 0
+              end
+            in
+            { cpush =
+                (fun b ->
+                  Budget.steps b.Batch.n;
+                  Telemetry.with_span "xqeval.columnar.kernel" @@ fun () ->
+                  Telemetry.add Telemetry.c_col_kernel_updates
+                    (nspecs * b.Batch.n);
+                  let grouped_col = b.Batch.cols.(grouped_slot) in
+                  let in_entry =
+                    Array.map (fun s -> b.Batch.cols.(s)) entry_copy
+                  in
+                  for k = 0 to b.Batch.n - 1 do
+                    let idx = b.Batch.sel.(k) in
+                    gather gslots scratch b idx;
+                    let key_values = List.map (fun ck -> ck scratch) ckeys in
+                    let key_string =
+                      Group_key.composite_into keybuf key_values
+                    in
+                    let states =
+                      match Hashtbl.find_opt table key_string with
+                      | Some (states, _, _) -> states
+                      | None ->
+                        let states =
+                          Array.map
+                            (fun (kind, _) -> Kernels.create kind)
+                            spec_info
+                        in
+                        let saved =
+                          Array.map (fun c -> c.(idx)) in_entry
+                        in
+                        Hashtbl.add table key_string
+                          (states, key_values, saved);
+                        order := key_string :: !order;
+                        states
+                    in
+                    let slice = grouped_col.(idx) in
+                    for t = 0 to nspecs - 1 do
+                      let input =
+                        match snd spec_info.(t) with
+                        | None -> slice
+                        | Some matches ->
+                          List.concat_map (children_matching matches) slice
+                      in
+                      Kernels.update states.(t) input
+                    done
+                  done);
+              cflush =
+                (fun () ->
+                  Telemetry.with_span "xqeval.columnar.kernel" @@ fun () ->
+                  let groups = List.rev !order in
+                  count (List.length groups);
+                  Telemetry.add Telemetry.c_col_pruned_columns
+                    (pruned * List.length groups);
+                  List.iter
+                    (fun key_string ->
+                      let states, key_values, saved =
+                        Hashtbl.find table key_string
+                      in
+                      let j = out.Batch.n in
+                      for t = 0 to entry_n - 1 do
+                        out_entry.(t).(j) <- saved.(t)
+                      done;
+                      List.iter2 (fun c v -> c.(j) <- v) out_keys key_values;
+                      for t = 0 to nspecs - 1 do
+                        out_specs.(t).(j) <- Kernels.finish states.(t)
+                      done;
+                      out.Batch.sel.(j) <- j;
+                      out.Batch.n <- j + 1;
+                      if out.Batch.n = cctx.ccap then emit ())
+                    groups;
+                  emit ();
+                  down.cflush ());
+            }
+          in
+          ((label, mk), cenv_post, cenv_post)
+        | C_plain (X.Hash_join { var; source; build_key; probe_key; value_cmp })
+          ->
+          (* gather set: [build_key]'s free vars minus the join
+             variable — the variable resolves to the fresh slot (bound
+             below), never to a same-named outer column, which may be
+             pruned at this point *)
+          let gslots =
+            gather_of_vars cenv
+              (Optimize.Vars.union
+                 (Optimize.free_vars source)
+                 (Optimize.Vars.union
+                    (Optimize.free_vars probe_key)
+                    (Optimize.Vars.remove var (Optimize.free_vars build_key))))
+          in
+          let csrc = compile_expr_c cenv source in
+          let cprobe = compile_expr_c cenv probe_key in
+          let copy = bound_slots cenv live in
+          let copy_n = Array.length copy in
+          let cenv2, var_slot = bind_slot cenv var in
+          let cbuild = compile_expr_c cenv2 build_key in
+          let cacheable =
+            Optimize.Vars.is_empty (Optimize.free_vars source)
+            && Optimize.Vars.subset
+                 (Optimize.free_vars build_key)
+                 (Optimize.Vars.singleton var)
+          in
+          let label = "hash-join $" ^ var in
+          let mk cctx down =
+            let count = ccounter cctx label in
+            let pruned = max 0 (cctx.cnslots - copy_n) in
+            let scratch = cctx.cscratch in
+            let table = ref None in
+            let out = cctx.calloc () in
+            let out_cols = Array.map (Batch.column out) copy in
+            let var_col = Batch.column out var_slot in
+            let emit () =
+              if out.Batch.n > 0 then begin
+                cnote_batch out.Batch.n;
+                Telemetry.add Telemetry.c_col_pruned_columns
+                  (pruned * out.Batch.n);
+                down.cpush out;
+                out.Batch.n <- 0
+              end
+            in
+            { cpush =
+                (fun b ->
+                  Budget.steps b.Batch.n;
+                  if b.Batch.n > 0 then begin
+                    let in_cols =
+                      Array.map (fun s -> b.Batch.cols.(s)) copy
+                    in
+                    let t =
+                      match !table with
+                      | Some t -> t
+                      | None ->
+                        (* [source]/[build_key] only read outer slots,
+                           identical in every row: load from the first
+                           selected row *)
+                        gather gslots scratch b b.Batch.sel.(0);
+                        let src = csrc scratch in
+                        let build () =
+                          Join_table.build src
+                            ~key_of:(fun item ->
+                              scratch.(var_slot) <- [ item ];
+                              cbuild scratch)
+                            ~value_cmp
+                        in
+                        let t =
+                          if not cacheable then build ()
+                          else
+                            match jt_find src build_key value_cmp with
+                            | Some t ->
+                              Budget.tick_items
+                                (Array.length t.Join_table.items);
+                              Telemetry.incr Telemetry.c_hash_join_reused;
+                              t
+                            | None ->
+                              let t = build () in
+                              jt_store src build_key value_cmp t;
+                              t
+                        in
+                        table := Some t;
+                        t
+                    in
+                    Join_table.probe_batch t ~value_cmp ~rows:b.Batch.n
+                      ~atoms_of:(fun k ->
+                        let idx = b.Batch.sel.(k) in
+                        gather gslots scratch b idx;
+                        Item.atomize (cprobe scratch))
+                      ~emit:(fun k m ->
+                        Budget.step ();
+                        count 1;
+                        let idx = b.Batch.sel.(k) in
+                        let j = out.Batch.n in
+                        for c = 0 to copy_n - 1 do
+                          out_cols.(c).(j) <- in_cols.(c).(idx)
+                        done;
+                        var_col.(j) <- [ t.Join_table.items.(m) ];
+                        out.Batch.sel.(j) <- j;
+                        out.Batch.n <- j + 1;
+                        if out.Batch.n = cctx.ccap then emit ())
+                  end);
+              cflush = (fun () -> emit (); down.cflush ());
+            }
+          in
+          ((label, mk), cenv2, cenv2)
+      in
+      let mks, cenv_out = build cenv' base' (i + 1) rest in
+      (labeled_mk :: mks, cenv_out)
+  in
+  let mks, cenv_ret = build cenv cenv 0 tclauses in
+  let ret_gslots = gather_slots cenv_ret [ treturn ] in
+  let cret = compile_expr_c cenv_ret treturn in
+  let entry_copy = bound_slots cenv (live_after tclauses) in
+  let xclauses = List.map cclause_view tclauses in
+  let next_ref = cenv.next in
+  fun rt ->
+    (* clause failpoints fire once per clause per invocation, like the
+       interpreter's eager pipeline fold *)
+    List.iter
+      (fun clause ->
+        Failpoint.hit "xqeval.clause";
+        match clause with
+        | X.Hash_join _ -> Failpoint.hit "xqeval.hashjoin"
+        | _ -> ())
+      xclauses;
+    let cap = Batch.size () in
+    let nslots = max 1 !next_ref in
+    let pool = cbatch_pool_for cap in
+    let acquired = ref [] in
+    let calloc () =
+      let b =
+        match !pool with
+        | b :: rest ->
+          pool := rest;
+          Batch.ensure_columns b ~slots:nslots ~cap;
+          b
+        | [] -> Batch.make_columns ~slots:nslots ~cap
+      in
+      acquired := b :: !acquired;
+      b
+    in
+    let scratch = Array.make nslots [] in
+    let cctx =
+      { ccap = cap; calloc; cinstr = Telemetry.enabled ();
+        cnslots = nslots; cscratch = scratch }
+    in
+    (* counters register in pipeline order (the chain below is built
+       downstream-first) *)
+    if cctx.cinstr then
+      List.iter
+        (fun (label, _) -> ignore (Telemetry.clause_counter label))
+        mks;
+    let results = ref [] in
+    let sink =
+      { cpush =
+          (fun b ->
+            Budget.steps b.Batch.n;
+            for k = 0 to b.Batch.n - 1 do
+              let idx = b.Batch.sel.(k) in
+              gather ret_gslots scratch b idx;
+              results := cret scratch :: !results
+            done);
+        cflush = (fun () -> ());
+      }
+    in
+    let chain =
+      List.fold_left (fun down (_, mk) -> mk cctx down) sink (List.rev mks)
+    in
+    let feed = calloc () in
+    Array.iter
+      (fun s -> (Batch.column feed s).(0) <- rt.(s))
+      entry_copy;
+    feed.Batch.sel.(0) <- 0;
+    feed.Batch.n <- 1;
+    cnote_batch 1;
+    chain.cpush feed;
+    chain.cflush ();
+    cbatch_release pool !acquired;
+    List.concat (List.rev !results)
+
 (* ------------------------------------------------------------------ *)
 
 type compiled = {
@@ -1157,7 +1941,8 @@ type compiled = {
 let no_resolve _ = None
 
 let compile_expr ?(optimize = true) ?(scan_cache = true) ?(vectorize = true)
-    ?(resolve = no_resolve) ?(vars = []) (e : X.expr) =
+    ?(columnar = Batch.columnar ()) ?(resolve = no_resolve) ?(vars = [])
+    (e : X.expr) =
   (* scoping is checked on the un-optimized AST: pushdown deliberately
      leaves hazardous predicates in place, and the error should point
      at what the caller wrote *)
@@ -1170,10 +1955,11 @@ let compile_expr ?(optimize = true) ?(scan_cache = true) ?(vectorize = true)
    | Some v -> cfail "where clause references $%s before it is bound" v
    | None -> ());
   let e =
-    if optimize then fst (Optimize.expr ~share_scans:scan_cache ~vectorize e)
+    if optimize then
+      fst (Optimize.expr ~share_scans:scan_cache ~vectorize ~columnar e)
     else e
   in
-  let cenv = { slots = []; next = ref 0; resolve; vectorize } in
+  let cenv = { slots = []; next = ref 0; resolve; vectorize; columnar } in
   let cenv, externals =
     List.fold_left
       (fun (ce, acc) v ->
@@ -1184,8 +1970,10 @@ let compile_expr ?(optimize = true) ?(scan_cache = true) ?(vectorize = true)
   let code = compile_expr_c cenv e in
   { code; size = !(cenv.next); externals = List.rev externals }
 
-let compile ?optimize ?scan_cache ?vectorize ?resolve ?vars (q : X.query) =
-  compile_expr ?optimize ?scan_cache ?vectorize ?resolve ?vars q.X.body
+let compile ?optimize ?scan_cache ?vectorize ?columnar ?resolve ?vars
+    (q : X.query) =
+  compile_expr ?optimize ?scan_cache ?vectorize ?columnar ?resolve ?vars
+    q.X.body
 
 let run ?(bindings = []) t =
   let rt = Array.make (max t.size 1) [] in

@@ -6,10 +6,20 @@
 
     With [vectorize] (the default) FLWOR pipelines are lowered to a
     push-based batch engine: clauses exchange fixed-capacity batches
-    of tuple snapshots ({!Batch.size} rows, selection-vector
-    filtering), hoisting per-clause setup out of the inner loop.
-    [~vectorize:false] selects the tuple-at-a-time lowering, which the
-    differential test suite uses as the oracle.
+    ({!Batch.size} rows, selection-vector filtering), hoisting
+    per-clause setup out of the inner loop.  [~vectorize:false]
+    selects the tuple-at-a-time lowering, which the differential test
+    suite uses as the oracle.
+
+    With [columnar] (the default, gated on [vectorize]) batches use a
+    struct-of-arrays layout — one value vector per bound variable
+    ({!Batch.columns}) — with required-column pruning (expanders and
+    barriers copy only the columns the rest of the pipeline reads) and
+    vectorized aggregation kernels (group-by clauses whose post-group
+    reads are all translator aggregate shapes never materialize the
+    partition; see {!Optimize.group_kernels} and {!Kernels}).
+    [~columnar:false] selects the row-snapshot batch layout, the
+    differential oracle for the columnar engine.
 
     Variable scoping is resolved at compile time; referencing an
     undefined variable (including bindings dropped by the group-by
@@ -29,6 +39,7 @@ val compile :
   ?optimize:bool ->
   ?scan_cache:bool ->
   ?vectorize:bool ->
+  ?columnar:bool ->
   ?resolve:resolver ->
   ?vars:string list ->
   Aqua_xquery.Ast.query ->
@@ -40,7 +51,9 @@ val compile :
     before lowering, enabling predicate pushdown and hash equi-joins;
     [scan_cache] (default [true]) additionally enables the optimizer's
     scan-sharing hoist for repeated data-service calls; [vectorize]
-    (default [true]) lowers FLWOR pipelines to the batch engine.
+    (default [true]) lowers FLWOR pipelines to the batch engine;
+    [columnar] (default {!Batch.columnar}, meaningful only with
+    [vectorize]) selects the struct-of-arrays batch layout.
     @raise Compile_error on unknown functions or variables, and on a
     [where] clause referencing a variable bound only by a later clause
     of the same FLWOR. *)
@@ -49,6 +62,7 @@ val compile_expr :
   ?optimize:bool ->
   ?scan_cache:bool ->
   ?vectorize:bool ->
+  ?columnar:bool ->
   ?resolve:resolver ->
   ?vars:string list ->
   Aqua_xquery.Ast.expr ->

@@ -424,8 +424,8 @@ let check_scoping ctx e =
   | Some v -> fail "where clause references $%s before it is bound" v
   | None -> ()
 
-let eval ?(optimize = true) ?(scan_cache = true) ?(vectorize = true) ctx
-    (e : X.expr) =
+let eval ?(optimize = true) ?(scan_cache = true) ?(vectorize = true)
+    ?(columnar = Batch.columnar ()) ctx (e : X.expr) =
   check_scoping ctx e;
   let interpret () =
     let e =
@@ -444,7 +444,7 @@ let eval ?(optimize = true) ?(scan_cache = true) ?(vectorize = true) ctx
   if optimize && vectorize then begin
     let bindings = Env.bindings ctx.vars in
     match
-      Compile.compile_expr ~optimize ~scan_cache ~vectorize:true
+      Compile.compile_expr ~optimize ~scan_cache ~vectorize:true ~columnar
         ~resolve:ctx.resolve
         ~vars:(List.map fst bindings)
         e
@@ -454,5 +454,5 @@ let eval ?(optimize = true) ?(scan_cache = true) ?(vectorize = true) ctx
   end
   else interpret ()
 
-let eval_query ?optimize ?scan_cache ?vectorize ctx (q : X.query) =
-  eval ?optimize ?scan_cache ?vectorize ctx q.body
+let eval_query ?optimize ?scan_cache ?vectorize ?columnar ctx (q : X.query) =
+  eval ?optimize ?scan_cache ?vectorize ?columnar ctx q.body

@@ -26,6 +26,7 @@ val eval :
   ?optimize:bool ->
   ?scan_cache:bool ->
   ?vectorize:bool ->
+  ?columnar:bool ->
   context ->
   Aqua_xquery.Ast.expr ->
   Aqua_xml.Item.sequence
@@ -41,7 +42,12 @@ val eval :
     batch engine ({!Compile} with {!Batch.size}-row batches);
     [~vectorize:false] keeps the tuple-at-a-time interpreter — the
     row-at-a-time oracle the batch engine is differentially tested
-    against.  Either way a [where] clause referencing a variable bound
+    against.  [columnar] (default {!Batch.columnar}, meaningful only
+    with [vectorize]) selects the struct-of-arrays batch layout with
+    required-column pruning and aggregation kernels;
+    [~columnar:false] keeps the row-snapshot batch layout, the
+    columnar engine's differential oracle.  Either way a [where]
+    clause referencing a variable bound
     only by a later clause of the same FLWOR raises a clear error
     naming the variable.
     @raise Error.Dynamic_error on dynamic errors (unknown variable or
@@ -51,6 +57,7 @@ val eval_query :
   ?optimize:bool ->
   ?scan_cache:bool ->
   ?vectorize:bool ->
+  ?columnar:bool ->
   context ->
   Aqua_xquery.Ast.query ->
   Aqua_xml.Item.sequence

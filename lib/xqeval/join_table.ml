@@ -191,3 +191,31 @@ let probe t ~value_cmp (probe_atoms : Atomic.t list) : int list =
     else List.concat_map (rows_for_atom t) probe_atoms
   in
   dedup_build_order t matched
+
+(* Batched probe: one call per batch instead of one closure-allocating
+   [probe] per row.  [atoms_of i] supplies probe row [i]'s key atoms;
+   [emit i row] receives each match in (probe row, ascending build
+   row) order — identical results, cardinality errors and counter
+   movement to [rows] sequential calls of [probe], with the
+   per-row closures hoisted out of the loop. *)
+let probe_batch t ~value_cmp ~rows ~(atoms_of : int -> Atomic.t list)
+    ~(emit : int -> int -> unit) : unit =
+  let module T = Aqua_core.Telemetry in
+  T.add T.c_hash_join_probes rows;
+  for i = 0 to rows - 1 do
+    let matched =
+      if value_cmp then
+        match atoms_of i with
+        | [] -> []
+        | [ a ] ->
+          if t.poison then
+            Error.fail "value comparison requires singleton operands"
+          else rows_for_atom t a
+        | _ ->
+          if t.any_nonempty then
+            Error.fail "value comparison requires singleton operands"
+          else []
+      else List.concat_map (rows_for_atom t) (atoms_of i)
+    in
+    List.iter (fun r -> emit i r) (dedup_build_order t matched)
+  done

@@ -31,3 +31,16 @@ val probe : t -> value_cmp:bool -> Aqua_xml.Atomic.t list -> int list
     order), deduplicated.  @raise Error.Dynamic_error on the value
     comparison cardinality violation, exactly where the nested loop's
     [value_compare] would. *)
+
+val probe_batch :
+  t ->
+  value_cmp:bool ->
+  rows:int ->
+  atoms_of:(int -> Aqua_xml.Atomic.t list) ->
+  emit:(int -> int -> unit) ->
+  unit
+(** Probe a whole selection vector in one call: for probe rows
+    [0 .. rows-1], [emit i row] fires per match in (probe row,
+    ascending build row) order.  Identical matches, errors and counter
+    movement to [rows] sequential {!probe} calls, without the per-row
+    closure allocation on the probe side. *)

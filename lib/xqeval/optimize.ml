@@ -89,7 +89,14 @@ and fv_flwor bound acc (f : X.flwor) : Vars.t =
         | X.For { var; source } -> (Vars.add var bound, fv bound acc source)
         | X.Let { var; value } -> (Vars.add var bound, fv bound acc value)
         | X.Where cond -> (bound, fv bound acc cond)
-        | X.Group { grouped = _; partition; keys } ->
+        | X.Group { grouped; partition; keys } ->
+          (* the clause *reads* the grouped variable (its values feed
+             the partition) — counting that use is what lets the
+             required-columns analysis keep the grouped column alive
+             up to the barrier *)
+          let acc =
+            if Vars.mem grouped bound then acc else Vars.add grouped acc
+          in
           let acc =
             List.fold_left (fun acc (k, _) -> fv bound acc k) acc keys
           in
@@ -114,6 +121,144 @@ and fv_flwor bound acc (f : X.flwor) : Vars.t =
   fv bound acc f.return
 
 let free_vars e = fv Vars.empty Vars.empty e
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation-kernel recognition (columnar GROUP BY)                 *)
+
+(* The columnar engine can fold the translator's aggregate shapes
+   incrementally per grouped tuple (see Kernels) instead of
+   materializing the whole partition sequence per group.  A partition
+   use is kernelizable when it is exactly one of the shapes the
+   generator emits:
+
+     fn:count($p)            fn:count($p/COL)
+     fn:sum($p/COL)          if (fn:empty($p/COL)) then () else fn:sum($p/COL)
+     fn:avg / fn:min / fn:max ($p/COL)
+     fn:empty($p) / fn:exists($p)   (and the /COL variants)
+
+   [group_kernels] rewrites every such use in the post-group remainder
+   into a read of a synthetic '#agg:' variable and returns the kernel
+   inventory; any other use of the partition (or a rebinding of its
+   name) bails the whole group back to the materializing path, so the
+   rewrite is all-or-nothing and the oracle semantics are preserved
+   exactly. *)
+
+type kernel_spec = {
+  k_kind : Kernels.kind;
+  k_step : string option;
+      (** [None] = the whole partition; [Some name] = the child-step
+          column [$p/name] *)
+  k_var : string;  (** the synthetic variable the rewrite binds *)
+}
+
+let spec_label s =
+  match s.k_step with
+  | None -> Kernels.name s.k_kind
+  | Some col -> Printf.sprintf "%s(%s)" (Kernels.name s.k_kind) col
+
+exception Not_kernelizable
+
+let group_kernels ~partition (clauses : X.clause list) (return_ : X.expr) :
+    (kernel_spec list * X.clause list * X.expr) option =
+  let specs = ref [] in
+  let nspecs = ref 0 in
+  let spec kind step =
+    match
+      List.find_opt (fun s -> s.k_kind = kind && s.k_step = step) !specs
+    with
+    | Some s -> s.k_var
+    | None ->
+      let v = Printf.sprintf "#agg:%s:%d" partition !nspecs in
+      incr nspecs;
+      specs := { k_kind = kind; k_step = step; k_var = v } :: !specs;
+      v
+  in
+  let kind_of = function
+    | "fn:count" -> Some Kernels.K_count
+    | "fn:sum" -> Some Kernels.K_sum
+    | "fn:avg" -> Some Kernels.K_avg
+    | "fn:min" -> Some Kernels.K_min
+    | "fn:max" -> Some Kernels.K_max
+    | "fn:empty" -> Some Kernels.K_empty
+    | "fn:exists" -> Some Kernels.K_exists
+    | _ -> None
+  in
+  (* a kernelizable column read: the partition itself or one
+     unpredicated child step over it *)
+  let column = function
+    | X.Var v when v = partition -> Some None
+    | X.Path (X.Var v, [ { X.name; predicates = [] } ]) when v = partition ->
+      Some (Some name)
+    | _ -> None
+  in
+  let rebind v = if v = partition then raise Not_kernelizable in
+  let rec rw (e : X.expr) : X.expr =
+    match e with
+    (* the translator's SQL NULL shape for SUM, fused into one kernel:
+       SUM over the empty set is NULL, not 0 *)
+    | X.If (X.Call ("fn:empty", [ g ]), X.Seq [], X.Call ("fn:sum", [ s ]))
+      when g = s && column g <> None ->
+      X.Var (spec Kernels.K_sum_null (Option.get (column g)))
+    | X.Call (name, [ arg ]) when kind_of name <> None && column arg <> None ->
+      X.Var (spec (Option.get (kind_of name)) (Option.get (column arg)))
+    | X.Var v when v = partition -> raise Not_kernelizable
+    | X.Literal _ | X.Var _ | X.Context_item | X.Text _ -> e
+    | X.Seq es -> X.Seq (List.map rw es)
+    | X.Flwor f ->
+      X.Flwor { clauses = List.map rw_clause f.clauses; return = rw f.return }
+    | X.Path (base, steps) ->
+      X.Path
+        ( rw base,
+          List.map
+            (fun (s : X.step) ->
+              { s with X.predicates = List.map rw s.predicates })
+            steps )
+    | X.Call (name, args) -> X.Call (name, List.map rw args)
+    | X.Elem { name; content } -> X.Elem { name; content = List.map rw content }
+    | X.If (c, t, e) -> X.If (rw c, rw t, rw e)
+    | X.Binop (op, a, b) -> X.Binop (op, rw a, rw b)
+    | X.Neg e -> X.Neg (rw e)
+    | X.Quantified { every; bindings; satisfies } ->
+      List.iter (fun (v, _) -> rebind v) bindings;
+      X.Quantified
+        {
+          every;
+          bindings = List.map (fun (v, e) -> (v, rw e)) bindings;
+          satisfies = rw satisfies;
+        }
+    | X.Filter (base, pred) -> X.Filter (rw base, rw pred)
+  and rw_clause = function
+    | X.For { var; source } ->
+      rebind var;
+      X.For { var; source = rw source }
+    | X.Let { var; value } ->
+      rebind var;
+      X.Let { var; value = rw value }
+    | X.Where cond -> X.Where (rw cond)
+    | X.Group { grouped; partition = p2; keys } ->
+      (* a nested group collecting or rebinding our partition is a
+         non-kernel use *)
+      rebind grouped;
+      rebind p2;
+      List.iter (fun (_, kv) -> rebind kv) keys;
+      X.Group { grouped; partition = p2; keys = List.map (fun (k, v) -> (rw k, v)) keys }
+    | X.Order_by specs ->
+      X.Order_by
+        (List.map (fun (s : X.order_spec) -> { s with X.key = rw s.X.key }) specs)
+    | X.Hash_join { var; source; build_key; probe_key; value_cmp } ->
+      rebind var;
+      X.Hash_join
+        {
+          var;
+          source = rw source;
+          build_key = rw build_key;
+          probe_key = rw probe_key;
+          value_cmp;
+        }
+  in
+  match (List.map rw_clause clauses, rw return_) with
+  | clauses', return' -> Some (List.rev !specs, clauses', return')
+  | exception Not_kernelizable -> None
 
 (* ------------------------------------------------------------------ *)
 (* Per-clause binding bookkeeping                                     *)
@@ -509,7 +654,115 @@ let share_scans_pass acc (e : X.expr) : X.expr =
       }
   end
 
-let expr ?(share_scans = true) ?(vectorize = true) e =
+(* ------------------------------------------------------------------ *)
+(* Columnar pipeline shape (EXPLAIN-style notes)                      *)
+
+(* Mirrors, in name-set form, the decisions the columnar compiler
+   makes: per expander/barrier, how many of the visible columns the
+   required-columns analysis actually carries downstream, and for each
+   group clause which aggregation kernels were selected.  Purely
+   descriptive — the compiler recomputes the same analysis over real
+   slots. *)
+let columnar_shape (e : X.expr) : string list =
+  let out = ref [] in
+  let emit fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  let clause_label = function
+    | X.For { var; _ } -> Printf.sprintf "for $%s" var
+    | X.Let { var; _ } -> Printf.sprintf "let $%s" var
+    | X.Where _ -> "where"
+    | X.Order_by _ -> "order by"
+    | X.Group { partition; _ } -> Printf.sprintf "group by -> $%s" partition
+    | X.Hash_join { var; _ } -> Printf.sprintf "hash-join $%s" var
+  in
+  let rec walk (e : X.expr) =
+    match e with
+    | X.Literal _ | X.Var _ | X.Context_item | X.Text _ -> ()
+    | X.Seq es -> List.iter walk es
+    | X.Flwor f -> walk_flwor f
+    | X.Path (base, steps) ->
+      walk base;
+      List.iter (fun (s : X.step) -> List.iter walk s.predicates) steps
+    | X.Call (_, args) -> List.iter walk args
+    | X.Elem { content; _ } -> List.iter walk content
+    | X.If (c, t, e) -> walk c; walk t; walk e
+    | X.Binop (_, a, b) -> walk a; walk b
+    | X.Neg e -> walk e
+    | X.Quantified { bindings; satisfies; _ } ->
+      List.iter (fun (_, src) -> walk src) bindings;
+      walk satisfies
+    | X.Filter (base, pred) -> walk base; walk pred
+  and walk_flwor (f : X.flwor) =
+    let entry_used = fv Vars.empty Vars.empty (X.Flwor f) in
+    let arr = Array.of_list f.clauses in
+    let n = Array.length arr in
+    let remainder i =
+      (* live columns after clause i: free vars of the rest of the
+         pipeline plus the return *)
+      let rest = Array.to_list (Array.sub arr (i + 1) (n - i - 1)) in
+      fv Vars.empty Vars.empty (X.Flwor { clauses = rest; return = f.return })
+    in
+    let visible = ref entry_used in
+    Array.iteri
+      (fun i clause ->
+        (match clause with
+        | X.Where _ | X.Let _ -> () (* operate in place: nothing copied *)
+        | X.Group { grouped = _; partition; keys } ->
+          let post =
+            List.fold_left
+              (fun s (_, kv) -> Vars.add kv s)
+              (Vars.add partition entry_used)
+              keys
+          in
+          let live = Vars.inter (remainder i) post in
+          (match
+             group_kernels ~partition
+               (Array.to_list (Array.sub arr (i + 1) (n - i - 1)))
+               f.return
+           with
+          | Some (specs, _, _) ->
+            emit
+              "columnar: %s kernels [%s]; partition not materialized, %d \
+               live column(s) carried"
+              (clause_label clause)
+              (if specs = [] then "none"
+               else String.concat "; " (List.map spec_label specs))
+              (Vars.cardinal (Vars.remove partition live))
+          | None ->
+            emit
+              "columnar: %s materializes the partition (aggregates not \
+               kernelizable); %d live column(s) carried"
+              (clause_label clause) (Vars.cardinal live));
+          visible := post
+        | X.For { var; _ } | X.Hash_join { var; _ } ->
+          let vis = Vars.add var !visible in
+          let live = Vars.inter (remainder i) vis in
+          emit "columnar: %s carries %d of %d column(s) (pruned %d)"
+            (clause_label clause) (Vars.cardinal live) (Vars.cardinal vis)
+            (Vars.cardinal (Vars.diff vis live));
+          visible := vis
+        | X.Order_by _ ->
+          let live = Vars.inter (remainder i) !visible in
+          emit "columnar: %s retains %d of %d column(s) (pruned %d)"
+            (clause_label clause) (Vars.cardinal live)
+            (Vars.cardinal !visible)
+            (Vars.cardinal (Vars.diff !visible live)));
+        (* recurse into the clause's subexpressions for nested FLWORs *)
+        match clause with
+        | X.For { source; _ } -> walk source
+        | X.Let { value; _ } -> walk value
+        | X.Where cond -> walk cond
+        | X.Group { keys; _ } -> List.iter (fun (k, _) -> walk k) keys
+        | X.Order_by specs ->
+          List.iter (fun (s : X.order_spec) -> walk s.X.key) specs
+        | X.Hash_join { source; build_key; probe_key; _ } ->
+          walk source; walk build_key; walk probe_key)
+      arr;
+    walk f.return
+  in
+  walk e;
+  List.rev !out
+
+let expr ?(share_scans = true) ?(vectorize = true) ?(columnar = true) e =
   let acc = { pushed = 0; joins = 0; shared = 0; notes = [] } in
   let e = rewrite acc e in
   let e = if share_scans then share_scans_pass acc e else e in
@@ -520,6 +773,13 @@ let expr ?(share_scans = true) ?(vectorize = true) e =
          filtering)"
         (Batch.size ())
       :: acc.notes;
+  if vectorize && columnar then begin
+    acc.notes <-
+      "columnar layout: one value vector per bound variable \
+       (required-column pruning active)"
+      :: acc.notes;
+    List.iter (fun n -> acc.notes <- n :: acc.notes) (columnar_shape e)
+  end;
   let module T = Aqua_core.Telemetry in
   T.add T.c_pushdown_rewrites acc.pushed;
   T.add T.c_hash_join_rewrites acc.joins;
@@ -532,8 +792,8 @@ let expr ?(share_scans = true) ?(vectorize = true) e =
       notes = List.rev acc.notes;
     } )
 
-let query ?share_scans ?vectorize (q : X.query) =
-  let body, report = expr ?share_scans ?vectorize q.X.body in
+let query ?share_scans ?vectorize ?columnar (q : X.query) =
+  let body, report = expr ?share_scans ?vectorize ?columnar q.X.body in
   ({ q with X.body }, report)
 
 (* ------------------------------------------------------------------ *)

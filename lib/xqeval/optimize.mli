@@ -35,21 +35,61 @@ val scan_var : string -> string
 val expr :
   ?share_scans:bool ->
   ?vectorize:bool ->
+  ?columnar:bool ->
   Aqua_xquery.Ast.expr ->
   Aqua_xquery.Ast.expr * report
 (** Optimize an expression bottom-up.  [share_scans] (default [true])
-    controls the scan-sharing hoist.  [vectorize] (default [true])
-    does not change the plan — execution strategy is chosen at
-    compile time — but records the batch-pipeline shape (current
-    {!Batch.size}) in the report notes so EXPLAIN-style consumers
+    controls the scan-sharing hoist.  [vectorize] and [columnar]
+    (default [true]) do not change the plan — execution strategy is
+    chosen at compile time — but record the batch-pipeline shape
+    (current {!Batch.size}, per-operator column materialization and
+    kernel selection) in the report notes so EXPLAIN-style consumers
     describe how the plan will run. *)
 
 val query :
   ?share_scans:bool ->
   ?vectorize:bool ->
+  ?columnar:bool ->
   Aqua_xquery.Ast.query ->
   Aqua_xquery.Ast.query * report
 (** Optimize a query body (prolog is untouched). *)
+
+(** {1 Columnar-engine analyses}
+
+    Used by {!Compile}'s columnar pipeline; exposed here because they
+    are purely structural AST analyses. *)
+
+type kernel_spec = {
+  k_kind : Kernels.kind;
+  k_step : string option;
+      (** [None] = the whole partition; [Some name] = the child-step
+          column [$partition/name] *)
+  k_var : string;  (** the synthetic ['#agg:'] variable bound instead *)
+}
+
+val spec_label : kernel_spec -> string
+(** e.g. ["count"] or ["sum(PAYMENT)"], for plans and analyze output. *)
+
+val group_kernels :
+  partition:string ->
+  Aqua_xquery.Ast.clause list ->
+  Aqua_xquery.Ast.expr ->
+  (kernel_spec list * Aqua_xquery.Ast.clause list * Aqua_xquery.Ast.expr)
+  option
+(** [group_kernels ~partition rest return] rewrites every use of the
+    partition variable in the post-group remainder into a read of a
+    synthetic kernel variable, when — and only when — every use is one
+    of the translator's aggregate shapes ([fn:count]/[fn:sum]/[fn:avg]/
+    [fn:min]/[fn:max]/[fn:empty]/[fn:exists] over the partition or one
+    child step of it, including the [if (fn:empty(c)) then () else
+    fn:sum(c)] SQL NULL shape).  Returns the kernel inventory plus the
+    rewritten remainder, or [None] when any other use (or a rebinding
+    of the partition name) forces the materializing path. *)
+
+val columnar_shape : Aqua_xquery.Ast.expr -> string list
+(** EXPLAIN-style one-liners describing the columnar pipeline shape:
+    columns carried vs pruned per expander/barrier and the kernels
+    selected per group clause. *)
 
 val free_vars : Aqua_xquery.Ast.expr -> Vars.t
 (** Precise free variables of an expression, with the context item "."

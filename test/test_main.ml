@@ -22,5 +22,6 @@ let () =
       Test_resilience.suite;
       Test_scan_cache.suite;
       Test_vectorize.suite;
+      Test_columnar.suite;
       Test_concurrency.suite;
       Test_net.suite ]
